@@ -1,0 +1,29 @@
+# Development conveniences for the SPLIT reproduction.
+
+.PHONY: install test bench experiments results examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.experiments all
+
+results:
+	python -m repro.experiments all --out results/
+
+examples:
+	python examples/quickstart.py
+	python examples/autonomous_driving.py
+	python examples/splitting_explorer.py
+	python examples/qos_comparison.py
+	python examples/edge_cluster.py
+
+clean:
+	rm -rf results/ .pytest_cache src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,30 @@
+"""Shared benchmark fixtures.
+
+Each ``test_bench_*`` file regenerates one paper table/figure: the
+benchmark times the regeneration and the assertions pin the reproduced
+*shape* (orderings, trends); absolute paper numbers are attached as
+``extra_info`` for the EXPERIMENTS.md comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentContext
+from repro.runtime.workload import Scenario
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return ExperimentContext()
+
+
+@pytest.fixture(scope="session")
+def bench_scenarios():
+    """The low/high-load ends of Table 2 at the paper's full 1000-request
+    scale (the middle scenarios interpolate; the full grid is
+    ``python -m repro.experiments fig6``)."""
+    return (
+        Scenario("scenario1", 160.0, "low", n_requests=1000),
+        Scenario("scenario6", 110.0, "high", n_requests=1000),
+    )

@@ -1,0 +1,42 @@
+"""Ablation benchmarks: GA initialisation, exhaustive baseline, vectorised
+fitness evaluation throughput."""
+
+import numpy as np
+
+from repro.splitting.exhaustive import ExhaustiveSplitter, evaluate_cut_matrix
+from repro.splitting.genetic import GAConfig, GeneticSplitter
+from repro.splitting.search_space import sample_cuts_uniform
+
+
+def test_bench_ga_guided_vs_blind(benchmark, ctx):
+    """Guided initialisation must reach at least blind quality; timing the
+    guided path."""
+    profile = ctx.profile("resnet50")
+    guided = GeneticSplitter(GAConfig(seed=0, guided_init_fraction=0.75))
+    blind_result = GeneticSplitter(
+        GAConfig(seed=0, guided_init_fraction=0.0)
+    ).search(profile, 3)
+    result = benchmark(guided.search, profile, 3)
+    assert result.fitness >= blind_result.fitness - 0.01
+    benchmark.extra_info["guided_fitness"] = round(result.fitness, 5)
+    benchmark.extra_info["blind_fitness"] = round(blind_result.fitness, 5)
+
+
+def test_bench_exhaustive_resnet50_3blocks(benchmark, ctx):
+    """The search the paper deems impractical on-device (7k+ candidates
+    here; 20k+ with their op inventory) — tractable offline with the
+    vectorised evaluator."""
+    profile = ctx.profile("resnet50")
+    splitter = ExhaustiveSplitter()
+    result = benchmark(splitter.search, profile, 3)
+    benchmark.extra_info["candidates"] = result.candidates_evaluated
+
+
+def test_bench_fitness_evaluation_vectorised(benchmark, ctx):
+    """Population-fitness throughput (candidates/second)."""
+    profile = ctx.profile("resnet50")
+    rng = np.random.default_rng(0)
+    pop = sample_cuts_uniform(rng, profile.n_ops, 4, 4096)
+    sigma, overhead = benchmark(evaluate_cut_matrix, profile, pop)
+    assert sigma.shape == (4096,)
+    benchmark.extra_info["population"] = 4096

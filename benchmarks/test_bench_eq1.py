@@ -1,0 +1,12 @@
+"""Eq. 1 regeneration: closed form vs Monte Carlo."""
+
+from repro.experiments import eq1
+
+
+def test_bench_eq1(benchmark, ctx):
+    result = benchmark(eq1.run, ctx, 100_000)
+    for case in result.cases:
+        assert case.rel_error < 0.02
+        benchmark.extra_info[case.label] = (
+            f"closed {case.closed_form_ms:.3f} vs MC {case.monte_carlo_ms:.3f}"
+        )

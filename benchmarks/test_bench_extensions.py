@@ -1,0 +1,51 @@
+"""Benchmarks for the extension studies (beyond the paper's tables)."""
+
+from repro.experiments import bursts, qos_targets, scaling
+from repro.runtime.workload import Scenario
+from repro.splitting.heuristics import AnnealingConfig, AnnealingSplitter, balanced_split
+
+
+def test_bench_scaling(benchmark, ctx):
+    result = benchmark(
+        scaling.run,
+        ctx,
+        Scenario("bench-overload", 70.0, "high", n_requests=600),
+        (1, 2),
+        ("round_robin", "least_backlog"),
+    )
+    one = result.row(1, "round_robin")
+    two = result.row(2, "least_backlog")
+    assert two.mean_rr < one.mean_rr
+    benchmark.extra_info["1p_mean_rr"] = round(one.mean_rr, 2)
+    benchmark.extra_info["2p_mean_rr"] = round(two.mean_rr, 2)
+
+
+def test_bench_bursts(benchmark, ctx):
+    result = benchmark(bursts.run, ctx, 600)
+    split = result.row("split")
+    for other in ("clockwork", "rta"):
+        assert split.violation_at_4 <= result.row(other).violation_at_4 + 1e-12
+    benchmark.extra_info["burstiness"] = round(result.burstiness, 2)
+
+
+def test_bench_qos_targets(benchmark, ctx):
+    result = benchmark(
+        qos_targets.run,
+        ctx,
+        Scenario("bench-tiered", 130.0, "high", n_requests=600),
+    )
+    benchmark.extra_info["overall_uniform"] = round(result.overall_uniform, 3)
+    benchmark.extra_info["overall_tiered"] = round(result.overall_tiered, 3)
+
+
+def test_bench_balanced_heuristic(benchmark, ctx):
+    profile = ctx.profile("resnet50")
+    result = benchmark(balanced_split, profile, 3)
+    benchmark.extra_info["evaluations"] = result.evaluations
+
+
+def test_bench_annealing(benchmark, ctx):
+    profile = ctx.profile("resnet50")
+    splitter = AnnealingSplitter(AnnealingConfig(seed=0, iterations=1500))
+    result = benchmark(splitter.search, profile, 3)
+    benchmark.extra_info["evaluations"] = result.evaluations

@@ -1,0 +1,14 @@
+"""Fig. 1 regeneration: the motivating two-request schedule."""
+
+from repro.experiments import fig1
+
+
+def test_bench_fig1(benchmark, ctx):
+    result = benchmark(fig1.run, ctx)
+    split = result.row("split")
+    for other in ("stream-parallel", "runtime-aware", "sequential"):
+        assert split.avg_rr <= result.row(other).avg_rr + 1e-9
+    benchmark.extra_info["split_avg_rr"] = round(split.avg_rr, 2)
+    benchmark.extra_info["sequential_avg_rr"] = round(
+        result.row("sequential").avg_rr, 2
+    )

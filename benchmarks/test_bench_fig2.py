@@ -1,0 +1,21 @@
+"""Fig. 2 regeneration: the two-cut-point sweep on ResNet50."""
+
+from repro.experiments import fig2
+
+
+def test_bench_fig2_resnet50(benchmark, ctx):
+    result = benchmark(fig2.run, ctx, "resnet50", 2)
+    # Observation (a): early cuts cost more than late cuts.
+    assert result.front_overhead_pct > result.back_overhead_pct
+    # Observation (b): the most even 3-way split sits mid-front.
+    c1, c2 = result.best_std_cuts
+    assert 0.2 * 122 < c1 < 0.55 * 122
+    benchmark.extra_info["front_overhead_pct"] = round(result.front_overhead_pct, 2)
+    benchmark.extra_info["back_overhead_pct"] = round(result.back_overhead_pct, 2)
+    benchmark.extra_info["best_std_cuts"] = str(result.best_std_cuts)
+
+
+def test_bench_fig2_vgg19(benchmark, ctx):
+    result = benchmark(fig2.run, ctx, "vgg19", 1)
+    assert result.front_overhead_pct > result.back_overhead_pct
+    benchmark.extra_info["grid"] = f"{len(result.positions)}^2 / 2"

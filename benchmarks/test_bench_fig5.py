@@ -1,0 +1,29 @@
+"""Fig. 5 regeneration: GA convergence for ResNet50/VGG19 x {2,3,4}."""
+
+import pytest
+
+from repro.experiments import fig5
+from repro.splitting.genetic import GAConfig, GeneticSplitter
+
+
+def test_bench_fig5_all_series(benchmark, ctx):
+    result = benchmark(fig5.run, ctx)
+    assert len(result.series) == 6
+    for s in result.series:
+        # Paper: optima found within 15 generations.
+        assert s.generations_to_best <= 15
+        benchmark.extra_info[s.label] = (
+            f"std {s.std_by_generation[-1]:.3f}ms "
+            f"ovh {s.overhead_pct_by_generation[-1]:.1f}% "
+            f"in {s.generations_to_best} gens"
+        )
+
+
+@pytest.mark.parametrize("model,blocks", [("resnet50", 2), ("resnet50", 3), ("vgg19", 3)])
+def test_bench_ga_single_search(benchmark, ctx, model, blocks):
+    """Per-search GA cost (the paper's offline step)."""
+    profile = ctx.profile(model)
+    splitter = GeneticSplitter(GAConfig(seed=0))
+    result = benchmark(splitter.search, profile, blocks)
+    assert result.partition.n_blocks == blocks
+    benchmark.extra_info["evaluations"] = result.evaluations

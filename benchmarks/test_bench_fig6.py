@@ -1,0 +1,30 @@
+"""Fig. 6 regeneration: violation-rate curves, SPLIT vs baselines."""
+
+from repro.experiments import fig6
+from repro.experiments.config import ALPHA_GRID
+
+
+def test_bench_fig6(benchmark, ctx, bench_scenarios):
+    result = benchmark(
+        fig6.run, ctx, ("split", "clockwork", "prema", "rta"), bench_scenarios,
+        ALPHA_GRID,
+    )
+    a4 = list(result.alphas).index(4.0)
+    for scen in result.scenarios():
+        split = result.curve("split", scen)
+        for baseline in ("clockwork", "prema", "rta"):
+            other = result.curve(baseline, scen)
+            # The paper's ordering at the claim point alpha = 4. PREMA can
+            # tie SPLIT within sampling noise at low load, hence the 2 pp
+            # tolerance; the mean over the whole curve must still favour
+            # SPLIT.
+            assert split[a4] <= other[a4] + 0.02, (scen, baseline)
+            assert split.mean() <= other.mean() + 1e-12, (scen, baseline)
+        benchmark.extra_info[f"{scen}-split@4"] = round(float(split[a4]), 3)
+    best = max(
+        result.max_reduction_vs(b) for b in ("clockwork", "prema", "rta")
+    )
+    # Paper: up to 43% (0.43) violation-rate reduction.
+    assert best > 0.30
+    benchmark.extra_info["max_reduction_pp"] = round(best * 100, 1)
+    benchmark.extra_info["paper_claim"] = "up to 43%"

@@ -1,0 +1,16 @@
+"""Table 1 regeneration: model-zoo construction + calibrated profiling."""
+
+import pytest
+
+from repro.experiments import table1
+from repro.experiments.config import PAPER_TABLE1
+
+
+def test_bench_table1(benchmark, ctx):
+    result = benchmark(table1.run, ctx)
+    rows = {r.model: r for r in result.rows}
+    for model, paper in PAPER_TABLE1.items():
+        assert rows[model].operators == paper["operators"]
+        assert rows[model].latency_ms == pytest.approx(paper["latency_ms"])
+    benchmark.extra_info["models"] = len(rows)
+    benchmark.extra_info["paper_match"] = "operators exact, latency calibrated"

@@ -1,0 +1,18 @@
+"""Table 3 regeneration: optimal splitting options per block count."""
+
+from repro.experiments import table3
+
+
+def test_bench_table3(benchmark, ctx):
+    result = benchmark(table3.run, ctx)
+    assert len(result.rows) == 6
+    for model in ("resnet50", "vgg19"):
+        ovh = [r.overhead_pct for r in result.rows if r.model == model]
+        # Paper trend: overhead grows with block count.
+        assert ovh == sorted(ovh)
+    for r in result.rows:
+        benchmark.extra_info[f"{r.model}-{r.blocks}"] = (
+            f"std {r.std_ms:.2f} (paper {r.paper_std}), "
+            f"ovh {r.overhead_pct:.1f}% (paper {r.paper_overhead_pct}%)"
+        )
+    benchmark.extra_info["optimal_blocks"] = str(result.optimal_blocks)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""The paper's motivating scenario (§1): an autonomous-driving edge box.
+
+A person-*detection* model (long, VGG19 stand-in) runs continuously, while
+person-*tracking* (YOLOv2) and pose-extraction (GoogLeNet) requests fire
+whenever pedestrians approach. All three share one GPU through the real
+threaded serving pipeline (Fig. 4's components) on a scaled clock.
+
+The demo shows what Figure 1 illustrates: with evenly-sized splitting +
+greedy preemption, the sporadic short requests cut in at block boundaries
+instead of waiting behind whole detection passes.
+
+Run:  python examples/autonomous_driving.py
+"""
+
+import statistics
+
+from repro.server import SplitServer
+from repro.utils.rng import rng_from
+from repro.zoo import get_model
+
+TIME_SCALE = 1e-5  # 1 simulated ms = 10 us of wall time (100x fast-forward)
+
+
+def main() -> None:
+    server = SplitServer(time_scale=TIME_SCALE)
+    print("deploying models (offline GA splitting for long models)...")
+    for name in ("vgg19", "yolov2", "googlenet"):
+        record = server.deploy(get_model(name))
+        blocks = ", ".join(f"{b:.1f}" for b in record.task.blocks_ms)
+        print(f"  {name:<10} -> {len(record.task.blocks_ms)} block(s) [{blocks}] ms")
+
+    rng = rng_from(2026, "driving-demo")
+    handles = {"detect": [], "track": [], "pose": []}
+
+    with server:
+        # The detector streams continuously; pedestrians appear in bursts.
+        for frame in range(40):
+            handles["detect"].append(server.submit("vgg19"))
+            if rng.random() < 0.5:  # pedestrians near the vehicle
+                for _ in range(int(rng.integers(1, 4))):
+                    handles["track"].append(server.submit("yolov2"))
+                    handles["pose"].append(server.submit("googlenet"))
+            server.clock.sleep_ms(float(rng.exponential(130.0)))
+        server.drain(timeout_s=60.0)
+
+    print(f"\nserved {len(server.responder.completed)} requests "
+          f"({server.assigner.blocks_executed} blocks executed)\n")
+    print(f"{'task':<8} {'n':>4} {'mean RR':>8} {'p95 RR':>8} {'preempts':>9}")
+    for label, hs in handles.items():
+        results = [h.result(timeout_s=1.0) for h in hs]
+        rrs = sorted(r.response_ratio for r in results)
+        p95 = rrs[int(0.95 * (len(rrs) - 1))]
+        preempts = sum(r.preemptions for r in results)
+        print(
+            f"{label:<8} {len(results):>4} {statistics.mean(rrs):>8.2f} "
+            f"{p95:>8.2f} {preempts:>9}"
+        )
+    print(
+        "\nShort tracking/pose requests keep low response ratios because "
+        "they preempt the\ndetector at its GA-placed block boundaries "
+        "(full preemption, Fig. 3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

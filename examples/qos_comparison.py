@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Head-to-head QoS comparison across every implemented policy.
+
+Runs the paper's four compared systems (SPLIT, ClockWork, PREMA, RT-A)
+plus the extra references (FIFO, SJF, EDF, round-robin blocks) on a
+chosen Table-2 scenario with paired arrivals, and prints the Fig.-6/7
+style summary.
+
+Run:  python examples/qos_comparison.py [scenario1..scenario6] [seed]
+"""
+
+import sys
+
+from repro.runtime import SCENARIOS, simulate
+from repro.runtime.workload import scenario_by_name
+from repro.utils.tables import format_table
+
+POLICIES = ("split", "clockwork", "prema", "rta", "fifo", "sjf", "edf", "roundrobin")
+SHORT_MODELS = ("yolov2", "googlenet", "gpt2")
+LONG_MODELS = ("resnet50", "vgg19")
+
+
+def main() -> None:
+    scenario = (
+        scenario_by_name(sys.argv[1]) if len(sys.argv) > 1 else SCENARIOS[2]
+    )
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+    print(
+        f"{scenario.name}: per-model Poisson(lambda={scenario.lambda_ms} ms), "
+        f"{scenario.n_requests} requests, seed={seed}\n"
+    )
+    rows = []
+    for policy in POLICIES:
+        rep = simulate(policy, scenario, seed=seed).report
+        short_jit = sum(rep.jitter_ms(m) for m in SHORT_MODELS) / len(SHORT_MODELS)
+        long_jit = sum(rep.jitter_ms(m) for m in LONG_MODELS) / len(LONG_MODELS)
+        rows.append(
+            [
+                policy,
+                rep.violation_rate(2.0),
+                rep.violation_rate(4.0),
+                rep.violation_rate(8.0),
+                rep.mean_response_ratio(),
+                short_jit,
+                long_jit,
+                rep.preemption_count(),
+            ]
+        )
+    print(
+        format_table(
+            ["policy", "viol@2", "viol@4", "viol@8", "mean RR",
+             "short jitter ms", "long jitter ms", "preemptions"],
+            rows,
+            floatfmt=".3f",
+        )
+    )
+    print(
+        "\nReading guide: SPLIT should lead on viol@4/@8 and short-model "
+        "jitter; RT-A\ninflates short-request latency via co-running; "
+        "round-robin shows the Fig.-3\npartial-preemption straggler effect "
+        "in its mean RR."
+    )
+
+
+if __name__ == "__main__":
+    main()

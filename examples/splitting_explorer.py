@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Explore the splitting landscape of any zoo model.
+
+Reports, for a chosen model:
+  * the §2.4 observations (cut position vs overhead / evenness),
+  * GA results per block count vs the exhaustive optimum,
+  * the Eq.-1 score that picks the deployed block count.
+
+Run:  python examples/splitting_explorer.py [model] [max_blocks]
+e.g.  python examples/splitting_explorer.py densenet 4
+"""
+
+import sys
+
+from repro.hardware import jetson_nano
+from repro.profiling import Profiler
+from repro.splitting import (
+    ExhaustiveSplitter,
+    GAConfig,
+    GeneticSplitter,
+    choose_block_count,
+    count_candidates,
+)
+from repro.splitting.metrics import partition_summary
+from repro.utils.tables import format_table
+from repro.zoo import get_model, model_names
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "resnet50"
+    max_blocks = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    if model not in model_names():
+        sys.exit(f"unknown model {model!r}; one of {', '.join(model_names())}")
+
+    profile = Profiler(jetson_nano()).profile(get_model(model))
+    n = profile.n_ops
+    print(f"{model}: {n} operators, {profile.total_ms:.2f} ms isolated")
+    print(f"3-block candidate space: C({n - 1},2) = {count_candidates(n, 3):,}\n")
+
+    # Observation summaries (Fig. 2's content, textual).
+    third = (n - 1) // 3
+    front = profile.cut_cost_ms[:third].mean() / profile.total_ms * 100
+    back = profile.cut_cost_ms[-third:].mean() / profile.total_ms * 100
+    print(f"mean single-cut overhead: front third {front:.1f}% "
+          f"vs back third {back:.1f}%  (early cuts cost more)\n")
+
+    splitter = GeneticSplitter(GAConfig(seed=0))
+    exhaustive = ExhaustiveSplitter(max_candidates=500_000)
+    rows = []
+    for m in range(2, max_blocks + 1):
+        ga = splitter.search(profile, m)
+        s = partition_summary(ga.partition)
+        try:
+            ex = exhaustive.search(profile, m)
+            gap = (ga.fitness - ex.fitness) / abs(ex.fitness) * 100
+            optimal = f"{gap:+.2f}%"
+        except Exception:
+            optimal = "(space too large)"
+        rows.append(
+            [m, str(ga.cuts), s["std_ms"], s["overhead_pct"], s["range_pct"],
+             s["expected_wait_ms"], ga.generations_run, optimal]
+        )
+    print(
+        format_table(
+            ["blocks", "cuts", "std ms", "ovh %", "range %", "E[wait] ms",
+             "gens", "vs exhaustive"],
+            rows,
+            title=f"GA splitting options for {model}",
+        )
+    )
+
+    choice = choose_block_count(profile, max_blocks=max_blocks, config=GAConfig(seed=0))
+    print(f"\nEq.-1 score picks {choice.n_blocks} block(s) "
+          f"(score {choice.score_ms:.2f} ms): "
+          + ", ".join(f"{m}->{s:.2f}" for m, s in sorted(choice.scores_ms.items())))
+
+
+if __name__ == "__main__":
+    main()

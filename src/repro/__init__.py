@@ -1,0 +1,41 @@
+"""Reproduction of *SPLIT: QoS-Aware DNN Inference on Shared GPU via
+Evenly-Sized Model Splitting* (ICPP 2023).
+
+Top-level re-exports cover the common offline + online workflow; see the
+subpackages for the full surface:
+
+* :mod:`repro.zoo` — operator-level model builders (Table 1 exact);
+* :mod:`repro.hardware` — calibrated Jetson-Nano performance model;
+* :mod:`repro.profiling` — per-operator / per-cut profiles;
+* :mod:`repro.splitting` — the GA and its metrics (Eqs. 1-2);
+* :mod:`repro.scheduling` — greedy preemption (Alg. 1, Eq. 3) + baselines;
+* :mod:`repro.runtime` — discrete-event serving simulation (Figs. 6-7);
+* :mod:`repro.server` — threaded serving pipeline (Fig. 4);
+* :mod:`repro.analysis` — queueing theory, Pareto, sensitivity tools;
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from repro.hardware import jetson_nano
+from repro.profiling import Profiler
+from repro.runtime import SCENARIOS, Scenario, simulate
+from repro.scheduling import greedy_insert
+from repro.server import SplitServer
+from repro.splitting import GAConfig, GeneticSplitter
+from repro.zoo import get_model, model_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "jetson_nano",
+    "Profiler",
+    "SCENARIOS",
+    "Scenario",
+    "simulate",
+    "greedy_insert",
+    "SplitServer",
+    "GAConfig",
+    "GeneticSplitter",
+    "get_model",
+    "model_names",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Analytical companions to the simulator.
+
+* :mod:`~repro.analysis.queueing` — M/G/1 (Pollaczek–Khinchine) and M/D/1
+  waiting-time formulas; the FIFO engine is validated against them, which
+  pins the event engine's correctness to textbook theory.
+* :mod:`~repro.analysis.pareto` — the (evenness, overhead) Pareto frontier
+  of a model's splitting candidates, and where the GA's pick lands on it.
+* :mod:`~repro.analysis.sensitivity` — how the optimal split reacts to
+  device parameters (staging bandwidth, per-block overhead), supporting
+  §6's "insensitive to hardware" discussion.
+* :mod:`~repro.analysis.ascii_plots` — text line charts for the
+  experiment CLI (the closest thing to the paper's figures a terminal can
+  show).
+"""
+
+from repro.analysis.queueing import (
+    mg1_mean_wait_ms,
+    md1_mean_wait_ms,
+    mm1_mean_wait_ms,
+    utilization,
+)
+from repro.analysis.pareto import ParetoPoint, pareto_frontier, frontier_for_profile
+from repro.analysis.sensitivity import DeviceSensitivity, sweep_staging_bandwidth
+from repro.analysis.ascii_plots import line_chart
+
+__all__ = [
+    "mg1_mean_wait_ms",
+    "md1_mean_wait_ms",
+    "mm1_mean_wait_ms",
+    "utilization",
+    "ParetoPoint",
+    "pareto_frontier",
+    "frontier_for_profile",
+    "DeviceSensitivity",
+    "sweep_staging_bandwidth",
+    "line_chart",
+]

@@ -1,0 +1,77 @@
+"""Minimal ASCII line charts for terminal experiment reports.
+
+Renders the Fig.-5/6 style curves without any plotting dependency, so
+``python -m repro.experiments fig6 --plot``-style output stays legible in
+CI logs and this repository's text-only environment.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    x: Sequence[float] | None = None,
+    width: int = 64,
+    height: int = 16,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Plot one or more named series on a shared canvas.
+
+    Values are linearly mapped onto a ``height`` x ``width`` character
+    grid; each series gets a marker from :data:`_MARKERS` (legend
+    appended). NaNs are skipped.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have equal length")
+    n = lengths.pop()
+    if n < 2:
+        raise ValueError("need at least two points per series")
+    if x is None:
+        x = list(range(n))
+    if len(x) != n:
+        raise ValueError("x length mismatch")
+
+    flat = [v for vs in series.values() for v in vs if v == v]  # drop NaN
+    if not flat:
+        raise ValueError("all values are NaN")
+    lo, hi = min(flat), max(flat)
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[si % len(_MARKERS)]
+        for i, v in enumerate(values):
+            if v != v:
+                continue
+            col = round(i / (n - 1) * (width - 1))
+            row = round((hi - v) / (hi - lo) * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    for r, row in enumerate(grid):
+        if r == 0:
+            tick = f"{hi:8.3f} |"
+        elif r == height - 1:
+            tick = f"{lo:8.3f} |"
+        else:
+            tick = " " * 8 + " |"
+        lines.append(tick + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    x_line = f"{x[0]:<10g}".rjust(10) + " " * max(0, width - 12) + f"{x[-1]:>10g}"
+    lines.append(x_line + (f"  {x_label}" if x_label else ""))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

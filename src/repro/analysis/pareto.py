@@ -1,0 +1,117 @@
+"""Pareto analysis of the splitting-candidate space.
+
+Eq. 2 scalarises two objectives — block-time evenness (sigma) and
+splitting overhead. This module computes the exact Pareto frontier of the
+candidate space (exhaustively, batched) so the GA's pick can be placed on
+it: a well-behaved scalarisation should land on or next to the frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SearchError
+from repro.profiling.records import ModelProfile
+from repro.splitting.exhaustive import evaluate_cut_matrix
+from repro.splitting.search_space import count_candidates, enumerate_cuts
+
+_BATCH = 8192
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    cuts: tuple[int, ...]
+    sigma_ms: float
+    overhead_fraction: float
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """Weak dominance with at least one strict improvement."""
+        better_or_equal = (
+            self.sigma_ms <= other.sigma_ms
+            and self.overhead_fraction <= other.overhead_fraction
+        )
+        strictly = (
+            self.sigma_ms < other.sigma_ms
+            or self.overhead_fraction < other.overhead_fraction
+        )
+        return better_or_equal and strictly
+
+
+def pareto_frontier(points: list[ParetoPoint]) -> list[ParetoPoint]:
+    """Non-dominated subset, sorted by sigma ascending.
+
+    O(n log n): sort by (sigma, overhead) and keep points whose overhead
+    strictly improves on everything kept so far.
+    """
+    ordered = sorted(points, key=lambda p: (p.sigma_ms, p.overhead_fraction))
+    frontier: list[ParetoPoint] = []
+    best_overhead = float("inf")
+    for p in ordered:
+        if p.overhead_fraction < best_overhead:
+            frontier.append(p)
+            best_overhead = p.overhead_fraction
+    return frontier
+
+
+def frontier_for_profile(
+    profile: ModelProfile,
+    n_blocks: int,
+    stride: int = 1,
+    max_candidates: int = 2_000_000,
+) -> list[ParetoPoint]:
+    """Exact (sigma, overhead) frontier over all cut sets at a stride."""
+    n_grid = len(range(0, profile.n_ops - 1, stride))
+    total = count_candidates(n_grid + 1, n_blocks)
+    if total > max_candidates:
+        raise SearchError(
+            f"{total} candidates exceed limit {max_candidates}; raise stride"
+        )
+    # Evaluate in batches, keep a running non-dominated set (the batch
+    # frontier union is then reduced once at the end).
+    survivors: list[ParetoPoint] = []
+    batch: list[tuple[int, ...]] = []
+
+    def flush() -> None:
+        nonlocal survivors
+        if not batch:
+            return
+        cuts = np.asarray(batch, dtype=np.int64)
+        sigma, overhead = evaluate_cut_matrix(profile, cuts)
+        pts = [
+            ParetoPoint(tuple(int(x) for x in row), float(s), float(o))
+            for row, s, o in zip(cuts, sigma, overhead)
+        ]
+        survivors = pareto_frontier(survivors + pts)
+        batch.clear()
+
+    for cand in enumerate_cuts(profile.n_ops, n_blocks, stride):
+        batch.append(cand)
+        if len(batch) >= _BATCH:
+            flush()
+    flush()
+    return survivors
+
+
+def distance_to_frontier(
+    point: ParetoPoint, frontier: list[ParetoPoint], sigma_scale: float
+) -> float:
+    """Normalised Euclidean distance of ``point`` to the frontier.
+
+    ``sigma_scale`` (typically the vanilla model time) puts sigma and the
+    overhead fraction on comparable scales. 0 means the point *is* on the
+    frontier.
+    """
+    if not frontier:
+        raise SearchError("empty frontier")
+    px = point.sigma_ms / sigma_scale
+    py = point.overhead_fraction
+    best = float("inf")
+    for f in frontier:
+        dx = px - f.sigma_ms / sigma_scale
+        dy = py - f.overhead_fraction
+        best = min(best, (dx * dx + dy * dy) ** 0.5)
+        if f.cuts == point.cuts:
+            return 0.0
+    return best

@@ -1,0 +1,88 @@
+"""Device-parameter sensitivity of the splitting decision.
+
+§6 argues SPLIT is "insensitive to hardware" compared with kernel-level
+approaches: its decisions consume only profiled times, so porting means
+re-profiling, not re-engineering. This module quantifies the flip side —
+*how much* the optimal split moves when the device's staging bandwidth or
+per-block overhead changes (e.g. Nano -> Xavier -> desktop GPU).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.graphs.graph import ModelGraph
+from repro.hardware.device import DeviceSpec
+from repro.profiling.profiler import Profiler
+from repro.splitting.genetic import GAConfig
+from repro.splitting.selection import choose_block_count
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Outcome of the offline pipeline under one device variant."""
+
+    label: str
+    staging_gbps: float
+    block_overhead_ms: float
+    optimal_blocks: int
+    cuts: tuple[int, ...]
+    overhead_fraction: float
+    expected_wait_ms: float
+
+
+@dataclass
+class DeviceSensitivity:
+    model_name: str
+    points: list[SensitivityPoint]
+
+    def block_count_range(self) -> tuple[int, int]:
+        counts = [p.optimal_blocks for p in self.points]
+        return (min(counts), max(counts))
+
+    def cuts_stable(self) -> bool:
+        """True when every variant that splits picks identical cut points."""
+        cut_sets = {p.cuts for p in self.points if p.cuts}
+        return len(cut_sets) <= 1
+
+
+def sweep_staging_bandwidth(
+    graph: ModelGraph,
+    base_device: DeviceSpec,
+    factors: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0),
+    max_blocks: int = 4,
+    seed: int = 0,
+) -> DeviceSensitivity:
+    """Re-run profile -> GA -> block-count selection under scaled staging
+    bandwidth (cheaper boundaries => more/different splits expected)."""
+    points = []
+    for f in factors:
+        device = dataclasses.replace(
+            base_device,
+            name=f"{base_device.name}-x{f:g}",
+            staging_bandwidth=base_device.staging_bandwidth * f,
+            block_overhead_ms=base_device.block_overhead_ms / f,
+        )
+        profile = Profiler(device).profile(graph)
+        choice = choose_block_count(
+            profile, max_blocks=max_blocks, config=GAConfig(seed=seed)
+        )
+        if choice.result is not None:
+            cuts = choice.result.cuts
+            overhead = choice.result.overhead_fraction
+        else:
+            cuts = ()
+            overhead = 0.0
+        points.append(
+            SensitivityPoint(
+                label=device.name,
+                staging_gbps=device.staging_bandwidth / 1e9,
+                block_overhead_ms=device.block_overhead_ms,
+                optimal_blocks=choice.n_blocks,
+                cuts=cuts,
+                overhead_fraction=overhead,
+                expected_wait_ms=choice.score_ms,
+            )
+        )
+    return DeviceSensitivity(model_name=graph.name, points=points)

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the SPLIT reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still distinguishing graph construction problems from scheduling or
+simulation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed model graphs (cycles, dangling tensors, ...)."""
+
+
+class SerializationError(ReproError):
+    """Raised when a ``.ronnx`` payload cannot be parsed or validated."""
+
+
+class UnknownModelError(ReproError, KeyError):
+    """Raised when :func:`repro.zoo.get_model` is given an unknown name."""
+
+    def __init__(self, name: str, known: tuple[str, ...]):
+        super().__init__(
+            f"unknown model {name!r}; known models: {', '.join(sorted(known))}"
+        )
+        self.name = name
+        self.known = known
+
+
+class PartitionError(ReproError):
+    """Raised for invalid partitions (out-of-range or duplicate cut points)."""
+
+
+class SearchError(ReproError):
+    """Raised when a splitting search is misconfigured or cannot proceed."""
+
+
+class SchedulingError(ReproError):
+    """Raised for invalid scheduler operations (e.g. dispatch from empty queue)."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event engine detects an inconsistency."""
+
+
+class ServerError(ReproError):
+    """Raised by the threaded serving pipeline (bad state transitions)."""
+
+
+class CalibrationError(ReproError):
+    """Raised when a hardware model cannot be calibrated to a target latency."""

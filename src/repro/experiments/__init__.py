@@ -1,0 +1,44 @@
+"""Experiment reproductions: one module per paper table/figure.
+
+Every module exposes ``run(...) -> <result dataclass>`` and ``render(result)
+-> str`` (the text-table equivalent of the paper's plot); the CLI
+(``python -m repro.experiments <id>``) and the benchmarks call ``run``.
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablations,
+    bursts,
+    config,
+    eq1,
+    fig1,
+    fig2,
+    fig5,
+    fig6,
+    fig7,
+    qos_targets,
+    robustness,
+    scaling,
+    sensitivity,
+    table1,
+    table3,
+)
+
+EXPERIMENT_IDS = (
+    "table1",
+    "fig1",
+    "fig2",
+    "eq1",
+    "fig5",
+    "table3",
+    "fig6",
+    "fig7",
+    "headline",
+    "ablations",
+    "sensitivity",
+    "qos_targets",
+    "scaling",
+    "bursts",
+    "robustness",
+)
+
+__all__ = ["EXPERIMENT_IDS"]

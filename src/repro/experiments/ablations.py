@@ -1,0 +1,258 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+A. **Guided vs blind GA initialisation vs exhaustive** — does the
+   observation-guided seeding (§3.2) actually buy convergence quality/speed?
+B. **Greedy preemption vs alternative orderings with identical blocks** —
+   isolates Algorithm 1's contribution from splitting itself (SPLIT vs EDF
+   vs FIFO-with-blocks ~ ClockWork).
+C. **Elastic splitting on/off** — §3.3's claim that suspending splitting
+   under very high load protects QoS.
+D. **Full vs partial preemption (Fig. 3)** — SPLIT's all-blocks-together
+   preemption vs round-robin block interleaving.
+E. **Block-count sweep** — Eq. 1's hyperbola: an optimal split count
+   exists; more blocks are not monotonically better.
+F. **Kernel-level oracle (REEF, §6)** — operator-granularity preemption
+   with zero boundary cost: the upper bound SPLIT trades against hardware
+   independence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentContext
+from repro.runtime.simulator import simulate
+from repro.runtime.workload import SCENARIOS
+from repro.splitting.elastic import ElasticSplitConfig
+from repro.splitting.exhaustive import ExhaustiveSplitter
+from repro.splitting.genetic import GAConfig, GeneticSplitter
+from repro.splitting.metrics import expected_waiting_latency_ms
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class GAInitAblation:
+    model: str
+    n_blocks: int
+    guided_fitness: float
+    guided_generations: int
+    blind_fitness: float
+    blind_generations: int
+    exhaustive_fitness: float
+
+
+@dataclass(frozen=True)
+class PolicyAblationRow:
+    label: str
+    scenario: str
+    violation_at_4: float
+    violation_at_8: float
+    mean_rr: float
+    short_jitter_ms: float
+
+
+@dataclass(frozen=True)
+class BlockCountRow:
+    model: str
+    n_blocks: int
+    expected_wait_ms: float
+    overhead_pct: float
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    ga_init: tuple[GAInitAblation, ...]
+    policies: tuple[PolicyAblationRow, ...]
+    elastic: tuple[PolicyAblationRow, ...]
+    preemption: tuple[PolicyAblationRow, ...]
+    block_counts: tuple[BlockCountRow, ...]
+    oracle: tuple[PolicyAblationRow, ...] = ()
+
+
+def _policy_row(
+    ctx: ExperimentContext,
+    label: str,
+    policy: str,
+    scenario,
+    split_plans=None,
+    elastic: ElasticSplitConfig | None = None,
+) -> PolicyAblationRow:
+    sim = simulate(
+        policy,
+        scenario,
+        models=ctx.models,
+        device=ctx.device,
+        seed=ctx.seed,
+        split_plans=split_plans,
+        elastic=elastic,
+    )
+    rep = sim.report
+    shorts = [m for m in ctx.models if m not in ("resnet50", "vgg19")]
+    jit = sum(rep.jitter_ms(m) for m in shorts) / len(shorts)
+    return PolicyAblationRow(
+        label=label,
+        scenario=scenario.name,
+        violation_at_4=rep.violation_rate(4.0),
+        violation_at_8=rep.violation_rate(8.0),
+        mean_rr=rep.mean_response_ratio(),
+        short_jitter_ms=jit,
+    )
+
+
+def run(ctx: ExperimentContext | None = None) -> AblationResult:
+    ctx = ctx or ExperimentContext()
+
+    # --- A: GA initialisation --------------------------------------------
+    ga_rows = []
+    exhaustive = ExhaustiveSplitter()
+    for model in ("resnet50", "vgg19"):
+        profile = ctx.profile(model)
+        for m in (2, 3):
+            guided = GeneticSplitter(
+                GAConfig(seed=ctx.seed, guided_init_fraction=0.75)
+            ).search(profile, m)
+            blind = GeneticSplitter(
+                GAConfig(seed=ctx.seed, guided_init_fraction=0.0)
+            ).search(profile, m)
+            ex = exhaustive.search(profile, m)
+            ga_rows.append(
+                GAInitAblation(
+                    model=model,
+                    n_blocks=m,
+                    guided_fitness=guided.fitness,
+                    guided_generations=guided.generations_run,
+                    blind_fitness=blind.fitness,
+                    blind_generations=blind.generations_run,
+                    exhaustive_fitness=ex.fitness,
+                )
+            )
+
+    low, high = SCENARIOS[0], SCENARIOS[5]
+
+    # --- B: scheduling policy with identical block plans -------------------
+    policy_rows = tuple(
+        _policy_row(ctx, label, policy, scen)
+        for scen in (low, high)
+        for label, policy in (
+            ("greedy (SPLIT)", "split"),
+            ("EDF + blocks", "edf"),
+            ("FIFO whole-model", "fifo"),
+            ("SJF whole-model", "sjf"),
+        )
+    )
+
+    # --- C: elastic splitting on/off under high load -----------------------
+    elastic_rows = tuple(
+        _policy_row(ctx, label, "split", high, elastic=cfg)
+        for label, cfg in (
+            ("elastic on", ElasticSplitConfig()),
+            ("elastic off", ElasticSplitConfig(enabled=False)),
+        )
+    )
+
+    # --- D: full vs partial preemption (Fig. 3) ----------------------------
+    preemption_rows = tuple(
+        _policy_row(ctx, label, policy, low)
+        for label, policy in (
+            ("full preemption (SPLIT)", "split"),
+            ("partial (round-robin blocks)", "roundrobin"),
+        )
+    )
+
+    # --- E: block-count sweep (Eq. 1 hyperbola) -----------------------------
+    block_rows = []
+    splitter = GeneticSplitter(GAConfig(seed=ctx.seed))
+    for model in ("resnet50", "vgg19"):
+        profile = ctx.profile(model)
+        block_rows.append(
+            BlockCountRow(
+                model=model,
+                n_blocks=1,
+                expected_wait_ms=expected_waiting_latency_ms([profile.total_ms]),
+                overhead_pct=0.0,
+            )
+        )
+        for m in (2, 3, 4, 5, 6):
+            r = splitter.search(profile, m)
+            block_rows.append(
+                BlockCountRow(
+                    model=model,
+                    n_blocks=m,
+                    expected_wait_ms=expected_waiting_latency_ms(
+                        r.partition.block_times_ms
+                    ),
+                    overhead_pct=r.overhead_fraction * 100.0,
+                )
+            )
+
+    # --- F: kernel-level oracle (REEF-style) --------------------------------
+    oracle_rows = tuple(
+        _policy_row(ctx, label, policy, high)
+        for label, policy in (
+            ("SPLIT (block boundaries)", "split"),
+            ("REEF oracle (op boundaries)", "reef"),
+        )
+    )
+
+    return AblationResult(
+        ga_init=tuple(ga_rows),
+        policies=policy_rows,
+        elastic=elastic_rows,
+        preemption=preemption_rows,
+        block_counts=tuple(block_rows),
+        oracle=oracle_rows,
+    )
+
+
+def render(result: AblationResult) -> str:
+    parts = []
+    parts.append(
+        format_table(
+            ["model", "blocks", "guided fit", "gens", "blind fit", "gens", "exhaustive"],
+            [
+                [
+                    r.model,
+                    r.n_blocks,
+                    r.guided_fitness,
+                    r.guided_generations,
+                    r.blind_fitness,
+                    r.blind_generations,
+                    r.exhaustive_fitness,
+                ]
+                for r in result.ga_init
+            ],
+            floatfmt=".5f",
+            title="A. GA initialisation: guided vs blind vs exhaustive optimum",
+        )
+    )
+
+    def policy_table(title: str, rows) -> str:
+        return format_table(
+            ["policy", "scenario", "viol@4", "viol@8", "mean RR", "short jitter (ms)"],
+            [
+                [r.label, r.scenario, r.violation_at_4, r.violation_at_8, r.mean_rr, r.short_jitter_ms]
+                for r in rows
+            ],
+            floatfmt=".3f",
+            title=title,
+        )
+
+    parts.append(policy_table("B. Scheduling policy (same substrate)", result.policies))
+    parts.append(policy_table("C. Elastic splitting under high load", result.elastic))
+    parts.append(policy_table("D. Full vs partial preemption (Fig. 3)", result.preemption))
+    parts.append(
+        format_table(
+            ["model", "blocks", "E[wait] (ms)", "overhead %"],
+            [
+                [r.model, r.n_blocks, r.expected_wait_ms, r.overhead_pct]
+                for r in result.block_counts
+            ],
+            floatfmt=".2f",
+            title="E. Block-count sweep (Eq. 1: optimum exists)",
+        )
+    )
+    if result.oracle:
+        parts.append(
+            policy_table("F. Kernel-level oracle (REEF, §6)", result.oracle)
+        )
+    return "\n\n".join(parts)

@@ -1,0 +1,58 @@
+"""Shared experiment configuration: the paper's evaluation setup (§5.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware.device import DeviceSpec
+from repro.hardware.presets import jetson_nano
+from repro.profiling.cache import ProfileCache
+from repro.profiling.records import ModelProfile
+from repro.runtime.workload import SCENARIOS, Scenario
+from repro.zoo.registry import EVALUATED_MODELS, get_model
+
+#: Fig. 6 sweeps the latency-target multiplier from 2 to 20 (§5.2).
+ALPHA_GRID = tuple(float(a) for a in np.arange(2.0, 20.5, 1.0))
+
+#: The four systems compared in Figs. 6-7.
+COMPARED_POLICIES = ("split", "clockwork", "prema", "rta")
+
+#: Paper's Table 1, for side-by-side reporting.
+PAPER_TABLE1 = {
+    "yolov2": {"operators": 84, "latency_ms": 10.8, "domain": "Object Detection", "type": "Short"},
+    "googlenet": {"operators": 142, "latency_ms": 13.2, "domain": "Image Classification", "type": "Short"},
+    "resnet50": {"operators": 122, "latency_ms": 28.35, "domain": "Image Classification", "type": "Long"},
+    "vgg19": {"operators": 44, "latency_ms": 67.5, "domain": "Image Classification", "type": "Long"},
+    "gpt2": {"operators": 2534, "latency_ms": 20.4, "domain": "Text Generation", "type": "Short"},
+}
+
+#: Paper's Table 3 (optimal splitting options), for side-by-side reporting.
+PAPER_TABLE3 = {
+    ("resnet50", 2): {"std": 0.62, "overhead_pct": 15.4, "range_pct": 5.69},
+    ("resnet50", 3): {"std": 1.33, "overhead_pct": 42.4, "range_pct": 14.70},
+    ("resnet50", 4): {"std": 2.0, "overhead_pct": 50.3, "range_pct": 23.40},
+    ("vgg19", 2): {"std": 0.02, "overhead_pct": 19.8, "range_pct": 0.09},
+    ("vgg19", 3): {"std": 1.1, "overhead_pct": 18.1, "range_pct": 5.37},
+    ("vgg19", 4): {"std": 5.03, "overhead_pct": 27.6, "range_pct": 24.8},
+}
+
+
+@dataclass
+class ExperimentContext:
+    """Shared state for one experiment run (device, profiles, seed)."""
+
+    device: DeviceSpec = field(default_factory=jetson_nano)
+    models: tuple[str, ...] = EVALUATED_MODELS
+    scenarios: tuple[Scenario, ...] = SCENARIOS
+    seed: int = 0
+    _cache: ProfileCache | None = None
+
+    def profile(self, model: str) -> ModelProfile:
+        if self._cache is None:
+            self._cache = ProfileCache(self.device)
+        return self._cache.get(get_model(model, cached=True))
+
+    def profiles(self) -> dict[str, ModelProfile]:
+        return {m: self.profile(m) for m in self.models}

@@ -1,0 +1,94 @@
+"""Eq. 1 validation: closed-form expected waiting latency vs Monte Carlo.
+
+Eq. 1 claims a request arriving uniformly at random during a model's
+execution waits ``0.5 * (sigma^2 / t_bar + t_bar)`` on average, where
+sigma/t_bar are the std/mean of the block times. We verify it by sampling
+arrival instants against the actual block schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.config import ExperimentContext
+from repro.splitting.metrics import expected_waiting_latency_ms
+from repro.utils.rng import rng_from
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class Eq1Case:
+    label: str
+    block_times_ms: tuple[float, ...]
+    closed_form_ms: float
+    monte_carlo_ms: float
+    rel_error: float
+
+
+@dataclass(frozen=True)
+class Eq1Result:
+    cases: tuple[Eq1Case, ...]
+    n_samples: int
+
+
+def monte_carlo_wait_ms(
+    block_times_ms, n_samples: int = 200_000, seed: int = 0
+) -> float:
+    """Sample uniform arrivals; each waits for its current block to end."""
+    t = np.asarray(block_times_ms, dtype=float)
+    ends = np.cumsum(t)
+    total = ends[-1]
+    rng = rng_from(seed, "eq1")
+    arrivals = rng.uniform(0.0, total, size=n_samples)
+    idx = np.searchsorted(ends, arrivals, side="right")
+    waits = ends[idx] - arrivals
+    return float(waits.mean())
+
+
+def run(
+    ctx: ExperimentContext | None = None, n_samples: int = 200_000
+) -> Eq1Result:
+    ctx = ctx or ExperimentContext()
+    cases = []
+    # Synthetic block schedules spanning even, skewed and single-block cases,
+    # plus the profiled models split evenly and unevenly.
+    schedules: list[tuple[str, tuple[float, ...]]] = [
+        ("even-4", (10.0, 10.0, 10.0, 10.0)),
+        ("skewed-4", (1.0, 2.0, 10.0, 27.0)),
+        ("single", (40.0,)),
+        ("two-uneven", (5.0, 35.0)),
+    ]
+    for model in ("resnet50", "vgg19"):
+        profile = ctx.profile(model)
+        third = profile.n_ops // 3
+        cuts_even = (third, 2 * third)
+        schedules.append(
+            (f"{model}-3blk", tuple(profile.block_times_for_cuts(cuts_even)))
+        )
+    for label, blocks in schedules:
+        closed = expected_waiting_latency_ms(blocks)
+        mc = monte_carlo_wait_ms(blocks, n_samples=n_samples, seed=ctx.seed)
+        cases.append(
+            Eq1Case(
+                label=label,
+                block_times_ms=tuple(float(b) for b in blocks),
+                closed_form_ms=closed,
+                monte_carlo_ms=mc,
+                rel_error=abs(mc - closed) / closed if closed else 0.0,
+            )
+        )
+    return Eq1Result(cases=tuple(cases), n_samples=n_samples)
+
+
+def render(result: Eq1Result) -> str:
+    return format_table(
+        ["schedule", "closed form (ms)", "Monte Carlo (ms)", "rel. error"],
+        [
+            [c.label, c.closed_form_ms, c.monte_carlo_ms, c.rel_error]
+            for c in result.cases
+        ],
+        floatfmt=".4f",
+        title=f"Eq. 1 validation ({result.n_samples} samples)",
+    )

@@ -1,0 +1,107 @@
+"""Fig. 2: splitting overhead (a) and block-time std (b) as functions of the
+positions of two cut points.
+
+The paper sweeps the first and second cut point across a model and plots
+two heatmaps; the two observations driving the GA design fall out of them:
+
+* (a) cutting at *early* operators crosses larger activations => larger
+  splitting overhead;
+* (b) the most even 3-way splits put cuts near the middle, slightly toward
+  the front (early operators carry more time per op).
+
+``run`` computes both surfaces on a strided (c1, c2) grid plus summary
+statistics that make the observations checkable in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.config import ExperimentContext
+from repro.profiling.records import ModelProfile
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    model: str
+    positions: np.ndarray  # strided cut positions (grid axis)
+    overhead_pct: np.ndarray  # (n, n) upper-triangular grid, NaN below
+    std_ms: np.ndarray  # same layout
+    #: Mean overhead of cuts in the first vs last third of the model —
+    #: observation (a) says front > back.
+    front_overhead_pct: float
+    back_overhead_pct: float
+    #: Grid position (c1, c2) of the minimum-std split — observation (b)
+    #: says slightly front of centre in operator space.
+    best_std_cuts: tuple[int, int]
+    best_std_ms: float
+
+
+def run(
+    ctx: ExperimentContext | None = None,
+    model: str = "resnet50",
+    stride: int = 2,
+) -> Fig2Result:
+    ctx = ctx or ExperimentContext()
+    profile: ModelProfile = ctx.profile(model)
+    n = profile.n_ops
+    positions = np.arange(0, n - 1, stride)
+    g = len(positions)
+    total = profile.total_ms
+    prefix = profile.prefix_ms
+    cost = profile.cut_cost_ms
+
+    overhead = np.full((g, g), np.nan)
+    std = np.full((g, g), np.nan)
+    for i, c1 in enumerate(positions):
+        for j in range(i + 1, g):
+            c2 = positions[j]
+            b1 = prefix[c1]
+            b2 = prefix[c2] - prefix[c1] + cost[c1]
+            b3 = total - prefix[c2] + cost[c2]
+            overhead[i, j] = (cost[c1] + cost[c2]) / total * 100.0
+            std[i, j] = float(np.std([b1, b2, b3]))
+
+    # Observation (a): single-cut overhead by region.
+    third = (n - 1) // 3
+    front = cost[:third]
+    back = cost[-third:]
+    front_pct = float(front.mean() / total * 100.0)
+    back_pct = float(back.mean() / total * 100.0)
+
+    # Observation (b): where the most even split sits.
+    flat = np.nanargmin(std)
+    bi, bj = np.unravel_index(flat, std.shape)
+    best_cuts = (int(positions[bi]), int(positions[bj]))
+
+    return Fig2Result(
+        model=model,
+        positions=positions,
+        overhead_pct=overhead,
+        std_ms=std,
+        front_overhead_pct=front_pct,
+        back_overhead_pct=back_pct,
+        best_std_cuts=best_cuts,
+        best_std_ms=float(std[bi, bj]),
+    )
+
+
+def render(result: Fig2Result) -> str:
+    n_positions = len(result.positions)
+    rows = [
+        ["front-third mean cut overhead (%)", result.front_overhead_pct],
+        ["back-third mean cut overhead (%)", result.back_overhead_pct],
+        ["min-std cut pair", str(result.best_std_cuts)],
+        ["min std (ms)", result.best_std_ms],
+        ["max overhead on grid (%)", float(np.nanmax(result.overhead_pct))],
+        ["min overhead on grid (%)", float(np.nanmin(result.overhead_pct))],
+        ["grid size", f"{n_positions}x{n_positions}"],
+    ]
+    return format_table(
+        ["quantity", "value"],
+        rows,
+        title=f"Fig. 2 summary ({result.model}): cut-position sweep",
+    )

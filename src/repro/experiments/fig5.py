@@ -1,0 +1,102 @@
+"""Fig. 5: GA convergence — the best split's std (a) and overhead (b) per
+generation, for ResNet50 and VGG19 at 2/3/4 blocks.
+
+The paper's labels RES-1/RES-2/RES-3 mean ResNet50 split into 2/3/4 blocks
+(likewise VGG-*). Its finding: nearly all runs reach the optimum within 12
+generations, all within 15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentContext
+from repro.splitting.genetic import GAConfig, GeneticSplitter, SplitResult
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class Fig5Series:
+    label: str  # e.g. "RES-1"
+    model: str
+    n_blocks: int
+    std_by_generation: tuple[float, ...]
+    overhead_pct_by_generation: tuple[float, ...]
+    generations_to_best: int
+    result: SplitResult
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    series: tuple[Fig5Series, ...]
+
+
+_LABELS = {"resnet50": "RES", "vgg19": "VGG"}
+
+
+def run(
+    ctx: ExperimentContext | None = None,
+    models: tuple[str, ...] = ("resnet50", "vgg19"),
+    block_counts: tuple[int, ...] = (2, 3, 4),
+    config: GAConfig | None = None,
+) -> Fig5Result:
+    ctx = ctx or ExperimentContext()
+    config = config or GAConfig(seed=ctx.seed)
+    splitter = GeneticSplitter(config)
+    series = []
+    for model in models:
+        profile = ctx.profile(model)
+        for m in block_counts:
+            result = splitter.search(profile, m)
+            stds = tuple(h.best_sigma_ms for h in result.history)
+            overheads = tuple(
+                h.best_overhead_fraction * 100.0 for h in result.history
+            )
+            # First generation achieving the final best std.
+            final = stds[-1]
+            to_best = next(
+                i for i, s in enumerate(stds) if abs(s - final) < 1e-12
+            )
+            prefix = _LABELS.get(model, model.upper()[:3])
+            series.append(
+                Fig5Series(
+                    label=f"{prefix}-{m - 1}",
+                    model=model,
+                    n_blocks=m,
+                    std_by_generation=stds,
+                    overhead_pct_by_generation=overheads,
+                    generations_to_best=to_best,
+                    result=result,
+                )
+            )
+    return Fig5Result(series=tuple(series))
+
+
+def render(result: Fig5Result) -> str:
+    rows = []
+    for s in result.series:
+        rows.append(
+            [
+                s.label,
+                s.n_blocks,
+                s.std_by_generation[0],
+                s.std_by_generation[-1],
+                s.overhead_pct_by_generation[0],
+                s.overhead_pct_by_generation[-1],
+                s.generations_to_best,
+            ]
+        )
+    return format_table(
+        [
+            "series",
+            "blocks",
+            "std gen0",
+            "std final",
+            "ovh% gen0",
+            "ovh% final",
+            "gens to best",
+        ],
+        rows,
+        floatfmt=".3f",
+        title="Fig. 5: GA convergence (best candidate per generation)",
+    )

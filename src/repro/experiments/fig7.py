@@ -1,0 +1,101 @@
+"""Fig. 7: per-model jitter (std of request latency) per scenario and system.
+
+The paper reports, for scenario 1 (low load), SPLIT cutting short-request
+jitter by 55.3% / 46.8% / 68.9% vs ClockWork / PREMA / RT-A, and by
+56.0% / 50.3% / 69.3% under high load; long models (ResNet50, VGG19) give
+up some stability in exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.config import COMPARED_POLICIES, ExperimentContext
+from repro.runtime.simulator import simulate
+from repro.runtime.workload import Scenario
+from repro.utils.tables import format_table
+from repro.zoo.registry import get_model
+
+
+@dataclass(frozen=True)
+class Fig7Cell:
+    policy: str
+    scenario: str
+    jitter_ms: dict[str, float]  # model -> std of e2e latency
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    cells: tuple[Fig7Cell, ...]
+    models: tuple[str, ...]
+
+    def jitter(self, policy: str, scenario: str, model: str) -> float:
+        for c in self.cells:
+            if c.policy == policy and c.scenario == scenario:
+                return c.jitter_ms[model]
+        raise KeyError((policy, scenario))
+
+    def short_models(self) -> tuple[str, ...]:
+        return tuple(
+            m
+            for m in self.models
+            if get_model(m, cached=True).metadata.get("request_class") == "short"
+        )
+
+    def short_jitter_reduction(
+        self, baseline: str, scenario: str, policy: str = "split"
+    ) -> float:
+        """Mean short-model jitter reduction of ``policy`` vs ``baseline``
+        (fraction in [0, 1]; negative if the baseline is better)."""
+        shorts = self.short_models()
+        ours = np.mean([self.jitter(policy, scenario, m) for m in shorts])
+        theirs = np.mean([self.jitter(baseline, scenario, m) for m in shorts])
+        if theirs <= 0:
+            return 0.0
+        return float(1.0 - ours / theirs)
+
+
+def run(
+    ctx: ExperimentContext | None = None,
+    policies: tuple[str, ...] = COMPARED_POLICIES,
+    scenarios: tuple[Scenario, ...] | None = None,
+) -> Fig7Result:
+    ctx = ctx or ExperimentContext()
+    scenarios = scenarios if scenarios is not None else ctx.scenarios
+    cells = []
+    for scen in scenarios:
+        for policy in policies:
+            sim = simulate(
+                policy, scen, models=ctx.models, device=ctx.device, seed=ctx.seed
+            )
+            jit = {m: sim.report.jitter_ms(m) for m in ctx.models}
+            cells.append(
+                Fig7Cell(policy=policy, scenario=scen.name, jitter_ms=jit)
+            )
+    return Fig7Result(cells=tuple(cells), models=ctx.models)
+
+
+def render(result: Fig7Result) -> str:
+    rows = []
+    for c in result.cells:
+        rows.append(
+            [c.scenario, c.policy, *[c.jitter_ms[m] for m in result.models]]
+        )
+    table = format_table(
+        ["scenario", "policy", *result.models],
+        rows,
+        floatfmt=".1f",
+        title="Fig. 7: std of request latency (ms) per model",
+    )
+    scenarios = sorted({c.scenario for c in result.cells})
+    lines = []
+    for scen in (scenarios[0], scenarios[-1]):
+        for b in ("clockwork", "prema", "rta"):
+            if any(c.policy == b for c in result.cells):
+                red = result.short_jitter_reduction(b, scen) * 100.0
+                lines.append(
+                    f"{scen}: SPLIT short-model jitter vs {b}: {red:+.1f}%"
+                )
+    return f"{table}\n\n" + "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Scale-out study: SPLIT on k processors (future-work extension).
+
+The paper's design is per-processor; nothing in the GA splits or the
+greedy queue depends on how requests are routed *to* processors. This
+experiment overloads a single device (lambda below the single-GPU
+tolerance of Table 2's footnote) and adds processors with different
+routers, measuring how the violation rate recovers and how much the
+router choice matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentContext
+from repro.runtime.metrics import QoSReport, collect_records
+from repro.runtime.multi import MultiProcessorEngine
+from repro.runtime.simulator import _profiles_for, _request_classes, default_split_plans
+from repro.runtime.workload import (
+    Scenario,
+    WorkloadGenerator,
+    build_task_specs,
+    materialize_requests,
+)
+from repro.scheduling.policies import SplitScheduler
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    n_processors: int
+    router: str
+    violation_at_4: float
+    violation_at_8: float
+    mean_rr: float
+    placement_imbalance: float  # max/min requests per processor
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    scenario: Scenario
+    rows: tuple[ScalingRow, ...]
+
+    def row(self, n: int, router: str) -> ScalingRow:
+        for r in self.rows:
+            if r.n_processors == n and r.router == router:
+                return r
+        raise KeyError((n, router))
+
+
+def run(
+    ctx: ExperimentContext | None = None,
+    scenario: Scenario | None = None,
+    processor_counts: tuple[int, ...] = (1, 2, 3),
+    routers: tuple[str, ...] = ("round_robin", "least_backlog", "model_affinity"),
+) -> ScalingResult:
+    ctx = ctx or ExperimentContext()
+    # lambda=70 ms per model is far past one Nano's tolerance (footnote 4).
+    scenario = scenario or Scenario("overload", 70.0, "high", n_requests=1000)
+    profiles = _profiles_for(ctx.models, ctx.device.name)
+    classes = _request_classes(ctx.models)
+    plans = default_split_plans(ctx.models, ctx.device.name)
+    specs = build_task_specs(
+        profiles, split_plans=plans, plan_kind="split", request_classes=classes
+    )
+    items = WorkloadGenerator(ctx.models, seed=ctx.seed).generate(scenario)
+
+    rows = []
+    for k in processor_counts:
+        for router in routers if k > 1 else ("round_robin",):
+            engine = MultiProcessorEngine(
+                [SplitScheduler() for _ in range(k)], router=router
+            )
+            arrivals = materialize_requests(items, specs)
+            res = engine.run(arrivals)
+            report = QoSReport(collect_records(res.engine_result))
+            counts = [c for c in res.placements.values() if c > 0]
+            imbalance = max(counts) / min(counts) if counts else float("nan")
+            rows.append(
+                ScalingRow(
+                    n_processors=k,
+                    router=router,
+                    violation_at_4=report.violation_rate(4.0),
+                    violation_at_8=report.violation_rate(8.0),
+                    mean_rr=report.mean_response_ratio(),
+                    placement_imbalance=imbalance,
+                )
+            )
+    return ScalingResult(scenario=scenario, rows=tuple(rows))
+
+
+def render(result: ScalingResult) -> str:
+    table = format_table(
+        ["processors", "router", "viol@4", "viol@8", "mean RR", "imbalance"],
+        [
+            [r.n_processors, r.router, r.violation_at_4, r.violation_at_8,
+             r.mean_rr, r.placement_imbalance]
+            for r in result.rows
+        ],
+        floatfmt=".3f",
+        title=(
+            f"Scale-out under overload (lambda={result.scenario.lambda_ms} ms "
+            f"per model, {result.scenario.n_requests} requests)"
+        ),
+    )
+    return table

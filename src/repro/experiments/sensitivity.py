@@ -1,0 +1,107 @@
+"""Hardware-sensitivity study (§6's "insensitivity to hardware" claim).
+
+Runs the whole offline pipeline (profile -> GA -> block-count selection)
+across device variants: staging-bandwidth scalings of the Nano plus the
+Xavier and desktop-GPU presets. SPLIT's claim is that porting is just
+re-profiling — the *pipeline* is unchanged and its decisions adapt
+smoothly to the device's boundary costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.sensitivity import DeviceSensitivity, sweep_staging_bandwidth
+from repro.experiments.config import ExperimentContext
+from repro.hardware.presets import desktop_gpu, jetson_nano, jetson_xavier
+from repro.profiling.profiler import Profiler
+from repro.splitting.genetic import GAConfig
+from repro.splitting.selection import choose_block_count
+from repro.utils.tables import format_table
+from repro.zoo.registry import get_model
+
+
+@dataclass(frozen=True)
+class PresetRow:
+    device: str
+    model: str
+    optimal_blocks: int
+    overhead_pct: float
+    score_ms: float
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    sweeps: tuple[DeviceSensitivity, ...]
+    presets: tuple[PresetRow, ...]
+
+
+def run(
+    ctx: ExperimentContext | None = None,
+    models: tuple[str, ...] = ("resnet50", "vgg19"),
+    factors: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0),
+) -> SensitivityResult:
+    ctx = ctx or ExperimentContext()
+    sweeps = tuple(
+        sweep_staging_bandwidth(
+            get_model(m, cached=True), ctx.device, factors=factors, seed=ctx.seed
+        )
+        for m in models
+    )
+    preset_rows = []
+    for device in (jetson_nano(), jetson_xavier(), desktop_gpu()):
+        profiler = Profiler(device)
+        for m in models:
+            graph = get_model(m, cached=True)
+            profile = profiler.profile(graph)
+            choice = choose_block_count(
+                profile, max_blocks=4, config=GAConfig(seed=ctx.seed)
+            )
+            overhead = (
+                choice.result.overhead_fraction * 100.0 if choice.result else 0.0
+            )
+            preset_rows.append(
+                PresetRow(
+                    device=device.name,
+                    model=m,
+                    optimal_blocks=choice.n_blocks,
+                    overhead_pct=overhead,
+                    score_ms=choice.score_ms,
+                )
+            )
+    return SensitivityResult(sweeps=sweeps, presets=tuple(preset_rows))
+
+
+def render(result: SensitivityResult) -> str:
+    parts = []
+    for sweep in result.sweeps:
+        parts.append(
+            format_table(
+                ["device variant", "staging GB/s", "block ovh ms", "blocks",
+                 "cuts", "overhead %", "score ms"],
+                [
+                    [
+                        p.label,
+                        p.staging_gbps,
+                        p.block_overhead_ms,
+                        p.optimal_blocks,
+                        str(p.cuts),
+                        p.overhead_fraction * 100.0,
+                        p.expected_wait_ms,
+                    ]
+                    for p in sweep.points
+                ],
+                title=f"Staging-bandwidth sweep: {sweep.model_name}",
+            )
+        )
+    parts.append(
+        format_table(
+            ["device", "model", "optimal blocks", "overhead %", "score ms"],
+            [
+                [r.device, r.model, r.optimal_blocks, r.overhead_pct, r.score_ms]
+                for r in result.presets
+            ],
+            title="Device presets (same pipeline, re-profiled)",
+        )
+    )
+    return "\n\n".join(parts)

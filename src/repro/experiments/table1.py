@@ -1,0 +1,69 @@
+"""Table 1: the evaluated models — operators, domain, isolated latency, type.
+
+Operator counts come from the zoo builders (exact matches to the paper's
+ONNX exports); latencies from the calibrated Jetson-Nano model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import PAPER_TABLE1, ExperimentContext
+from repro.utils.tables import format_table
+from repro.zoo.registry import get_model
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    model: str
+    operators: int
+    domain: str
+    latency_ms: float
+    request_type: str
+    paper_operators: int
+    paper_latency_ms: float
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    rows: tuple[Table1Row, ...]
+
+
+def run(ctx: ExperimentContext | None = None) -> Table1Result:
+    ctx = ctx or ExperimentContext()
+    rows = []
+    for name in ctx.models:
+        graph = get_model(name, cached=True)
+        profile = ctx.profile(name)
+        paper = PAPER_TABLE1.get(name, {})
+        rows.append(
+            Table1Row(
+                model=name,
+                operators=len(graph),
+                domain=str(graph.metadata.get("domain", "?")),
+                latency_ms=profile.total_ms,
+                request_type=str(graph.metadata.get("request_class", "?")),
+                paper_operators=int(paper.get("operators", -1)),
+                paper_latency_ms=float(paper.get("latency_ms", float("nan"))),
+            )
+        )
+    return Table1Result(rows=tuple(rows))
+
+
+def render(result: Table1Result) -> str:
+    return format_table(
+        ["Model", "Operators", "Domain", "Latency(ms)", "Type", "Paper ops", "Paper ms"],
+        [
+            [
+                r.model,
+                r.operators,
+                r.domain,
+                r.latency_ms,
+                r.request_type,
+                r.paper_operators,
+                r.paper_latency_ms,
+            ]
+            for r in result.rows
+        ],
+        title="Table 1: evaluated deep learning models",
+    )

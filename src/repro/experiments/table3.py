@@ -1,0 +1,108 @@
+"""Table 3: optimal model splitting options per block count.
+
+GA best-of-run for ResNet50 and VGG19 at 2/3/4 blocks: std of block times,
+splitting overhead %, and the (max-min)/total range %. The paper's trend:
+more blocks => higher std and (mostly) higher overhead, because operator
+execution times are discrete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import PAPER_TABLE3, ExperimentContext
+from repro.splitting.genetic import GAConfig, GeneticSplitter
+from repro.splitting.metrics import partition_summary
+from repro.splitting.selection import choose_block_count
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    model: str
+    blocks: int
+    std_ms: float
+    overhead_pct: float
+    range_pct: float
+    paper_std: float
+    paper_overhead_pct: float
+    paper_range_pct: float
+    cuts: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    rows: tuple[Table3Row, ...]
+    #: Eq.-1-scored optimal block count per model (paper: ResNet50 -> 2,
+    #: VGG19 -> 3).
+    optimal_blocks: dict[str, int]
+
+
+def run(
+    ctx: ExperimentContext | None = None,
+    models: tuple[str, ...] = ("resnet50", "vgg19"),
+    block_counts: tuple[int, ...] = (2, 3, 4),
+    config: GAConfig | None = None,
+) -> Table3Result:
+    ctx = ctx or ExperimentContext()
+    config = config or GAConfig(seed=ctx.seed)
+    splitter = GeneticSplitter(config)
+    rows = []
+    optimal: dict[str, int] = {}
+    for model in models:
+        profile = ctx.profile(model)
+        for m in block_counts:
+            result = splitter.search(profile, m)
+            s = partition_summary(result.partition)
+            paper = PAPER_TABLE3.get((model, m), {})
+            rows.append(
+                Table3Row(
+                    model=model,
+                    blocks=m,
+                    std_ms=s["std_ms"],
+                    overhead_pct=s["overhead_pct"],
+                    range_pct=s["range_pct"],
+                    paper_std=float(paper.get("std", float("nan"))),
+                    paper_overhead_pct=float(
+                        paper.get("overhead_pct", float("nan"))
+                    ),
+                    paper_range_pct=float(paper.get("range_pct", float("nan"))),
+                    cuts=result.cuts,
+                )
+            )
+        choice = choose_block_count(
+            profile, max_blocks=max(block_counts), config=config
+        )
+        optimal[model] = choice.n_blocks
+    return Table3Result(rows=tuple(rows), optimal_blocks=optimal)
+
+
+def render(result: Table3Result) -> str:
+    table = format_table(
+        [
+            "Model",
+            "Blocks",
+            "Std(ms)",
+            "Ovh%",
+            "Range%",
+            "paper Std",
+            "paper Ovh%",
+            "paper Range%",
+        ],
+        [
+            [
+                r.model,
+                r.blocks,
+                r.std_ms,
+                r.overhead_pct,
+                r.range_pct,
+                r.paper_std,
+                r.paper_overhead_pct,
+                r.paper_range_pct,
+            ]
+            for r in result.rows
+        ],
+        title="Table 3: optimal splitting options per block count",
+    )
+    optimal = ", ".join(f"{m} -> {b}" for m, b in result.optimal_blocks.items())
+    return f"{table}\n\nEq.-1 optimal block counts: {optimal}"

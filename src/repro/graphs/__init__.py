@@ -1,0 +1,26 @@
+"""Operator-level DNN model representation.
+
+A model is a DAG of :class:`Operator` nodes exchanging :class:`TensorSpec`
+valued edges. Splitting works on the :class:`ExecutionChain` — the graph
+linearised in topological order — where a *cut after position i* transfers
+every tensor produced at or before *i* and consumed after *i*.
+"""
+
+from repro.graphs.tensor import TensorSpec
+from repro.graphs.operator import Operator
+from repro.graphs.graph import ModelGraph
+from repro.graphs.chain import ExecutionChain
+from repro.graphs.serialize import dump_ronnx, dumps_ronnx, load_ronnx, loads_ronnx
+from repro.graphs.validate import validate_graph
+
+__all__ = [
+    "TensorSpec",
+    "Operator",
+    "ModelGraph",
+    "ExecutionChain",
+    "dump_ronnx",
+    "dumps_ronnx",
+    "load_ronnx",
+    "loads_ronnx",
+    "validate_graph",
+]

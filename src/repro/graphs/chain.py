@@ -1,0 +1,68 @@
+"""Linearised execution view of a model graph, the substrate for splitting.
+
+The chain fixes the topological order and precomputes the byte volume
+crossing every candidate cut, so splitting searches never re-walk the DAG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import ModelGraph
+
+
+@dataclass(frozen=True)
+class ExecutionChain:
+    """Immutable linear view of a :class:`ModelGraph`.
+
+    Attributes
+    ----------
+    graph:
+        The underlying DAG.
+    crossing_bytes:
+        ``crossing_bytes[i]`` is the activation bytes that must move across a
+        cut placed after chain position ``i`` (length ``len(graph) - 1``).
+    """
+
+    graph: ModelGraph
+    crossing_bytes: np.ndarray
+
+    @classmethod
+    def from_graph(cls, graph: ModelGraph) -> "ExecutionChain":
+        if len(graph) < 2:
+            raise GraphError(
+                f"{graph.name}: need at least 2 operators to form a chain"
+            )
+        profile = graph.crossing_bytes_profile()
+        profile.setflags(write=False)
+        return cls(graph=graph, crossing_bytes=profile)
+
+    @property
+    def name(self) -> str:
+        return self.graph.name
+
+    def __len__(self) -> int:
+        return len(self.graph)
+
+    @property
+    def n_cut_positions(self) -> int:
+        """Number of candidate cut positions (= n_ops - 1)."""
+        return len(self.graph) - 1
+
+    def cut_bytes(self, cut_after: int) -> int:
+        """Bytes crossing a single cut (bounds-checked)."""
+        if not 0 <= cut_after < self.n_cut_positions:
+            raise GraphError(
+                f"cut_after={cut_after} out of range 0..{self.n_cut_positions - 1}"
+            )
+        return int(self.crossing_bytes[cut_after])
+
+    def blocks_for(self, cuts: tuple[int, ...]) -> list[range]:
+        """Operator index ranges of the blocks induced by sorted ``cuts``."""
+        bounds = [-1, *cuts, len(self.graph) - 1]
+        return [
+            range(lo + 1, hi + 1) for lo, hi in zip(bounds[:-1], bounds[1:])
+        ]

@@ -1,0 +1,175 @@
+"""The model DAG.
+
+Operators are stored in topological order (builders append in execution
+order; :func:`repro.graphs.validate.validate_graph` enforces the invariant).
+Edges are implicit: an operator input whose tensor name matches an earlier
+operator's output is a data dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.operator import Operator
+from repro.graphs.tensor import TensorSpec
+
+
+@dataclass
+class ModelGraph:
+    """A named DAG of operators with explicit graph inputs.
+
+    Parameters
+    ----------
+    name:
+        Model identifier (e.g. ``"resnet50"``).
+    inputs:
+        Tensors fed from outside (images, token ids).
+    operators:
+        Nodes in topological order.
+    metadata:
+        Free-form provenance (domain, paper latency, calibration notes).
+    """
+
+    name: str
+    inputs: tuple[TensorSpec, ...]
+    operators: list[Operator] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    # --- derived indices, built lazily and invalidated on mutation ---------
+    _producer: dict[str, int] | None = field(default=None, repr=False)
+    _consumers: dict[str, list[int]] | None = field(default=None, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.operators)
+
+    def __iter__(self) -> Iterator[Operator]:
+        return iter(self.operators)
+
+    def __getitem__(self, idx: int) -> Operator:
+        return self.operators[idx]
+
+    # --- construction -------------------------------------------------------
+    def add(self, op: Operator) -> Operator:
+        """Append ``op``, checking every input is already producible."""
+        known = self._known_tensor_names()
+        for t in op.inputs:
+            if t.name not in known:
+                raise GraphError(
+                    f"{self.name}: operator {op.name!r} consumes unknown tensor "
+                    f"{t.name!r} (inputs must be graph inputs or earlier outputs)"
+                )
+        for t in op.outputs:
+            if t.name in known:
+                raise GraphError(
+                    f"{self.name}: operator {op.name!r} redefines tensor {t.name!r}"
+                )
+        self.operators.append(op)
+        self._producer = None
+        self._consumers = None
+        return op
+
+    def _known_tensor_names(self) -> set[str]:
+        names = {t.name for t in self.inputs}
+        for op in self.operators:
+            names.update(t.name for t in op.outputs)
+        return names
+
+    # --- indices -------------------------------------------------------------
+    @property
+    def producer(self) -> dict[str, int]:
+        """Tensor name -> index of the operator that produces it."""
+        if self._producer is None:
+            self._producer = {
+                t.name: i for i, op in enumerate(self.operators) for t in op.outputs
+            }
+        return self._producer
+
+    @property
+    def consumers(self) -> dict[str, list[int]]:
+        """Tensor name -> sorted indices of operators that consume it."""
+        if self._consumers is None:
+            cons: dict[str, list[int]] = {}
+            for i, op in enumerate(self.operators):
+                for t in op.inputs:
+                    cons.setdefault(t.name, []).append(i)
+            self._consumers = cons
+        return self._consumers
+
+    @property
+    def output_tensors(self) -> tuple[TensorSpec, ...]:
+        """Tensors produced but never consumed — the graph outputs."""
+        cons = self.consumers
+        outs = []
+        for op in self.operators:
+            outs.extend(t for t in op.outputs if t.name not in cons)
+        return tuple(outs)
+
+    # --- cut geometry ---------------------------------------------------------
+    def crossing_tensors(self, cut_after: int) -> tuple[TensorSpec, ...]:
+        """Tensors that must be transferred for a cut after position ``cut_after``.
+
+        A tensor crosses the cut iff its producer index is <= ``cut_after``
+        and some consumer index is > ``cut_after``. Graph inputs never cross
+        (the back block is fed its boundary tensors, not the raw input).
+        """
+        n = len(self.operators)
+        if not 0 <= cut_after < n - 1:
+            raise GraphError(
+                f"cut_after={cut_after} out of range for {n}-operator graph "
+                f"(valid: 0..{n - 2})"
+            )
+        prod = self.producer
+        crossing = []
+        for name, cons in self.consumers.items():
+            if name not in prod:
+                continue  # graph input
+            p = prod[name]
+            if p <= cut_after and cons[-1] > cut_after:
+                op = self.operators[p]
+                crossing.append(next(t for t in op.outputs if t.name == name))
+        return tuple(crossing)
+
+    def crossing_bytes_profile(self) -> np.ndarray:
+        """Bytes crossing each possible cut, for all cuts at once.
+
+        Returns an array of length ``len(self) - 1`` where entry ``i`` is the
+        total bytes crossing a cut after operator ``i``. Computed with a
+        difference array (+nbytes at the producer, -nbytes at the last
+        consumer) and one prefix sum, so the whole profile is O(V + E).
+        """
+        n = len(self.operators)
+        if n < 2:
+            return np.zeros(0, dtype=np.int64)
+        diff = np.zeros(n, dtype=np.int64)
+        prod = self.producer
+        for name, cons in self.consumers.items():
+            if name not in prod:
+                continue
+            p = prod[name]
+            last = cons[-1]
+            if last > p:
+                op = self.operators[p]
+                nbytes = next(t for t in op.outputs if t.name == name).nbytes
+                diff[p] += nbytes
+                diff[last] -= nbytes
+        return np.cumsum(diff)[: n - 1]
+
+    # --- misc ------------------------------------------------------------------
+    @property
+    def total_flops(self) -> float:
+        return sum(op.flops for op in self.operators)
+
+    @property
+    def total_param_bytes(self) -> int:
+        return sum(op.param_bytes for op in self.operators)
+
+    def __str__(self) -> str:
+        return (
+            f"ModelGraph({self.name}: {len(self)} ops, "
+            f"{self.total_flops / 1e9:.2f} GFLOPs, "
+            f"{self.total_param_bytes / 1e6:.1f} MB params)"
+        )

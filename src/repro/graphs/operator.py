@@ -1,0 +1,60 @@
+"""Operator nodes: a typed unit of work with FLOPs and parameter bytes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graphs.tensor import TensorSpec
+from repro.types import OpType
+
+
+@dataclass(frozen=True)
+class Operator:
+    """One node of a model graph.
+
+    ``flops`` counts multiply-accumulates as 2 FLOPs (the convention ONNX
+    profilers use); ``param_bytes`` is the weight footprint, which matters
+    for the memory-traffic term of the latency model. ``inputs`` reference
+    tensors produced by earlier operators (or the graph input), ``outputs``
+    are the tensors this operator produces.
+    """
+
+    name: str
+    op_type: OpType
+    inputs: tuple[TensorSpec, ...]
+    outputs: tuple[TensorSpec, ...]
+    flops: float = 0.0
+    param_bytes: int = 0
+    attributes: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("operator name must be non-empty")
+        if not self.outputs:
+            raise ValueError(f"operator {self.name!r} produces no outputs")
+        if self.flops < 0:
+            raise ValueError(f"operator {self.name!r} has negative flops")
+        if self.param_bytes < 0:
+            raise ValueError(f"operator {self.name!r} has negative param_bytes")
+
+    @property
+    def activation_in_bytes(self) -> int:
+        return sum(t.nbytes for t in self.inputs)
+
+    @property
+    def activation_out_bytes(self) -> int:
+        return sum(t.nbytes for t in self.outputs)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Total bytes touched: activations in + out + weights."""
+        return self.activation_in_bytes + self.activation_out_bytes + self.param_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte moved — drives compute- vs. memory-bound regime."""
+        mem = self.memory_bytes
+        return self.flops / mem if mem else 0.0
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.op_type.value})"

@@ -1,0 +1,120 @@
+"""``.ronnx`` serialization — a JSON stand-in for ONNX protobuf files.
+
+The paper's pipeline converts every framework model to ``.onnx`` and stores
+split blocks as ``.onnx`` files. We mirror that with a schema-versioned JSON
+format that round-trips :class:`ModelGraph` exactly, so the deployment
+manager can persist and reload blocks just like the original system.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import SerializationError
+from repro.graphs.graph import ModelGraph
+from repro.graphs.operator import Operator
+from repro.graphs.tensor import TensorSpec
+from repro.types import OpType
+
+SCHEMA_VERSION = 1
+
+
+def _tensor_to_dict(t: TensorSpec) -> dict[str, Any]:
+    return {"name": t.name, "shape": list(t.shape), "dtype": t.dtype}
+
+
+def _tensor_from_dict(d: dict[str, Any]) -> TensorSpec:
+    try:
+        return TensorSpec(
+            name=d["name"], shape=tuple(int(x) for x in d["shape"]), dtype=d["dtype"]
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"bad tensor record {d!r}: {exc}") from exc
+
+
+def _op_to_dict(op: Operator) -> dict[str, Any]:
+    return {
+        "name": op.name,
+        "op_type": op.op_type.value,
+        "inputs": [_tensor_to_dict(t) for t in op.inputs],
+        "outputs": [_tensor_to_dict(t) for t in op.outputs],
+        "flops": op.flops,
+        "param_bytes": op.param_bytes,
+        "attributes": op.attributes,
+    }
+
+
+def _op_from_dict(d: dict[str, Any]) -> Operator:
+    try:
+        op_type = OpType(d["op_type"])
+    except (KeyError, ValueError) as exc:
+        raise SerializationError(f"bad op_type in record {d!r}") from exc
+    try:
+        return Operator(
+            name=d["name"],
+            op_type=op_type,
+            inputs=tuple(_tensor_from_dict(t) for t in d.get("inputs", [])),
+            outputs=tuple(_tensor_from_dict(t) for t in d["outputs"]),
+            flops=float(d.get("flops", 0.0)),
+            param_bytes=int(d.get("param_bytes", 0)),
+            attributes=dict(d.get("attributes", {})),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"bad operator record: {exc}") from exc
+
+
+def dumps_ronnx(graph: ModelGraph) -> str:
+    """Serialize ``graph`` to a ``.ronnx`` JSON string."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "name": graph.name,
+        "inputs": [_tensor_to_dict(t) for t in graph.inputs],
+        "operators": [_op_to_dict(op) for op in graph.operators],
+        "metadata": graph.metadata,
+    }
+    return json.dumps(payload, indent=None, separators=(",", ":"))
+
+
+def loads_ronnx(text: str) -> ModelGraph:
+    """Parse a ``.ronnx`` JSON string back into a :class:`ModelGraph`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise SerializationError("top-level .ronnx value must be an object")
+    schema = payload.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise SerializationError(
+            f"unsupported .ronnx schema {schema!r} (expected {SCHEMA_VERSION})"
+        )
+    try:
+        graph = ModelGraph(
+            name=payload["name"],
+            inputs=tuple(_tensor_from_dict(t) for t in payload["inputs"]),
+            metadata=dict(payload.get("metadata", {})),
+        )
+    except KeyError as exc:
+        raise SerializationError(f"missing required field {exc}") from exc
+    for record in payload.get("operators", []):
+        graph.add(_op_from_dict(record))
+    return graph
+
+
+def dump_ronnx(graph: ModelGraph, path: str | Path) -> Path:
+    """Write ``graph`` to ``path`` (conventionally ``*.ronnx``)."""
+    path = Path(path)
+    path.write_text(dumps_ronnx(graph), encoding="utf-8")
+    return path
+
+
+def load_ronnx(path: str | Path) -> ModelGraph:
+    """Read a :class:`ModelGraph` from a ``.ronnx`` file."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SerializationError(f"cannot read {path}: {exc}") from exc
+    return loads_ronnx(text)

@@ -1,0 +1,57 @@
+"""Tensor value specifications flowing along graph edges."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+_DTYPE_BYTES = {
+    "float32": 4,
+    "float16": 2,
+    "int64": 8,
+    "int32": 4,
+    "int8": 1,
+    "uint8": 1,
+    "bool": 1,
+}
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape + dtype of a tensor; the unit of data crossing a cut.
+
+    ``shape`` uses the usual NCHW convention for CNN activations and
+    ``(batch, seq, hidden)`` for transformer activations. Batch size is
+    always explicit (the paper serves batch-1 edge requests).
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str = "float32"
+
+    def __post_init__(self) -> None:
+        if self.dtype not in _DTYPE_BYTES:
+            raise ValueError(
+                f"unsupported dtype {self.dtype!r}; one of {sorted(_DTYPE_BYTES)}"
+            )
+        if any(d <= 0 for d in self.shape):
+            raise ValueError(f"tensor {self.name!r} has non-positive dim: {self.shape}")
+
+    @property
+    def numel(self) -> int:
+        return math.prod(self.shape)
+
+    @property
+    def nbytes(self) -> int:
+        return self.numel * _DTYPE_BYTES[self.dtype]
+
+    @property
+    def itemsize(self) -> int:
+        return _DTYPE_BYTES[self.dtype]
+
+    def with_name(self, name: str) -> "TensorSpec":
+        return TensorSpec(name=name, shape=self.shape, dtype=self.dtype)
+
+    def __str__(self) -> str:  # compact, for traces and error messages
+        dims = "x".join(str(d) for d in self.shape)
+        return f"{self.name}:{dims}:{self.dtype}"

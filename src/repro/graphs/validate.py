@@ -1,0 +1,90 @@
+"""Structural validation for model graphs.
+
+Builders construct graphs incrementally with per-op checks; this module adds
+whole-graph invariants (acyclicity via networkx, reachability, topological
+order of the stored list) that are cheap enough to run in tests and at
+deserialisation time.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import GraphError
+from repro.graphs.graph import ModelGraph
+
+
+def to_networkx(graph: ModelGraph) -> nx.DiGraph:
+    """Export the operator dependency structure as a :class:`networkx.DiGraph`.
+
+    Node keys are operator indices; edges carry the tensor name that induces
+    the dependency.
+    """
+    g = nx.DiGraph(name=graph.name)
+    g.add_nodes_from(range(len(graph)))
+    prod = graph.producer
+    for j, op in enumerate(graph.operators):
+        for t in op.inputs:
+            if t.name in prod:
+                g.add_edge(prod[t.name], j, tensor=t.name)
+    return g
+
+
+def validate_graph(graph: ModelGraph) -> None:
+    """Raise :class:`GraphError` unless ``graph`` satisfies all invariants.
+
+    Invariants:
+
+    * at least one operator and one graph input;
+    * the stored operator order is topological (every edge goes forward);
+    * the dependency DAG is acyclic and weakly connected;
+    * every operator is reachable from some graph input;
+    * at least one graph output exists.
+    """
+    if not graph.operators:
+        raise GraphError(f"{graph.name}: graph has no operators")
+    if not graph.inputs:
+        raise GraphError(f"{graph.name}: graph has no inputs")
+
+    prod = graph.producer
+    input_names = {t.name for t in graph.inputs}
+    for j, op in enumerate(graph.operators):
+        for t in op.inputs:
+            if t.name in prod:
+                if prod[t.name] >= j:
+                    raise GraphError(
+                        f"{graph.name}: stored order is not topological — "
+                        f"{op.name!r} (index {j}) consumes {t.name!r} produced "
+                        f"at index {prod[t.name]}"
+                    )
+            elif t.name not in input_names:
+                raise GraphError(
+                    f"{graph.name}: {op.name!r} consumes undefined tensor {t.name!r}"
+                )
+
+    g = to_networkx(graph)
+    if not nx.is_directed_acyclic_graph(g):  # defensive; order check implies it
+        raise GraphError(f"{graph.name}: dependency graph has a cycle")
+
+    # Reachability from inputs: an op is fed by the input if any of its
+    # transitive predecessors consumes a graph input tensor.
+    roots = {
+        j
+        for j, op in enumerate(graph.operators)
+        if any(t.name in input_names for t in op.inputs)
+    }
+    if not roots:
+        raise GraphError(f"{graph.name}: no operator consumes a graph input")
+    reachable = set(roots)
+    for r in roots:
+        reachable.update(nx.descendants(g, r))
+    unreachable = set(range(len(graph))) - reachable
+    if unreachable:
+        names = [graph.operators[i].name for i in sorted(unreachable)][:5]
+        raise GraphError(
+            f"{graph.name}: {len(unreachable)} operator(s) unreachable from "
+            f"graph inputs, e.g. {names}"
+        )
+
+    if not graph.output_tensors:
+        raise GraphError(f"{graph.name}: graph has no outputs")

@@ -1,0 +1,24 @@
+"""Calibrated edge-GPU performance model (substitute for a physical Jetson).
+
+The model only has to predict what SPLIT's algorithms consume: per-operator
+execution times (roofline: compute-bound vs. memory-bound + kernel-launch
+cost), cut-boundary transfer costs, and a contention factor for concurrent
+streams. The Jetson-Nano preset is calibrated so the five Table-1 models
+reproduce the paper's isolated latencies.
+"""
+
+from repro.hardware.device import DeviceSpec
+from repro.hardware.latency import LatencyModel
+from repro.hardware.transfer import TransferModel
+from repro.hardware.contention import ContentionModel
+from repro.hardware.presets import desktop_gpu, jetson_nano, jetson_xavier
+
+__all__ = [
+    "DeviceSpec",
+    "LatencyModel",
+    "TransferModel",
+    "ContentionModel",
+    "jetson_nano",
+    "jetson_xavier",
+    "desktop_gpu",
+]

@@ -1,0 +1,60 @@
+"""Concurrent-stream contention model (used by the RT-A baseline).
+
+When n requests co-run on one GPU through multiple streams, caches, memory
+bandwidth and SM occupancy are shared imperfectly: the aggregate throughput
+is *less* than serial. We model the aggregate efficiency as
+``1 / (1 + gamma * (n - 1))`` and share it equally (processor sharing),
+which reproduces the paper's observation that under concurrency a short
+request's end-to-end latency approaches a co-running long request's.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.device import DeviceSpec
+
+
+class ContentionModel:
+    """Progress rates for n-way concurrent execution."""
+
+    def __init__(self, device: DeviceSpec):
+        self.device = device
+
+    def aggregate_efficiency(self, n_active: int) -> float:
+        """Total useful throughput with ``n_active`` co-running requests,
+        as a fraction of serial throughput (1.0 when n <= 1)."""
+        if n_active <= 1:
+            return 1.0
+        return 1.0 / (1.0 + self.device.contention_gamma * (n_active - 1))
+
+    def per_request_rate(self, n_active: int) -> float:
+        """Progress rate of each co-running request (work-seconds per second).
+
+        Equal processor sharing of the (contention-degraded) aggregate.
+        """
+        if n_active <= 0:
+            return 0.0
+        return self.aggregate_efficiency(n_active) / n_active
+
+    def slowdown(self, n_active: int) -> float:
+        """Multiplier on a request's isolated execution time."""
+        rate = self.per_request_rate(n_active)
+        return 1.0 / rate if rate > 0 else float("inf")
+
+    # ---------------------------------------------------------------- RT-A
+    def aligned_efficiency(self, n_active: int) -> float:
+        """Aggregate throughput under RT-A's operator alignment.
+
+        Alignment pairs complementary operators so co-running slightly
+        *beats* serial throughput (the RT-A paper's headline), saturating
+        at ``1 + rta_overlap_gain`` as the stream window fills:
+        ``eta(n) = 1 + gain * (1 - 1/n)``.
+        """
+        if n_active <= 1:
+            return 1.0
+        return 1.0 + self.device.rta_overlap_gain * (1.0 - 1.0 / n_active)
+
+    def aligned_rate(self, n_active: int) -> float:
+        """Per-request progress rate under alignment (processor sharing)."""
+        if n_active <= 0:
+            return 0.0
+        return self.aligned_efficiency(n_active) / n_active

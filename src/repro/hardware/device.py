@@ -1,0 +1,74 @@
+"""Device capability description consumed by the latency/transfer models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.types import OpType
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static capabilities of one shared inference processor.
+
+    All throughputs are *achievable* (not theoretical peak) figures; the
+    per-op-type utilisation factors in ``compute_efficiency`` further derate
+    compute throughput for kernels that map poorly onto the SMs (depthwise
+    convolutions most notably).
+    """
+
+    name: str
+    #: Achievable FP32 FLOP/s for a well-shaped dense kernel.
+    peak_flops: float
+    #: Achievable DRAM bandwidth, bytes/s.
+    mem_bandwidth: float
+    #: Fixed per-kernel dispatch cost, ms (driver + launch latency).
+    kernel_launch_ms: float
+    #: Cost of a pure-metadata op (Reshape/Cast/Shape...), ms.
+    metadata_op_ms: float
+    #: Effective bandwidth for inter-block boundary tensors, bytes/s. On a
+    #: Jetson this is the staging path through the runtime (serialise out of
+    #: one ONNX session, feed the next) — far below DRAM bandwidth.
+    staging_bandwidth: float
+    #: Fixed per-boundary framework overhead, ms (session switch, scheduling,
+    #: output fetch). Dominates the paper's Table-3 overheads for small cuts.
+    block_overhead_ms: float
+    #: Contention coefficient for concurrent streams: running n requests
+    #: concurrently achieves total throughput 1/(1 + gamma*(n-1)) of serial.
+    contention_gamma: float = 0.25
+    #: Maximum usefully-concurrent streams (occupancy limit); additional
+    #: requests queue FIFO behind the window.
+    max_streams: int = 4
+    #: Aggregate-throughput gain from RT-A's operator alignment at full
+    #: concurrency (alignment overlaps complementary kernels, so co-running
+    #: slightly beats serial instead of suffering raw contention).
+    rta_overlap_gain: float = 0.12
+    #: Per-op-type fraction of ``peak_flops`` actually achieved.
+    compute_efficiency: dict[OpType, float] = field(default_factory=dict)
+    #: Fallback efficiency for compute-bound op types not listed above.
+    default_compute_efficiency: float = 0.5
+    #: Fraction of ``mem_bandwidth`` achieved by memory-bound kernels.
+    memory_efficiency: float = 0.75
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "peak_flops",
+            "mem_bandwidth",
+            "staging_bandwidth",
+            "memory_efficiency",
+        ):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{self.name}: {attr} must be positive")
+        for attr in ("kernel_launch_ms", "metadata_op_ms", "block_overhead_ms"):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{self.name}: {attr} must be non-negative")
+        if self.contention_gamma < 0:
+            raise ValueError(f"{self.name}: contention_gamma must be >= 0")
+        if self.max_streams < 1:
+            raise ValueError(f"{self.name}: max_streams must be >= 1")
+        if self.rta_overlap_gain < 0:
+            raise ValueError(f"{self.name}: rta_overlap_gain must be >= 0")
+
+    def efficiency_for(self, op_type: OpType) -> float:
+        """Compute-throughput derating for ``op_type``."""
+        return self.compute_efficiency.get(op_type, self.default_compute_efficiency)

@@ -1,0 +1,82 @@
+"""Device presets.
+
+``jetson_nano`` reproduces the paper's testbed (Jetson Nano, ONNX Runtime
+1.12.1): ~236 GFLOP/s usable FP32 compute, 25.6 GB/s LPDDR4, slow kernel
+dispatch, and a staging path for inter-session boundary tensors whose
+throughput was chosen so the Table-3 splitting overheads (15–50% for
+ResNet50, 18–28% for VGG19) fall out of the model.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.device import DeviceSpec
+from repro.types import OpType
+
+_GB = 1e9
+
+
+def jetson_nano() -> DeviceSpec:
+    """The paper's testbed: NVIDIA Jetson Nano (4 GB, 128-core Maxwell)."""
+    return DeviceSpec(
+        name="jetson-nano",
+        peak_flops=236e9,
+        mem_bandwidth=25.6 * _GB,
+        kernel_launch_ms=0.04,
+        metadata_op_ms=0.004,
+        staging_bandwidth=2.0 * _GB,
+        block_overhead_ms=1.6,
+        contention_gamma=0.30,
+        compute_efficiency={
+            OpType.CONV: 0.55,
+            OpType.GEMM: 0.60,
+            OpType.MATMUL: 0.60,
+            OpType.DEPTHWISE_CONV: 0.12,
+        },
+        default_compute_efficiency=0.40,
+        memory_efficiency=0.75,
+    )
+
+
+def jetson_xavier() -> DeviceSpec:
+    """A faster edge part (Xavier NX class) for sensitivity studies."""
+    return DeviceSpec(
+        name="jetson-xavier",
+        peak_flops=1.3e12,
+        mem_bandwidth=59.7 * _GB,
+        kernel_launch_ms=0.02,
+        metadata_op_ms=0.002,
+        staging_bandwidth=6.0 * _GB,
+        block_overhead_ms=0.8,
+        contention_gamma=0.20,
+        compute_efficiency={
+            OpType.CONV: 0.60,
+            OpType.GEMM: 0.65,
+            OpType.MATMUL: 0.65,
+            OpType.DEPTHWISE_CONV: 0.15,
+        },
+        default_compute_efficiency=0.45,
+        memory_efficiency=0.80,
+    )
+
+
+def desktop_gpu() -> DeviceSpec:
+    """A discrete desktop GPU, where splitting overheads are relatively
+    larger (fast compute, PCIe staging) — useful for ablations."""
+    return DeviceSpec(
+        name="desktop-gpu",
+        peak_flops=15e12,
+        mem_bandwidth=448 * _GB,
+        kernel_launch_ms=0.008,
+        metadata_op_ms=0.001,
+        staging_bandwidth=12.0 * _GB,
+        block_overhead_ms=0.5,
+        contention_gamma=0.12,
+        compute_efficiency={
+            OpType.CONV: 0.65,
+            OpType.GEMM: 0.70,
+            OpType.MATMUL: 0.70,
+            OpType.DEPTHWISE_CONV: 0.20,
+        },
+        default_compute_efficiency=0.50,
+        memory_efficiency=0.85,
+    )

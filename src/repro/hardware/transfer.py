@@ -1,0 +1,38 @@
+"""Cut-boundary transfer cost model.
+
+Splitting a model in two turns one runtime session into two: the boundary
+activations must leave the first session (device -> staging) and re-enter
+the second (staging -> device), and each extra block pays a fixed framework
+cost (session switch, scheduling, output fetch). This reproduces the paper's
+observation that cuts crossing large early-layer activations cost the most
+(Fig. 2a) and its Table-3 overhead magnitudes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.device import DeviceSpec
+
+_MS = 1e3
+
+
+class TransferModel:
+    """Maps crossing-byte volumes to per-cut overheads (ms)."""
+
+    def __init__(self, device: DeviceSpec):
+        self.device = device
+
+    def cut_cost_ms(self, crossing_bytes: int | float) -> float:
+        """Overhead of one cut: fixed block cost + out-and-back staging."""
+        dev = self.device
+        staging_ms = 2.0 * float(crossing_bytes) / dev.staging_bandwidth * _MS
+        return dev.block_overhead_ms + staging_ms
+
+    def cut_cost_profile(self, crossing_bytes: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`cut_cost_ms` over a whole cut-position profile."""
+        dev = self.device
+        return (
+            dev.block_overhead_ms
+            + 2.0 * crossing_bytes.astype(float) / dev.staging_bandwidth * _MS
+        )

@@ -1,0 +1,22 @@
+"""Offline profiling: per-operator and per-block execution-time tables.
+
+The paper profiles each model once offline (§4.1 step 3 is offline); here
+the "measurement" is the calibrated hardware model, and the profiler's job
+is to package results as prefix-sum tables the splitting search can consume
+in O(1) per candidate block.
+"""
+
+from repro.profiling.records import BlockProfile, ModelProfile
+from repro.profiling.profiler import Profiler
+from repro.profiling.cache import ProfileCache
+from repro.profiling.store import ProfileStore, dumps_profile, loads_profile
+
+__all__ = [
+    "BlockProfile",
+    "ModelProfile",
+    "Profiler",
+    "ProfileCache",
+    "ProfileStore",
+    "dumps_profile",
+    "loads_profile",
+]

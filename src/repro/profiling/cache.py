@@ -1,0 +1,38 @@
+"""Profile cache keyed by (model, device, calibration target).
+
+Experiment sweeps profile the same model hundreds of times; graph
+construction and roofline evaluation dominate, so this memoises the
+resulting :class:`ModelProfile` (which is immutable and safe to share).
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import ModelGraph
+from repro.hardware.device import DeviceSpec
+from repro.profiling.profiler import Profiler
+from repro.profiling.records import ModelProfile
+
+
+class ProfileCache:
+    """Memoising wrapper around :class:`Profiler`."""
+
+    def __init__(self, device: DeviceSpec):
+        self.profiler = Profiler(device)
+        self._cache: dict[tuple[str, str, float | None], ModelProfile] = {}
+
+    def get(
+        self, graph: ModelGraph, target_total_ms: float | None = None
+    ) -> ModelProfile:
+        key = (graph.name, self.profiler.device.name, target_total_ms)
+        hit = self._cache.get(key)
+        if hit is not None and hit.n_ops == len(graph):
+            return hit
+        profile = self.profiler.profile(graph, target_total_ms)
+        self._cache[key] = profile
+        return profile
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,63 @@
+"""The offline profiler: model graph + device -> ModelProfile."""
+
+from __future__ import annotations
+
+from repro.graphs.chain import ExecutionChain
+from repro.graphs.graph import ModelGraph
+from repro.hardware.device import DeviceSpec
+from repro.hardware.latency import LatencyModel
+from repro.hardware.transfer import TransferModel
+from repro.profiling.records import BlockProfile, ModelProfile
+
+
+class Profiler:
+    """Produces calibrated per-operator and per-cut profiles.
+
+    In the paper this is an on-device measurement pass ("the execution time
+    {t1..tn} can be profiled within 1s"); here the measurement source is the
+    calibrated :class:`LatencyModel` / :class:`TransferModel` pair.
+    """
+
+    def __init__(self, device: DeviceSpec):
+        self.device = device
+        self.latency = LatencyModel(device)
+        self.transfer = TransferModel(device)
+
+    def profile(
+        self, graph: ModelGraph, target_total_ms: float | None = None
+    ) -> ModelProfile:
+        """Profile ``graph``, calibrating to ``target_total_ms`` when given
+        (or the graph's recorded paper latency)."""
+        chain = ExecutionChain.from_graph(graph)
+        op_times = self.latency.calibrated_profile(graph, target_total_ms)
+        cut_cost = self.transfer.cut_cost_profile(chain.crossing_bytes)
+        return ModelProfile(
+            model_name=graph.name,
+            device_name=self.device.name,
+            op_times_ms=op_times,
+            cut_cost_ms=cut_cost,
+        )
+
+    def profile_blocks(
+        self, graph: ModelGraph, cuts: tuple[int, ...]
+    ) -> list[BlockProfile]:
+        """Per-block profiles for a concrete partition (deployment records)."""
+        profile = self.profile(graph)
+        chain = ExecutionChain.from_graph(graph)
+        times = profile.block_times_for_cuts(cuts)
+        blocks = chain.blocks_for(cuts)
+        records = []
+        for i, (rng, t) in enumerate(zip(blocks, times)):
+            in_bytes = chain.cut_bytes(cuts[i - 1]) if i > 0 else 0
+            out_bytes = chain.cut_bytes(cuts[i]) if i < len(cuts) else 0
+            records.append(
+                BlockProfile(
+                    model_name=graph.name,
+                    block_index=i,
+                    op_range=(rng.start, rng.stop - 1),
+                    exec_ms=float(t),
+                    boundary_in_bytes=in_bytes,
+                    boundary_out_bytes=out_bytes,
+                )
+            )
+        return records

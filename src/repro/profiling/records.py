@@ -1,0 +1,93 @@
+"""Profile record types: immutable measurement tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import PartitionError
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Per-operator execution times of one model on one device.
+
+    ``op_times_ms`` is in chain order; ``prefix_ms[i]`` is the cumulative
+    time through operator ``i`` inclusive, so any block ``[a, b]`` costs
+    ``prefix_ms[b] - prefix_ms[a-1]`` — O(1) per candidate block, which is
+    what makes the GA's vectorised fitness evaluation cheap.
+    """
+
+    model_name: str
+    device_name: str
+    op_times_ms: np.ndarray
+    cut_cost_ms: np.ndarray  # overhead of a cut after position i
+    prefix_ms: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        op_times = np.asarray(self.op_times_ms, dtype=float)
+        cut_cost = np.asarray(self.cut_cost_ms, dtype=float)
+        if op_times.ndim != 1 or cut_cost.ndim != 1:
+            raise PartitionError("profile arrays must be 1-D")
+        if len(cut_cost) != len(op_times) - 1:
+            raise PartitionError(
+                f"cut_cost length {len(cut_cost)} != n_ops - 1 = {len(op_times) - 1}"
+            )
+        if (op_times < 0).any() or (cut_cost < 0).any():
+            raise PartitionError("profile times must be non-negative")
+        op_times.setflags(write=False)
+        cut_cost.setflags(write=False)
+        prefix = np.cumsum(op_times)
+        prefix.setflags(write=False)
+        object.__setattr__(self, "op_times_ms", op_times)
+        object.__setattr__(self, "cut_cost_ms", cut_cost)
+        object.__setattr__(self, "prefix_ms", prefix)
+
+    @property
+    def n_ops(self) -> int:
+        return len(self.op_times_ms)
+
+    @property
+    def total_ms(self) -> float:
+        """Isolated latency of the vanilla model."""
+        return float(self.prefix_ms[-1])
+
+    def block_time_ms(self, start: int, stop: int) -> float:
+        """Execution time of the block of operators ``[start, stop]``."""
+        if not 0 <= start <= stop < self.n_ops:
+            raise PartitionError(f"block [{start}, {stop}] out of range")
+        lo = self.prefix_ms[start - 1] if start > 0 else 0.0
+        return float(self.prefix_ms[stop] - lo)
+
+    def block_times_for_cuts(self, cuts: tuple[int, ...]) -> np.ndarray:
+        """Execution times of the blocks induced by sorted cut points.
+
+        Cut-boundary overhead is charged to the block *after* the cut (the
+        downstream session pays the input staging), matching how the paper
+        measures block execution times.
+        """
+        bounds = np.concatenate(([0.0], self.prefix_ms[list(cuts)], [self.total_ms]))
+        times = np.diff(bounds)
+        if len(cuts):
+            times[1:] += self.cut_cost_ms[list(cuts)]
+        return times
+
+
+@dataclass(frozen=True)
+class BlockProfile:
+    """Measured profile of one deployed block of a partitioned model."""
+
+    model_name: str
+    block_index: int
+    op_range: tuple[int, int]  # inclusive [start, stop]
+    exec_ms: float
+    boundary_in_bytes: int
+    boundary_out_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.exec_ms < 0:
+            raise PartitionError("block exec_ms must be non-negative")
+        start, stop = self.op_range
+        if start > stop:
+            raise PartitionError(f"invalid op_range {self.op_range}")

@@ -1,0 +1,101 @@
+"""Profile persistence.
+
+The paper profiles models once offline and reuses the result ("lengthy
+models only need to be split once", §4.1). This module persists
+:class:`ModelProfile` tables as JSON so deployments skip re-profiling, and
+provides a directory-backed store with staleness checks (a profile is
+stale when the graph's operator count changed).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SerializationError
+from repro.profiling.records import ModelProfile
+
+SCHEMA_VERSION = 1
+
+
+def dumps_profile(profile: ModelProfile) -> str:
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "model_name": profile.model_name,
+        "device_name": profile.device_name,
+        "op_times_ms": [float(t) for t in profile.op_times_ms],
+        "cut_cost_ms": [float(c) for c in profile.cut_cost_ms],
+    }
+    return json.dumps(payload, separators=(",", ":"))
+
+
+def loads_profile(text: str) -> ModelProfile:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"profile is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("schema") != SCHEMA_VERSION:
+        raise SerializationError(
+            f"unsupported profile schema {payload.get('schema') if isinstance(payload, dict) else payload!r}"
+        )
+    try:
+        return ModelProfile(
+            model_name=payload["model_name"],
+            device_name=payload["device_name"],
+            op_times_ms=np.asarray(payload["op_times_ms"], dtype=float),
+            cut_cost_ms=np.asarray(payload["cut_cost_ms"], dtype=float),
+        )
+    except KeyError as exc:
+        raise SerializationError(f"profile missing field {exc}") from exc
+
+
+class ProfileStore:
+    """Directory of persisted profiles, keyed by (model, device)."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, model_name: str, device_name: str) -> Path:
+        return self.root / f"{model_name}@{device_name}.profile.json"
+
+    def save(self, profile: ModelProfile) -> Path:
+        path = self._path(profile.model_name, profile.device_name)
+        path.write_text(dumps_profile(profile), encoding="utf-8")
+        return path
+
+    def load(self, model_name: str, device_name: str) -> ModelProfile:
+        path = self._path(model_name, device_name)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise SerializationError(
+                f"no stored profile for {model_name}@{device_name}"
+            ) from exc
+        return loads_profile(text)
+
+    def get_or_profile(
+        self, graph, profiler, target_total_ms: float | None = None
+    ) -> ModelProfile:
+        """Load if fresh (matching op count), otherwise profile and save."""
+        try:
+            stored = self.load(graph.name, profiler.device.name)
+            if stored.n_ops == len(graph):
+                return stored
+        except SerializationError:
+            pass
+        profile = profiler.profile(graph, target_total_ms)
+        self.save(profile)
+        return profile
+
+    def list_profiles(self) -> list[tuple[str, str]]:
+        """(model, device) pairs available in the store."""
+        out = []
+        for path in sorted(self.root.glob("*.profile.json")):
+            stem = path.name[: -len(".profile.json")]
+            model, _, device = stem.partition("@")
+            if model and device:
+                out.append((model, device))
+        return out

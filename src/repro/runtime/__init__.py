@@ -1,0 +1,61 @@
+"""Discrete-event serving runtime for the shared edge GPU.
+
+:class:`SequentialEngine` executes one block at a time (non-preemptible
+mid-block, preemptible at boundaries) under a pluggable scheduler;
+:class:`ConcurrentEngine` models RT-A's multi-stream co-execution via
+contention-degraded processor sharing. :func:`simulate` wires profiles,
+partitions, workloads and engines together for the evaluation scenarios.
+"""
+
+from repro.runtime.events import Arrival, EventKind
+from repro.runtime.trace import ExecutionTrace, TraceEntry
+from repro.runtime.engine import SequentialEngine
+from repro.runtime.executor import ConcurrentEngine
+from repro.runtime.workload import (
+    SCENARIOS,
+    Scenario,
+    WorkloadGenerator,
+    build_task_specs,
+    prema_chunk_plan,
+)
+from repro.runtime.metrics import QoSReport, RequestRecord, collect_records
+from repro.runtime.simulator import SimulationResult, simulate
+from repro.runtime.multi import (
+    ROUTERS,
+    MultiEngineResult,
+    MultiProcessorEngine,
+)
+from repro.runtime.traces import (
+    BurstConfig,
+    BurstyWorkloadGenerator,
+    burstiness_index,
+    load_trace,
+    save_trace,
+)
+
+__all__ = [
+    "Arrival",
+    "EventKind",
+    "ExecutionTrace",
+    "TraceEntry",
+    "SequentialEngine",
+    "ConcurrentEngine",
+    "SCENARIOS",
+    "Scenario",
+    "WorkloadGenerator",
+    "build_task_specs",
+    "prema_chunk_plan",
+    "QoSReport",
+    "RequestRecord",
+    "collect_records",
+    "SimulationResult",
+    "simulate",
+    "BurstConfig",
+    "BurstyWorkloadGenerator",
+    "burstiness_index",
+    "load_trace",
+    "save_trace",
+    "ROUTERS",
+    "MultiEngineResult",
+    "MultiProcessorEngine",
+]

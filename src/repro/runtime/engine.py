@@ -1,0 +1,133 @@
+"""Sequential block-granularity discrete-event engine.
+
+The processor runs exactly one block at a time. A running block is never
+interrupted; between blocks the scheduler re-selects the queue head, which
+is where block-boundary preemption happens. Preempting an unfinished
+request defers *all* of its remaining blocks (full preemption, Fig. 3) —
+that falls out of the queue discipline, because the preempted request
+simply sits behind the preemptor until re-selected.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.runtime.trace import ExecutionTrace, TraceEntry
+from repro.scheduling.policies.base import Scheduler
+from repro.scheduling.queue import RequestQueue
+from repro.scheduling.request import Request
+
+
+@dataclass
+class EngineResult:
+    completed: list[Request] = field(default_factory=list)
+    dropped: list[Request] = field(default_factory=list)
+    trace: ExecutionTrace | None = None
+    context_switches: int = 0
+    preemptions: int = 0
+
+
+class SequentialEngine:
+    """Runs a fixed arrival schedule to completion under one scheduler."""
+
+    def __init__(self, scheduler: Scheduler, keep_trace: bool = False):
+        self.scheduler = scheduler
+        self.keep_trace = keep_trace
+
+    def run(self, arrivals: list[tuple[float, Request]]) -> EngineResult:
+        """Simulate until every admitted request finishes.
+
+        ``arrivals`` is a list of ``(time_ms, request)`` pairs (any order).
+        """
+        result = EngineResult(
+            trace=ExecutionTrace() if self.keep_trace else None
+        )
+        heap: list[tuple[float, int, Request]] = []
+        for i, (t, req) in enumerate(arrivals):
+            if t < 0:
+                raise SimulationError(f"negative arrival time {t}")
+            heapq.heappush(heap, (t, i, req))
+
+        queue = RequestQueue()
+        running: Request | None = None
+        block_end = 0.0
+        block_start = 0.0
+        last_executed: Request | None = None
+        now = 0.0
+
+        def dispatch(t: float) -> None:
+            nonlocal running, block_end, block_start, last_executed
+            if queue.empty:
+                running = None
+                return
+            idx = self.scheduler.select(queue, t)
+            if idx != 0:
+                queue.move_to_front(idx)
+            req = queue.peek()
+            switch_cost = 0.0
+            if (
+                last_executed is not None
+                and last_executed is not req
+                and not last_executed.done
+                and last_executed.started
+            ):
+                # Switching away from an unfinished request = preemption.
+                switch_cost = self.scheduler.preemption_overhead_ms
+                last_executed.preemptions += 1
+                result.preemptions += 1
+            if last_executed is not None and last_executed is not req:
+                result.context_switches += 1
+            if not req.started:
+                plan = self.scheduler.plan_for(req, queue, t)
+                req.begin(plan, t)
+            block_ms = req.pop_block()
+            block_start = t + switch_cost
+            block_end = block_start + block_ms
+            running = req
+            last_executed = req
+
+        while heap or running is not None or not queue.empty:
+            next_arrival = heap[0][0] if heap else float("inf")
+            next_done = block_end if running is not None else float("inf")
+            if running is None and not queue.empty:
+                # Idle processor with pending work: dispatch immediately.
+                dispatch(now)
+                continue
+            if next_arrival == float("inf") and next_done == float("inf"):
+                break  # nothing left anywhere
+            if next_arrival <= next_done:
+                now = next_arrival
+                _, _, req = heapq.heappop(heap)
+                admitted = self.scheduler.on_arrival(queue, req, now)
+                if not admitted:
+                    result.dropped.append(req)
+                # A running block is never interrupted; if idle, the loop's
+                # next iteration dispatches at `now`.
+            else:
+                now = next_done
+                req = running
+                assert req is not None
+                if result.trace is not None:
+                    result.trace.record(
+                        TraceEntry(
+                            request_id=req.request_id,
+                            task_type=req.task_type,
+                            block_index=req.next_block - 1,
+                            start_ms=block_start,
+                            end_ms=now,
+                        )
+                    )
+                running = None
+                if req.blocks_left == 0:
+                    req.finish_ms = now
+                    queue.remove(req)
+                    result.completed.append(req)
+                dispatch(now)
+
+        if not queue.empty:
+            raise SimulationError(
+                f"engine finished with {len(queue)} requests still queued"
+            )
+        return result

@@ -1,0 +1,25 @@
+"""Event types for the discrete-event engines."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.scheduling.request import Request
+
+
+class EventKind(enum.Enum):
+    ARRIVAL = "arrival"
+    BLOCK_DONE = "block_done"
+
+
+@dataclass(frozen=True, order=True)
+class Arrival:
+    """A request arrival, orderable by time then id (heap-friendly)."""
+
+    time_ms: float
+    request: Request = field(compare=False)
+
+    def __post_init__(self) -> None:
+        if self.time_ms < 0:
+            raise ValueError("arrival time must be non-negative")

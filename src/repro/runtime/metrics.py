@@ -1,0 +1,139 @@
+"""QoS metrics: latency-violation rate and jitter (§5.2).
+
+* **Latency violation rate** — a request violates when its response ratio
+  (end-to-end latency over isolated execution time, Eq. 3) exceeds the
+  target multiplier alpha; the paper sweeps alpha in [2, 20] (Fig. 6).
+  Dropped requests count as violations at every alpha.
+* **Jitter** — the standard deviation of per-request latency, reported per
+  model (Fig. 7). With deterministic block times all latency dispersion
+  comes from queueing/preemption, which is precisely the stability the
+  paper's metric captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.runtime.engine import EngineResult
+from repro.scheduling.request import Request
+from repro.utils.stats import summarize
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Immutable per-request outcome."""
+
+    request_id: int
+    model: str
+    arrival_ms: float
+    finish_ms: float | None  # None = dropped
+    ext_ms: float
+    preemptions: int = 0
+    #: Task-relative target multiplier (TaskSpec.alpha); the effective
+    #: latency target at sweep point a is ``a * alpha * ext_ms``.
+    alpha: float = 1.0
+
+    @property
+    def dropped(self) -> bool:
+        return self.finish_ms is None
+
+    @property
+    def e2e_ms(self) -> float:
+        if self.finish_ms is None:
+            return float("inf")
+        return self.finish_ms - self.arrival_ms
+
+    @property
+    def response_ratio(self) -> float:
+        return self.e2e_ms / self.ext_ms
+
+    def violates(self, alpha: float) -> bool:
+        """Whether the request misses the target ``alpha x self.alpha x ext``."""
+        return self.response_ratio > alpha * self.alpha
+
+
+def collect_records(result: EngineResult) -> list[RequestRecord]:
+    """Freeze an engine run's outcome into records."""
+
+    def freeze(req: Request, dropped: bool) -> RequestRecord:
+        return RequestRecord(
+            request_id=req.request_id,
+            model=req.task_type,
+            arrival_ms=req.arrival_ms,
+            finish_ms=None if dropped else req.finish_ms,
+            ext_ms=req.ext_ms,
+            preemptions=req.preemptions,
+            alpha=req.task.alpha,
+        )
+
+    records = [freeze(r, False) for r in result.completed]
+    records += [freeze(r, True) for r in result.dropped]
+    records.sort(key=lambda r: r.arrival_ms)
+    return records
+
+
+@dataclass
+class QoSReport:
+    """Aggregated QoS view over one run's records."""
+
+    records: list[RequestRecord]
+    _rr: np.ndarray = field(init=False, repr=False)
+    _alphas: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rr = np.array([r.response_ratio for r in self.records])
+        self._alphas = np.array([r.alpha for r in self.records])
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def n_dropped(self) -> int:
+        return sum(1 for r in self.records if r.dropped)
+
+    def violation_rate(self, alpha: float) -> float:
+        """Fraction of requests whose RR exceeds their target multiplier
+        ``alpha x task.alpha`` (dropped requests always violate)."""
+        if not self.records:
+            return float("nan")
+        return float(np.mean(self._rr > alpha * self._alphas))
+
+    def violation_curve(self, alphas) -> np.ndarray:
+        """Violation rate for each alpha (Fig. 6's series)."""
+        alphas = np.asarray(alphas, dtype=float)
+        return np.array([self.violation_rate(a) for a in alphas])
+
+    def models(self) -> tuple[str, ...]:
+        return tuple(sorted({r.model for r in self.records}))
+
+    def latencies_for(self, model: str | None = None) -> np.ndarray:
+        """Finite end-to-end latencies, optionally for one model."""
+        return np.array(
+            [
+                r.e2e_ms
+                for r in self.records
+                if not r.dropped and (model is None or r.model == model)
+            ]
+        )
+
+    def jitter_ms(self, model: str | None = None) -> float:
+        """Std of end-to-end latency (Fig. 7's per-model metric)."""
+        lat = self.latencies_for(model)
+        return float(lat.std()) if lat.size else float("nan")
+
+    def mean_response_ratio(self, model: str | None = None) -> float:
+        rr = [
+            r.response_ratio
+            for r in self.records
+            if not r.dropped and (model is None or r.model == model)
+        ]
+        return float(np.mean(rr)) if rr else float("nan")
+
+    def latency_summary(self, model: str | None = None) -> dict[str, float]:
+        return summarize(self.latencies_for(model))
+
+    def preemption_count(self) -> int:
+        return sum(r.preemptions for r in self.records)

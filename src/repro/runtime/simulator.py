@@ -1,0 +1,287 @@
+"""High-level simulation façade: policy name + scenario -> QoS report.
+
+Wires together the zoo, profiler, GA splitting, task catalogues, workload
+generation and the engines, mirroring the paper's experimental setup:
+the five Table-1 models, long models split by the GA (with Eq.-1-driven
+block counts), six Poisson scenarios, paired arrival schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import SimulationError
+from repro.hardware.contention import ContentionModel
+from repro.hardware.device import DeviceSpec
+from repro.hardware.presets import jetson_nano
+from repro.profiling.cache import ProfileCache
+from repro.profiling.records import ModelProfile
+from repro.runtime.engine import EngineResult, SequentialEngine
+from repro.runtime.executor import ConcurrentEngine
+from repro.runtime.metrics import QoSReport, collect_records
+from repro.runtime.workload import (
+    Scenario,
+    WorkloadGenerator,
+    build_task_specs,
+    materialize_requests,
+)
+from repro.scheduling.policies import (
+    ClockWorkScheduler,
+    EDFScheduler,
+    FIFOScheduler,
+    PremaScheduler,
+    RoundRobinScheduler,
+    SJFScheduler,
+    SplitScheduler,
+)
+from repro.splitting.elastic import ElasticSplitConfig
+from repro.splitting.genetic import GAConfig
+from repro.splitting.selection import choose_block_count
+from repro.types import RequestClass
+from repro.zoo.registry import EVALUATED_MODELS, get_model
+
+POLICIES = (
+    "split",
+    "clockwork",
+    "prema",
+    "rta",
+    "fifo",
+    "sjf",
+    "edf",
+    "roundrobin",
+    "reef",
+)
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    policy: str
+    scenario: Scenario
+    report: QoSReport
+    engine_result: EngineResult
+    split_plans: dict[str, tuple[float, ...]]
+
+
+def _request_classes(models: tuple[str, ...]) -> dict[str, RequestClass]:
+    out = {}
+    for name in models:
+        meta = get_model(name, cached=True).metadata
+        out[name] = RequestClass(meta.get("request_class", "short"))
+    return out
+
+
+@lru_cache(maxsize=16)
+def _profiles_for(
+    models: tuple[str, ...], device_name: str
+) -> dict[str, ModelProfile]:
+    device = _device_by_name(device_name)
+    cache = ProfileCache(device)
+    return {name: cache.get(get_model(name, cached=True)) for name in models}
+
+
+def _device_by_name(name: str) -> DeviceSpec:
+    from repro.hardware import presets
+
+    for factory in (presets.jetson_nano, presets.jetson_xavier, presets.desktop_gpu):
+        dev = factory()
+        if dev.name == name:
+            return dev
+    raise SimulationError(f"unknown device {name!r}")
+
+
+@lru_cache(maxsize=32)
+def default_split_plans(
+    models: tuple[str, ...] = EVALUATED_MODELS,
+    device_name: str = "jetson-nano",
+    max_blocks: int = 4,
+    seed: int = 0,
+) -> dict[str, tuple[float, ...]]:
+    """GA block plans for the long models (ResNet50, VGG19 in the paper).
+
+    Short models stay unsplit: splitting exists so that *short* requests
+    can preempt *long* ones at block boundaries (§5.5). The block count per
+    long model comes from the Eq.-1 score via :func:`choose_block_count`.
+    """
+    profiles = _profiles_for(models, device_name)
+    classes = _request_classes(models)
+    plans: dict[str, tuple[float, ...]] = {}
+    for name, profile in profiles.items():
+        if classes[name] is not RequestClass.LONG:
+            continue
+        choice = choose_block_count(
+            profile, max_blocks=max_blocks, config=GAConfig(seed=seed)
+        )
+        if choice.result is not None:
+            plans[name] = tuple(
+                float(t) for t in choice.result.partition.block_times_ms
+            )
+    return plans
+
+
+def make_scheduler(policy: str, elastic: ElasticSplitConfig | None = None):
+    if policy == "split":
+        return SplitScheduler(elastic=elastic)
+    if policy == "clockwork":
+        return ClockWorkScheduler()
+    if policy == "prema":
+        return PremaScheduler()
+    if policy == "fifo":
+        return FIFOScheduler()
+    if policy == "sjf":
+        return SJFScheduler()
+    if policy == "edf":
+        return EDFScheduler()
+    if policy == "roundrobin":
+        return RoundRobinScheduler()
+    raise SimulationError(f"unknown sequential policy {policy!r}")
+
+
+def simulate(
+    policy: str,
+    scenario: Scenario,
+    models: tuple[str, ...] = EVALUATED_MODELS,
+    device: DeviceSpec | None = None,
+    seed: int = 0,
+    split_plans: dict[str, tuple[float, ...]] | None = None,
+    elastic: ElasticSplitConfig | None = None,
+    keep_trace: bool = False,
+    alphas: dict[str, float] | None = None,
+) -> SimulationResult:
+    """Run one (policy, scenario) cell of the evaluation grid.
+
+    The arrival schedule depends only on (models, scenario, seed), so runs
+    across policies are paired. ``split_plans`` overrides the default GA
+    plans (ablations); ``elastic`` configures SPLIT's elastic splitting;
+    ``alphas`` assigns per-task latency-target multipliers (differentiated
+    QoS — stricter tasks get alpha < 1 and are favoured by the greedy
+    preemption rule).
+    """
+    if policy not in POLICIES:
+        raise SimulationError(f"unknown policy {policy!r}; one of {POLICIES}")
+    device = device or jetson_nano()
+    profiles = _profiles_for(models, device.name)
+    classes = _request_classes(models)
+    if split_plans is None:
+        split_plans = default_split_plans(models, device.name)
+
+    items = WorkloadGenerator(models, seed=seed).generate(scenario)
+
+    if policy == "rta":
+        specs = build_task_specs(profiles, plan_kind="vanilla", request_classes=classes, alphas=alphas)
+        engine: SequentialEngine | ConcurrentEngine = ConcurrentEngine(
+            ContentionModel(device)
+        )
+    elif policy == "prema":
+        specs = build_task_specs(profiles, plan_kind="prema", request_classes=classes, alphas=alphas)
+        engine = SequentialEngine(make_scheduler(policy), keep_trace=keep_trace)
+    elif policy == "reef":
+        # Kernel-level oracle (§6): operator-granularity preemption, no
+        # boundary cost, same greedy queue discipline as SPLIT.
+        specs = build_task_specs(
+            profiles, plan_kind="operator", request_classes=classes, alphas=alphas
+        )
+        engine = SequentialEngine(
+            SplitScheduler(elastic=ElasticSplitConfig(enabled=False)),
+            keep_trace=keep_trace,
+        )
+    elif policy in ("split", "edf", "roundrobin"):
+        specs = build_task_specs(
+            profiles,
+            split_plans=split_plans,
+            plan_kind="split",
+            request_classes=classes,
+            alphas=alphas,
+        )
+        engine = SequentialEngine(
+            make_scheduler(policy, elastic=elastic), keep_trace=keep_trace
+        )
+    else:  # clockwork, fifo, sjf: whole-model plans
+        specs = build_task_specs(profiles, plan_kind="vanilla", request_classes=classes, alphas=alphas)
+        engine = SequentialEngine(make_scheduler(policy), keep_trace=keep_trace)
+
+    arrivals = materialize_requests(items, specs)
+    engine_result = engine.run(arrivals)
+    report = QoSReport(collect_records(engine_result))
+    return SimulationResult(
+        policy=policy,
+        scenario=scenario,
+        report=report,
+        engine_result=engine_result,
+        split_plans=dict(split_plans),
+    )
+
+
+def simulate_items(
+    policy: str,
+    items: list,
+    models: tuple[str, ...] = EVALUATED_MODELS,
+    device: DeviceSpec | None = None,
+    split_plans: dict[str, tuple[float, ...]] | None = None,
+    elastic: ElasticSplitConfig | None = None,
+    keep_trace: bool = False,
+    alphas: dict[str, float] | None = None,
+) -> SimulationResult:
+    """Run a policy against an explicit arrival schedule.
+
+    ``items`` is any list of :class:`~repro.runtime.workload.WorkloadItem`
+    (bursty generation, CSV trace replay, hand-built schedules); everything
+    else matches :func:`simulate`. The scenario recorded on the result is a
+    synthetic descriptor derived from the items.
+    """
+    if not items:
+        raise SimulationError("need at least one workload item")
+    span = max(i.arrival_ms for i in items)
+    mean_gap = span / max(1, len(items) - 1)
+    scenario = Scenario(
+        "trace", lambda_ms=max(mean_gap, 1e-6), load="trace", n_requests=len(items)
+    )
+    device = device or jetson_nano()
+    profiles = _profiles_for(models, device.name)
+    classes = _request_classes(models)
+    if split_plans is None:
+        split_plans = default_split_plans(models, device.name)
+
+    if policy == "rta":
+        specs = build_task_specs(profiles, plan_kind="vanilla", request_classes=classes, alphas=alphas)
+        engine: SequentialEngine | ConcurrentEngine = ConcurrentEngine(
+            ContentionModel(device)
+        )
+    elif policy == "prema":
+        specs = build_task_specs(profiles, plan_kind="prema", request_classes=classes, alphas=alphas)
+        engine = SequentialEngine(make_scheduler(policy), keep_trace=keep_trace)
+    elif policy == "reef":
+        specs = build_task_specs(
+            profiles, plan_kind="operator", request_classes=classes, alphas=alphas
+        )
+        engine = SequentialEngine(
+            SplitScheduler(elastic=ElasticSplitConfig(enabled=False)),
+            keep_trace=keep_trace,
+        )
+    elif policy in ("split", "edf", "roundrobin"):
+        specs = build_task_specs(
+            profiles,
+            split_plans=split_plans,
+            plan_kind="split",
+            request_classes=classes,
+            alphas=alphas,
+        )
+        engine = SequentialEngine(
+            make_scheduler(policy, elastic=elastic), keep_trace=keep_trace
+        )
+    elif policy in POLICIES:
+        specs = build_task_specs(profiles, plan_kind="vanilla", request_classes=classes, alphas=alphas)
+        engine = SequentialEngine(make_scheduler(policy), keep_trace=keep_trace)
+    else:
+        raise SimulationError(f"unknown policy {policy!r}; one of {POLICIES}")
+
+    arrivals = materialize_requests(items, specs)
+    engine_result = engine.run(arrivals)
+    report = QoSReport(collect_records(engine_result))
+    return SimulationResult(
+        policy=policy,
+        scenario=scenario,
+        report=report,
+        engine_result=engine_result,
+        split_plans=dict(split_plans),
+    )

@@ -1,0 +1,69 @@
+"""Execution traces: what ran when, with invariant checking.
+
+Traces are optional (memory) but invaluable: the runtime tests assert the
+engine's core guarantees on them — the processor never runs two blocks at
+once, blocks of one request execute in order, and execution never precedes
+arrival.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One executed block (or whole model when unsplit)."""
+
+    request_id: int
+    task_type: str
+    block_index: int
+    start_ms: float
+    end_ms: float
+
+    def __post_init__(self) -> None:
+        if self.end_ms < self.start_ms:
+            raise SimulationError(
+                f"trace entry ends before it starts: {self}"
+            )
+
+
+@dataclass
+class ExecutionTrace:
+    """Append-only record of executed blocks in dispatch order."""
+
+    entries: list[TraceEntry] = field(default_factory=list)
+
+    def record(self, entry: TraceEntry) -> None:
+        self.entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def for_request(self, request_id: int) -> list[TraceEntry]:
+        return [e for e in self.entries if e.request_id == request_id]
+
+    def busy_ms(self) -> float:
+        """Total processor-busy time."""
+        return sum(e.end_ms - e.start_ms for e in self.entries)
+
+    def verify(self) -> None:
+        """Raise :class:`SimulationError` on any broken engine invariant."""
+        last_end = 0.0
+        for e in self.entries:
+            if e.start_ms < last_end - 1e-9:
+                raise SimulationError(
+                    f"overlapping execution: {e} starts before {last_end:.6f}"
+                )
+            last_end = e.end_ms
+        seen: dict[int, int] = {}
+        for e in self.entries:
+            expected = seen.get(e.request_id, 0)
+            if e.block_index != expected:
+                raise SimulationError(
+                    f"request {e.request_id} ran block {e.block_index}, "
+                    f"expected {expected}"
+                )
+            seen[e.request_id] = expected + 1

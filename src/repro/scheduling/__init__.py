@@ -1,0 +1,36 @@
+"""Online request scheduling (the paper's second contribution, §3.4).
+
+:mod:`~repro.scheduling.greedy` implements Algorithm 1 — response-ratio
+greedy preemption at block boundaries; :mod:`~repro.scheduling.policies`
+adds the evaluated baselines (ClockWork, PREMA, RT-A) plus classic FIFO /
+SJF / EDF references.
+"""
+
+from repro.scheduling.request import Request, TaskSpec
+from repro.scheduling.queue import RequestQueue
+from repro.scheduling.response_ratio import response_ratio
+from repro.scheduling.greedy import greedy_insert
+from repro.scheduling.policies import (
+    ClockWorkScheduler,
+    EDFScheduler,
+    FIFOScheduler,
+    PremaScheduler,
+    Scheduler,
+    SJFScheduler,
+    SplitScheduler,
+)
+
+__all__ = [
+    "Request",
+    "TaskSpec",
+    "RequestQueue",
+    "response_ratio",
+    "greedy_insert",
+    "Scheduler",
+    "FIFOScheduler",
+    "ClockWorkScheduler",
+    "PremaScheduler",
+    "SJFScheduler",
+    "EDFScheduler",
+    "SplitScheduler",
+]

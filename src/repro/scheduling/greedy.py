@@ -1,0 +1,57 @@
+"""Algorithm 1: greedy preemption based on response ratio.
+
+A new arrival starts at the tail and bubbles forward one neighbour at a
+time. Swapping with the neighbour ahead changes exactly two response
+ratios (§3.4 observation 2 — neighbours' order doesn't affect anyone
+else):
+
+* the new request stops waiting for the neighbour's remaining execution:
+  its RR falls by ``ext_left(ahead) / target(new)``;
+* the neighbour additionally waits for the new request's execution:
+  its RR rises by ``ext(new) / target(ahead)``.
+
+The already-``waited`` terms of Algorithm 1's ``ResponseRatio`` appear in
+both sides of each difference and cancel, as does the global ``alpha`` in
+the targets, so the swap test needs only execution times. The bubble stops
+when (a) no requests are ahead, (b) the neighbour is the same task type
+(FIFO within a task, §3.4 observation on identical requests), or (c) the
+swap no longer lowers the pair's average response ratio. Each arrival does
+at most one pass over the queue: O(n) worst case.
+"""
+
+from __future__ import annotations
+
+from repro.scheduling.queue import RequestQueue
+from repro.scheduling.request import Request
+
+
+def swap_gain(new: Request, ahead: Request) -> float:
+    """Net reduction in the pair's summed (target-normalised) RR if ``new``
+    moves ahead of ``ahead``. Positive means the swap helps.
+
+    Targets are ``task.alpha x ext`` (footnote 3); the *global* sweep
+    multiplier cancels from both sides, but per-task criticality does not —
+    a stricter task (smaller alpha) both gains more from passing and loses
+    more from being passed.
+    """
+    gain_new = ahead.ext_left_ms / new.task.target_ms
+    loss_ahead = new.ext_left_ms / ahead.task.target_ms
+    return gain_new - loss_ahead
+
+
+def greedy_insert(queue: RequestQueue, new: Request) -> int:
+    """Insert ``new`` by Algorithm 1; returns the insertion index.
+
+    Inserting at index 0 preempts the currently-running request at its next
+    block boundary (full preemption — all remaining blocks deferred).
+    """
+    pos = len(queue)
+    while pos > 0:
+        ahead = queue[pos - 1]
+        if ahead.task_type == new.task_type:
+            break  # FIFO among requests of the same task
+        if swap_gain(new, ahead) < 0.0:
+            break  # exchanging cannot reduce the average response ratio
+        pos -= 1
+    queue.insert(pos, new)
+    return pos

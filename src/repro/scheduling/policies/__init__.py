@@ -1,0 +1,33 @@
+"""Scheduling policies: SPLIT and the evaluated baselines.
+
+* :class:`SplitScheduler` — the paper's system: evenly-sized blocks +
+  greedy response-ratio preemption + elastic splitting.
+* :class:`ClockWorkScheduler` — FCFS, non-preemptive, optional straggler
+  dropping (ClockWork, OSDI'20 style).
+* :class:`PremaScheduler` — token-based preemptive scheduling at
+  checkpoint granularity (PREMA, HPCA'20 style).
+* RT-A has no queue policy — it co-runs everything; see
+  :class:`repro.runtime.executor.ConcurrentExecutor`.
+* :class:`FIFOScheduler`, :class:`SJFScheduler`, :class:`EDFScheduler` —
+  classic references used by tests and ablations.
+"""
+
+from repro.scheduling.policies.base import Scheduler
+from repro.scheduling.policies.fifo import FIFOScheduler
+from repro.scheduling.policies.clockwork import ClockWorkScheduler
+from repro.scheduling.policies.prema import PremaScheduler
+from repro.scheduling.policies.sjf import SJFScheduler
+from repro.scheduling.policies.edf import EDFScheduler
+from repro.scheduling.policies.roundrobin import RoundRobinScheduler
+from repro.scheduling.policies.split_policy import SplitScheduler
+
+__all__ = [
+    "Scheduler",
+    "FIFOScheduler",
+    "ClockWorkScheduler",
+    "PremaScheduler",
+    "SJFScheduler",
+    "EDFScheduler",
+    "RoundRobinScheduler",
+    "SplitScheduler",
+]

@@ -1,0 +1,39 @@
+"""Scheduler interface consumed by the discrete-event executor."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.scheduling.queue import RequestQueue
+from repro.scheduling.request import Request
+
+
+class Scheduler(abc.ABC):
+    """Queue-ordering policy.
+
+    The executor calls :meth:`on_arrival` when a request arrives,
+    :meth:`select` at every dispatch point (block boundaries included), and
+    :meth:`plan_for` once per request at its first dispatch to fix the
+    execution plan (split blocks or whole model).
+    """
+
+    #: Human-readable policy name (report labels).
+    name: str = "scheduler"
+    #: Extra latency charged when the processor switches away from a
+    #: partially-executed request (checkpoint save/restore cost).
+    preemption_overhead_ms: float = 0.0
+
+    @abc.abstractmethod
+    def on_arrival(self, queue: RequestQueue, request: Request, now_ms: float) -> bool:
+        """Place ``request`` in ``queue``; return False to reject (drop) it."""
+
+    def select(self, queue: RequestQueue, now_ms: float) -> int:
+        """Index of the request to run next (default: head)."""
+        return 0
+
+    def plan_for(
+        self, request: Request, queue: RequestQueue, now_ms: float
+    ) -> tuple[float, ...]:
+        """Execution plan fixed at first dispatch. Defaults to the task's
+        configured block plan."""
+        return request.task.blocks_ms

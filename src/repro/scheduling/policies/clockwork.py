@@ -1,0 +1,48 @@
+"""ClockWork-style baseline: FCFS execution with predictable latencies and
+optional admission-time straggler dropping.
+
+ClockWork (OSDI'20) serves requests strictly in order on the GPU, relying
+on execution-time predictability; requests predicted to miss their target
+are dropped on arrival. The paper's comparison uses it as the sequential,
+non-preemptive, static-priority baseline.
+"""
+
+from __future__ import annotations
+
+from repro.scheduling.policies.base import Scheduler
+from repro.scheduling.queue import RequestQueue
+from repro.scheduling.request import Request
+
+
+class ClockWorkScheduler(Scheduler):
+    """FCFS, non-preemptive, optional drop of predicted stragglers.
+
+    ``drop_alpha`` enables admission control: a request whose predicted
+    response ratio (queue backlog + own execution over its isolated time)
+    exceeds ``drop_alpha`` is rejected on arrival. Dropped requests are
+    counted as latency violations at every target by the metrics layer.
+    """
+
+    name = "clockwork"
+
+    def __init__(self, drop_alpha: float | None = None):
+        if drop_alpha is not None and drop_alpha <= 1.0:
+            raise ValueError("drop_alpha must exceed 1 (RR of an idle system)")
+        self.drop_alpha = drop_alpha
+        self.dropped = 0
+
+    def on_arrival(self, queue: RequestQueue, request: Request, now_ms: float) -> bool:
+        if self.drop_alpha is not None:
+            predicted_rr = (
+                queue.total_backlog_ms() + request.ext_ms
+            ) / request.ext_ms
+            if predicted_rr > self.drop_alpha:
+                self.dropped += 1
+                return False
+        queue.append(request)
+        return True
+
+    def plan_for(
+        self, request: Request, queue: RequestQueue, now_ms: float
+    ) -> tuple[float, ...]:
+        return (request.task.ext_ms,)

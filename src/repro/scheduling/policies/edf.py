@@ -1,0 +1,35 @@
+"""Earliest-deadline-first with block-boundary preemption.
+
+Deadline = arrival + alpha x isolated execution time (the paper's latency
+target). EDF is the classic dynamic-priority real-time policy; combined
+with the same block plans as SPLIT it isolates the contribution of the
+greedy response-ratio rule from that of splitting itself (ablations).
+"""
+
+from __future__ import annotations
+
+from repro.scheduling.policies.base import Scheduler
+from repro.scheduling.queue import RequestQueue
+from repro.scheduling.request import Request
+
+
+class EDFScheduler(Scheduler):
+    """Queue ordered by absolute deadline; runs the task's block plan."""
+
+    name = "edf"
+
+    def __init__(self, alpha: float = 4.0):
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.alpha = alpha
+
+    def deadline_ms(self, request: Request) -> float:
+        return request.arrival_ms + self.alpha * request.ext_ms
+
+    def on_arrival(self, queue: RequestQueue, request: Request, now_ms: float) -> bool:
+        d = self.deadline_ms(request)
+        pos = len(queue)
+        while pos > 0 and self.deadline_ms(queue[pos - 1]) > d:
+            pos -= 1
+        queue.insert(pos, request)
+        return True

@@ -1,0 +1,22 @@
+"""Plain FIFO, non-preemptive — the simplest reference policy."""
+
+from __future__ import annotations
+
+from repro.scheduling.policies.base import Scheduler
+from repro.scheduling.queue import RequestQueue
+from repro.scheduling.request import Request
+
+
+class FIFOScheduler(Scheduler):
+    """First-come first-served; each request runs its whole model."""
+
+    name = "fifo"
+
+    def on_arrival(self, queue: RequestQueue, request: Request, now_ms: float) -> bool:
+        queue.append(request)
+        return True
+
+    def plan_for(
+        self, request: Request, queue: RequestQueue, now_ms: float
+    ) -> tuple[float, ...]:
+        return (request.task.ext_ms,)

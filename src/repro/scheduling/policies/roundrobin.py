@@ -1,0 +1,36 @@
+"""Round-robin block interleaving — the *partial preemption* strawman.
+
+Fig. 3 contrasts full preemption (all remaining blocks of the preempted
+request deferred together) with partial preemption, where blocks of two
+requests interleave and the preempted request's last block straggles.
+Fair block-level interleaving (least-service-first: always run the pending
+request that has completed the fewest blocks) is the purest form of that
+interleaving, so this policy serves as the Fig.-3 comparison in the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.scheduling.policies.base import Scheduler
+from repro.scheduling.queue import RequestQueue
+from repro.scheduling.request import Request
+
+
+class RoundRobinScheduler(Scheduler):
+    """Block-fair interleaving: fewest-completed-blocks first, FIFO ties."""
+
+    name = "roundrobin"
+
+    def on_arrival(self, queue: RequestQueue, request: Request, now_ms: float) -> bool:
+        queue.append(request)
+        return True
+
+    def select(self, queue: RequestQueue, now_ms: float) -> int:
+        best = 0
+        best_key = (float("inf"), float("inf"))
+        for i, req in enumerate(queue):
+            key = (req.next_block, req.arrival_ms)
+            if key < best_key:
+                best_key = key
+                best = i
+        return best

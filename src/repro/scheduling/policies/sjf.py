@@ -1,0 +1,35 @@
+"""Shortest-job-first, non-preemptive — a classic reference point.
+
+SJF minimises mean waiting time but starves long requests under load; it
+bounds how much of SPLIT's benefit comes from mere short-job favouritism
+versus block-boundary preemption.
+"""
+
+from __future__ import annotations
+
+from repro.scheduling.policies.base import Scheduler
+from repro.scheduling.queue import RequestQueue
+from repro.scheduling.request import Request
+
+
+class SJFScheduler(Scheduler):
+    """Queue ordered by remaining execution time; whole-model execution."""
+
+    name = "sjf"
+
+    def on_arrival(self, queue: RequestQueue, request: Request, now_ms: float) -> bool:
+        # Insert before the first queued request with more remaining work,
+        # but never ahead of position 0's already-started execution order.
+        pos = len(queue)
+        while pos > 0:
+            ahead = queue[pos - 1]
+            if ahead.started or ahead.ext_left_ms <= request.ext_left_ms:
+                break
+            pos -= 1
+        queue.insert(pos, request)
+        return True
+
+    def plan_for(
+        self, request: Request, queue: RequestQueue, now_ms: float
+    ) -> tuple[float, ...]:
+        return (request.task.ext_ms,)

@@ -1,0 +1,41 @@
+"""SPLIT's scheduler: greedy response-ratio preemption over evenly-sized
+blocks, with elastic splitting.
+
+Arrivals are placed by Algorithm 1 (:func:`repro.scheduling.greedy
+.greedy_insert`); an arrival that bubbles to the queue head preempts the
+running request at its next block boundary. At a request's first dispatch
+the elastic policy (§3.3) decides whether it runs as its GA block plan or
+as the whole model.
+"""
+
+from __future__ import annotations
+
+from repro.scheduling.greedy import greedy_insert
+from repro.scheduling.policies.base import Scheduler
+from repro.scheduling.queue import RequestQueue
+from repro.scheduling.request import Request
+from repro.splitting.elastic import ElasticPolicy, ElasticSplitConfig, QueueSnapshot
+
+
+class SplitScheduler(Scheduler):
+    """The paper's policy (evenly-sized splitting + greedy preemption)."""
+
+    name = "split"
+
+    def __init__(self, elastic: ElasticSplitConfig | None = None):
+        self.elastic = ElasticPolicy(elastic)
+        self.preempt_inserts = 0  # arrivals that claimed the queue head
+
+    def on_arrival(self, queue: RequestQueue, request: Request, now_ms: float) -> bool:
+        pos = greedy_insert(queue, request)
+        if pos == 0 and len(queue) > 1:
+            self.preempt_inserts += 1
+        return True
+
+    def plan_for(
+        self, request: Request, queue: RequestQueue, now_ms: float
+    ) -> tuple[float, ...]:
+        snapshot = QueueSnapshot.from_types(queue.task_types())
+        if self.elastic.should_split(snapshot):
+            return request.task.blocks_ms
+        return (request.task.ext_ms,)

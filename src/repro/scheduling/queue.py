@@ -1,0 +1,78 @@
+"""The pending-request queue.
+
+Position 0 is the next request to receive the execution token. The
+currently-running request stays at its queue position while its block
+executes; a new arrival that greedily bubbles past position 0 therefore
+preempts it at the next block boundary — all of its remaining blocks are
+deferred together (full preemption, Fig. 3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import SchedulingError
+from repro.scheduling.request import Request
+
+
+class RequestQueue:
+    """Ordered pending queue with the small mutation surface the
+    schedulers need (insert at index, move to front, pop head)."""
+
+    def __init__(self) -> None:
+        self._items: list[Request] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self._items)
+
+    def __getitem__(self, idx: int) -> Request:
+        return self._items[idx]
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def append(self, request: Request) -> None:
+        self._items.append(request)
+
+    def insert(self, index: int, request: Request) -> None:
+        if not 0 <= index <= len(self._items):
+            raise SchedulingError(f"insert index {index} out of range")
+        self._items.insert(index, request)
+
+    def pop_head(self) -> Request:
+        if not self._items:
+            raise SchedulingError("pop from empty request queue")
+        return self._items.pop(0)
+
+    def peek(self) -> Request:
+        if not self._items:
+            raise SchedulingError("peek at empty request queue")
+        return self._items[0]
+
+    def move_to_front(self, index: int) -> None:
+        if not 0 <= index < len(self._items):
+            raise SchedulingError(f"move index {index} out of range")
+        item = self._items.pop(index)
+        self._items.insert(0, item)
+
+    def remove(self, request: Request) -> None:
+        try:
+            self._items.remove(request)
+        except ValueError as exc:
+            raise SchedulingError(
+                f"request {request.request_id} not in queue"
+            ) from exc
+
+    def waiting_ahead_ms(self, index: int) -> float:
+        """Total remaining execution time scheduled ahead of ``index``."""
+        return float(sum(r.ext_left_ms for r in self._items[:index]))
+
+    def total_backlog_ms(self) -> float:
+        return float(sum(r.ext_left_ms for r in self._items))
+
+    def task_types(self) -> list[str]:
+        return [r.task_type for r in self._items]

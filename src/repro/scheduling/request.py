@@ -1,0 +1,148 @@
+"""Task and request model.
+
+A *task* is a deployed model generating requests (the paper's unit of
+deployment); a *request* is one inference invocation. ``ext_ms`` is the
+request's uninterrupted, isolated execution time of the *vanilla* model —
+the quantity latency targets are defined against (§2.1) — while
+``blocks_ms`` is the actual execution plan (one entry when unsplit; the
+partition's block times, including splitting overhead, when split).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+from repro.types import RequestClass
+
+_request_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """A deployed model that emits requests.
+
+    ``alpha`` is the task's latency-target multiplier *relative to* the
+    globally swept target: the request's target is
+    ``alpha x alpha_global x ext_ms`` (Algorithm 1 footnote 3 with
+    per-task criticality). ``alpha < 1`` marks a latency-critical task,
+    ``alpha > 1`` a lenient one; the greedy preemption rule folds it into
+    its response-ratio normalisation.
+    """
+
+    name: str
+    ext_ms: float  # isolated vanilla-model execution time
+    blocks_ms: tuple[float, ...]  # split execution plan (incl. overhead)
+    request_class: RequestClass = RequestClass.SHORT
+    alpha: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.ext_ms <= 0:
+            raise SchedulingError(f"task {self.name!r}: ext_ms must be positive")
+        if not self.blocks_ms:
+            raise SchedulingError(f"task {self.name!r}: needs >= 1 block")
+        if any(b < 0 for b in self.blocks_ms):
+            raise SchedulingError(f"task {self.name!r}: negative block time")
+        if self.alpha <= 0:
+            raise SchedulingError(f"task {self.name!r}: alpha must be positive")
+
+    @property
+    def split_total_ms(self) -> float:
+        return float(sum(self.blocks_ms))
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks_ms)
+
+    @property
+    def target_ms(self) -> float:
+        """The task-relative latency target (alpha x ext)."""
+        return self.alpha * self.ext_ms
+
+    def unsplit(self) -> "TaskSpec":
+        """The same task executed as a single block (elastic fallback)."""
+        if self.n_blocks == 1:
+            return self
+        return TaskSpec(
+            name=self.name,
+            ext_ms=self.ext_ms,
+            blocks_ms=(self.ext_ms,),
+            request_class=self.request_class,
+            alpha=self.alpha,
+        )
+
+
+@dataclass
+class Request:
+    """One inference request plus its mutable execution state."""
+
+    task: TaskSpec
+    arrival_ms: float
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    #: Execution plan chosen at first dispatch (elastic splitting may choose
+    #: the unsplit plan); None until dispatched.
+    plan_ms: tuple[float, ...] | None = None
+    next_block: int = 0
+    first_start_ms: float | None = None
+    finish_ms: float | None = None
+    preemptions: int = 0
+
+    @property
+    def task_type(self) -> str:
+        return self.task.name
+
+    @property
+    def started(self) -> bool:
+        return self.first_start_ms is not None
+
+    @property
+    def done(self) -> bool:
+        return self.finish_ms is not None
+
+    @property
+    def ext_ms(self) -> float:
+        """Isolated vanilla execution time (the RR denominator)."""
+        return self.task.ext_ms
+
+    @property
+    def ext_left_ms(self) -> float:
+        """Execution time of the not-yet-started blocks of this request."""
+        plan = self.plan_ms if self.plan_ms is not None else self.task.blocks_ms
+        return float(sum(plan[self.next_block :]))
+
+    def waited_ms(self, now_ms: float) -> float:
+        """Time spent in the system so far (Algorithm 1's l_waited)."""
+        return max(0.0, now_ms - self.arrival_ms)
+
+    def begin(self, plan_ms: tuple[float, ...], now_ms: float) -> None:
+        """Fix the execution plan at first dispatch."""
+        if self.plan_ms is not None:
+            raise SchedulingError(f"request {self.request_id} already planned")
+        self.plan_ms = plan_ms
+        self.first_start_ms = now_ms
+
+    def pop_block(self) -> float:
+        """Consume and return the next block's execution time."""
+        if self.plan_ms is None:
+            raise SchedulingError(f"request {self.request_id} has no plan yet")
+        if self.next_block >= len(self.plan_ms):
+            raise SchedulingError(f"request {self.request_id} has no blocks left")
+        t = self.plan_ms[self.next_block]
+        self.next_block += 1
+        return t
+
+    @property
+    def blocks_left(self) -> int:
+        plan = self.plan_ms if self.plan_ms is not None else self.task.blocks_ms
+        return len(plan) - self.next_block
+
+    def e2e_ms(self) -> float:
+        """End-to-end latency (only valid once finished)."""
+        if self.finish_ms is None:
+            raise SchedulingError(f"request {self.request_id} not finished")
+        return self.finish_ms - self.arrival_ms
+
+    def response_ratio_final(self) -> float:
+        """Eq. 3's RR with the realised end-to-end latency."""
+        return self.e2e_ms() / self.ext_ms

@@ -1,0 +1,50 @@
+"""Response ratio (Eq. 3) and Algorithm 1's normalised variant.
+
+    RR = (latency_wait + t_ext) / t_ext = t_ete / t_ext
+
+Algorithm 1 normalises by the latency *target* ``alpha * Ext(t)`` instead of
+``Ext(t)``; since alpha is a system-wide constant it scales every RR equally
+and cancels out of the greedy swap condition, so the default here is
+alpha = 1 (plain Eq. 3).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchedulingError
+from repro.scheduling.request import Request
+
+
+def response_ratio(
+    waited_ms: float,
+    waiting_ms: float,
+    ext_left_ms: float,
+    ext_ms: float,
+    alpha: float = 1.0,
+) -> float:
+    """Algorithm 1's ``ResponseRatio``: predicted end-to-end latency over the
+    latency target.
+
+    Parameters mirror the pseudocode: ``waited_ms`` is time already spent in
+    the system, ``waiting_ms`` the predicted further wait (sum of the
+    execution time scheduled ahead), ``ext_left_ms`` the request's own
+    remaining execution, and ``ext_ms`` the isolated execution time defining
+    the target ``alpha * ext_ms``.
+    """
+    if ext_ms <= 0:
+        raise SchedulingError("ext_ms must be positive")
+    if alpha <= 0:
+        raise SchedulingError("alpha must be positive")
+    return (waited_ms + waiting_ms + ext_left_ms) / (alpha * ext_ms)
+
+
+def predicted_response_ratio(
+    request: Request, waiting_ms: float, now_ms: float, alpha: float = 1.0
+) -> float:
+    """Eq. 3 for a live request given a predicted further wait."""
+    return response_ratio(
+        waited_ms=request.waited_ms(now_ms),
+        waiting_ms=waiting_ms,
+        ext_left_ms=request.ext_left_ms,
+        ext_ms=request.ext_ms,
+        alpha=alpha,
+    )

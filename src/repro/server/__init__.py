@@ -1,0 +1,33 @@
+"""Threaded serving pipeline mirroring the paper's system (Fig. 4).
+
+The original SPLIT is a C++ daemon on the Jetson; this package reproduces
+its component decomposition in-process: a :class:`Responder` accepting
+requests and returning results, a request wrapper/unwrapper normalising
+models to the ``.ronnx`` format, a :class:`DeploymentManager` that splits
+and deploys blocks offline, and a token scheduler/assigner pair executing
+one block at a time under the greedy preemption queue. Execution "runs" a
+block by holding the processor for its profiled duration on a scaled
+clock, so the pipeline exhibits the same concurrency behaviour as the
+discrete-event engine, with real threads and locks.
+"""
+
+from repro.server.clock import ScaledClock
+from repro.server.wrapper import RequestWrapper, RequestUnwrapper
+from repro.server.deployment import DeployedModel, DeploymentManager
+from repro.server.token import TokenAssigner, TokenScheduler
+from repro.server.responder import InferenceHandle, InferenceResult, Responder
+from repro.server.server import SplitServer
+
+__all__ = [
+    "ScaledClock",
+    "RequestWrapper",
+    "RequestUnwrapper",
+    "DeployedModel",
+    "DeploymentManager",
+    "TokenScheduler",
+    "TokenAssigner",
+    "InferenceHandle",
+    "InferenceResult",
+    "Responder",
+    "SplitServer",
+]

@@ -1,0 +1,31 @@
+"""Scaled wall clock for the threaded server.
+
+One simulated millisecond takes ``scale`` real seconds, so tests and
+examples can run thousand-request workloads in well under a second of wall
+time while the threads still genuinely contend.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class ScaledClock:
+    """Monotonic clock in simulated milliseconds."""
+
+    def __init__(self, scale: float = 1e-3):
+        """``scale``: real seconds per simulated millisecond (1e-3 = real
+        time; smaller = faster than real time)."""
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+        self._t0 = time.monotonic()
+
+    def now_ms(self) -> float:
+        """Simulated milliseconds since the clock was created."""
+        return (time.monotonic() - self._t0) / self.scale
+
+    def sleep_ms(self, duration_ms: float) -> None:
+        """Block the calling thread for ``duration_ms`` simulated ms."""
+        if duration_ms > 0:
+            time.sleep(duration_ms * self.scale)

@@ -1,0 +1,121 @@
+"""Deployment manager (Fig. 4): offline splitting + block persistence.
+
+Deploying a model runs the offline pipeline once — profile, choose a block
+count (Eq. 1 score), run the GA, persist each block as a ``.ronnx`` file —
+and registers the resulting :class:`TaskSpec` for the online path. Long
+models get split; short models deploy whole (§5.4/§5.5: splitting exists
+so short requests can preempt long ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.graphs.graph import ModelGraph
+from repro.graphs.serialize import dump_ronnx
+from repro.hardware.device import DeviceSpec
+from repro.profiling.profiler import Profiler
+from repro.scheduling.request import TaskSpec
+from repro.splitting.genetic import GAConfig
+from repro.splitting.selection import choose_block_count
+from repro.types import RequestClass
+
+
+@dataclass(frozen=True)
+class DeployedModel:
+    """Outcome of deploying one model."""
+
+    task: TaskSpec
+    cuts: tuple[int, ...]
+    block_paths: tuple[Path, ...]  # persisted .ronnx block files ('' if not persisted)
+
+
+def _block_graph(graph: ModelGraph, start: int, stop: int, index: int) -> ModelGraph:
+    """Materialise operators [start, stop] as a standalone block graph.
+
+    The block's inputs are every tensor consumed inside the range but
+    produced outside it (the boundary tensors), mirroring how the paper
+    stores split blocks as independent .onnx files.
+    """
+    ops = graph.operators[start : stop + 1]
+    produced = {t.name for op in ops for t in op.outputs}
+    boundary = []
+    seen = set()
+    for op in ops:
+        for t in op.inputs:
+            if t.name not in produced and t.name not in seen:
+                boundary.append(t)
+                seen.add(t.name)
+    block = ModelGraph(
+        name=f"{graph.name}.block{index}",
+        inputs=tuple(boundary),
+        metadata={"parent": graph.name, "op_range": [start, stop]},
+    )
+    for op in ops:
+        block.add(op)
+    return block
+
+
+class DeploymentManager:
+    """Splits models offline and registers tasks for serving."""
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        block_dir: Path | None = None,
+        max_blocks: int = 4,
+        ga_config: GAConfig | None = None,
+    ):
+        self.device = device
+        self.profiler = Profiler(device)
+        self.block_dir = Path(block_dir) if block_dir is not None else None
+        self.max_blocks = max_blocks
+        self.ga_config = ga_config or GAConfig()
+        self.deployed: dict[str, DeployedModel] = {}
+
+    def deploy(self, graph: ModelGraph) -> DeployedModel:
+        """Run the offline pipeline for ``graph`` and register its task."""
+        profile = self.profiler.profile(graph)
+        request_class = RequestClass(
+            graph.metadata.get("request_class", "short")
+        )
+        cuts: tuple[int, ...] = ()
+        blocks_ms: tuple[float, ...] = (profile.total_ms,)
+        if request_class is RequestClass.LONG:
+            choice = choose_block_count(
+                profile, max_blocks=self.max_blocks, config=self.ga_config
+            )
+            if choice.result is not None:
+                cuts = choice.result.cuts
+                blocks_ms = tuple(
+                    float(t) for t in choice.result.partition.block_times_ms
+                )
+        task = TaskSpec(
+            name=graph.name,
+            ext_ms=profile.total_ms,
+            blocks_ms=blocks_ms,
+            request_class=request_class,
+        )
+        paths = self._persist_blocks(graph, cuts)
+        record = DeployedModel(task=task, cuts=cuts, block_paths=paths)
+        self.deployed[graph.name] = record
+        return record
+
+    def _persist_blocks(
+        self, graph: ModelGraph, cuts: tuple[int, ...]
+    ) -> tuple[Path, ...]:
+        if self.block_dir is None:
+            return ()
+        self.block_dir.mkdir(parents=True, exist_ok=True)
+        bounds = [-1, *cuts, len(graph) - 1]
+        paths = []
+        for i, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:])):
+            block = _block_graph(graph, lo + 1, hi, i)
+            path = self.block_dir / f"{graph.name}.block{i}.ronnx"
+            dump_ronnx(block, path)
+            paths.append(path)
+        return tuple(paths)
+
+    def task_specs(self) -> dict[str, TaskSpec]:
+        return {name: d.task for name, d in self.deployed.items()}

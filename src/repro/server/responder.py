@@ -1,0 +1,108 @@
+"""Responder (Fig. 4): accepts user requests and returns inference results.
+
+In the paper the responder speaks RPC on its own thread with locked
+asynchronous reads/writes; here it exposes an in-process future-style
+handle per submission and a completion callback wired to the token
+assigner.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ServerError
+from repro.scheduling.request import Request
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """What the user gets back."""
+
+    request_id: int
+    model: str
+    arrival_ms: float
+    finish_ms: float
+    e2e_ms: float
+    response_ratio: float
+    preemptions: int
+
+
+class InferenceHandle:
+    """Future-like handle for one submitted request."""
+
+    def __init__(self, request: Request):
+        self._request = request
+        self._event = threading.Event()
+        self._result: InferenceResult | None = None
+        self._dropped = False
+
+    @property
+    def request_id(self) -> int:
+        return self._request.request_id
+
+    def _complete(self, result: InferenceResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def _drop(self) -> None:
+        self._dropped = True
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def dropped(self) -> bool:
+        return self._dropped
+
+    def result(self, timeout_s: float | None = None) -> InferenceResult:
+        if not self._event.wait(timeout=timeout_s):
+            raise ServerError(
+                f"request {self.request_id} did not complete within timeout"
+            )
+        if self._dropped or self._result is None:
+            raise ServerError(f"request {self.request_id} was dropped")
+        return self._result
+
+
+class Responder:
+    """Tracks in-flight handles and resolves them on completion."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pending: dict[int, InferenceHandle] = {}
+        self.completed: list[InferenceResult] = []
+
+    def register(self, request: Request) -> InferenceHandle:
+        handle = InferenceHandle(request)
+        with self._lock:
+            self._pending[request.request_id] = handle
+        return handle
+
+    def reject(self, request: Request) -> None:
+        with self._lock:
+            handle = self._pending.pop(request.request_id, None)
+        if handle is not None:
+            handle._drop()
+
+    def resolve(self, request: Request, finish_ms: float) -> None:
+        """Completion callback for the token assigner."""
+        result = InferenceResult(
+            request_id=request.request_id,
+            model=request.task_type,
+            arrival_ms=request.arrival_ms,
+            finish_ms=finish_ms,
+            e2e_ms=finish_ms - request.arrival_ms,
+            response_ratio=(finish_ms - request.arrival_ms) / request.ext_ms,
+            preemptions=request.preemptions,
+        )
+        with self._lock:
+            handle = self._pending.pop(request.request_id, None)
+            self.completed.append(result)
+        if handle is not None:
+            handle._complete(result)
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._pending)

@@ -1,0 +1,153 @@
+"""SplitServer: the assembled serving pipeline (Fig. 4's workflow).
+
+    (1) users deploy tasks -> (2) unwrap to .ronnx -> (3) offline GA split
+    -> (4) deploy blocks + greedy-preemption serving -> (5) respond.
+
+Usage::
+
+    server = SplitServer(device=jetson_nano(), time_scale=1e-5)
+    server.deploy(build_resnet50())
+    server.start()
+    handle = server.submit("resnet50")
+    result = handle.result(timeout_s=5)
+    server.stop()
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import ServerError
+from repro.graphs.graph import ModelGraph
+from repro.hardware.device import DeviceSpec
+from repro.hardware.presets import jetson_nano
+from repro.scheduling.policies.base import Scheduler
+from repro.scheduling.policies.split_policy import SplitScheduler
+from repro.server.clock import ScaledClock
+from repro.server.deployment import DeployedModel, DeploymentManager
+from repro.server.responder import InferenceHandle, Responder
+from repro.server.token import TokenAssigner, TokenScheduler
+from repro.server.wrapper import RequestUnwrapper, RequestWrapper
+
+
+class SplitServer:
+    """In-process SPLIT serving system with a scaled clock."""
+
+    def __init__(
+        self,
+        device: DeviceSpec | None = None,
+        scheduler: Scheduler | None = None,
+        time_scale: float = 1e-5,
+        block_dir: str | Path | None = None,
+        admission_alpha: float | None = None,
+    ):
+        """``admission_alpha`` enables ClockWork-style admission control:
+        a submission whose *predicted* response ratio (current backlog plus
+        its own execution over its isolated time) already exceeds the
+        threshold is rejected immediately instead of queuing to miss its
+        target anyway."""
+        if admission_alpha is not None and admission_alpha <= 1.0:
+            raise ServerError("admission_alpha must exceed 1")
+        self.admission_alpha = admission_alpha
+        self.rejected = 0
+        self.device = device or jetson_nano()
+        self.clock = ScaledClock(scale=time_scale)
+        self.unwrapper = RequestUnwrapper()
+        self.deployment = DeploymentManager(
+            self.device, block_dir=Path(block_dir) if block_dir else None
+        )
+        self.responder = Responder()
+        self._scheduler = scheduler or SplitScheduler()
+        self.tokens = TokenScheduler(self._scheduler)
+        self.assigner = TokenAssigner(
+            self.tokens, self.clock, self.responder.resolve
+        )
+        self._wrapper: RequestWrapper | None = None
+        self._running = False
+
+    # ------------------------------------------------------------ lifecycle
+    def deploy(self, model: ModelGraph | str | Path) -> DeployedModel:
+        """Offline path: unwrap, split, persist, register."""
+        if self._running:
+            raise ServerError("deploy models before starting the server")
+        graph = self.unwrapper.unwrap(model)
+        record = self.deployment.deploy(graph)
+        self._wrapper = RequestWrapper(self.deployment.task_specs())
+        return record
+
+    def start(self) -> None:
+        if self._running:
+            raise ServerError("server already running")
+        if not self.deployment.deployed:
+            raise ServerError("no models deployed")
+        self.assigner.start()
+        self._running = True
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self.assigner.stop()
+        self._running = False
+
+    def __enter__(self) -> "SplitServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # --------------------------------------------------------------- online
+    def submit(self, model_name: str) -> InferenceHandle:
+        """Submit one inference request; returns a future-style handle."""
+        if not self._running:
+            raise ServerError("server is not running")
+        assert self._wrapper is not None
+        now = self.clock.now_ms()
+        request = self._wrapper.wrap(model_name, arrival_ms=now)
+        handle = self.responder.register(request)
+        if self.admission_alpha is not None:
+            predicted_rr = (
+                self.tokens.backlog_ms() + request.ext_ms
+            ) / request.ext_ms
+            if predicted_rr > self.admission_alpha:
+                self.rejected += 1
+                self.responder.reject(request)
+                return handle
+        if not self.tokens.submit(request, now):
+            self.responder.reject(request)
+        return handle
+
+    def drain(self, timeout_s: float = 30.0) -> None:
+        """Wait until every in-flight request resolves."""
+        import time
+
+        deadline = time.monotonic() + timeout_s
+        while self.responder.in_flight() > 0:
+            if time.monotonic() > deadline:
+                raise ServerError(
+                    f"{self.responder.in_flight()} requests still in flight "
+                    f"after {timeout_s}s"
+                )
+            time.sleep(0.001)
+
+    @property
+    def deployed_models(self) -> tuple[str, ...]:
+        return tuple(sorted(self.deployment.deployed))
+
+    def stats(self) -> dict[str, float | int]:
+        """Serving statistics snapshot (observability endpoint)."""
+        completed = list(self.responder.completed)
+        rr = [r.response_ratio for r in completed]
+        return {
+            "deployed_models": len(self.deployment.deployed),
+            "completed": len(completed),
+            "in_flight": self.responder.in_flight(),
+            "rejected": self.rejected,
+            "blocks_executed": self.assigner.blocks_executed,
+            "preemptions": self.tokens.preemptions,
+            "queue_depth": self.tokens.depth(),
+            "mean_response_ratio": (
+                sum(rr) / len(rr) if rr else float("nan")
+            ),
+            "max_response_ratio": max(rr) if rr else float("nan"),
+        }

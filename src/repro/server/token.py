@@ -1,0 +1,143 @@
+"""Token scheduler and token assigner (Fig. 4).
+
+The *token scheduler* owns the request queue under a lock and orders it
+with the greedy preemption rule on every arrival; the *token assigner* is
+the single executor thread: it hands the token to the queue head, holds
+the (scaled-clock) processor for one block, and repeats — so preemption
+happens exactly at block boundaries, as in the engine.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.errors import ServerError
+from repro.scheduling.policies.base import Scheduler
+from repro.scheduling.queue import RequestQueue
+from repro.scheduling.request import Request
+from repro.server.clock import ScaledClock
+
+
+class TokenScheduler:
+    """Thread-safe queue ordered by the configured scheduling policy."""
+
+    def __init__(self, scheduler: Scheduler):
+        self.scheduler = scheduler
+        self._queue = RequestQueue()
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._last_granted: Request | None = None
+        self.preemptions = 0
+
+    def submit(self, request: Request, now_ms: float) -> bool:
+        """Enqueue by policy; wakes the assigner. Returns admission."""
+        with self._work:
+            admitted = self.scheduler.on_arrival(self._queue, request, now_ms)
+            if admitted:
+                self._work.notify()
+            return admitted
+
+    def acquire_token(
+        self, now_ms: float, timeout_s: float | None
+    ) -> tuple[Request, float] | None:
+        """Block until a request holds the token (queue head); returns the
+        request plus its next block's duration, or None on timeout /
+        shutdown wake-up with an empty queue.
+
+        The block is consumed under the queue lock so arrival-time greedy
+        insertions always observe consistent remaining-time state.
+        """
+        with self._work:
+            if self._queue.empty and not self._work.wait_for(
+                lambda: not self._queue.empty, timeout=timeout_s
+            ):
+                return None
+            idx = self.scheduler.select(self._queue, now_ms)
+            if idx != 0:
+                self._queue.move_to_front(idx)
+            req = self._queue.peek()
+            last = self._last_granted
+            if (
+                last is not None
+                and last is not req
+                and last.started
+                and not last.done
+            ):
+                # A different request took the token while `last` still has
+                # blocks pending: block-boundary preemption.
+                last.preemptions += 1
+                self.preemptions += 1
+            self._last_granted = req
+            if not req.started:
+                plan = self.scheduler.plan_for(req, self._queue, now_ms)
+                req.begin(plan, now_ms)
+            return req, req.pop_block()
+
+    def release_token(self, request: Request) -> None:
+        """Remove a finished request from the queue."""
+        with self._lock:
+            if request.blocks_left == 0:
+                self._queue.remove(request)
+
+    def wake(self) -> None:
+        with self._work:
+            self._work.notify_all()
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def backlog_ms(self) -> float:
+        """Total remaining execution time currently queued."""
+        with self._lock:
+            return self._queue.total_backlog_ms()
+
+
+class TokenAssigner:
+    """The executor thread: runs one block per token grant."""
+
+    def __init__(
+        self,
+        scheduler: TokenScheduler,
+        clock: ScaledClock,
+        on_complete: Callable[[Request, float], None],
+    ):
+        self.scheduler = scheduler
+        self.clock = clock
+        self.on_complete = on_complete
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.blocks_executed = 0
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise ServerError("token assigner already started")
+        self._thread = threading.Thread(
+            target=self._run, name="split-token-assigner", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        self._stop.set()
+        self.scheduler.wake()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout_s)
+            if self._thread.is_alive():
+                raise ServerError("token assigner failed to stop")
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            now = self.clock.now_ms()
+            grant = self.scheduler.acquire_token(now, timeout_s=0.05)
+            if grant is None:
+                continue
+            req, block_ms = grant
+            self.clock.sleep_ms(block_ms)
+            self.blocks_executed += 1
+            if req.blocks_left == 0:
+                finish = self.clock.now_ms()
+                req.finish_ms = finish
+                self.scheduler.release_token(req)
+                self.on_complete(req, finish)

@@ -1,0 +1,56 @@
+"""Request wrapper / unwrapper (Fig. 4).
+
+The *unwrapper* converts user-supplied models — framework objects in the
+paper (TensorFlow / PyTorch / PaddlePaddle), here :class:`ModelGraph`
+instances or ``.ronnx`` payloads — into validated graphs. The *wrapper*
+turns an inference submission into a queued :class:`Request` against a
+deployed task.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import ServerError
+from repro.graphs.graph import ModelGraph
+from repro.graphs.serialize import load_ronnx, loads_ronnx
+from repro.graphs.validate import validate_graph
+from repro.scheduling.request import Request, TaskSpec
+
+
+class RequestUnwrapper:
+    """Normalises incoming model definitions to validated graphs."""
+
+    def unwrap(self, model: ModelGraph | str | Path) -> ModelGraph:
+        """Accept a graph object, a ``.ronnx`` string, or a file path."""
+        if isinstance(model, ModelGraph):
+            graph = model
+        elif isinstance(model, Path):
+            graph = load_ronnx(model)
+        elif isinstance(model, str):
+            if model.lstrip().startswith("{"):
+                graph = loads_ronnx(model)
+            else:
+                graph = load_ronnx(Path(model))
+        else:
+            raise ServerError(
+                f"cannot unwrap model of type {type(model).__name__}"
+            )
+        validate_graph(graph)
+        return graph
+
+
+class RequestWrapper:
+    """Builds queued requests for deployed tasks."""
+
+    def __init__(self, tasks: dict[str, TaskSpec]):
+        self._tasks = tasks
+
+    def wrap(self, model_name: str, arrival_ms: float) -> Request:
+        spec = self._tasks.get(model_name)
+        if spec is None:
+            raise ServerError(
+                f"model {model_name!r} is not deployed; "
+                f"deployed: {sorted(self._tasks)}"
+            )
+        return Request(task=spec, arrival_ms=arrival_ms)

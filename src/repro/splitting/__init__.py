@@ -1,0 +1,60 @@
+"""Evenly-sized model splitting (the paper's first contribution, §3.3).
+
+Given a :class:`~repro.profiling.ModelProfile`, the searches in this package
+pick cut points that minimise the paper's fitness (Eq. 2), trading the
+standard deviation of block execution times (jitter) against splitting
+overhead. :mod:`~repro.splitting.genetic` is the paper's method;
+:mod:`~repro.splitting.exhaustive` is the ground-truth baseline it is
+validated against on tractable instances.
+"""
+
+from repro.splitting.partition import Partition
+from repro.splitting.metrics import (
+    block_range_percent,
+    block_std_ms,
+    expected_waiting_latency_ms,
+    splitting_overhead_fraction,
+)
+from repro.splitting.fitness import fitness, fitness_components
+from repro.splitting.search_space import (
+    count_candidates,
+    enumerate_cuts,
+    sample_cuts_observation_guided,
+    sample_cuts_uniform,
+)
+from repro.splitting.exhaustive import ExhaustiveSplitter
+from repro.splitting.heuristics import (
+    AnnealingConfig,
+    AnnealingSplitter,
+    HeuristicResult,
+    balanced_split,
+)
+from repro.splitting.genetic import GAConfig, GenerationStats, GeneticSplitter, SplitResult
+from repro.splitting.selection import choose_block_count
+from repro.splitting.elastic import ElasticPolicy, ElasticSplitConfig
+
+__all__ = [
+    "Partition",
+    "block_range_percent",
+    "block_std_ms",
+    "expected_waiting_latency_ms",
+    "splitting_overhead_fraction",
+    "fitness",
+    "fitness_components",
+    "count_candidates",
+    "enumerate_cuts",
+    "sample_cuts_observation_guided",
+    "sample_cuts_uniform",
+    "ExhaustiveSplitter",
+    "AnnealingConfig",
+    "AnnealingSplitter",
+    "HeuristicResult",
+    "balanced_split",
+    "GAConfig",
+    "GenerationStats",
+    "GeneticSplitter",
+    "SplitResult",
+    "choose_block_count",
+    "ElasticPolicy",
+    "ElasticSplitConfig",
+]

@@ -1,0 +1,73 @@
+"""Elastic model splitting (§3.3, "Limitation ... and elastic model
+splitting in SPLIT").
+
+Splitting pays overhead on every executed request, so SPLIT disables it in
+two regimes where it cannot help:
+
+* **High request density** — the queue is long relative to service capacity,
+  so the extra per-block overhead would itself push requests over their
+  latency targets.
+* **Homogeneous queues** — when the pending requests are (almost) all the
+  same task type they execute FIFO anyway (§3.4), so preemption between
+  them never happens and block boundaries buy nothing.
+
+The policy is evaluated per dispatch against a snapshot of queue state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ElasticSplitConfig:
+    """Thresholds for temporarily suspending splitting."""
+
+    #: Suspend splitting when more than this many requests are pending.
+    max_queue_depth: int = 6
+    #: Suspend splitting when the most common task type holds at least this
+    #: fraction of the pending queue (same-type requests run FIFO anyway).
+    same_type_fraction: float = 0.8
+    #: Minimum queue length before the same-type rule can trigger (a queue
+    #: of one is trivially homogeneous).
+    same_type_min_queue: int = 3
+    #: Set False to disable elasticity entirely (ablation mode).
+    enabled: bool = True
+
+
+@dataclass(frozen=True)
+class QueueSnapshot:
+    """The queue statistics the elastic policy inspects."""
+
+    depth: int
+    type_counts: dict[str, int]
+
+    @classmethod
+    def from_types(cls, task_types: list[str]) -> "QueueSnapshot":
+        counts: dict[str, int] = {}
+        for t in task_types:
+            counts[t] = counts.get(t, 0) + 1
+        return cls(depth=len(task_types), type_counts=counts)
+
+
+class ElasticPolicy:
+    """Decides, per dispatch, whether block-level splitting is in effect."""
+
+    def __init__(self, config: ElasticSplitConfig | None = None):
+        self.config = config or ElasticSplitConfig()
+        self.suspensions = 0  # observability: how often splitting was off
+
+    def should_split(self, snapshot: QueueSnapshot) -> bool:
+        """True when the next request should run as split blocks."""
+        cfg = self.config
+        if not cfg.enabled:
+            return True  # elasticity off => always honour the static split
+        if snapshot.depth > cfg.max_queue_depth:
+            self.suspensions += 1
+            return False
+        if snapshot.depth >= cfg.same_type_min_queue and snapshot.type_counts:
+            dominant = max(snapshot.type_counts.values())
+            if dominant / snapshot.depth >= cfg.same_type_fraction:
+                self.suspensions += 1
+                return False
+        return True

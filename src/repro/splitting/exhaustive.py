@@ -1,0 +1,112 @@
+"""Exhaustive splitting search — ground truth for validating the GA.
+
+Evaluates every candidate (optionally on a strided position grid) with the
+same vectorised block-time machinery the GA uses. Tractable for 2–3 blocks
+on the CNNs; the 20k+ candidate counts of §2.2 are why the paper doesn't do
+this on device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SearchError
+from repro.profiling.records import ModelProfile
+from repro.splitting.fitness import fitness
+from repro.splitting.partition import Partition
+from repro.splitting.search_space import count_candidates, enumerate_cuts
+
+_BATCH = 8192
+
+
+@dataclass(frozen=True)
+class ExhaustiveResult:
+    partition: Partition
+    fitness: float
+    sigma_ms: float
+    overhead_fraction: float
+    candidates_evaluated: int
+
+
+class ExhaustiveSplitter:
+    """Brute-force search over all cut sets for a fixed block count."""
+
+    def __init__(self, max_candidates: int = 2_000_000):
+        self.max_candidates = max_candidates
+
+    def search(
+        self, profile: ModelProfile, n_blocks: int, stride: int = 1
+    ) -> ExhaustiveResult:
+        """Return the maximum-fitness partition of ``profile`` into
+        ``n_blocks`` blocks, scanning cut positions at the given stride."""
+        if n_blocks < 2:
+            raise SearchError("exhaustive search needs n_blocks >= 2")
+        n_grid = len(range(0, profile.n_ops - 1, stride))
+        total = count_candidates(n_grid + 1, n_blocks)
+        if total > self.max_candidates:
+            raise SearchError(
+                f"{total} candidates exceed the limit {self.max_candidates}; "
+                f"increase stride or use GeneticSplitter"
+            )
+        best_fit = -np.inf
+        best_cuts: tuple[int, ...] | None = None
+        best_sigma = best_overhead = 0.0
+        evaluated = 0
+        batch: list[tuple[int, ...]] = []
+
+        def flush() -> None:
+            nonlocal best_fit, best_cuts, best_sigma, best_overhead, evaluated
+            if not batch:
+                return
+            cuts = np.asarray(batch, dtype=np.int64)
+            sigma, overhead = evaluate_cut_matrix(profile, cuts)
+            fit = fitness(sigma, profile.total_ms, overhead, n_blocks)
+            i = int(np.argmax(fit))
+            evaluated += len(batch)
+            if fit[i] > best_fit:
+                best_fit = float(fit[i])
+                best_cuts = tuple(int(c) for c in cuts[i])
+                best_sigma = float(sigma[i])
+                best_overhead = float(overhead[i])
+            batch.clear()
+
+        for cand in enumerate_cuts(profile.n_ops, n_blocks, stride):
+            batch.append(cand)
+            if len(batch) >= _BATCH:
+                flush()
+        flush()
+        if best_cuts is None:
+            raise SearchError("no candidates generated")
+        return ExhaustiveResult(
+            partition=Partition(profile=profile, cuts=best_cuts),
+            fitness=best_fit,
+            sigma_ms=best_sigma,
+            overhead_fraction=best_overhead,
+            candidates_evaluated=evaluated,
+        )
+
+
+def evaluate_cut_matrix(
+    profile: ModelProfile, cuts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised (sigma_ms, overhead_fraction) for a matrix of cut rows.
+
+    ``cuts`` has shape (pop, k) with sorted rows. Block times are prefix-sum
+    differences with the per-cut overhead charged to the downstream block
+    (same convention as :meth:`ModelProfile.block_times_for_cuts`).
+    """
+    pop, k = cuts.shape
+    prefix = profile.prefix_ms
+    total = profile.total_ms
+    bounds = np.empty((pop, k + 2), dtype=float)
+    bounds[:, 0] = 0.0
+    bounds[:, 1:-1] = prefix[cuts]
+    bounds[:, -1] = total
+    times = np.diff(bounds, axis=1)
+    cut_costs = profile.cut_cost_ms[cuts]
+    times[:, 1:] += cut_costs
+    sigma = times.std(axis=1)
+    overhead = cut_costs.sum(axis=1) / total
+    return sigma, overhead

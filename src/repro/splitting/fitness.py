@@ -1,0 +1,48 @@
+"""The paper's GA fitness (Eq. 2).
+
+    fitness = -(exp(sigma / T - 1) + exp(overhead / m - 1))
+
+with ``sigma`` the std of block execution times, ``T`` the vanilla model's
+execution time, ``overhead`` the splitting-overhead *fraction*, and ``m``
+the number of blocks. Larger is better (max is ``-2/e`` at sigma = 0,
+overhead = 0 for any m). Vectorised over candidate populations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def fitness(sigma_ms, vanilla_ms: float, overhead_fraction, n_blocks: int):
+    """Eq. 2, element-wise over arrays of candidates.
+
+    Parameters
+    ----------
+    sigma_ms:
+        Std of block times (scalar or array), ms.
+    vanilla_ms:
+        Unsplit model execution time T, ms.
+    overhead_fraction:
+        Splitting overhead as a fraction of T (scalar or array).
+    n_blocks:
+        Number of blocks m.
+    """
+    sigma = np.asarray(sigma_ms, dtype=float)
+    overhead = np.asarray(overhead_fraction, dtype=float)
+    value = -(
+        np.exp(sigma / vanilla_ms - 1.0) + np.exp(overhead / n_blocks - 1.0)
+    )
+    return value if value.ndim else float(value)
+
+
+def fitness_components(
+    sigma_ms: float, vanilla_ms: float, overhead_fraction: float, n_blocks: int
+) -> dict[str, float]:
+    """The two penalty terms separately (for reports and ablations)."""
+    evenness_term = float(np.exp(sigma_ms / vanilla_ms - 1.0))
+    overhead_term = float(np.exp(overhead_fraction / n_blocks - 1.0))
+    return {
+        "evenness_term": evenness_term,
+        "overhead_term": overhead_term,
+        "fitness": -(evenness_term + overhead_term),
+    }

@@ -1,0 +1,174 @@
+"""Alternative splitting searches: a balanced heuristic and simulated
+annealing.
+
+The GA is the paper's method; these two bound it from both sides in the
+ablations. :func:`balanced_split` is the cheap O(n log n + local search)
+heuristic a practitioner would try first — place cuts at time-even
+positions, then hill-climb; :class:`AnnealingSplitter` is a classic
+metaheuristic with the same fitness (Eq. 2), useful to confirm the GA's
+results are a property of the objective rather than of the optimiser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SearchError
+from repro.profiling.records import ModelProfile
+from repro.splitting.exhaustive import evaluate_cut_matrix
+from repro.splitting.fitness import fitness
+from repro.splitting.partition import Partition
+from repro.splitting.search_space import _repair_row
+from repro.utils.rng import rng_from
+
+
+@dataclass(frozen=True)
+class HeuristicResult:
+    partition: Partition
+    fitness: float
+    sigma_ms: float
+    overhead_fraction: float
+    evaluations: int
+
+    @property
+    def cuts(self) -> tuple[int, ...]:
+        return self.partition.cuts
+
+
+def _evaluate_one(
+    profile: ModelProfile, cuts: np.ndarray, n_blocks: int
+) -> tuple[float, float, float]:
+    sigma, overhead = evaluate_cut_matrix(profile, cuts[None, :])
+    fit = fitness(float(sigma[0]), profile.total_ms, float(overhead[0]), n_blocks)
+    return float(fit), float(sigma[0]), float(overhead[0])
+
+
+def balanced_split(
+    profile: ModelProfile, n_blocks: int, local_search_radius: int = 3
+) -> HeuristicResult:
+    """Time-even cut placement plus bounded coordinate hill-climbing.
+
+    Starts from the cuts closest to cumulative-time fractions ``j/m`` and
+    repeatedly tries moving each cut by up to ``local_search_radius``
+    positions, keeping strict improvements, until a full sweep makes no
+    progress.
+    """
+    if n_blocks < 2:
+        raise SearchError("balanced_split needs n_blocks >= 2")
+    k = n_blocks - 1
+    n_ops = profile.n_ops
+    if k > n_ops - 1:
+        raise SearchError(f"cannot split {n_ops} ops into {n_blocks} blocks")
+    rng = rng_from(0, "balanced", profile.model_name, n_blocks)
+    targets = np.arange(1, n_blocks) / n_blocks * profile.total_ms
+    cuts = np.searchsorted(profile.prefix_ms, targets)
+    cuts = _repair_row(rng, np.clip(cuts, 0, n_ops - 2), n_ops)
+
+    best_fit, best_sigma, best_overhead = _evaluate_one(profile, cuts, n_blocks)
+    evaluations = 1
+    improved = True
+    while improved:
+        improved = False
+        for i in range(k):
+            for delta in range(-local_search_radius, local_search_radius + 1):
+                if delta == 0:
+                    continue
+                cand = cuts.copy()
+                cand[i] += delta
+                cand = _repair_row(rng, cand, n_ops)
+                if len(np.unique(cand)) != k:
+                    continue
+                fit, sigma, overhead = _evaluate_one(profile, cand, n_blocks)
+                evaluations += 1
+                if fit > best_fit + 1e-12:
+                    cuts = cand
+                    best_fit, best_sigma, best_overhead = fit, sigma, overhead
+                    improved = True
+    return HeuristicResult(
+        partition=Partition(profile=profile, cuts=tuple(int(c) for c in cuts)),
+        fitness=best_fit,
+        sigma_ms=best_sigma,
+        overhead_fraction=best_overhead,
+        evaluations=evaluations,
+    )
+
+
+@dataclass(frozen=True)
+class AnnealingConfig:
+    iterations: int = 2000
+    initial_temperature: float = 0.05
+    cooling: float = 0.995
+    step: int = 6
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise SearchError("iterations must be >= 1")
+        if not 0.0 < self.cooling < 1.0:
+            raise SearchError("cooling must be in (0, 1)")
+        if self.initial_temperature <= 0:
+            raise SearchError("initial_temperature must be positive")
+
+
+class AnnealingSplitter:
+    """Simulated annealing over cut sets with the Eq. 2 objective."""
+
+    def __init__(self, config: AnnealingConfig | None = None):
+        self.config = config or AnnealingConfig()
+
+    def search(self, profile: ModelProfile, n_blocks: int) -> HeuristicResult:
+        cfg = self.config
+        if n_blocks < 2:
+            raise SearchError("annealing needs n_blocks >= 2")
+        k = n_blocks - 1
+        n_ops = profile.n_ops
+        if k > n_ops - 1:
+            raise SearchError(f"cannot split {n_ops} ops into {n_blocks} blocks")
+        rng = rng_from(cfg.seed, "anneal", profile.model_name, n_blocks)
+
+        # Start from the balanced heuristic's seed point.
+        targets = np.arange(1, n_blocks) / n_blocks * profile.total_ms
+        current = _repair_row(
+            rng,
+            np.clip(np.searchsorted(profile.prefix_ms, targets), 0, n_ops - 2),
+            n_ops,
+        )
+        cur_fit, cur_sigma, cur_overhead = _evaluate_one(
+            profile, current, n_blocks
+        )
+        best = current.copy()
+        best_fit, best_sigma, best_overhead = cur_fit, cur_sigma, cur_overhead
+        evaluations = 1
+        temperature = cfg.initial_temperature
+
+        for _ in range(cfg.iterations):
+            cand = current.copy()
+            i = int(rng.integers(0, k))
+            cand[i] += int(rng.integers(-cfg.step, cfg.step + 1))
+            cand = _repair_row(rng, cand, n_ops)
+            if len(np.unique(cand)) != k:
+                continue
+            fit, sigma, overhead = _evaluate_one(profile, cand, n_blocks)
+            evaluations += 1
+            accept = fit > cur_fit or rng.random() < np.exp(
+                (fit - cur_fit) / max(temperature, 1e-12)
+            )
+            if accept:
+                current = cand
+                cur_fit, cur_sigma, cur_overhead = fit, sigma, overhead
+                if fit > best_fit:
+                    best = cand.copy()
+                    best_fit, best_sigma, best_overhead = fit, sigma, overhead
+            temperature *= cfg.cooling
+
+        return HeuristicResult(
+            partition=Partition(
+                profile=profile, cuts=tuple(int(c) for c in best)
+            ),
+            fitness=best_fit,
+            sigma_ms=best_sigma,
+            overhead_fraction=best_overhead,
+            evaluations=evaluations,
+        )

@@ -1,0 +1,75 @@
+"""Splitting quality metrics, including the paper's Eq. 1.
+
+Eq. 1 derives the expected waiting latency of a request arriving uniformly
+at random during the execution of an n-block model with block times
+``t_1..t_n`` (the arrival waits for the current block to finish):
+
+    E[wait] = (1/2) * (sum t_i^2) / (sum t_i) = (1/2) * (sigma^2 / t_bar + t_bar)
+
+so both the *evenness* (sigma) and the *count* (t_bar shrinks as blocks are
+added) of the split control short-request waiting time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.splitting.partition import Partition
+
+
+def expected_waiting_latency_ms(block_times_ms) -> float:
+    """Eq. 1: expected wait of a uniformly-random arrival, in ms.
+
+    Equals ``0.5 * sum(t_i^2) / sum(t_i)``; for a single block this is half
+    the model latency, and for perfectly even blocks it is ``t_bar / 2``.
+    """
+    t = np.asarray(block_times_ms, dtype=float)
+    if t.size == 0:
+        raise PartitionError("need at least one block time")
+    if (t < 0).any():
+        raise PartitionError("block times must be non-negative")
+    total = t.sum()
+    if total == 0:
+        return 0.0
+    return float(0.5 * np.dot(t, t) / total)
+
+
+def block_std_ms(block_times_ms) -> float:
+    """Population standard deviation of block times — the jitter proxy."""
+    t = np.asarray(block_times_ms, dtype=float)
+    if t.size == 0:
+        raise PartitionError("need at least one block time")
+    return float(t.std())
+
+
+def block_range_percent(block_times_ms) -> float:
+    """(max - min) / total * 100 — Table 3's "Range(Percentage)" column."""
+    t = np.asarray(block_times_ms, dtype=float)
+    if t.size == 0:
+        raise PartitionError("need at least one block time")
+    total = t.sum()
+    if total == 0:
+        return 0.0
+    return float((t.max() - t.min()) / total * 100.0)
+
+
+def splitting_overhead_fraction(partition: Partition) -> float:
+    """Extra execution time relative to the vanilla model (§2.4 footnote 2)."""
+    vanilla = partition.vanilla_ms
+    if vanilla <= 0:
+        raise PartitionError("vanilla model time must be positive")
+    return partition.overhead_ms / vanilla
+
+
+def partition_summary(partition: Partition) -> dict[str, float]:
+    """All Table-3 columns for one partition."""
+    times = partition.block_times_ms
+    return {
+        "blocks": partition.n_blocks,
+        "std_ms": block_std_ms(times),
+        "overhead_pct": splitting_overhead_fraction(partition) * 100.0,
+        "range_pct": block_range_percent(times),
+        "expected_wait_ms": expected_waiting_latency_ms(times),
+        "total_ms": partition.total_ms,
+    }

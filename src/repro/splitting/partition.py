@@ -1,0 +1,89 @@
+"""Partition: a concrete splitting of one model into blocks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.profiling.records import ModelProfile
+from repro.types import CutPoints
+
+
+def normalize_cuts(cuts: tuple[int, ...] | list[int], n_ops: int) -> CutPoints:
+    """Validate and canonicalise a cut-point vector.
+
+    Cuts are sorted, unique, and each must lie in ``[0, n_ops - 2]``
+    ("cut after operator i").
+    """
+    canon = tuple(sorted(int(c) for c in cuts))
+    if len(set(canon)) != len(canon):
+        raise PartitionError(f"duplicate cut points in {cuts}")
+    for c in canon:
+        if not 0 <= c <= n_ops - 2:
+            raise PartitionError(
+                f"cut point {c} out of range [0, {n_ops - 2}] for {n_ops} operators"
+            )
+    return canon
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An (immutable) splitting of a profiled model into blocks.
+
+    The vanilla model is the degenerate partition with no cuts. All derived
+    quantities (block times, σ, overhead) come from the attached profile.
+    """
+
+    profile: ModelProfile
+    cuts: CutPoints
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "cuts", normalize_cuts(self.cuts, self.profile.n_ops)
+        )
+
+    @classmethod
+    def vanilla(cls, profile: ModelProfile) -> "Partition":
+        return cls(profile=profile, cuts=())
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.cuts) + 1
+
+    @property
+    def is_split(self) -> bool:
+        return bool(self.cuts)
+
+    @property
+    def block_times_ms(self) -> np.ndarray:
+        """Per-block execution times including boundary overheads."""
+        return self.profile.block_times_for_cuts(self.cuts)
+
+    @property
+    def total_ms(self) -> float:
+        """End-to-end execution time of the split model (incl. overhead)."""
+        return float(self.block_times_ms.sum())
+
+    @property
+    def vanilla_ms(self) -> float:
+        """Execution time of the unsplit model."""
+        return self.profile.total_ms
+
+    @property
+    def overhead_ms(self) -> float:
+        """Extra execution time caused by splitting."""
+        return self.total_ms - self.vanilla_ms
+
+    def block_ranges(self) -> list[tuple[int, int]]:
+        """Inclusive operator index ranges ``(start, stop)`` per block."""
+        bounds = [-1, *self.cuts, self.profile.n_ops - 1]
+        return [(lo + 1, hi) for lo, hi in zip(bounds[:-1], bounds[1:])]
+
+    def __str__(self) -> str:
+        times = ", ".join(f"{t:.2f}" for t in self.block_times_ms)
+        return (
+            f"Partition({self.profile.model_name}: {self.n_blocks} blocks "
+            f"[{times}] ms, +{self.overhead_ms:.2f} ms overhead)"
+        )

@@ -1,0 +1,69 @@
+"""Optimal block-count selection.
+
+Eq. 1 gives the expected waiting latency of an arrival as
+``½(σ²/t̄ + t̄)``; adding blocks shrinks t̄ but adds overhead, so "the
+relationship between splitting overhead and average latency is hyperbolic,
+indicating that an optimal number of splits exists" (§3.1). This module
+runs the GA per block count and picks the count minimising expected wait
+plus an overhead penalty on the request's own execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.profiling.records import ModelProfile
+from repro.splitting.genetic import GAConfig, GeneticSplitter, SplitResult
+from repro.splitting.metrics import expected_waiting_latency_ms
+
+
+@dataclass(frozen=True)
+class BlockCountChoice:
+    """The selected split plus the per-count candidates it beat."""
+
+    n_blocks: int
+    result: SplitResult | None  # None when staying unsplit wins
+    score_ms: float
+    candidates: dict[int, SplitResult]
+    scores_ms: dict[int, float]
+
+
+def score_split_ms(block_times_ms, vanilla_ms: float) -> float:
+    """Cost of a splitting option: expected wait of a random short arrival
+    (Eq. 1) plus the overhead the split adds to the request itself."""
+    wait = expected_waiting_latency_ms(block_times_ms)
+    overhead = float(sum(block_times_ms)) - vanilla_ms
+    return wait + overhead
+
+
+def choose_block_count(
+    profile: ModelProfile,
+    max_blocks: int = 5,
+    config: GAConfig | None = None,
+) -> BlockCountChoice:
+    """Pick the best number of blocks (1 = stay unsplit) for ``profile``.
+
+    Runs the GA for each count in ``2..max_blocks`` and scores every option
+    (including the vanilla model) with :func:`score_split_ms`.
+    """
+    splitter = GeneticSplitter(config)
+    candidates: dict[int, SplitResult] = {}
+    scores: dict[int, float] = {
+        1: score_split_ms([profile.total_ms], profile.total_ms)
+    }
+    for m in range(2, max_blocks + 1):
+        if m > profile.n_ops:
+            break
+        result = splitter.search(profile, m)
+        candidates[m] = result
+        scores[m] = score_split_ms(
+            result.partition.block_times_ms, profile.total_ms
+        )
+    best_m = min(scores, key=lambda m: scores[m])
+    return BlockCountChoice(
+        n_blocks=best_m,
+        result=candidates.get(best_m),
+        score_ms=scores[best_m],
+        candidates=candidates,
+        scores_ms=scores,
+    )

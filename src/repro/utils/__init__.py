@@ -1,0 +1,22 @@
+"""Small cross-cutting helpers: seeded RNG, statistics, text tables."""
+
+from repro.utils.rng import derive_seed, rng_from
+from repro.utils.stats import (
+    OnlineStats,
+    bootstrap_ci,
+    coefficient_of_variation,
+    percentile,
+    summarize,
+)
+from repro.utils.tables import format_table
+
+__all__ = [
+    "derive_seed",
+    "rng_from",
+    "OnlineStats",
+    "bootstrap_ci",
+    "coefficient_of_variation",
+    "percentile",
+    "summarize",
+    "format_table",
+]

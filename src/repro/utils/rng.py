@@ -1,0 +1,36 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component in the library (workload generation, the genetic
+algorithm, Monte-Carlo validation) takes an explicit seed and derives child
+streams with :func:`derive_seed`, so whole experiments replay bit-identically
+from one root seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+_MASK64 = (1 << 64) - 1
+
+
+def derive_seed(root: int, *labels: object) -> int:
+    """Derive a stable child seed from ``root`` and a label path.
+
+    Uses BLAKE2b over the textual path so the derivation is independent of
+    Python's hash randomisation and stable across processes and versions.
+
+    >>> derive_seed(42, "workload", 3) == derive_seed(42, "workload", 3)
+    True
+    >>> derive_seed(42, "workload", 3) != derive_seed(42, "ga", 3)
+    True
+    """
+    path = ":".join(str(x) for x in (root, *labels))
+    digest = hashlib.blake2b(path.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little") & _MASK64
+
+
+def rng_from(root: int, *labels: object) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for a derived seed."""
+    return np.random.default_rng(derive_seed(root, *labels))

@@ -1,0 +1,134 @@
+"""Summary statistics used by the QoS metrics and experiment reports."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass
+class OnlineStats:
+    """Welford-style single-pass mean/variance accumulator.
+
+    Used by the runtime's metric collectors so million-request simulations
+    never materialise full latency arrays unless tracing is enabled.
+    """
+
+    count: int = 0
+    _mean: float = 0.0
+    _m2: float = 0.0
+    _min: float = field(default=math.inf)
+    _max: float = field(default=-math.inf)
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        if x < self._min:
+            self._min = x
+        if x > self._max:
+            self._max = x
+
+    def extend(self, xs: Iterable[float]) -> None:
+        for x in xs:
+            self.add(x)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Population variance (matches ``np.var`` with ``ddof=0``)."""
+        return self._m2 / self.count if self.count else math.nan
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance) if self.count else math.nan
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else math.nan
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else math.nan
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Combine two accumulators (parallel reduction form of Welford)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self._min = other._min
+            self._max = other._max
+            return self
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        return self
+
+
+def percentile(xs: Sequence[float], q: float) -> float:
+    """Percentile ``q`` in [0, 100] with linear interpolation."""
+    if not len(xs):
+        return math.nan
+    return float(np.percentile(np.asarray(xs, dtype=float), q))
+
+
+def coefficient_of_variation(xs: Sequence[float]) -> float:
+    """std / mean — a scale-free evenness measure used in reports."""
+    arr = np.asarray(xs, dtype=float)
+    if arr.size == 0:
+        return math.nan
+    mean = arr.mean()
+    if mean == 0:
+        return math.nan
+    return float(arr.std() / mean)
+
+
+def bootstrap_ci(
+    xs: Sequence[float],
+    stat=np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 1000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval for ``stat`` over ``xs``."""
+    arr = np.asarray(xs, dtype=float)
+    if arr.size == 0:
+        return (math.nan, math.nan)
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, arr.size, size=(n_resamples, arr.size))
+    samples = stat(arr[idx], axis=1)
+    lo = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(samples, lo)),
+        float(np.quantile(samples, 1.0 - lo)),
+    )
+
+
+def summarize(xs: Sequence[float]) -> dict[str, float]:
+    """Mean/std/min/p50/p95/p99/max summary dict for report tables."""
+    arr = np.asarray(xs, dtype=float)
+    if arr.size == 0:
+        return {k: math.nan for k in ("mean", "std", "min", "p50", "p95", "p99", "max")}
+    return {
+        "mean": float(arr.mean()),
+        "std": float(arr.std()),
+        "min": float(arr.min()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "p99": float(np.percentile(arr, 99)),
+        "max": float(arr.max()),
+    }

@@ -1,0 +1,48 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment modules print the same rows the paper's tables/figures report;
+this keeps the formatting in one place so every report looks alike.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _cell(value: Any, floatfmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    floatfmt: str = ".2f",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` as an aligned monospace table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]], floatfmt=".1f"))
+    a | b
+    --+----
+    1 | 2.5
+    """
+    str_rows = [[_cell(v, floatfmt) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)

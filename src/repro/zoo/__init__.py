@@ -1,0 +1,26 @@
+"""Operator-level builders for the paper's model zoo.
+
+The five Table-1 evaluation models (YOLOv2, GoogLeNet, ResNet50, VGG19,
+GPT-2) reproduce the paper's operator counts exactly; the remaining profiled
+architectures (§3.1) use their published configurations.
+"""
+
+from repro.zoo.common import GraphBuilder
+from repro.zoo.registry import (
+    BUILDERS,
+    EVALUATED_MODELS,
+    PROFILED_MODELS,
+    clear_cache,
+    get_model,
+    model_names,
+)
+
+__all__ = [
+    "GraphBuilder",
+    "BUILDERS",
+    "EVALUATED_MODELS",
+    "PROFILED_MODELS",
+    "clear_cache",
+    "get_model",
+    "model_names",
+]

@@ -1,0 +1,36 @@
+"""AlexNet (Krizhevsky et al.) — part of the paper's 11-model profiling set."""
+
+from __future__ import annotations
+
+from repro.graphs.graph import ModelGraph
+from repro.zoo.common import GraphBuilder
+
+
+def build_alexnet(batch: int = 1, image: int = 224, num_classes: int = 1000) -> ModelGraph:
+    """Construct the AlexNet operator graph (single-tower inference form)."""
+    b = GraphBuilder("alexnet", (batch, 3, image, image))
+    b.conv2d(64, kernel=11, stride=4, pad=2, name="conv1")
+    b.relu(name="relu1")
+    b.lrn(name="lrn1")
+    b.maxpool(3, 2, name="pool1")
+    b.conv2d(192, kernel=5, pad=2, name="conv2")
+    b.relu(name="relu2")
+    b.lrn(name="lrn2")
+    b.maxpool(3, 2, name="pool2")
+    b.conv2d(384, kernel=3, pad=1, name="conv3")
+    b.relu(name="relu3")
+    b.conv2d(256, kernel=3, pad=1, name="conv4")
+    b.relu(name="relu4")
+    b.conv2d(256, kernel=3, pad=1, name="conv5")
+    b.relu(name="relu5")
+    b.maxpool(3, 2, name="pool5")
+    b.flatten(name="flatten")
+    b.gemm(4096, name="fc6")
+    b.relu(name="relu6")
+    b.dropout(name="drop6")
+    b.gemm(4096, name="fc7")
+    b.relu(name="relu7")
+    b.dropout(name="drop7")
+    b.gemm(num_classes, name="fc8")
+    b.softmax(name="prob")
+    return b.finish(domain="image_classification", request_class="short")

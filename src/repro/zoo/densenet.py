@@ -1,0 +1,54 @@
+"""DenseNet-121 (Huang et al.) — part of the 11-model profiling set.
+
+Dense connectivity makes mid-block cuts cross many tensors, which exercises
+the general "sum of crossing tensors" cut-cost model.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import ModelGraph
+from repro.graphs.tensor import TensorSpec
+from repro.zoo.common import GraphBuilder
+
+_GROWTH = 32
+_BLOCK_CONFIG = (6, 12, 24, 16)
+
+
+def _dense_layer(b: GraphBuilder, x: TensorSpec, tag: str) -> TensorSpec:
+    """BN-ReLU-Conv1x1(4k) - BN-ReLU-Conv3x3(k), output concatenated to input."""
+    b.batchnorm(x=x, name=f"{tag}_bn1")
+    b.relu(name=f"{tag}_relu1")
+    b.conv2d(4 * _GROWTH, kernel=1, bias=False, name=f"{tag}_conv1")
+    b.batchnorm(name=f"{tag}_bn2")
+    b.relu(name=f"{tag}_relu2")
+    new = b.conv2d(_GROWTH, kernel=3, pad=1, bias=False, name=f"{tag}_conv2")
+    return b.concat([x, new], axis=1, name=f"{tag}_concat")
+
+
+def _transition(b: GraphBuilder, x: TensorSpec, tag: str) -> TensorSpec:
+    out_ch = x.shape[1] // 2
+    b.batchnorm(x=x, name=f"{tag}_bn")
+    b.relu(name=f"{tag}_relu")
+    b.conv2d(out_ch, kernel=1, bias=False, name=f"{tag}_conv")
+    return b.avgpool(2, 2, name=f"{tag}_pool")
+
+
+def build_densenet(batch: int = 1, image: int = 224, num_classes: int = 1000) -> ModelGraph:
+    """Construct DenseNet-121 (growth 32, blocks 6/12/24/16)."""
+    b = GraphBuilder("densenet", (batch, 3, image, image))
+    b.conv2d(64, kernel=7, stride=2, pad=3, bias=False, name="conv0")
+    b.batchnorm(name="bn0")
+    b.relu(name="relu0")
+    x = b.maxpool(3, 2, pad=1, name="pool0")
+    for bi, layers in enumerate(_BLOCK_CONFIG, start=1):
+        for li in range(layers):
+            x = _dense_layer(b, x, f"d{bi}l{li}")
+        if bi != len(_BLOCK_CONFIG):
+            x = _transition(b, x, f"t{bi}")
+    b.batchnorm(x=x, name="bn_final")
+    b.relu(name="relu_final")
+    b.global_avgpool(name="gap")
+    b.flatten(name="flatten")
+    b.gemm(num_classes, name="fc")
+    b.softmax(name="prob")
+    return b.finish(domain="image_classification", request_class="long")

@@ -1,0 +1,80 @@
+"""EfficientNet-B0 (Tan & Le) — the paper's second object-detection backbone.
+
+MBConv blocks with squeeze-and-excitation; listed under object detection in
+the paper (EfficientDet-style usage), so we keep that domain tag.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import ModelGraph
+from repro.graphs.tensor import TensorSpec
+from repro.zoo.common import GraphBuilder
+
+# (expand ratio, channels, repeats, stride, kernel) per stage of B0.
+_STAGES = (
+    (1, 16, 1, 1, 3),
+    (6, 24, 2, 2, 3),
+    (6, 40, 2, 2, 5),
+    (6, 80, 3, 2, 3),
+    (6, 112, 3, 1, 5),
+    (6, 192, 4, 2, 5),
+    (6, 320, 1, 1, 3),
+)
+
+
+def _se(b: GraphBuilder, x: TensorSpec, reduced: int, tag: str) -> TensorSpec:
+    """Squeeze-and-excitation: GAP - FC - swish - FC - sigmoid - scale."""
+    ch = x.shape[1]
+    b.global_avgpool(x=x, name=f"{tag}_squeeze")
+    b.conv2d(max(1, reduced), kernel=1, name=f"{tag}_reduce")
+    b.swish(name=f"{tag}_swish")
+    b.conv2d(ch, kernel=1, name=f"{tag}_expand")
+    gate = b.sigmoid(name=f"{tag}_gate")
+    return b.mul(x, gate, name=f"{tag}_scale")
+
+
+def _mbconv(
+    b: GraphBuilder,
+    x: TensorSpec,
+    expand: int,
+    out_ch: int,
+    stride: int,
+    kernel: int,
+    tag: str,
+) -> TensorSpec:
+    in_ch = x.shape[1]
+    h = x
+    if expand != 1:
+        b.conv2d(in_ch * expand, kernel=1, bias=False, x=h, name=f"{tag}_expand")
+        b.batchnorm(name=f"{tag}_bn0")
+        h = b.swish(name=f"{tag}_swish0")
+    mid = in_ch * expand
+    b.conv2d(mid, kernel=kernel, stride=stride, pad=kernel // 2, groups=mid,
+             bias=False, x=h, name=f"{tag}_dw")
+    b.batchnorm(name=f"{tag}_bn1")
+    h = b.swish(name=f"{tag}_swish1")
+    h = _se(b, h, in_ch // 4, f"{tag}_se")
+    b.conv2d(out_ch, kernel=1, bias=False, x=h, name=f"{tag}_project")
+    h = b.batchnorm(name=f"{tag}_bn2")
+    if stride == 1 and in_ch == out_ch:
+        h = b.add(h, x, name=f"{tag}_skip")
+    return h
+
+
+def build_efficientnet(batch: int = 1, image: int = 224, num_classes: int = 1000) -> ModelGraph:
+    """Construct EfficientNet-B0."""
+    b = GraphBuilder("efficientnet", (batch, 3, image, image))
+    b.conv2d(32, kernel=3, stride=2, pad=1, bias=False, name="stem_conv")
+    b.batchnorm(name="stem_bn")
+    x = b.swish(name="stem_swish")
+    for s, (expand, ch, repeats, stride, kernel) in enumerate(_STAGES, start=1):
+        for i in range(repeats):
+            x = _mbconv(b, x, expand, ch, stride if i == 0 else 1, kernel, f"s{s}b{i}")
+    b.conv2d(1280, kernel=1, bias=False, x=x, name="head_conv")
+    b.batchnorm(name="head_bn")
+    b.swish(name="head_swish")
+    b.global_avgpool(name="gap")
+    b.flatten(name="flatten")
+    b.gemm(num_classes, name="fc")
+    b.softmax(name="prob")
+    return b.finish(domain="object_detection", request_class="short")

@@ -1,0 +1,83 @@
+"""GoogLeNet / Inception-v1 (Szegedy et al.), 142 operators per Table 1.
+
+Stem (10 ops) + 9 inception modules (14 ops each = 126) + 2 inter-stage
+max-pools + tail (gap, flatten, fc, softmax = 4) = 142.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import ModelGraph
+from repro.graphs.tensor import TensorSpec
+from repro.zoo.common import GraphBuilder
+
+# Inception configs: (1x1, 3x3reduce, 3x3, 5x5reduce, 5x5, pool_proj)
+_INCEPTION = {
+    "3a": (64, 96, 128, 16, 32, 32),
+    "3b": (128, 128, 192, 32, 96, 64),
+    "4a": (192, 96, 208, 16, 48, 64),
+    "4b": (160, 112, 224, 24, 64, 64),
+    "4c": (128, 128, 256, 24, 64, 64),
+    "4d": (112, 144, 288, 32, 64, 64),
+    "4e": (256, 160, 320, 32, 128, 128),
+    "5a": (256, 160, 320, 32, 128, 128),
+    "5b": (384, 192, 384, 48, 128, 128),
+}
+
+
+def _inception(b: GraphBuilder, x: TensorSpec, cfg: tuple[int, ...], tag: str) -> TensorSpec:
+    """One inception module: 4 parallel branches joined by channel concat."""
+    c1, c3r, c3, c5r, c5, cp = cfg
+    b.conv2d(c1, kernel=1, x=x, name=f"{tag}_1x1")
+    b1 = b.relu(name=f"{tag}_1x1_relu")
+
+    b.conv2d(c3r, kernel=1, x=x, name=f"{tag}_3x3r")
+    b.relu(name=f"{tag}_3x3r_relu")
+    b.conv2d(c3, kernel=3, pad=1, name=f"{tag}_3x3")
+    b2 = b.relu(name=f"{tag}_3x3_relu")
+
+    b.conv2d(c5r, kernel=1, x=x, name=f"{tag}_5x5r")
+    b.relu(name=f"{tag}_5x5r_relu")
+    b.conv2d(c5, kernel=5, pad=2, name=f"{tag}_5x5")
+    b3 = b.relu(name=f"{tag}_5x5_relu")
+
+    b.maxpool(3, 1, pad=1, x=x, name=f"{tag}_pool")
+    b.conv2d(cp, kernel=1, name=f"{tag}_proj")
+    b4 = b.relu(name=f"{tag}_proj_relu")
+
+    return b.concat([b1, b2, b3, b4], axis=1, name=f"{tag}_concat")
+
+
+def build_googlenet(batch: int = 1, image: int = 224, num_classes: int = 1000) -> ModelGraph:
+    """Construct the GoogLeNet operator graph (inference form, no aux heads)."""
+    b = GraphBuilder("googlenet", (batch, 3, image, image))
+    # Stem: conv7/2, relu, pool, lrn, conv1x1, relu, conv3x3, relu, lrn, pool.
+    b.conv2d(64, kernel=7, stride=2, pad=3, name="conv1")
+    b.relu(name="conv1_relu")
+    b.maxpool(3, 2, pad=1, name="pool1")
+    b.lrn(name="lrn1")
+    b.conv2d(64, kernel=1, name="conv2_reduce")
+    b.relu(name="conv2_reduce_relu")
+    b.conv2d(192, kernel=3, pad=1, name="conv2")
+    b.relu(name="conv2_relu")
+    b.lrn(name="lrn2")
+    x = b.maxpool(3, 2, pad=1, name="pool2")
+
+    x = _inception(b, x, _INCEPTION["3a"], "i3a")
+    x = _inception(b, x, _INCEPTION["3b"], "i3b")
+    x = b.maxpool(3, 2, pad=1, x=x, name="pool3")
+    for tag in ("4a", "4b", "4c", "4d", "4e"):
+        x = _inception(b, x, _INCEPTION[tag], f"i{tag}")
+    x = b.maxpool(3, 2, pad=1, x=x, name="pool4")
+    x = _inception(b, x, _INCEPTION["5a"], "i5a")
+    x = _inception(b, x, _INCEPTION["5b"], "i5b")
+
+    b.global_avgpool(x=x, name="gap")
+    b.flatten(name="flatten")
+    b.gemm(num_classes, name="fc")
+    b.softmax(name="prob")
+    return b.finish(
+        domain="image_classification",
+        paper_latency_ms=13.2,
+        paper_operator_count=142,
+        request_class="short",
+    )

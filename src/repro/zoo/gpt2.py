@@ -1,0 +1,112 @@
+"""GPT-2 small (Radford et al.), 2534 operators per Table 1.
+
+The count reproduces a fine-grained ONNX export: LayerNorm and GELU are
+decomposed into their elementwise pieces, attention is split per head, and
+the dynamic-shape metadata ops (Shape/Cast/Unsqueeze) that real exports
+interleave are modelled as zero-FLOP scaffold nodes. Per transformer block:
+9 (LN1) + 2 (qkv matmul+bias) + 3 (head splits) + 12 heads x (9 compute +
+4 scaffold) + 1 (concat) + 2 (proj) + 1 (residual) + 9 (LN2) + 13 (MLP with
+8-op tanh-GELU) + 14 (block scaffold) = 210; 12 blocks + 4-op front end
+(wte, wpe, add, scaffold) + 10-op head (LN + lm_head) = 2534.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import ModelGraph
+from repro.graphs.tensor import TensorSpec
+from repro.zoo.common import GraphBuilder
+
+HIDDEN = 768
+HEADS = 12
+LAYERS = 12
+VOCAB = 50257
+MLP_RATIO = 4
+HEAD_SCAFFOLD = 4
+BLOCK_SCAFFOLD = 14
+
+
+def _layernorm_decomposed(b: GraphBuilder, x: TensorSpec, tag: str) -> TensorSpec:
+    """The 9-op elementwise decomposition ONNX exports use for LayerNorm."""
+    mean = b.reduce_mean(axis=-1, x=x, name=f"{tag}_mean")
+    centered = b.sub(x, mean, name=f"{tag}_sub")
+    b.pow_const(name=f"{tag}_pow")
+    var = b.reduce_mean(axis=-1, name=f"{tag}_var")
+    b.add_const(x=var, name=f"{tag}_eps")
+    std = b.sqrt(name=f"{tag}_sqrt")
+    b.div(centered, std, name=f"{tag}_div")
+    b.scale(name=f"{tag}_gamma")
+    return b.add_const(name=f"{tag}_beta")
+
+
+def _gelu_decomposed(b: GraphBuilder, x: TensorSpec, tag: str) -> TensorSpec:
+    """8-op tanh-approximation GELU: 0.5x(1+tanh(c(x+0.044715x^3)))."""
+    b.pow_const(x=x, name=f"{tag}_pow3")
+    b.scale(name=f"{tag}_c1")
+    inner = b.add(x, b.current, name=f"{tag}_addx")
+    b.scale(x=inner, name=f"{tag}_c2")
+    b.tanh(name=f"{tag}_tanh")
+    b.add_const(name=f"{tag}_plus1")
+    b.mul(x, b.current, name=f"{tag}_mulx")
+    return b.scale(name=f"{tag}_half")
+
+
+def _attention(b: GraphBuilder, x: TensorSpec, seq: int, tag: str) -> TensorSpec:
+    """Per-head decomposed causal self-attention."""
+    b.gemm(3 * HIDDEN, bias=False, x=x, name=f"{tag}_qkv")
+    b.add_const(name=f"{tag}_qkv_bias")
+    qkv = b.current
+    q = b.slice_channels(0, HIDDEN, axis=2, x=qkv, name=f"{tag}_q")
+    k = b.slice_channels(HIDDEN, 2 * HIDDEN, axis=2, x=qkv, name=f"{tag}_k")
+    v = b.slice_channels(2 * HIDDEN, 3 * HIDDEN, axis=2, x=qkv, name=f"{tag}_v")
+    d = HIDDEN // HEADS
+    heads = []
+    for h in range(HEADS):
+        lo, hi = h * d, (h + 1) * d
+        qh = b.slice_channels(lo, hi, axis=2, x=q, name=f"{tag}_h{h}_q")
+        kh = b.slice_channels(lo, hi, axis=2, x=k, name=f"{tag}_h{h}_k")
+        vh = b.slice_channels(lo, hi, axis=2, x=v, name=f"{tag}_h{h}_v")
+        kt = b.transpose((0, 2, 1), x=kh, name=f"{tag}_h{h}_kT")
+        b.matmul(qh, kt, name=f"{tag}_h{h}_qk")
+        b.div_const(name=f"{tag}_h{h}_scale")
+        b.add_const(name=f"{tag}_h{h}_mask")
+        att = b.softmax(name=f"{tag}_h{h}_softmax")
+        out = b.matmul(att, vh, name=f"{tag}_h{h}_av")
+        heads.append(b.scaffold(count=HEAD_SCAFFOLD, x=out))
+    b.concat(heads, axis=2, name=f"{tag}_merge")
+    b.gemm(HIDDEN, bias=False, name=f"{tag}_proj")
+    b.add_const(name=f"{tag}_proj_bias")
+    return b.add(x, b.current, name=f"{tag}_residual")
+
+
+def _block(b: GraphBuilder, x: TensorSpec, seq: int, tag: str) -> TensorSpec:
+    ln1 = _layernorm_decomposed(b, x, f"{tag}_ln1")
+    attn = _attention(b, ln1, seq, tag=f"{tag}_attn")
+    attn = b.scaffold(count=BLOCK_SCAFFOLD, x=attn)
+    ln2 = _layernorm_decomposed(b, attn, f"{tag}_ln2")
+    b.gemm(MLP_RATIO * HIDDEN, bias=False, x=ln2, name=f"{tag}_fc1")
+    fc1 = b.add_const(name=f"{tag}_fc1_bias")
+    gelu = _gelu_decomposed(b, fc1, f"{tag}_gelu")
+    b.gemm(HIDDEN, bias=False, x=gelu, name=f"{tag}_fc2")
+    b.add_const(name=f"{tag}_fc2_bias")
+    return b.add(attn, b.current, name=f"{tag}_residual")
+
+
+def build_gpt2(batch: int = 1, seq: int = 32) -> ModelGraph:
+    """Construct GPT-2 small (12 layers, 12 heads, hidden 768) for one
+    forward pass over a ``seq``-token context."""
+    b = GraphBuilder("gpt2", (batch, seq), input_name="input_ids", input_dtype="int64")
+    wte = b.embedding(VOCAB, HIDDEN, name="wte")
+    ids = b.graph.inputs[0]
+    wpe = b.embedding(1024, HIDDEN, x=ids, name="wpe")
+    x = b.add(wte, wpe, name="embed_add")
+    x = b.scaffold(count=1, x=x)
+    for layer in range(LAYERS):
+        x = _block(b, x, seq, f"l{layer}")
+    x = _layernorm_decomposed(b, x, "final_ln")
+    b.gemm(VOCAB, bias=False, x=x, name="lm_head")
+    return b.finish(
+        domain="text_generation",
+        paper_latency_ms=20.4,
+        paper_operator_count=2534,
+        request_class="short",
+    )

@@ -1,0 +1,62 @@
+"""MobileNetV2 (Sandler et al.) — extra zoo member beyond the paper's 11.
+
+Included because the paper's observations (front-loaded compute, shrinking
+activations) should generalise; tests use it as an out-of-sample model.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import ModelGraph
+from repro.graphs.tensor import TensorSpec
+from repro.zoo.common import GraphBuilder
+
+# (expand ratio, channels, repeats, stride) per stage.
+_STAGES = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def _inverted_residual(
+    b: GraphBuilder, x: TensorSpec, expand: int, out_ch: int, stride: int, tag: str
+) -> TensorSpec:
+    in_ch = x.shape[1]
+    h = x
+    if expand != 1:
+        b.conv2d(in_ch * expand, kernel=1, bias=False, x=h, name=f"{tag}_expand")
+        b.batchnorm(name=f"{tag}_bn0")
+        h = b.relu(name=f"{tag}_relu0")
+    mid = in_ch * expand
+    b.conv2d(mid, kernel=3, stride=stride, pad=1, groups=mid, bias=False, x=h,
+             name=f"{tag}_dw")
+    b.batchnorm(name=f"{tag}_bn1")
+    b.relu(name=f"{tag}_relu1")
+    b.conv2d(out_ch, kernel=1, bias=False, name=f"{tag}_project")
+    h = b.batchnorm(name=f"{tag}_bn2")
+    if stride == 1 and in_ch == out_ch:
+        h = b.add(h, x, name=f"{tag}_skip")
+    return h
+
+
+def build_mobilenetv2(batch: int = 1, image: int = 224, num_classes: int = 1000) -> ModelGraph:
+    """Construct MobileNetV2 (width 1.0)."""
+    b = GraphBuilder("mobilenetv2", (batch, 3, image, image))
+    b.conv2d(32, kernel=3, stride=2, pad=1, bias=False, name="stem_conv")
+    b.batchnorm(name="stem_bn")
+    x = b.relu(name="stem_relu")
+    for s, (expand, ch, repeats, stride) in enumerate(_STAGES, start=1):
+        for i in range(repeats):
+            x = _inverted_residual(b, x, expand, ch, stride if i == 0 else 1, f"s{s}b{i}")
+    b.conv2d(1280, kernel=1, bias=False, x=x, name="head_conv")
+    b.batchnorm(name="head_bn")
+    b.relu(name="head_relu")
+    b.global_avgpool(name="gap")
+    b.flatten(name="flatten")
+    b.gemm(num_classes, name="fc")
+    b.softmax(name="prob")
+    return b.finish(domain="image_classification", request_class="short")

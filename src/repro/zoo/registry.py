@@ -1,0 +1,77 @@
+"""Model registry: name -> builder, with a per-process graph cache.
+
+``get_model`` returns a *fresh* graph by default; pass ``cached=True`` for
+the shared read-only instance (graph construction for GPT-2 builds ~2.5k
+operators, worth caching in experiment sweeps).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import UnknownModelError
+from repro.graphs.graph import ModelGraph
+from repro.zoo.alexnet import build_alexnet
+from repro.zoo.densenet import build_densenet
+from repro.zoo.efficientnet import build_efficientnet
+from repro.zoo.googlenet import build_googlenet
+from repro.zoo.gpt2 import build_gpt2
+from repro.zoo.mobilenet import build_mobilenetv2
+from repro.zoo.resnet import build_resnet, build_resnet50
+from repro.zoo.shufflenet import build_shufflenet
+from repro.zoo.squeezenet import build_squeezenet
+from repro.zoo.vgg import build_vgg16, build_vgg19
+from repro.zoo.yolo import build_yolov2
+
+BUILDERS: dict[str, Callable[[], ModelGraph]] = {
+    "vgg19": build_vgg19,
+    "resnet50": build_resnet50,
+    "alexnet": build_alexnet,
+    "squeezenet": build_squeezenet,
+    "shufflenet": build_shufflenet,
+    "densenet": build_densenet,
+    "googlenet": build_googlenet,
+    "yolov2": build_yolov2,
+    "efficientnet": build_efficientnet,
+    "gpt2": build_gpt2,
+    "mobilenetv2": build_mobilenetv2,
+    "vgg16": build_vgg16,
+    "resnet18": lambda: build_resnet(18),
+    "resnet34": lambda: build_resnet(34),
+    "resnet101": lambda: build_resnet(101),
+    "resnet152": lambda: build_resnet(152),
+}
+
+#: The five models of the paper's evaluation (Table 1).
+EVALUATED_MODELS = ("yolov2", "googlenet", "resnet50", "vgg19", "gpt2")
+
+#: The eleven models of the paper's large-scale profiling study (§3.1),
+#: with MobileNetV2 as an extra out-of-sample member.
+PROFILED_MODELS = tuple(BUILDERS)
+
+_cache: dict[str, ModelGraph] = {}
+
+
+def model_names() -> tuple[str, ...]:
+    """All registered model names, sorted."""
+    return tuple(sorted(BUILDERS))
+
+
+def get_model(name: str, cached: bool = False) -> ModelGraph:
+    """Build (or fetch the cached) graph for ``name``.
+
+    Cached graphs are shared — callers must not mutate them.
+    """
+    key = name.lower()
+    if key not in BUILDERS:
+        raise UnknownModelError(name, tuple(BUILDERS))
+    if cached:
+        if key not in _cache:
+            _cache[key] = BUILDERS[key]()
+        return _cache[key]
+    return BUILDERS[key]()
+
+
+def clear_cache() -> None:
+    """Drop all cached graphs (used by tests that mutate graphs)."""
+    _cache.clear()

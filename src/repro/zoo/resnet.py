@@ -1,0 +1,148 @@
+"""ResNet-50 (He et al.), 122 operators as in the paper's Table 1.
+
+BatchNorm is folded into the preceding convolution (the standard optimized
+ONNX deployment form), giving: stem (conv, relu, maxpool) + 16 bottlenecks
+(3 convs + 2 relus each, 4 downsample convs, 16 residual adds, 16 output
+relus) + global-average-pool + flatten + FC = 3 + 80 + 4 + 32 + 3 = 122.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import ModelGraph
+from repro.graphs.tensor import TensorSpec
+from repro.zoo.common import GraphBuilder
+
+# (bottleneck width, output channels, blocks, first stride) per stage.
+_STAGES = (
+    (64, 256, 3, 1),
+    (128, 512, 4, 2),
+    (256, 1024, 6, 2),
+    (512, 2048, 3, 2),
+)
+
+#: Stage block counts for the bottleneck-family variants.
+_BOTTLENECK_DEPTHS = {
+    50: (3, 4, 6, 3),
+    101: (3, 4, 23, 3),
+    152: (3, 8, 36, 3),
+}
+
+#: Stage block counts for the basic-block (two 3x3 convs) variants.
+_BASIC_DEPTHS = {
+    18: (2, 2, 2, 2),
+    34: (3, 4, 6, 3),
+}
+
+
+def _bottleneck(
+    b: GraphBuilder,
+    x: TensorSpec,
+    width: int,
+    out_channels: int,
+    stride: int,
+    downsample: bool,
+    tag: str,
+) -> TensorSpec:
+    """One bottleneck: 1x1 -> 3x3 -> 1x1 with identity or projected shortcut."""
+    b.conv2d(width, kernel=1, stride=1, pad=0, x=x, name=f"{tag}_conv1")
+    b.relu(name=f"{tag}_relu1")
+    b.conv2d(width, kernel=3, stride=stride, pad=1, name=f"{tag}_conv2")
+    b.relu(name=f"{tag}_relu2")
+    main = b.conv2d(out_channels, kernel=1, stride=1, pad=0, name=f"{tag}_conv3")
+    if downsample:
+        shortcut = b.conv2d(
+            out_channels, kernel=1, stride=stride, pad=0, x=x, name=f"{tag}_down"
+        )
+    else:
+        shortcut = x
+    b.add(main, shortcut, name=f"{tag}_add")
+    return b.relu(name=f"{tag}_relu_out")
+
+
+def build_resnet50(batch: int = 1, image: int = 224, num_classes: int = 1000) -> ModelGraph:
+    """Construct the ResNet-50 operator graph (BN folded)."""
+    b = GraphBuilder("resnet50", (batch, 3, image, image))
+    b.conv2d(64, kernel=7, stride=2, pad=3, name="stem_conv")
+    b.relu(name="stem_relu")
+    x = b.maxpool(3, 2, pad=1, name="stem_pool")
+    for s, (width, out_ch, blocks, first_stride) in enumerate(_STAGES, start=1):
+        for i in range(blocks):
+            stride = first_stride if i == 0 else 1
+            downsample = i == 0  # channel change (and stride) on stage entry
+            x = _bottleneck(b, x, width, out_ch, stride, downsample, f"s{s}b{i}")
+    b.global_avgpool(name="gap")
+    b.flatten(name="flatten")
+    b.gemm(num_classes, name="fc")
+    return b.finish(
+        domain="image_classification",
+        paper_latency_ms=28.35,
+        paper_operator_count=122,
+        request_class="long",
+    )
+
+
+def _basic_block(
+    b: GraphBuilder,
+    x: TensorSpec,
+    channels: int,
+    stride: int,
+    downsample: bool,
+    tag: str,
+) -> TensorSpec:
+    """Basic residual block (ResNet-18/34): two 3x3 convs."""
+    b.conv2d(channels, kernel=3, stride=stride, pad=1, x=x, name=f"{tag}_conv1")
+    b.relu(name=f"{tag}_relu1")
+    main = b.conv2d(channels, kernel=3, stride=1, pad=1, name=f"{tag}_conv2")
+    if downsample:
+        shortcut = b.conv2d(
+            channels, kernel=1, stride=stride, pad=0, x=x, name=f"{tag}_down"
+        )
+    else:
+        shortcut = x
+    b.add(main, shortcut, name=f"{tag}_add")
+    return b.relu(name=f"{tag}_relu_out")
+
+
+def build_resnet(
+    depth: int = 50, batch: int = 1, image: int = 224, num_classes: int = 1000
+) -> ModelGraph:
+    """Construct a ResNet of any standard depth (18/34/50/101/152).
+
+    Depths 50/101/152 use bottleneck blocks, 18/34 basic blocks; BN is
+    folded throughout, consistent with :func:`build_resnet50`.
+    """
+    if depth in _BOTTLENECK_DEPTHS:
+        depths = _BOTTLENECK_DEPTHS[depth]
+        bottleneck = True
+    elif depth in _BASIC_DEPTHS:
+        depths = _BASIC_DEPTHS[depth]
+        bottleneck = False
+    else:
+        raise ValueError(
+            f"unsupported ResNet depth {depth}; one of "
+            f"{sorted((*_BOTTLENECK_DEPTHS, *_BASIC_DEPTHS))}"
+        )
+    b = GraphBuilder(f"resnet{depth}", (batch, 3, image, image))
+    b.conv2d(64, kernel=7, stride=2, pad=3, name="stem_conv")
+    b.relu(name="stem_relu")
+    x = b.maxpool(3, 2, pad=1, name="stem_pool")
+    widths = (64, 128, 256, 512)
+    for s, (width, blocks) in enumerate(zip(widths, depths), start=1):
+        first_stride = 1 if s == 1 else 2
+        for i in range(blocks):
+            stride = first_stride if i == 0 else 1
+            if bottleneck:
+                # Stage 1 of bottleneck nets changes channels even at i=0.
+                x = _bottleneck(
+                    b, x, width, width * 4, stride, i == 0, f"s{s}b{i}"
+                )
+            else:
+                downsample = i == 0 and (s > 1)
+                x = _basic_block(b, x, width, stride, downsample, f"s{s}b{i}")
+    b.global_avgpool(name="gap")
+    b.flatten(name="flatten")
+    b.gemm(num_classes, name="fc")
+    return b.finish(
+        domain="image_classification",
+        request_class="long" if depth >= 50 else "short",
+    )

@@ -1,0 +1,54 @@
+"""ShuffleNet v1 (1x, g=3) — part of the 11-model profiling set."""
+
+from __future__ import annotations
+
+from repro.graphs.graph import ModelGraph
+from repro.graphs.tensor import TensorSpec
+from repro.zoo.common import GraphBuilder
+
+_GROUPS = 3
+# (output channels, repeats) per stage for the g=3, 1x width configuration.
+_STAGES = ((240, 4), (480, 8), (960, 4))
+
+
+def _unit(
+    b: GraphBuilder, x: TensorSpec, out_ch: int, stride: int, tag: str
+) -> TensorSpec:
+    """ShuffleNet unit: 1x1 gconv - shuffle - 3x3 dwconv - 1x1 gconv + skip."""
+    in_ch = x.shape[1]
+    # With stride 2 the shortcut is an avg-pool concatenated after the main
+    # path, so the main path produces out_ch - in_ch channels.
+    main_out = out_ch - in_ch if stride == 2 else out_ch
+    mid = out_ch // 4
+    b.conv2d(mid, kernel=1, groups=_GROUPS, bias=False, x=x, name=f"{tag}_gconv1")
+    b.batchnorm(name=f"{tag}_bn1")
+    b.relu(name=f"{tag}_relu1")
+    b.channel_shuffle(_GROUPS, name=f"{tag}_shuffle")
+    b.conv2d(mid, kernel=3, stride=stride, pad=1, groups=mid, bias=False, name=f"{tag}_dw")
+    b.batchnorm(name=f"{tag}_bn2")
+    b.conv2d(main_out, kernel=1, groups=_GROUPS, bias=False, name=f"{tag}_gconv2")
+    main = b.batchnorm(name=f"{tag}_bn3")
+    if stride == 2:
+        shortcut = b.avgpool(3, 2, pad=1, x=x, name=f"{tag}_shortcut_pool")
+        b.concat([main, shortcut], axis=1, name=f"{tag}_concat")
+    else:
+        b.add(main, x, name=f"{tag}_add")
+    return b.relu(name=f"{tag}_relu_out")
+
+
+def build_shufflenet(batch: int = 1, image: int = 224, num_classes: int = 1000) -> ModelGraph:
+    """Construct ShuffleNet v1 (groups=3, width 1x)."""
+    b = GraphBuilder("shufflenet", (batch, 3, image, image))
+    b.conv2d(24, kernel=3, stride=2, pad=1, bias=False, name="conv1")
+    b.batchnorm(name="bn1")
+    b.relu(name="relu1")
+    x = b.maxpool(3, 2, pad=1, name="pool1")
+    for s, (out_ch, repeats) in enumerate(_STAGES, start=2):
+        for i in range(repeats):
+            stride = 2 if i == 0 else 1
+            x = _unit(b, x, out_ch, stride, f"s{s}u{i}")
+    b.global_avgpool(x=x, name="gap")
+    b.flatten(name="flatten")
+    b.gemm(num_classes, name="fc")
+    b.softmax(name="prob")
+    return b.finish(domain="image_classification", request_class="short")

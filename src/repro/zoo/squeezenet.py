@@ -1,0 +1,48 @@
+"""SqueezeNet v1.0 (Iandola et al.) — part of the 11-model profiling set."""
+
+from __future__ import annotations
+
+from repro.graphs.graph import ModelGraph
+from repro.graphs.tensor import TensorSpec
+from repro.zoo.common import GraphBuilder
+
+# (squeeze 1x1, expand 1x1, expand 3x3) per fire module.
+_FIRE = (
+    (16, 64, 64),
+    (16, 64, 64),
+    (32, 128, 128),
+    (32, 128, 128),
+    (48, 192, 192),
+    (48, 192, 192),
+    (64, 256, 256),
+    (64, 256, 256),
+)
+
+
+def _fire(b: GraphBuilder, x: TensorSpec, s1: int, e1: int, e3: int, tag: str) -> TensorSpec:
+    b.conv2d(s1, kernel=1, x=x, name=f"{tag}_squeeze")
+    sq = b.relu(name=f"{tag}_squeeze_relu")
+    b.conv2d(e1, kernel=1, x=sq, name=f"{tag}_e1")
+    left = b.relu(name=f"{tag}_e1_relu")
+    b.conv2d(e3, kernel=3, pad=1, x=sq, name=f"{tag}_e3")
+    right = b.relu(name=f"{tag}_e3_relu")
+    return b.concat([left, right], axis=1, name=f"{tag}_concat")
+
+
+def build_squeezenet(batch: int = 1, image: int = 224, num_classes: int = 1000) -> ModelGraph:
+    """Construct SqueezeNet v1.0 (pools after fire3 and fire7, conv10 head)."""
+    b = GraphBuilder("squeezenet", (batch, 3, image, image))
+    b.conv2d(96, kernel=7, stride=2, pad=3, name="conv1")
+    b.relu(name="relu1")
+    x = b.maxpool(3, 2, name="pool1")
+    for i, (s1, e1, e3) in enumerate(_FIRE, start=2):
+        x = _fire(b, x, s1, e1, e3, f"fire{i}")
+        if i in (3, 7):
+            x = b.maxpool(3, 2, x=x, name=f"pool{i}")
+    b.dropout(x=x, name="drop9")
+    b.conv2d(num_classes, kernel=1, name="conv10")
+    b.relu(name="relu10")
+    b.global_avgpool(name="gap")
+    b.flatten(name="flatten")
+    b.softmax(name="prob")
+    return b.finish(domain="image_classification", request_class="short")

@@ -1,0 +1,80 @@
+"""VGG-19 (Simonyan & Zisserman), 44 operators as in the paper's Table 1.
+
+16 convolution + 16 ReLU + 5 max-pool + flatten + 3 FC + 2 ReLU + softmax.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import ModelGraph
+from repro.zoo.common import GraphBuilder
+
+# Channel plan per stage; "M" denotes a 2x2/2 max-pool.
+_VGG19_CFG = (
+    64, 64, "M",
+    128, 128, "M",
+    256, 256, 256, 256, "M",
+    512, 512, 512, 512, "M",
+    512, 512, 512, 512, "M",
+)
+
+_VGG16_CFG = (
+    64, 64, "M",
+    128, 128, "M",
+    256, 256, 256, "M",
+    512, 512, 512, "M",
+    512, 512, 512, "M",
+)
+
+
+def _build_vgg(
+    name: str,
+    cfg: tuple,
+    batch: int,
+    image: int,
+    num_classes: int,
+    metadata: dict,
+) -> ModelGraph:
+    b = GraphBuilder(name, (batch, 3, image, image))
+    for item in cfg:
+        if item == "M":
+            b.maxpool(2, 2)
+        else:
+            b.conv2d(int(item), kernel=3, stride=1, pad=1)
+            b.relu()
+    b.flatten()
+    b.gemm(4096)
+    b.relu()
+    b.gemm(4096)
+    b.relu()
+    b.gemm(num_classes)
+    b.softmax()
+    return b.finish(**metadata)
+
+
+def build_vgg19(batch: int = 1, image: int = 224, num_classes: int = 1000) -> ModelGraph:
+    """Construct the VGG-19 operator graph for NCHW float32 inference."""
+    return _build_vgg(
+        "vgg19",
+        _VGG19_CFG,
+        batch,
+        image,
+        num_classes,
+        dict(
+            domain="image_classification",
+            paper_latency_ms=67.5,
+            paper_operator_count=44,
+            request_class="long",
+        ),
+    )
+
+
+def build_vgg16(batch: int = 1, image: int = 224, num_classes: int = 1000) -> ModelGraph:
+    """Construct VGG-16 (the 13-conv sibling; 41 operators)."""
+    return _build_vgg(
+        "vgg16",
+        _VGG16_CFG,
+        batch,
+        image,
+        num_classes,
+        dict(domain="image_classification", request_class="long"),
+    )

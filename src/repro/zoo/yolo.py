@@ -1,0 +1,83 @@
+"""YOLOv2 (Redmon & Farhadi), 84 operators per Table 1.
+
+Darknet-19 backbone with BatchNorm kept as explicit nodes (YOLOv2's darknet
+export does not fold BN): 23 convs, 22 BN, 22 LeakyReLU, 5 max-pools, the
+passthrough reorg (reshape-transpose-reshape), route concat, and an 8-op
+detection head = 84.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import ModelGraph
+from repro.graphs.tensor import TensorSpec
+from repro.zoo.common import GraphBuilder
+
+
+def _conv_block(
+    b: GraphBuilder, out_ch: int, kernel: int, x: TensorSpec | None, tag: str
+) -> TensorSpec:
+    """Darknet conv unit: conv (no bias) + BN + LeakyReLU."""
+    b.conv2d(out_ch, kernel=kernel, pad=kernel // 2, bias=False, x=x, name=f"{tag}_conv")
+    b.batchnorm(name=f"{tag}_bn")
+    return b.leaky_relu(name=f"{tag}_leaky")
+
+
+def build_yolov2(batch: int = 1, image: int = 416, num_anchors: int = 5, num_classes: int = 20) -> ModelGraph:
+    """Construct the YOLOv2 operator graph (VOC head: 5 anchors x 25)."""
+    b = GraphBuilder("yolov2", (batch, 3, image, image))
+    x = _conv_block(b, 32, 3, None, "c1")
+    x = b.maxpool(2, 2, name="p1")
+    x = _conv_block(b, 64, 3, x, "c2")
+    x = b.maxpool(2, 2, name="p2")
+    x = _conv_block(b, 128, 3, x, "c3")
+    x = _conv_block(b, 64, 1, x, "c4")
+    x = _conv_block(b, 128, 3, x, "c5")
+    x = b.maxpool(2, 2, name="p3")
+    x = _conv_block(b, 256, 3, x, "c6")
+    x = _conv_block(b, 128, 1, x, "c7")
+    x = _conv_block(b, 256, 3, x, "c8")
+    x = b.maxpool(2, 2, name="p4")
+    x = _conv_block(b, 512, 3, x, "c9")
+    x = _conv_block(b, 256, 1, x, "c10")
+    x = _conv_block(b, 512, 3, x, "c11")
+    x = _conv_block(b, 256, 1, x, "c12")
+    passthrough = _conv_block(b, 512, 3, x, "c13")  # route source (26x26x512)
+    x = b.maxpool(2, 2, x=passthrough, name="p5")
+    x = _conv_block(b, 1024, 3, x, "c14")
+    x = _conv_block(b, 512, 1, x, "c15")
+    x = _conv_block(b, 1024, 3, x, "c16")
+    x = _conv_block(b, 512, 1, x, "c17")
+    x = _conv_block(b, 1024, 3, x, "c18")
+    x = _conv_block(b, 1024, 3, x, "c19")
+    deep = _conv_block(b, 1024, 3, x, "c20")
+
+    # Passthrough branch: 1x1 conv then space-to-depth reorg (26x26x64 ->
+    # 13x13x256), exported as reshape / transpose / reshape.
+    p = _conv_block(b, 64, 1, passthrough, "c21")
+    n, c, h, w = p.shape
+    b.reshape((n, c, h // 2, 2, w // 2 * 2), x=p, name="reorg_reshape1")
+    b.transpose((0, 1, 3, 2, 4), name="reorg_transpose")
+    reorg = b.reshape((n, c * 4, h // 2, w // 2), name="reorg_reshape2")
+
+    x = b.concat([reorg, deep], axis=1, name="route")
+    x = _conv_block(b, 1024, 3, x, "c22")
+    head_ch = num_anchors * (5 + num_classes)
+    x = b.conv2d(head_ch, kernel=1, x=x, name="c23_detect")  # linear, with bias
+
+    # Detection head decode: reshape to anchors, split coords/objectness/
+    # class scores, squash, and re-assemble.
+    n, c, h, w = x.shape
+    b.reshape((n, num_anchors, 5 + num_classes, h * w), name="head_reshape")
+    grid = b.transpose((0, 1, 3, 2), name="head_transpose")
+    xy = b.slice_channels(0, 2, axis=3, x=grid, name="head_slice_xy")
+    xy = b.sigmoid(name="head_sigmoid_xy")
+    wh = b.slice_channels(2, 5, axis=3, x=grid, name="head_slice_whobj")
+    cls = b.slice_channels(5, 5 + num_classes, axis=3, x=grid, name="head_slice_cls")
+    cls = b.softmax(x=cls, name="head_softmax_cls")
+    b.concat([xy, wh, cls], axis=3, name="head_concat")
+    return b.finish(
+        domain="object_detection",
+        paper_latency_ms=10.8,
+        paper_operator_count=84,
+        request_class="short",
+    )

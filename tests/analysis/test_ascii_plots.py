@@ -1,0 +1,64 @@
+"""ASCII line charts."""
+
+import math
+
+import pytest
+
+from repro.analysis.ascii_plots import line_chart
+
+
+def test_single_series_renders():
+    out = line_chart({"a": [0.0, 1.0, 2.0, 3.0]})
+    assert "o a" in out
+    assert "3.000" in out and "0.000" in out
+
+
+def test_two_series_distinct_markers():
+    out = line_chart({"up": [0, 1, 2], "down": [2, 1, 0]})
+    assert "o up" in out and "x down" in out
+
+
+def test_dimensions():
+    out = line_chart({"a": [0, 5, 10]}, width=30, height=8)
+    lines = out.splitlines()
+    # 8 canvas rows + axis + x labels + legend
+    assert len(lines) == 11
+    assert all(len(line) <= 30 + 12 for line in lines[:8])
+
+
+def test_nan_skipped():
+    out = line_chart({"a": [1.0, math.nan, 3.0]})
+    assert "o a" in out
+
+
+def test_constant_series_ok():
+    out = line_chart({"a": [2.0, 2.0, 2.0]})
+    assert "2.000" in out
+
+
+def test_custom_x_and_labels():
+    out = line_chart(
+        {"v": [0.5, 0.2]}, x=[2, 20], y_label="violation", x_label="alpha"
+    )
+    assert "violation" in out
+    assert "alpha" in out
+    assert "20" in out
+
+
+@pytest.mark.parametrize(
+    "series,err",
+    [
+        ({}, "at least one"),
+        ({"a": [1, 2], "b": [1]}, "equal length"),
+        ({"a": [1]}, "two points"),
+        ({"a": [math.nan, math.nan]}, "NaN"),
+    ],
+)
+def test_invalid_inputs(series, err):
+    with pytest.raises(ValueError, match=err):
+        line_chart(series)
+
+
+def test_x_length_mismatch():
+    with pytest.raises(ValueError, match="x length"):
+        line_chart({"a": [1, 2]}, x=[1, 2, 3])

@@ -1,0 +1,127 @@
+"""Pareto frontier of splitting candidates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.pareto import (
+    ParetoPoint,
+    distance_to_frontier,
+    frontier_for_profile,
+    pareto_frontier,
+)
+from repro.errors import SearchError
+from repro.splitting.genetic import GAConfig, GeneticSplitter
+
+from tests.conftest import make_profile
+
+
+def pt(cuts, sigma, overhead):
+    return ParetoPoint(cuts=tuple(cuts), sigma_ms=sigma, overhead_fraction=overhead)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert pt((1,), 1.0, 0.1).dominates(pt((2,), 2.0, 0.2))
+
+    def test_partial_dominance(self):
+        assert pt((1,), 1.0, 0.2).dominates(pt((2,), 1.0, 0.3))
+
+    def test_incomparable(self):
+        a, b = pt((1,), 1.0, 0.3), pt((2,), 2.0, 0.1)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_equal_points_do_not_dominate(self):
+        a, b = pt((1,), 1.0, 0.1), pt((2,), 1.0, 0.1)
+        assert not a.dominates(b)
+
+
+class TestFrontier:
+    def test_simple_frontier(self):
+        points = [
+            pt((0,), 1.0, 0.5),
+            pt((1,), 2.0, 0.3),
+            pt((2,), 3.0, 0.1),
+            pt((3,), 2.5, 0.4),  # dominated by (1,)
+        ]
+        frontier = pareto_frontier(points)
+        assert [p.cuts for p in frontier] == [(0,), (1,), (2,)]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=10, allow_nan=False),
+                st.floats(min_value=0, max_value=1, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=80)
+    def test_frontier_is_mutually_nondominated_and_complete(self, pairs):
+        points = [pt((i,), s, o) for i, (s, o) in enumerate(pairs)]
+        frontier = pareto_frontier(points)
+        # No frontier point dominates another.
+        for a in frontier:
+            for b in frontier:
+                assert not a.dominates(b)
+        # Every excluded point is dominated or duplicates a frontier point.
+        kept = {p.cuts for p in frontier}
+        for p in points:
+            if p.cuts in kept:
+                continue
+            assert any(
+                f.dominates(p)
+                or (f.sigma_ms == p.sigma_ms and f.overhead_fraction == p.overhead_fraction)
+                for f in frontier
+            )
+
+
+class TestProfileFrontier:
+    @pytest.fixture
+    def profile(self):
+        rng = np.random.default_rng(11)
+        return make_profile(
+            rng.uniform(0.5, 3.0, 20), cut_costs=rng.uniform(0.05, 0.6, 19)
+        )
+
+    def test_frontier_nonempty_and_sorted(self, profile):
+        frontier = frontier_for_profile(profile, 2)
+        assert frontier
+        sigmas = [p.sigma_ms for p in frontier]
+        assert sigmas == sorted(sigmas)
+        overheads = [p.overhead_fraction for p in frontier]
+        assert overheads == sorted(overheads, reverse=True)
+
+    def test_candidate_limit(self, profile):
+        with pytest.raises(SearchError):
+            frontier_for_profile(profile, 3, max_candidates=10)
+
+    def test_ga_pick_near_frontier(self, profile):
+        """The GA's Eq.-2 scalarisation should land on/near the frontier."""
+        frontier = frontier_for_profile(profile, 2)
+        ga = GeneticSplitter(GAConfig(seed=0)).search(profile, 2)
+        point = pt(ga.cuts, ga.sigma_ms, ga.overhead_fraction)
+        d = distance_to_frontier(point, frontier, sigma_scale=profile.total_ms)
+        assert d < 0.05
+
+    def test_real_model_ga_on_frontier(self, resnet_profile):
+        frontier = frontier_for_profile(resnet_profile, 2)
+        ga = GeneticSplitter(GAConfig(seed=0)).search(resnet_profile, 2)
+        point = pt(ga.cuts, ga.sigma_ms, ga.overhead_fraction)
+        d = distance_to_frontier(
+            point, frontier, sigma_scale=resnet_profile.total_ms
+        )
+        assert d < 0.02
+
+    def test_distance_zero_for_frontier_member(self, profile):
+        frontier = frontier_for_profile(profile, 2)
+        assert (
+            distance_to_frontier(frontier[0], frontier, profile.total_ms) == 0.0
+        )
+
+    def test_empty_frontier_rejected(self):
+        with pytest.raises(SearchError):
+            distance_to_frontier(pt((0,), 1, 0.1), [], 10.0)

@@ -1,0 +1,90 @@
+"""Queueing formulas + the engine-vs-theory validation.
+
+The FIFO engine serving a Poisson mix with deterministic per-model service
+times is exactly an M/G/1 queue; Pollaczek–Khinchine must predict its mean
+waiting time. This is the strongest single check on the event engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.queueing import (
+    md1_mean_wait_ms,
+    mg1_mean_wait_ms,
+    mm1_mean_wait_ms,
+    utilization,
+)
+from repro.errors import SimulationError
+from repro.runtime.engine import SequentialEngine
+from repro.scheduling.policies import FIFOScheduler
+from repro.scheduling.request import Request, TaskSpec
+from repro.utils.rng import rng_from
+
+
+class TestFormulas:
+    def test_utilization(self):
+        assert utilization(0.05, 10.0) == pytest.approx(0.5)
+
+    def test_md1_special_case_of_mg1(self):
+        assert md1_mean_wait_ms(0.04, 10.0) == pytest.approx(
+            mg1_mean_wait_ms(0.04, [10.0])
+        )
+
+    def test_md1_half_of_mm1(self):
+        # Classic result: deterministic service halves the M/M/1 wait.
+        lam, s = 0.05, 10.0
+        assert md1_mean_wait_ms(lam, s) == pytest.approx(
+            mm1_mean_wait_ms(lam, s) / 2.0
+        )
+
+    def test_overload_infinite(self):
+        assert mg1_mean_wait_ms(0.2, [10.0]) == float("inf")
+        assert mm1_mean_wait_ms(0.2, 10.0) == float("inf")
+
+    def test_mixture_second_moment_matters(self):
+        # Same mean service, higher variance => longer waits.
+        uniform = mg1_mean_wait_ms(0.04, [10.0, 10.0])
+        spread = mg1_mean_wait_ms(0.04, [2.0, 18.0])
+        assert spread > uniform
+
+    def test_bad_probabilities(self):
+        with pytest.raises(SimulationError):
+            mg1_mean_wait_ms(0.01, [1.0, 2.0], [0.9, 0.3])
+        with pytest.raises(SimulationError):
+            mg1_mean_wait_ms(0.01, [1.0, 2.0], [0.5])
+
+    def test_empty_service(self):
+        with pytest.raises(SimulationError):
+            mg1_mean_wait_ms(0.01, [])
+
+
+class TestEngineVsTheory:
+    @pytest.mark.parametrize("lambda_ms", [120.0, 60.0, 40.0])
+    def test_fifo_engine_matches_pollaczek_khinchine(self, lambda_ms):
+        """Mean waiting time of the simulated FIFO queue vs M/G/1 theory.
+
+        Two service classes (10 ms and 30 ms, equally likely), Poisson
+        arrivals with mean gap ``lambda_ms``, 20k requests.
+        """
+        services = (10.0, 30.0)
+        rng = rng_from(42, "mg1", lambda_ms)
+        n = 20_000
+        gaps = rng.exponential(lambda_ms, size=n)
+        arrivals_t = np.cumsum(gaps)
+        picks = rng.integers(0, 2, size=n)
+        specs = [
+            TaskSpec(name=f"m{s}", ext_ms=s, blocks_ms=(s,)) for s in services
+        ]
+        arrivals = [
+            (float(t), Request(task=specs[int(k)], arrival_ms=float(t)))
+            for t, k in zip(arrivals_t, picks)
+        ]
+        result = SequentialEngine(FIFOScheduler()).run(arrivals)
+        waits = [
+            r.first_start_ms - r.arrival_ms for r in result.completed
+        ]
+        simulated = float(np.mean(waits))
+        theory = mg1_mean_wait_ms(1.0 / lambda_ms, services)
+        assert simulated == pytest.approx(theory, rel=0.12), (
+            f"lambda={lambda_ms}: sim {simulated:.2f} vs theory {theory:.2f}"
+        )

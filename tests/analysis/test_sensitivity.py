@@ -1,0 +1,48 @@
+"""Device-parameter sensitivity of the splitting decision."""
+
+import pytest
+
+from repro.analysis.sensitivity import sweep_staging_bandwidth
+from repro.hardware.presets import jetson_nano
+from repro.zoo.registry import get_model
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return sweep_staging_bandwidth(
+        get_model("resnet50", cached=True),
+        jetson_nano(),
+        factors=(0.25, 1.0, 4.0),
+        max_blocks=4,
+    )
+
+
+def test_point_per_factor(sweep):
+    assert len(sweep.points) == 3
+    assert sweep.model_name == "resnet50"
+
+
+def test_cheaper_boundaries_never_reduce_block_count(sweep):
+    """Scaling staging bandwidth up (and fixed cost down) can only make
+    splitting more attractive."""
+    counts = [p.optimal_blocks for p in sweep.points]
+    assert counts == sorted(counts)
+
+
+def test_expensive_boundaries_discourage_splitting(sweep):
+    cheap = sweep.points[-1]
+    expensive = sweep.points[0]
+    assert cheap.optimal_blocks >= expensive.optimal_blocks
+
+
+def test_overheads_fall_with_bandwidth(sweep):
+    with_splits = [p for p in sweep.points if p.cuts]
+    if len(with_splits) >= 2:
+        assert with_splits[-1].overhead_fraction <= with_splits[0].overhead_fraction + 0.35
+
+
+def test_block_count_range_and_cut_stability(sweep):
+    lo, hi = sweep.block_count_range()
+    assert 1 <= lo <= hi <= 4
+    # cuts_stable is informational; just exercise it.
+    assert isinstance(sweep.cuts_stable(), bool)

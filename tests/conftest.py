@@ -1,0 +1,56 @@
+"""Shared fixtures: devices, profiles, and synthetic profile builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.presets import jetson_nano
+from repro.profiling.cache import ProfileCache
+from repro.profiling.records import ModelProfile
+from repro.zoo.registry import get_model
+
+
+@pytest.fixture(scope="session")
+def nano():
+    return jetson_nano()
+
+
+@pytest.fixture(scope="session")
+def profile_cache(nano):
+    return ProfileCache(nano)
+
+
+@pytest.fixture(scope="session")
+def resnet_profile(profile_cache):
+    return profile_cache.get(get_model("resnet50", cached=True))
+
+
+@pytest.fixture(scope="session")
+def vgg_profile(profile_cache):
+    return profile_cache.get(get_model("vgg19", cached=True))
+
+
+@pytest.fixture(scope="session")
+def yolo_profile(profile_cache):
+    return profile_cache.get(get_model("yolov2", cached=True))
+
+
+def make_profile(
+    op_times, cut_costs=None, name="synthetic", device="test-device"
+) -> ModelProfile:
+    """Construct a profile straight from arrays (no graph needed)."""
+    op_times = np.asarray(op_times, dtype=float)
+    if cut_costs is None:
+        cut_costs = np.zeros(len(op_times) - 1)
+    return ModelProfile(
+        model_name=name,
+        device_name=device,
+        op_times_ms=op_times,
+        cut_cost_ms=np.asarray(cut_costs, dtype=float),
+    )
+
+
+@pytest.fixture
+def synthetic_profile():
+    return make_profile

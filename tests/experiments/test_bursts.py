@@ -1,0 +1,78 @@
+"""Burst-robustness study + trace-driven simulation entry point."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments import bursts
+from repro.experiments.config import ExperimentContext
+from repro.runtime.simulator import simulate_items
+from repro.runtime.traces import load_trace, save_trace
+from repro.runtime.workload import WorkloadItem
+
+
+@pytest.fixture(scope="module")
+def result():
+    return bursts.run(ExperimentContext(), n_requests=500)
+
+
+class TestBurstStudy:
+    def test_all_policies_present(self, result):
+        assert {r.policy for r in result.rows} == {
+            "split", "clockwork", "prema", "rta"
+        }
+
+    def test_workload_actually_bursty(self, result):
+        assert result.burstiness > 1.2
+
+    def test_split_best_at_claim_point(self, result):
+        split = result.row("split")
+        for other in ("clockwork", "prema", "rta"):
+            assert split.violation_at_4 <= result.row(other).violation_at_4 + 1e-12
+
+    def test_split_best_short_tail(self, result):
+        split = result.row("split")
+        for other in ("clockwork", "rta"):
+            assert split.short_burst_p95_rr <= result.row(other).short_burst_p95_rr
+
+    def test_render(self, result):
+        assert "Burst robustness" in bursts.render(result)
+
+    def test_unknown_policy_row(self, result):
+        with pytest.raises(KeyError):
+            result.row("ghost")
+
+
+class TestSimulateItems:
+    def test_empty_items_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_items("split", [])
+
+    def test_hand_built_schedule(self):
+        items = [
+            WorkloadItem(0.0, "vgg19"),
+            WorkloadItem(5.0, "yolov2"),
+            WorkloadItem(6.0, "yolov2"),
+        ]
+        r = simulate_items("split", items, keep_trace=True)
+        assert r.report.n_requests == 3
+        r.engine_result.trace.verify()
+
+    def test_trace_roundtrip_through_simulation(self, tmp_path):
+        items = [WorkloadItem(float(i * 40), "googlenet") for i in range(20)]
+        path = save_trace(items, tmp_path / "t.csv")
+        replayed = load_trace(path)
+        a = simulate_items("clockwork", items)
+        b = simulate_items("clockwork", replayed)
+        ra = [(r.arrival_ms, r.finish_ms) for r in a.report.records]
+        rb = [(r.arrival_ms, r.finish_ms) for r in b.report.records]
+        assert ra == pytest.approx(rb)
+
+    def test_unknown_policy(self):
+        with pytest.raises(SimulationError):
+            simulate_items("bogus", [WorkloadItem(0.0, "vgg19")])
+
+    @pytest.mark.parametrize("policy", ["rta", "prema", "reef", "fifo"])
+    def test_other_policies_accept_items(self, policy):
+        items = [WorkloadItem(float(i * 30), "yolov2") for i in range(10)]
+        r = simulate_items(policy, items)
+        assert r.report.n_requests == 10

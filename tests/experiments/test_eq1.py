@@ -1,0 +1,30 @@
+"""Eq. 1 experiment: closed form vs Monte Carlo."""
+
+import pytest
+
+from repro.experiments import eq1
+from repro.experiments.config import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def result():
+    return eq1.run(ExperimentContext(), n_samples=50_000)
+
+
+def test_all_cases_close(result):
+    for case in result.cases:
+        assert case.rel_error < 0.02, case.label
+
+
+def test_covers_even_uneven_single(result):
+    labels = {c.label for c in result.cases}
+    assert {"even-4", "skewed-4", "single"} <= labels
+
+
+def test_even_blocks_give_half_mean(result):
+    case = next(c for c in result.cases if c.label == "even-4")
+    assert case.closed_form_ms == pytest.approx(5.0)
+
+
+def test_render(result):
+    assert "Eq. 1" in eq1.render(result)

@@ -1,0 +1,67 @@
+"""Fig. 1: the motivating two-request schedule."""
+
+import pytest
+
+from repro.experiments import fig1
+from repro.experiments.config import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig1.run(ExperimentContext())
+
+
+def test_four_schemes(result):
+    assert {r.scheme for r in result.rows} == {
+        "stream-parallel",
+        "runtime-aware",
+        "sequential",
+        "split",
+    }
+
+
+def test_split_lowest_average_rr(result):
+    """The figure's message: evenly-sized splitting minimises the average
+    response ratio."""
+    split = result.row("split")
+    for other in ("stream-parallel", "runtime-aware", "sequential"):
+        assert split.avg_rr <= result.row(other).avg_rr + 1e-9
+
+
+def test_sequential_starves_the_short_request(result):
+    seq = result.row("sequential")
+    # A waits for all of B: e2e = (ext_B - gap) + ext_A.
+    assert seq.a_e2e_ms == pytest.approx(67.5 - 20.0 + 10.8)
+    assert seq.b_rr == pytest.approx(1.0)
+
+
+def test_alignment_drags_short_toward_long(result):
+    """§1: under RT-A the short request 'has to be aligned with request B
+    and wait for the completion of request B'."""
+    rta = result.row("runtime-aware")
+    seq = result.row("sequential")
+    assert rta.a_e2e_ms > seq.a_e2e_ms * 0.8  # close to sequential's wait
+
+    # ... while SPLIT's A returns in a fraction of that.
+    assert result.row("split").a_e2e_ms < rta.a_e2e_ms / 1.8
+
+
+def test_stream_parallel_contention_hurts_long(result):
+    sp = result.row("stream-parallel")
+    seq = result.row("sequential")
+    assert sp.b_e2e_ms > seq.b_e2e_ms  # contention stretches B
+
+
+def test_split_b_overhead_bounded(result):
+    split = result.row("split")
+    # B pays the split overhead + one preemption, nothing pathological.
+    assert split.b_rr < 1.4
+
+
+def test_render(result):
+    assert "Fig. 1" in fig1.render(result)
+
+
+def test_unknown_scheme(result):
+    with pytest.raises(KeyError):
+        result.row("ghost")

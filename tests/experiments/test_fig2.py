@@ -1,0 +1,56 @@
+"""Fig. 2: the two observations behind the GA design."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig2
+from repro.experiments.config import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig2.run(ExperimentContext(), model="resnet50", stride=3)
+
+
+def test_grid_shape(result):
+    g = len(result.positions)
+    assert result.overhead_pct.shape == (g, g)
+    assert result.std_ms.shape == (g, g)
+
+
+def test_upper_triangle_populated(result):
+    assert not np.isnan(result.overhead_pct[0, 1])
+    assert np.isnan(result.overhead_pct[1, 0])
+    assert np.isnan(result.overhead_pct[0, 0])
+
+
+def test_observation_a_early_cuts_cost_more(result):
+    """Fig. 2(a): splitting early operators incurs larger overhead."""
+    assert result.front_overhead_pct > result.back_overhead_pct
+
+
+def test_observation_b_even_cuts_sit_mid_front(result):
+    """Fig. 2(b): the most even split is near the middle, slightly front."""
+    c1, c2 = result.best_std_cuts
+    n = 122
+    assert n * 0.2 < c1 < n * 0.55
+    assert n * 0.45 < c2 < n * 0.85
+
+
+def test_std_landscape_worst_at_extremes(result):
+    """Cutting at the first/last operators gives very uneven splits."""
+    std = result.std_ms
+    corner = std[0, -1]  # earliest first cut, latest second cut keeps a
+    # huge middle block.
+    assert corner > result.best_std_ms * 5
+
+
+def test_vgg_also_shows_observation_a():
+    r = fig2.run(ExperimentContext(), model="vgg19", stride=1)
+    assert r.front_overhead_pct > r.back_overhead_pct
+
+
+def test_render(result):
+    text = fig2.render(result)
+    assert "Fig. 2" in text
+    assert "front-third" in text

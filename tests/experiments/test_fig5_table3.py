@@ -1,0 +1,81 @@
+"""Fig. 5 (GA convergence) and Table 3 (optimal splits)."""
+
+import pytest
+
+from repro.experiments import fig5, table3
+from repro.experiments.config import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext()
+
+
+@pytest.fixture(scope="module")
+def f5(ctx):
+    return fig5.run(ctx)
+
+
+@pytest.fixture(scope="module")
+def t3(ctx):
+    return table3.run(ctx)
+
+
+class TestFig5:
+    def test_six_series(self, f5):
+        labels = {s.label for s in f5.series}
+        assert labels == {"RES-1", "RES-2", "RES-3", "VGG-1", "VGG-2", "VGG-3"}
+
+    def test_convergence_within_15_generations(self, f5):
+        """The paper: all models find the optimum within 15 generations."""
+        for s in f5.series:
+            assert s.generations_to_best <= 15, s.label
+
+    def test_history_lengths_match(self, f5):
+        for s in f5.series:
+            assert len(s.std_by_generation) == len(s.overhead_pct_by_generation)
+            assert len(s.std_by_generation) == s.result.generations_run
+
+    def test_final_overhead_not_above_initial(self, f5):
+        """Fig. 5(b): overhead of the best candidate ends at or below its
+        starting value."""
+        for s in f5.series:
+            assert (
+                s.overhead_pct_by_generation[-1]
+                <= s.overhead_pct_by_generation[0] + 1e-9
+            ), s.label
+
+    def test_render(self, f5):
+        assert "RES-1" in fig5.render(f5)
+
+
+class TestTable3:
+    def test_six_rows(self, t3):
+        assert len(t3.rows) == 6
+
+    def test_overhead_grows_with_blocks(self, t3):
+        """Table 3's trend: more blocks -> more overhead (per model)."""
+        for model in ("resnet50", "vgg19"):
+            ovh = [r.overhead_pct for r in t3.rows if r.model == model]
+            assert ovh == sorted(ovh), model
+
+    def test_splits_are_even(self, t3):
+        """Every GA split keeps the range under ~10% of total (paper's
+        worst even-split range at small block counts)."""
+        for r in t3.rows:
+            if r.blocks <= 3:
+                assert r.range_pct < 10.0, (r.model, r.blocks)
+
+    def test_overheads_in_paper_ballpark(self, t3):
+        """Within a factor of ~3 of the paper's Table-3 overheads (shape
+        reproduction; the substrate differs)."""
+        for r in t3.rows:
+            assert r.overhead_pct < r.paper_overhead_pct * 3 + 5
+
+    def test_optimal_counts_small(self, t3):
+        assert t3.optimal_blocks["resnet50"] in (2, 3)
+        assert t3.optimal_blocks["vgg19"] in (2, 3)
+
+    def test_render(self, t3):
+        text = table3.render(t3)
+        assert "Table 3" in text and "optimal block counts" in text

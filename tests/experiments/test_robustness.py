@@ -1,0 +1,45 @@
+"""Multi-seed robustness study."""
+
+import pytest
+
+from repro.experiments import robustness
+from repro.experiments.config import ExperimentContext
+from repro.runtime.workload import Scenario
+
+
+@pytest.fixture(scope="module")
+def result():
+    return robustness.run(
+        ExperimentContext(),
+        scenario=Scenario("robust-test", 130.0, "high", n_requests=400),
+        baselines=("clockwork", "rta"),
+        alphas=(4.0,),
+        n_seeds=5,
+    )
+
+
+def test_rows_cover_grid(result):
+    assert len(result.rows) == 2
+
+
+def test_split_beats_baselines_with_confidence(result):
+    """Across seeds, SPLIT's violation rate is below each baseline with the
+    whole bootstrap CI on the favourable side."""
+    for r in result.rows:
+        assert r.mean_diff < 0, r.baseline
+        assert r.ci_high < 0, r.baseline
+        assert r.wins == r.seeds, r.baseline
+
+
+def test_ci_ordered(result):
+    for r in result.rows:
+        assert r.ci_low <= r.mean_diff <= r.ci_high
+
+
+def test_render(result):
+    assert "Robustness" in robustness.render(result)
+
+
+def test_unknown_row(result):
+    with pytest.raises(KeyError):
+        result.row("prema", 99.0)

@@ -1,0 +1,45 @@
+"""Experiment CLI."""
+
+import pytest
+
+from repro.experiments.runner import main
+
+
+def test_table1_via_cli(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "resnet50" in out
+
+
+def test_eq1_via_cli(capsys):
+    assert main(["eq1"]) == 0
+    assert "Eq. 1" in capsys.readouterr().out
+
+
+def test_seed_flag(capsys):
+    assert main(["table1", "--seed", "3"]) == 0
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_fig5_plot_flag(capsys):
+    assert main(["fig5", "--plot"]) == 0
+    out = capsys.readouterr().out
+    assert "generation" in out
+    assert "RES-1" in out
+
+
+def test_plot_flag_ignored_for_tables(capsys):
+    assert main(["table1", "--plot"]) == 0
+    assert "Table 1" in capsys.readouterr().out
+
+
+def test_out_flag_writes_reports(tmp_path, capsys):
+    assert main(["table1", "--out", str(tmp_path)]) == 0
+    written = tmp_path / "table1.txt"
+    assert written.exists()
+    assert "Table 1" in written.read_text()

@@ -1,0 +1,44 @@
+"""Scale-out experiment."""
+
+import pytest
+
+from repro.experiments import scaling
+from repro.experiments.config import ExperimentContext
+from repro.runtime.workload import Scenario
+
+
+@pytest.fixture(scope="module")
+def result():
+    return scaling.run(
+        ExperimentContext(),
+        scenario=Scenario("overload-test", 70.0, "high", n_requests=500),
+        processor_counts=(1, 2),
+    )
+
+
+def test_rows_present(result):
+    assert result.row(1, "round_robin")
+    assert result.row(2, "least_backlog")
+
+
+def test_second_processor_recovers_overload(result):
+    one = result.row(1, "round_robin")
+    two = result.row(2, "least_backlog")
+    assert two.violation_at_4 < one.violation_at_4
+    assert two.mean_rr < one.mean_rr
+
+
+def test_backlog_routing_beats_round_robin(result):
+    rr = result.row(2, "round_robin")
+    lb = result.row(2, "least_backlog")
+    assert lb.mean_rr <= rr.mean_rr + 0.2
+
+
+def test_render(result):
+    text = scaling.render(result)
+    assert "Scale-out" in text
+
+
+def test_unknown_row(result):
+    with pytest.raises(KeyError):
+        result.row(9, "round_robin")

@@ -1,0 +1,39 @@
+"""Hardware-sensitivity experiment."""
+
+import pytest
+
+from repro.experiments import sensitivity
+from repro.experiments.config import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def result():
+    return sensitivity.run(
+        ExperimentContext(), models=("resnet50",), factors=(0.5, 1.0, 2.0)
+    )
+
+
+def test_sweep_shape(result):
+    assert len(result.sweeps) == 1
+    assert len(result.sweeps[0].points) == 3
+
+
+def test_block_count_monotone_in_bandwidth(result):
+    counts = [p.optimal_blocks for p in result.sweeps[0].points]
+    assert counts == sorted(counts)
+
+
+def test_presets_cover_three_devices(result):
+    devices = {r.device for r in result.presets}
+    assert devices == {"jetson-nano", "jetson-xavier", "desktop-gpu"}
+
+
+def test_faster_devices_split_at_least_as_much(result):
+    by_device = {r.device: r.optimal_blocks for r in result.presets}
+    assert by_device["jetson-xavier"] >= by_device["jetson-nano"]
+
+
+def test_render(result):
+    text = sensitivity.render(result)
+    assert "Staging-bandwidth sweep" in text
+    assert "Device presets" in text

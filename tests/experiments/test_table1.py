@@ -1,0 +1,38 @@
+"""Table 1 reproduction: exact operator counts and calibrated latencies."""
+
+import pytest
+
+from repro.experiments import table1
+from repro.experiments.config import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table1.run(ExperimentContext())
+
+
+def test_all_five_models(result):
+    assert len(result.rows) == 5
+
+
+def test_operator_counts_match_paper(result):
+    for row in result.rows:
+        assert row.operators == row.paper_operators, row.model
+
+
+def test_latencies_match_paper(result):
+    for row in result.rows:
+        assert row.latency_ms == pytest.approx(row.paper_latency_ms, rel=1e-6)
+
+
+def test_types_match_paper(result):
+    types = {r.model: r.request_type for r in result.rows}
+    assert types["vgg19"] == "long"
+    assert types["resnet50"] == "long"
+    assert types["yolov2"] == "short"
+
+
+def test_render(result):
+    text = table1.render(result)
+    assert "Table 1" in text
+    assert "resnet50" in text

@@ -1,0 +1,50 @@
+"""ExecutionChain: cut-position bookkeeping."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.chain import ExecutionChain
+
+from tests.graphs.test_graph import linear_graph, skip_graph
+
+
+def test_from_graph_requires_two_ops():
+    with pytest.raises(GraphError, match="at least 2"):
+        ExecutionChain.from_graph(linear_graph(1))
+
+
+def test_n_cut_positions():
+    ch = ExecutionChain.from_graph(linear_graph(5))
+    assert ch.n_cut_positions == 4
+    assert len(ch) == 5
+
+
+def test_cut_bytes_bounds_checked():
+    ch = ExecutionChain.from_graph(linear_graph(3))
+    assert ch.cut_bytes(0) == 40
+    with pytest.raises(GraphError):
+        ch.cut_bytes(2)
+
+
+def test_crossing_bytes_readonly():
+    ch = ExecutionChain.from_graph(linear_graph(3))
+    with pytest.raises(ValueError):
+        ch.crossing_bytes[0] = 99
+
+
+def test_blocks_for_cuts():
+    ch = ExecutionChain.from_graph(linear_graph(6))
+    blocks = ch.blocks_for((1, 3))
+    assert [list(b) for b in blocks] == [[0, 1], [2, 3], [4, 5]]
+
+
+def test_blocks_for_no_cuts():
+    ch = ExecutionChain.from_graph(linear_graph(4))
+    assert [list(b) for b in ch.blocks_for(())] == [[0, 1, 2, 3]]
+
+
+def test_skip_graph_chain():
+    ch = ExecutionChain.from_graph(skip_graph())
+    # cut after op1 crosses a_out + b_out = 80 bytes
+    assert ch.cut_bytes(1) == 80
+    assert ch.name == "skip"

@@ -1,0 +1,150 @@
+"""ModelGraph construction, indices, and cut geometry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.graph import ModelGraph
+from repro.graphs.operator import Operator
+from repro.graphs.tensor import TensorSpec
+from repro.types import OpType
+
+
+def linear_graph(n_ops: int = 4, width: int = 10) -> ModelGraph:
+    """input -> op0 -> op1 -> ... (each output has `width` floats)."""
+    g = ModelGraph(name="lin", inputs=(TensorSpec("input", (width,)),))
+    prev = "input"
+    for i in range(n_ops):
+        out = TensorSpec(f"t{i}", (width,))
+        g.add(
+            Operator(
+                name=f"op{i}",
+                op_type=OpType.RELU,
+                inputs=(TensorSpec(prev, (width,)),),
+                outputs=(out,),
+                flops=float(width),
+            )
+        )
+        prev = f"t{i}"
+    return g
+
+
+def skip_graph() -> ModelGraph:
+    """input -> a -> b -> add(a_out, b_out) — a residual edge."""
+    g = ModelGraph(name="skip", inputs=(TensorSpec("input", (10,)),))
+    g.add(
+        Operator(
+            "a", OpType.RELU, (TensorSpec("input", (10,)),), (TensorSpec("a_out", (10,)),)
+        )
+    )
+    g.add(
+        Operator(
+            "b", OpType.RELU, (TensorSpec("a_out", (10,)),), (TensorSpec("b_out", (10,)),)
+        )
+    )
+    g.add(
+        Operator(
+            "add",
+            OpType.ADD,
+            (TensorSpec("a_out", (10,)), TensorSpec("b_out", (10,))),
+            (TensorSpec("sum", (10,)),),
+        )
+    )
+    return g
+
+
+class TestConstruction:
+    def test_add_unknown_input_rejected(self):
+        g = ModelGraph(name="g", inputs=(TensorSpec("input", (4,)),))
+        with pytest.raises(GraphError, match="unknown tensor"):
+            g.add(
+                Operator(
+                    "x", OpType.RELU, (TensorSpec("ghost", (4,)),), (TensorSpec("o", (4,)),)
+                )
+            )
+
+    def test_redefining_tensor_rejected(self):
+        g = linear_graph(2)
+        with pytest.raises(GraphError, match="redefines"):
+            g.add(
+                Operator(
+                    "dup", OpType.RELU, (TensorSpec("t0", (10,)),), (TensorSpec("t1", (10,)),)
+                )
+            )
+
+    def test_len_iter_getitem(self):
+        g = linear_graph(3)
+        assert len(g) == 3
+        assert [op.name for op in g] == ["op0", "op1", "op2"]
+        assert g[1].name == "op1"
+
+
+class TestIndices:
+    def test_producer_index(self):
+        g = linear_graph(3)
+        assert g.producer == {"t0": 0, "t1": 1, "t2": 2}
+
+    def test_consumers_index(self):
+        g = skip_graph()
+        assert g.consumers["a_out"] == [1, 2]
+        assert g.consumers["b_out"] == [2]
+
+    def test_output_tensors(self):
+        g = skip_graph()
+        outs = g.output_tensors
+        assert [t.name for t in outs] == ["sum"]
+
+    def test_indices_invalidate_on_add(self):
+        g = linear_graph(2)
+        _ = g.producer
+        g.add(
+            Operator(
+                "extra", OpType.RELU, (TensorSpec("t1", (10,)),), (TensorSpec("t2", (10,)),)
+            )
+        )
+        assert "t2" in g.producer
+
+
+class TestCuts:
+    def test_linear_crossing_single_tensor(self):
+        g = linear_graph(4)
+        crossing = g.crossing_tensors(1)
+        assert [t.name for t in crossing] == ["t1"]
+
+    def test_skip_edge_crosses(self):
+        g = skip_graph()
+        # Cut after op "b" (index 1): both a_out (skip) and b_out cross.
+        names = sorted(t.name for t in g.crossing_tensors(1))
+        assert names == ["a_out", "b_out"]
+
+    def test_cut_out_of_range(self):
+        g = linear_graph(3)
+        with pytest.raises(GraphError, match="out of range"):
+            g.crossing_tensors(2)  # last valid is n-2 = 1
+        with pytest.raises(GraphError):
+            g.crossing_tensors(-1)
+
+    def test_crossing_bytes_profile_matches_pointwise(self):
+        g = skip_graph()
+        profile = g.crossing_bytes_profile()
+        for i in range(len(g) - 1):
+            expected = sum(t.nbytes for t in g.crossing_tensors(i))
+            assert profile[i] == expected
+
+    def test_crossing_bytes_linear_constant(self):
+        g = linear_graph(5, width=10)
+        np.testing.assert_array_equal(g.crossing_bytes_profile(), [40] * 4)
+
+    def test_profile_single_op(self):
+        g = linear_graph(1)
+        assert g.crossing_bytes_profile().size == 0
+
+
+class TestAggregates:
+    def test_total_flops(self):
+        g = linear_graph(3, width=10)
+        assert g.total_flops == 30.0
+
+    def test_str_mentions_name_and_ops(self):
+        s = str(linear_graph(3))
+        assert "lin" in s and "3 ops" in s

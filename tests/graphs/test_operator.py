@@ -1,0 +1,73 @@
+"""Operator invariants and derived byte/intensity figures."""
+
+import pytest
+
+from repro.graphs.operator import Operator
+from repro.graphs.tensor import TensorSpec
+from repro.types import OpType
+
+
+def make_op(**kw):
+    defaults = dict(
+        name="conv0",
+        op_type=OpType.CONV,
+        inputs=(TensorSpec("in", (1, 3, 8, 8)),),
+        outputs=(TensorSpec("out", (1, 16, 8, 8)),),
+        flops=1000.0,
+        param_bytes=432,
+    )
+    defaults.update(kw)
+    return Operator(**defaults)
+
+
+def test_memory_bytes_sums_all_traffic():
+    op = make_op()
+    expected = (3 * 64 + 16 * 64) * 4 + 432
+    assert op.memory_bytes == expected
+
+
+def test_arithmetic_intensity():
+    op = make_op()
+    assert op.arithmetic_intensity == pytest.approx(1000.0 / op.memory_bytes)
+
+
+def test_zero_memory_zero_intensity():
+    op = make_op(inputs=(), param_bytes=0, flops=0.0)
+    # outputs still contribute bytes, intensity = 0 since flops = 0
+    assert op.arithmetic_intensity == 0.0
+
+
+def test_empty_name_rejected():
+    with pytest.raises(ValueError, match="name"):
+        make_op(name="")
+
+
+def test_no_outputs_rejected():
+    with pytest.raises(ValueError, match="outputs"):
+        make_op(outputs=())
+
+
+def test_negative_flops_rejected():
+    with pytest.raises(ValueError, match="flops"):
+        make_op(flops=-1.0)
+
+
+def test_negative_params_rejected():
+    with pytest.raises(ValueError, match="param_bytes"):
+        make_op(param_bytes=-1)
+
+
+def test_compute_bound_classification():
+    assert OpType.CONV.is_compute_bound
+    assert OpType.GEMM.is_compute_bound
+    assert not OpType.RELU.is_compute_bound
+
+
+def test_reshaping_classification():
+    assert OpType.RESHAPE.is_reshaping
+    assert OpType.CAST.is_reshaping
+    assert not OpType.CONV.is_reshaping
+
+
+def test_str_includes_type():
+    assert "Conv" in str(make_op())

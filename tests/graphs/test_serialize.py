@@ -1,0 +1,83 @@
+""".ronnx round-tripping and error handling."""
+
+import json
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.graphs.serialize import dump_ronnx, dumps_ronnx, load_ronnx, loads_ronnx
+from repro.zoo.registry import get_model
+
+from tests.graphs.test_graph import linear_graph, skip_graph
+
+
+def graphs_equal(a, b) -> bool:
+    if a.name != b.name or a.inputs != b.inputs or len(a) != len(b):
+        return False
+    return all(x == y for x, y in zip(a.operators, b.operators))
+
+
+def test_roundtrip_linear():
+    g = linear_graph(4)
+    assert graphs_equal(g, loads_ronnx(dumps_ronnx(g)))
+
+
+def test_roundtrip_skip():
+    g = skip_graph()
+    assert graphs_equal(g, loads_ronnx(dumps_ronnx(g)))
+
+
+def test_roundtrip_real_model():
+    g = get_model("googlenet")
+    g2 = loads_ronnx(dumps_ronnx(g))
+    assert graphs_equal(g, g2)
+    assert g2.metadata["paper_operator_count"] == 142
+
+
+def test_roundtrip_file(tmp_path):
+    g = linear_graph(3)
+    path = dump_ronnx(g, tmp_path / "m.ronnx")
+    assert graphs_equal(g, load_ronnx(path))
+
+
+def test_invalid_json_rejected():
+    with pytest.raises(SerializationError, match="JSON"):
+        loads_ronnx("not json {")
+
+
+def test_non_object_rejected():
+    with pytest.raises(SerializationError, match="object"):
+        loads_ronnx("[1, 2]")
+
+
+def test_wrong_schema_rejected():
+    payload = json.loads(dumps_ronnx(linear_graph(2)))
+    payload["schema"] = 99
+    with pytest.raises(SerializationError, match="schema"):
+        loads_ronnx(json.dumps(payload))
+
+
+def test_missing_field_rejected():
+    payload = json.loads(dumps_ronnx(linear_graph(2)))
+    del payload["inputs"]
+    with pytest.raises(SerializationError, match="inputs"):
+        loads_ronnx(json.dumps(payload))
+
+
+def test_bad_op_type_rejected():
+    payload = json.loads(dumps_ronnx(linear_graph(2)))
+    payload["operators"][0]["op_type"] = "NotAnOp"
+    with pytest.raises(SerializationError, match="op_type"):
+        loads_ronnx(json.dumps(payload))
+
+
+def test_bad_tensor_rejected():
+    payload = json.loads(dumps_ronnx(linear_graph(2)))
+    payload["operators"][0]["outputs"][0]["shape"] = [0]
+    with pytest.raises(SerializationError):
+        loads_ronnx(json.dumps(payload))
+
+
+def test_missing_file_raises(tmp_path):
+    with pytest.raises(SerializationError, match="cannot read"):
+        load_ronnx(tmp_path / "absent.ronnx")

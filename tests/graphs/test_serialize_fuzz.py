@@ -1,0 +1,75 @@
+"""Property-based round-trip of the .ronnx serializer on random graphs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.graph import ModelGraph
+from repro.graphs.operator import Operator
+from repro.graphs.serialize import dumps_ronnx, loads_ronnx
+from repro.graphs.tensor import TensorSpec
+from repro.graphs.validate import validate_graph
+from repro.types import OpType
+
+_NAMES = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_0123456789", min_size=1, max_size=12
+)
+_SHAPES = st.lists(st.integers(1, 32), min_size=1, max_size=4).map(tuple)
+_DTYPES = st.sampled_from(["float32", "float16", "int64", "int8"])
+_OPTYPES = st.sampled_from(list(OpType))
+
+
+@st.composite
+def random_graph(draw) -> ModelGraph:
+    """A random valid chain-with-skips graph."""
+    n_ops = draw(st.integers(1, 12))
+    input_spec = TensorSpec("input", draw(_SHAPES), draw(_DTYPES))
+    g = ModelGraph(name=draw(_NAMES), inputs=(input_spec,))
+    produced = [input_spec]
+    for i in range(n_ops):
+        # Each op consumes 1-2 earlier tensors (always includes the most
+        # recent, to keep the chain connected and topological).
+        inputs = [produced[-1]]
+        if len(produced) > 1 and draw(st.booleans()):
+            extra = produced[draw(st.integers(0, len(produced) - 2))]
+            if extra.name != inputs[0].name:
+                inputs.append(extra)
+        out = TensorSpec(f"t{i}", draw(_SHAPES), draw(_DTYPES))
+        g.add(
+            Operator(
+                name=f"op{i}",
+                op_type=draw(_OPTYPES),
+                inputs=tuple(inputs),
+                outputs=(out,),
+                flops=float(draw(st.integers(0, 10**9))),
+                param_bytes=draw(st.integers(0, 10**7)),
+                attributes={"k": draw(st.integers(0, 9))},
+            )
+        )
+        produced.append(out)
+    return g
+
+
+@given(random_graph())
+@settings(max_examples=100, deadline=None)
+def test_roundtrip_preserves_everything(graph):
+    validate_graph(graph)
+    restored = loads_ronnx(dumps_ronnx(graph))
+    assert restored.name == graph.name
+    assert restored.inputs == graph.inputs
+    assert len(restored) == len(graph)
+    for a, b in zip(graph.operators, restored.operators):
+        assert a == b
+        assert a.attributes == b.attributes
+    # Derived structures agree too.
+    assert (
+        restored.crossing_bytes_profile().tolist()
+        == graph.crossing_bytes_profile().tolist()
+    )
+
+
+@given(random_graph())
+@settings(max_examples=50, deadline=None)
+def test_double_roundtrip_is_identity(graph):
+    once = dumps_ronnx(graph)
+    twice = dumps_ronnx(loads_ronnx(once))
+    assert once == twice

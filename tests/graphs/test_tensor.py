@@ -1,0 +1,50 @@
+"""TensorSpec shape/dtype accounting."""
+
+import pytest
+
+from repro.graphs.tensor import TensorSpec
+
+
+def test_numel_and_nbytes():
+    t = TensorSpec("x", (1, 3, 224, 224))
+    assert t.numel == 3 * 224 * 224
+    assert t.nbytes == t.numel * 4
+
+
+def test_fp16_halves_bytes():
+    a = TensorSpec("x", (8, 8), dtype="float32")
+    b = TensorSpec("x", (8, 8), dtype="float16")
+    assert b.nbytes * 2 == a.nbytes
+
+
+def test_int64_bytes():
+    t = TensorSpec("ids", (1, 32), dtype="int64")
+    assert t.nbytes == 32 * 8
+    assert t.itemsize == 8
+
+
+def test_unknown_dtype_rejected():
+    with pytest.raises(ValueError, match="dtype"):
+        TensorSpec("x", (1,), dtype="complex128")
+
+
+def test_nonpositive_dim_rejected():
+    with pytest.raises(ValueError, match="non-positive"):
+        TensorSpec("x", (1, 0, 3))
+
+
+def test_with_name_preserves_shape():
+    t = TensorSpec("x", (2, 3)).with_name("y")
+    assert t.name == "y"
+    assert t.shape == (2, 3)
+
+
+def test_str_compact():
+    assert str(TensorSpec("x", (1, 2))) == "x:1x2:float32"
+
+
+def test_frozen_and_hashable():
+    t = TensorSpec("x", (1,))
+    assert hash(t) == hash(TensorSpec("x", (1,)))
+    with pytest.raises(AttributeError):
+        t.name = "y"

@@ -1,0 +1,67 @@
+"""Whole-graph validation invariants."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.graph import ModelGraph
+from repro.graphs.operator import Operator
+from repro.graphs.tensor import TensorSpec
+from repro.graphs.validate import to_networkx, validate_graph
+from repro.types import OpType
+from repro.zoo.registry import get_model, model_names
+
+from tests.graphs.test_graph import linear_graph, skip_graph
+
+
+def test_valid_graphs_pass():
+    validate_graph(linear_graph(4))
+    validate_graph(skip_graph())
+
+
+@pytest.mark.parametrize("name", model_names())
+def test_all_zoo_models_validate(name):
+    validate_graph(get_model(name, cached=True))
+
+
+def test_empty_graph_rejected():
+    g = ModelGraph(name="empty", inputs=(TensorSpec("input", (1,)),))
+    with pytest.raises(GraphError, match="no operators"):
+        validate_graph(g)
+
+
+def test_no_inputs_rejected():
+    g = ModelGraph(name="noin", inputs=())
+    g.operators.append(
+        Operator("x", OpType.RELU, (), (TensorSpec("o", (1,)),))
+    )
+    with pytest.raises(GraphError, match="no inputs"):
+        validate_graph(g)
+
+
+def test_non_topological_order_rejected():
+    g = linear_graph(3)
+    g.operators.reverse()  # break the invariant behind the builder's back
+    g._producer = None
+    g._consumers = None
+    with pytest.raises(GraphError, match="not topological"):
+        validate_graph(g)
+
+
+def test_unreachable_island_rejected():
+    g = linear_graph(2)
+    # An operator consuming only its own island's tensor (appended raw).
+    island_in = TensorSpec("island_src", (4,))
+    g.operators.append(
+        Operator("island", OpType.RELU, (), (island_in,))
+    )
+    g._producer = None
+    g._consumers = None
+    with pytest.raises(GraphError, match="unreachable"):
+        validate_graph(g)
+
+
+def test_to_networkx_edges():
+    g = skip_graph()
+    nxg = to_networkx(g)
+    assert set(nxg.edges()) == {(0, 1), (0, 2), (1, 2)}
+    assert nxg.edges[0, 2]["tensor"] == "a_out"

@@ -1,0 +1,65 @@
+"""Contention and alignment throughput curves."""
+
+import dataclasses
+
+import pytest
+
+from repro.hardware.contention import ContentionModel
+from repro.hardware.presets import jetson_nano
+
+
+@pytest.fixture(scope="module")
+def cm():
+    return ContentionModel(jetson_nano())
+
+
+def test_single_request_full_rate(cm):
+    assert cm.aggregate_efficiency(1) == 1.0
+    assert cm.per_request_rate(1) == 1.0
+    assert cm.slowdown(1) == 1.0
+
+
+def test_aggregate_efficiency_decreases(cm):
+    effs = [cm.aggregate_efficiency(n) for n in range(1, 6)]
+    assert all(a >= b for a, b in zip(effs, effs[1:]))
+    assert effs[-1] < 1.0
+
+
+def test_per_request_rate_decreases(cm):
+    rates = [cm.per_request_rate(n) for n in range(1, 6)]
+    assert all(a > b for a, b in zip(rates, rates[1:]))
+
+
+def test_slowdown_exceeds_n(cm):
+    # Sharing among n plus contention: slowdown > n for n > 1.
+    assert cm.slowdown(3) > 3.0
+
+
+def test_zero_active(cm):
+    assert cm.per_request_rate(0) == 0.0
+    assert cm.slowdown(0) == float("inf")
+
+
+def test_aligned_efficiency_beats_serial(cm):
+    assert cm.aligned_efficiency(1) == 1.0
+    for n in (2, 3, 4):
+        assert 1.0 < cm.aligned_efficiency(n) <= 1.0 + cm.device.rta_overlap_gain
+
+
+def test_aligned_efficiency_saturates(cm):
+    e4 = cm.aligned_efficiency(4)
+    e100 = cm.aligned_efficiency(100)
+    assert e100 > e4
+    assert e100 < 1.0 + cm.device.rta_overlap_gain + 1e-9
+
+
+def test_aligned_rate_still_shares(cm):
+    # Even with alignment gain, each request progresses slower than alone.
+    assert cm.aligned_rate(2) < 1.0
+
+
+def test_gamma_zero_is_pure_processor_sharing():
+    dev = dataclasses.replace(jetson_nano(), contention_gamma=0.0)
+    cm = ContentionModel(dev)
+    assert cm.aggregate_efficiency(5) == 1.0
+    assert cm.per_request_rate(5) == pytest.approx(0.2)

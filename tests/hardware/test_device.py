@@ -1,0 +1,50 @@
+"""DeviceSpec validation and presets."""
+
+import dataclasses
+
+import pytest
+
+from repro.hardware.presets import desktop_gpu, jetson_nano, jetson_xavier
+from repro.types import OpType
+
+
+def test_presets_construct():
+    for factory in (jetson_nano, jetson_xavier, desktop_gpu):
+        dev = factory()
+        assert dev.peak_flops > 0
+        assert dev.staging_bandwidth < dev.mem_bandwidth
+
+
+def test_preset_names_unique():
+    names = {f().name for f in (jetson_nano, jetson_xavier, desktop_gpu)}
+    assert len(names) == 3
+
+
+def test_efficiency_for_listed_and_default():
+    dev = jetson_nano()
+    assert dev.efficiency_for(OpType.CONV) == 0.55
+    assert dev.efficiency_for(OpType.SOFTMAX) == dev.default_compute_efficiency
+
+
+@pytest.mark.parametrize(
+    "field,value,match",
+    [
+        ("peak_flops", 0.0, "positive"),
+        ("mem_bandwidth", -1.0, "positive"),
+        ("staging_bandwidth", 0.0, "positive"),
+        ("kernel_launch_ms", -0.1, "non-negative"),
+        ("block_overhead_ms", -1.0, "non-negative"),
+        ("contention_gamma", -0.5, ">= 0"),
+        ("max_streams", 0, ">= 1"),
+        ("rta_overlap_gain", -0.1, ">= 0"),
+    ],
+)
+def test_invalid_fields_rejected(field, value, match):
+    with pytest.raises(ValueError, match=match):
+        dataclasses.replace(jetson_nano(), **{field: value})
+
+
+def test_xavier_faster_than_nano():
+    nano, xavier = jetson_nano(), jetson_xavier()
+    assert xavier.peak_flops > nano.peak_flops
+    assert xavier.kernel_launch_ms < nano.kernel_launch_ms

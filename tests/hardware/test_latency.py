@@ -1,0 +1,96 @@
+"""Roofline latency model and Table-1 calibration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError
+from repro.graphs.operator import Operator
+from repro.graphs.tensor import TensorSpec
+from repro.hardware.latency import LatencyModel
+from repro.hardware.presets import jetson_nano
+from repro.types import OpType
+from repro.zoo.registry import EVALUATED_MODELS, get_model
+
+
+@pytest.fixture(scope="module")
+def lm():
+    return LatencyModel(jetson_nano())
+
+
+def _op(op_type=OpType.CONV, flops=1e9, in_bytes=1000, out_bytes=1000, params=0):
+    n_in = max(1, in_bytes // 4)
+    n_out = max(1, out_bytes // 4)
+    return Operator(
+        name="op",
+        op_type=op_type,
+        inputs=(TensorSpec("i", (n_in,)),),
+        outputs=(TensorSpec("o", (n_out,)),),
+        flops=flops,
+        param_bytes=params,
+    )
+
+
+def test_compute_bound_scales_with_flops(lm):
+    t1 = lm.op_latency_ms(_op(flops=1e9))
+    t2 = lm.op_latency_ms(_op(flops=2e9))
+    assert t2 > t1
+    # Twice the FLOPs roughly doubles time minus the fixed launch cost.
+    launch = lm.device.kernel_launch_ms
+    assert (t2 - launch) == pytest.approx(2 * (t1 - launch), rel=1e-6)
+
+
+def test_memory_bound_op_ignores_small_flops(lm):
+    # An elementwise op with huge tensors: memory roof dominates.
+    big = _op(op_type=OpType.RELU, flops=10.0, in_bytes=40_000_000, out_bytes=40_000_000)
+    t = lm.op_latency_ms(big)
+    mem_ms = big.memory_bytes / (
+        lm.device.mem_bandwidth * lm.device.memory_efficiency
+    ) * 1e3
+    assert t == pytest.approx(lm.device.kernel_launch_ms + mem_ms)
+
+
+def test_metadata_op_costs_constant(lm):
+    t = lm.op_latency_ms(_op(op_type=OpType.RESHAPE, flops=0.0))
+    assert t == lm.device.metadata_op_ms
+
+
+def test_launch_overhead_floor(lm):
+    tiny = _op(flops=1.0, in_bytes=4, out_bytes=4)
+    assert lm.op_latency_ms(tiny) >= lm.device.kernel_launch_ms
+
+
+@pytest.mark.parametrize("name", EVALUATED_MODELS)
+def test_calibration_hits_paper_latency(lm, name):
+    g = get_model(name, cached=True)
+    total = lm.calibrated_profile(g).sum()
+    assert total == pytest.approx(g.metadata["paper_latency_ms"], rel=1e-9)
+
+
+def test_calibration_preserves_ratios(lm):
+    g = get_model("resnet50", cached=True)
+    raw = lm.profile_graph(g)
+    cal = lm.calibrated_profile(g)
+    np.testing.assert_allclose(cal / cal.sum(), raw / raw.sum(), rtol=1e-12)
+
+
+def test_uncalibrated_model_returns_raw(lm):
+    g = get_model("mobilenetv2", cached=True)  # no paper latency
+    raw = lm.profile_graph(g)
+    np.testing.assert_array_equal(lm.calibrated_profile(g), raw)
+
+
+def test_explicit_target_overrides_metadata(lm):
+    g = get_model("resnet50", cached=True)
+    assert lm.calibrated_profile(g, 100.0).sum() == pytest.approx(100.0)
+
+
+def test_bad_target_rejected(lm):
+    g = get_model("resnet50", cached=True)
+    with pytest.raises(CalibrationError, match="positive"):
+        lm.calibrated_profile(g, -5.0)
+
+
+def test_depthwise_less_efficient_than_dense(lm):
+    dense = _op(op_type=OpType.CONV, flops=1e9)
+    dw = _op(op_type=OpType.DEPTHWISE_CONV, flops=1e9)
+    assert lm.op_latency_ms(dw) > lm.op_latency_ms(dense)

@@ -1,0 +1,103 @@
+"""Latency-model fidelity across the zoo: regime classification and the
+structural properties the splitting observations rest on."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.latency import LatencyModel
+from repro.hardware.presets import jetson_nano
+from repro.types import OpType
+from repro.zoo.registry import EVALUATED_MODELS, get_model
+
+
+@pytest.fixture(scope="module")
+def lm():
+    return LatencyModel(jetson_nano())
+
+
+def test_elementwise_ops_memory_bound(lm):
+    """ReLUs on CNN activations must sit on the memory roof, not compute."""
+    g = get_model("vgg19", cached=True)
+    dev = lm.device
+    for op in g:
+        if op.op_type is OpType.RELU:
+            t = lm.op_latency_ms(op)
+            mem_ms = op.memory_bytes / (
+                dev.mem_bandwidth * dev.memory_efficiency
+            ) * 1e3
+            assert t == pytest.approx(dev.kernel_launch_ms + mem_ms)
+
+
+def test_big_convs_compute_bound(lm):
+    """VGG's 3x3/512-channel convolutions must sit on the compute roof."""
+    g = get_model("vgg19", cached=True)
+    dev = lm.device
+    heavy = [
+        op for op in g if op.op_type is OpType.CONV and op.flops > 1e9
+    ]
+    assert heavy
+    for op in heavy:
+        t = lm.op_latency_ms(op)
+        compute_ms = op.flops / (dev.peak_flops * dev.efficiency_for(op.op_type)) * 1e3
+        assert t == pytest.approx(dev.kernel_launch_ms + compute_ms)
+
+
+@pytest.mark.parametrize("name", EVALUATED_MODELS)
+def test_conv_models_not_back_loaded_in_time(lm, name):
+    """§2.4: per-op time is front-loaded (or at worst uniform) for the
+    CNNs. VGG/ResNet/GoogLeNet are clearly front-heavy; YOLOv2's darknet
+    doubles channels exactly when it halves resolution, which makes its
+    per-layer cost nearly uniform (front share ~0.5); GPT-2's blocks are
+    uniform by construction."""
+    if name == "gpt2":
+        pytest.skip("transformer blocks are uniform by construction")
+    g = get_model(name, cached=True)
+    times = lm.calibrated_profile(g)
+    half = len(times) // 2
+    front_share = times[:half].sum() / times.sum()
+    assert front_share > 0.45
+    if name in ("vgg19", "resnet50", "googlenet"):
+        assert front_share > 0.5
+
+
+def test_gpt2_metadata_ops_are_cheap(lm):
+    """The 700+ scaffold ops of the GPT-2 export must contribute almost
+    nothing to its latency (else splitting positions would be distorted)."""
+    g = get_model("gpt2", cached=True)
+    times = lm.calibrated_profile(g)
+    scaffold_time = sum(
+        t for t, op in zip(times, g.operators) if op.op_type.is_reshaping
+    )
+    assert scaffold_time < 0.05 * times.sum()
+
+
+@pytest.mark.parametrize("name", EVALUATED_MODELS)
+def test_no_zero_or_negative_latencies(lm, name):
+    g = get_model(name, cached=True)
+    times = lm.calibrated_profile(g)
+    assert (times > 0).all()
+
+
+def test_per_model_dominant_op_share(lm):
+    """Convolutions / matmuls must dominate the runtime. GPT-2's
+    fine-grained export spends real memory traffic on the per-head slices,
+    so its dense share is lower but still the largest contributor."""
+    for name, kinds, floor in (
+        ("resnet50", (OpType.CONV,), 0.7),
+        ("vgg19", (OpType.CONV, OpType.GEMM), 0.8),
+        ("gpt2", (OpType.GEMM, OpType.MATMUL), 0.4),
+    ):
+        g = get_model(name, cached=True)
+        times = lm.calibrated_profile(g)
+        share = sum(
+            t for t, op in zip(times, g.operators) if op.op_type in kinds
+        ) / times.sum()
+        assert share > floor, (name, share)
+
+
+def test_crossing_bytes_finite_and_positive_somewhere():
+    for name in EVALUATED_MODELS:
+        g = get_model(name, cached=True)
+        profile = g.crossing_bytes_profile()
+        assert (profile >= 0).all()
+        assert profile.max() > 0

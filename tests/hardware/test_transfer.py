@@ -1,0 +1,41 @@
+"""Cut-boundary transfer cost model."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.presets import jetson_nano
+from repro.hardware.transfer import TransferModel
+
+
+@pytest.fixture(scope="module")
+def tm():
+    return TransferModel(jetson_nano())
+
+
+def test_zero_bytes_costs_fixed_overhead(tm):
+    assert tm.cut_cost_ms(0) == tm.device.block_overhead_ms
+
+
+def test_cost_linear_in_bytes(tm):
+    fixed = tm.device.block_overhead_ms
+    c1 = tm.cut_cost_ms(1_000_000) - fixed
+    c2 = tm.cut_cost_ms(2_000_000) - fixed
+    assert c2 == pytest.approx(2 * c1)
+
+
+def test_round_trip_staging(tm):
+    # 2 GB/s staging, 1 MB crossing: out + back = 2 MB -> 1 ms.
+    assert tm.cut_cost_ms(1_000_000) == pytest.approx(
+        tm.device.block_overhead_ms + 1.0
+    )
+
+
+def test_profile_matches_pointwise(tm):
+    bytes_profile = np.array([0, 1000, 10_000_000, 123456])
+    profile = tm.cut_cost_profile(bytes_profile)
+    for b, c in zip(bytes_profile, profile):
+        assert c == pytest.approx(tm.cut_cost_ms(int(b)))
+
+
+def test_profile_empty(tm):
+    assert tm.cut_cost_profile(np.zeros(0, dtype=np.int64)).size == 0

@@ -1,0 +1,52 @@
+"""ProfileCache memoisation semantics."""
+
+from repro.hardware.presets import jetson_nano
+from repro.profiling.cache import ProfileCache
+from repro.zoo.registry import get_model
+
+
+def test_cache_hits_same_object():
+    cache = ProfileCache(jetson_nano())
+    g = get_model("googlenet", cached=True)
+    a = cache.get(g)
+    b = cache.get(g)
+    assert a is b
+    assert len(cache) == 1
+
+
+def test_cache_distinguishes_targets():
+    cache = ProfileCache(jetson_nano())
+    g = get_model("googlenet", cached=True)
+    a = cache.get(g)
+    b = cache.get(g, target_total_ms=99.0)
+    assert a is not b
+    assert len(cache) == 2
+
+
+def test_cache_invalidates_on_op_count_change():
+    cache = ProfileCache(jetson_nano())
+    g = get_model("googlenet")  # fresh, mutable copy
+    a = cache.get(g)
+    from repro.graphs.operator import Operator
+    from repro.graphs.tensor import TensorSpec
+    from repro.types import OpType
+
+    last_out = g.output_tensors[0]
+    g.add(
+        Operator(
+            "extra",
+            OpType.RELU,
+            (last_out,),
+            (TensorSpec("extra_out", last_out.shape),),
+        )
+    )
+    b = cache.get(g)
+    assert b is not a
+    assert b.n_ops == a.n_ops + 1
+
+
+def test_clear():
+    cache = ProfileCache(jetson_nano())
+    cache.get(get_model("googlenet", cached=True))
+    cache.clear()
+    assert len(cache) == 0

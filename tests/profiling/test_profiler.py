@@ -1,0 +1,54 @@
+"""Profiler: graph + device -> calibrated profile and block records."""
+
+import pytest
+
+from repro.hardware.presets import jetson_nano
+from repro.profiling.profiler import Profiler
+from repro.zoo.registry import get_model
+
+
+@pytest.fixture(scope="module")
+def profiler():
+    return Profiler(jetson_nano())
+
+
+def test_profile_shape_and_calibration(profiler):
+    g = get_model("resnet50", cached=True)
+    p = profiler.profile(g)
+    assert p.n_ops == len(g)
+    assert len(p.cut_cost_ms) == len(g) - 1
+    assert p.total_ms == pytest.approx(28.35)
+    assert p.model_name == "resnet50"
+    assert p.device_name == "jetson-nano"
+
+
+def test_profile_explicit_target(profiler):
+    g = get_model("vgg19", cached=True)
+    p = profiler.profile(g, target_total_ms=50.0)
+    assert p.total_ms == pytest.approx(50.0)
+
+
+def test_cut_costs_reflect_crossing_bytes(profiler):
+    g = get_model("vgg19", cached=True)
+    p = profiler.profile(g)
+    # Early VGG cuts cross 224x224x64 activations; late ones tiny FC vectors.
+    assert p.cut_cost_ms[0] > p.cut_cost_ms[-1]
+
+
+def test_profile_blocks_records(profiler):
+    g = get_model("resnet50", cached=True)
+    cuts = (40, 80)
+    records = profiler.profile_blocks(g, cuts)
+    assert len(records) == 3
+    assert records[0].op_range == (0, 40)
+    assert records[1].op_range == (41, 80)
+    assert records[2].op_range == (81, len(g) - 1)
+    # Boundary bytes chain: block i's out == block i+1's in.
+    assert records[0].boundary_out_bytes == records[1].boundary_in_bytes
+    assert records[0].boundary_in_bytes == 0
+    assert records[-1].boundary_out_bytes == 0
+    total = sum(r.exec_ms for r in records)
+    p = profiler.profile(g)
+    assert total == pytest.approx(
+        p.total_ms + p.cut_cost_ms[40] + p.cut_cost_ms[80]
+    )

@@ -1,0 +1,99 @@
+"""ModelProfile prefix-sum tables and block-time computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.profiling.records import BlockProfile
+
+from tests.conftest import make_profile
+
+
+class TestModelProfile:
+    def test_prefix_sums(self):
+        p = make_profile([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(p.prefix_ms, [1.0, 3.0, 6.0])
+        assert p.total_ms == 6.0
+        assert p.n_ops == 3
+
+    def test_arrays_readonly(self):
+        p = make_profile([1.0, 2.0])
+        with pytest.raises(ValueError):
+            p.op_times_ms[0] = 9.0
+        with pytest.raises(ValueError):
+            p.prefix_ms[0] = 9.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(PartitionError, match="n_ops - 1"):
+            make_profile([1.0, 2.0], cut_costs=[0.5, 0.5])
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(PartitionError, match="non-negative"):
+            make_profile([1.0, -2.0])
+
+    def test_block_time(self):
+        p = make_profile([1.0, 2.0, 3.0, 4.0])
+        assert p.block_time_ms(0, 3) == 10.0
+        assert p.block_time_ms(1, 2) == 5.0
+        assert p.block_time_ms(2, 2) == 3.0
+
+    def test_block_time_out_of_range(self):
+        p = make_profile([1.0, 2.0])
+        with pytest.raises(PartitionError):
+            p.block_time_ms(1, 2)
+        with pytest.raises(PartitionError):
+            p.block_time_ms(-1, 0)
+
+    def test_block_times_no_cuts(self):
+        p = make_profile([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(p.block_times_for_cuts(()), [6.0])
+
+    def test_block_times_with_overhead_on_downstream(self):
+        p = make_profile([1.0, 2.0, 3.0], cut_costs=[0.5, 0.25])
+        times = p.block_times_for_cuts((0,))
+        np.testing.assert_allclose(times, [1.0, 5.5])
+        times = p.block_times_for_cuts((0, 1))
+        np.testing.assert_allclose(times, [1.0, 2.5, 3.25])
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=100, allow_nan=False),
+            min_size=3,
+            max_size=40,
+        ),
+        st.data(),
+    )
+    def test_block_times_cover_everything(self, op_times, data):
+        """sum(block times) == total + sum(cut overheads) for any cuts."""
+        costs = [0.5] * (len(op_times) - 1)
+        p = make_profile(op_times, cut_costs=costs)
+        k = data.draw(st.integers(min_value=0, max_value=min(3, p.n_ops - 1)))
+        cuts = tuple(
+            sorted(
+                data.draw(
+                    st.sets(
+                        st.integers(0, p.n_ops - 2), min_size=k, max_size=k
+                    )
+                )
+            )
+        )
+        times = p.block_times_for_cuts(cuts)
+        assert len(times) == len(cuts) + 1
+        expected = p.total_ms + 0.5 * len(cuts)
+        assert times.sum() == pytest.approx(expected, rel=1e-9)
+
+
+class TestBlockProfile:
+    def test_valid(self):
+        b = BlockProfile("m", 0, (0, 5), 3.0, 0, 128)
+        assert b.exec_ms == 3.0
+
+    def test_negative_exec_rejected(self):
+        with pytest.raises(PartitionError):
+            BlockProfile("m", 0, (0, 5), -1.0, 0, 0)
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(PartitionError):
+            BlockProfile("m", 0, (5, 2), 1.0, 0, 0)

@@ -1,0 +1,78 @@
+"""Profile persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError
+from repro.hardware.presets import jetson_nano
+from repro.profiling.profiler import Profiler
+from repro.profiling.store import ProfileStore, dumps_profile, loads_profile
+from repro.zoo.registry import get_model
+
+from tests.conftest import make_profile
+
+
+def test_roundtrip_string():
+    p = make_profile([1.0, 2.5, 3.0], cut_costs=[0.1, 0.2], name="m", device="d")
+    q = loads_profile(dumps_profile(p))
+    assert q.model_name == "m" and q.device_name == "d"
+    np.testing.assert_allclose(q.op_times_ms, p.op_times_ms)
+    np.testing.assert_allclose(q.cut_cost_ms, p.cut_cost_ms)
+
+
+def test_bad_json():
+    with pytest.raises(SerializationError, match="JSON"):
+        loads_profile("nope")
+
+
+def test_bad_schema():
+    with pytest.raises(SerializationError, match="schema"):
+        loads_profile('{"schema": 42}')
+
+
+def test_missing_field():
+    with pytest.raises(SerializationError, match="missing"):
+        loads_profile('{"schema": 1, "model_name": "m"}')
+
+
+class TestStore:
+    def test_save_load(self, tmp_path):
+        store = ProfileStore(tmp_path)
+        p = make_profile([1.0, 2.0], name="m", device="dev")
+        store.save(p)
+        q = store.load("m", "dev")
+        assert q.total_ms == p.total_ms
+
+    def test_load_absent(self, tmp_path):
+        store = ProfileStore(tmp_path)
+        with pytest.raises(SerializationError, match="no stored profile"):
+            store.load("ghost", "dev")
+
+    def test_get_or_profile_caches(self, tmp_path):
+        store = ProfileStore(tmp_path)
+        profiler = Profiler(jetson_nano())
+        g = get_model("googlenet", cached=True)
+        first = store.get_or_profile(g, profiler)
+        assert store.list_profiles() == [("googlenet", "jetson-nano")]
+        second = store.get_or_profile(g, profiler)
+        np.testing.assert_allclose(second.op_times_ms, first.op_times_ms)
+
+    def test_get_or_profile_detects_stale(self, tmp_path):
+        store = ProfileStore(tmp_path)
+        profiler = Profiler(jetson_nano())
+        g = get_model("googlenet")  # fresh copy
+        store.get_or_profile(g, profiler)
+        # Mutate the graph: the stored profile is stale and re-profiled.
+        from repro.graphs.operator import Operator
+        from repro.types import OpType
+
+        out = g.output_tensors[0]
+        g.add(Operator("extra", OpType.RELU, (out,), (out.with_name("x2"),)))
+        fresh = store.get_or_profile(g, profiler)
+        assert fresh.n_ops == len(g)
+
+    def test_list_profiles_sorted(self, tmp_path):
+        store = ProfileStore(tmp_path)
+        store.save(make_profile([1.0, 2.0], name="b", device="d"))
+        store.save(make_profile([1.0, 2.0], name="a", device="d"))
+        assert store.list_profiles() == [("a", "d"), ("b", "d")]

@@ -1,0 +1,82 @@
+"""Engine edge cases: ties, zero-length blocks, pathological schedules."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.engine import SequentialEngine
+from repro.scheduling.policies import FIFOScheduler, SplitScheduler
+from repro.scheduling.request import Request, TaskSpec
+
+
+def spec(name="m", ext=10.0, blocks=None):
+    return TaskSpec(name=name, ext_ms=ext, blocks_ms=blocks or (ext,))
+
+
+def test_simultaneous_arrivals_all_served():
+    engine = SequentialEngine(FIFOScheduler(), keep_trace=True)
+    arr = [
+        (5.0, Request(task=spec(f"t{i}", ext=3.0), arrival_ms=5.0))
+        for i in range(10)
+    ]
+    res = engine.run(arr)
+    assert len(res.completed) == 10
+    res.trace.verify()
+    finishes = sorted(r.finish_ms for r in res.completed)
+    assert finishes[-1] == pytest.approx(5.0 + 30.0)
+
+
+def test_zero_length_block_progresses():
+    # A plan containing a zero-duration block must not stall the engine.
+    s = TaskSpec(name="z", ext_ms=5.0, blocks_ms=(0.0, 5.0))
+    engine = SequentialEngine(SplitScheduler())
+    res = engine.run([(0.0, Request(task=s, arrival_ms=0.0))])
+    assert res.completed[0].finish_ms == pytest.approx(5.0)
+
+
+def test_arrival_exactly_at_block_boundary():
+    engine = SequentialEngine(SplitScheduler(), keep_trace=True)
+    long_req = Request(task=spec("long", 40.0, (20.0, 20.0)), arrival_ms=0.0)
+    short_req = Request(task=spec("short", 5.0), arrival_ms=20.0)
+    res = engine.run([(0.0, long_req), (20.0, short_req)])
+    res.trace.verify()
+    by_name = {r.task_type: r for r in res.completed}
+    # Arrival at the boundary: the short must run next (it passes the
+    # long's second block at the boundary).
+    assert by_name["short"].finish_ms == pytest.approx(25.0)
+
+
+def test_negative_arrival_rejected():
+    engine = SequentialEngine(FIFOScheduler())
+    with pytest.raises(SimulationError, match="negative"):
+        engine.run([(-1.0, Request(task=spec(), arrival_ms=0.0))])
+
+
+def test_many_tiny_blocks():
+    blocks = tuple([0.01] * 500)
+    s = TaskSpec(name="tiny", ext_ms=5.0, blocks_ms=blocks)
+    engine = SequentialEngine(SplitScheduler())
+    res = engine.run([(0.0, Request(task=s, arrival_ms=0.0))])
+    assert res.completed[0].finish_ms == pytest.approx(5.0, rel=1e-6)
+
+
+def test_arrival_long_after_drain():
+    engine = SequentialEngine(FIFOScheduler())
+    res = engine.run(
+        [
+            (0.0, Request(task=spec("a", 1.0), arrival_ms=0.0)),
+            (1e6, Request(task=spec("b", 1.0), arrival_ms=1e6)),
+        ]
+    )
+    by_name = {r.task_type: r for r in res.completed}
+    assert by_name["b"].finish_ms == pytest.approx(1e6 + 1.0)
+
+
+def test_identical_requests_fifo_order_stable():
+    engine = SequentialEngine(SplitScheduler())
+    reqs = [Request(task=spec("same", 5.0), arrival_ms=float(i)) for i in range(8)]
+    res = engine.run([(r.arrival_ms, r) for r in reqs])
+    finish_by_arrival = sorted(
+        (r.arrival_ms, r.finish_ms) for r in res.completed
+    )
+    finishes = [f for _, f in finish_by_arrival]
+    assert finishes == sorted(finishes)  # no overtaking within a task

@@ -1,0 +1,105 @@
+"""QoS metrics: violation curves and jitter."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.runtime.engine import EngineResult
+from repro.runtime.metrics import QoSReport, RequestRecord, collect_records
+from repro.scheduling.request import Request, TaskSpec
+
+
+def record(model="m", arrival=0.0, finish=20.0, ext=10.0, rid=None, preempt=0):
+    record.counter = getattr(record, "counter", 0) + 1
+    return RequestRecord(
+        request_id=rid if rid is not None else record.counter,
+        model=model,
+        arrival_ms=arrival,
+        finish_ms=finish,
+        ext_ms=ext,
+        preemptions=preempt,
+    )
+
+
+class TestRequestRecord:
+    def test_rr(self):
+        r = record(finish=30.0, ext=10.0)
+        assert r.e2e_ms == 30.0
+        assert r.response_ratio == 3.0
+        assert r.violates(2.9)
+        assert not r.violates(3.0)
+
+    def test_dropped_always_violates(self):
+        r = record(finish=None)
+        assert r.dropped
+        assert r.response_ratio == float("inf")
+        assert r.violates(1e9)
+
+
+class TestQoSReport:
+    def make_report(self):
+        return QoSReport(
+            [
+                record(model="a", finish=10.0, ext=10.0),  # RR 1
+                record(model="a", finish=30.0, ext=10.0),  # RR 3
+                record(model="b", arrival=0.0, finish=50.0, ext=10.0),  # RR 5
+                record(model="b", finish=None, ext=10.0),  # dropped
+            ]
+        )
+
+    def test_violation_rate(self):
+        rep = self.make_report()
+        assert rep.violation_rate(2.0) == 0.75  # RR 3, 5, inf
+        assert rep.violation_rate(4.0) == 0.5
+        assert rep.violation_rate(100.0) == 0.25  # only the drop
+
+    def test_violation_curve_monotone(self):
+        rep = self.make_report()
+        curve = rep.violation_curve([2, 4, 8, 100])
+        assert (np.diff(curve) <= 0).all()
+
+    def test_models_and_latencies(self):
+        rep = self.make_report()
+        assert rep.models() == ("a", "b")
+        assert len(rep.latencies_for("a")) == 2
+        assert len(rep.latencies_for("b")) == 1  # drop excluded
+        assert len(rep.latencies_for()) == 3
+
+    def test_jitter(self):
+        rep = self.make_report()
+        assert rep.jitter_ms("a") == pytest.approx(10.0)  # std of [10, 30]
+        assert rep.jitter_ms("b") == 0.0
+        assert math.isnan(rep.jitter_ms("absent"))
+
+    def test_mean_rr(self):
+        rep = self.make_report()
+        assert rep.mean_response_ratio("a") == pytest.approx(2.0)
+
+    def test_counts(self):
+        rep = self.make_report()
+        assert rep.n_requests == 4
+        assert rep.n_dropped == 1
+
+    def test_empty_report(self):
+        rep = QoSReport([])
+        assert math.isnan(rep.violation_rate(2.0))
+        assert math.isnan(rep.jitter_ms())
+
+    def test_latency_summary_keys(self):
+        s = self.make_report().latency_summary("a")
+        assert s["min"] == 10.0 and s["max"] == 30.0
+
+
+class TestCollectRecords:
+    def test_freeze_and_sort(self):
+        spec = TaskSpec(name="m", ext_ms=10.0, blocks_ms=(10.0,))
+        done = Request(task=spec, arrival_ms=5.0)
+        done.finish_ms = 20.0
+        dropped = Request(task=spec, arrival_ms=1.0)
+        result = EngineResult(completed=[done], dropped=[dropped])
+        records = collect_records(result)
+        assert [r.arrival_ms for r in records] == [1.0, 5.0]
+        assert records[0].dropped
+        assert not records[1].dropped
+        assert records[1].e2e_ms == 15.0

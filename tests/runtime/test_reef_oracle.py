@@ -1,0 +1,46 @@
+"""The REEF-style kernel-level oracle policy (§6)."""
+
+import pytest
+
+from repro.runtime.simulator import simulate
+from repro.runtime.workload import Scenario
+
+SCEN = Scenario("oracle-test", 120.0, "high", n_requests=300)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {p: simulate(p, SCEN) for p in ("reef", "split", "clockwork")}
+
+
+def test_oracle_at_least_as_good_as_split(runs):
+    """Operator-granularity, zero-cost preemption bounds SPLIT from below."""
+    reef = runs["reef"].report
+    split = runs["split"].report
+    assert reef.violation_rate(4.0) <= split.violation_rate(4.0) + 0.02
+    assert reef.jitter_ms("yolov2") <= split.jitter_ms("yolov2") + 1.0
+
+
+def test_oracle_crushes_fcfs(runs):
+    reef = runs["reef"].report
+    cw = runs["clockwork"].report
+    assert reef.violation_rate(4.0) < cw.violation_rate(4.0)
+
+
+def test_split_closes_most_of_the_gap(runs):
+    """SPLIT should capture a large share of the oracle's improvement over
+    ClockWork — the paper's hardware-independent compromise."""
+    reef = runs["reef"].report.violation_rate(8.0)
+    split = runs["split"].report.violation_rate(8.0)
+    cw = runs["clockwork"].report.violation_rate(8.0)
+    gap_total = cw - reef
+    gap_captured = cw - split
+    assert gap_total > 0
+    assert gap_captured / gap_total > 0.5
+
+
+def test_oracle_plans_are_operator_granular(runs):
+    # Long-model requests carry per-operator plans.
+    records = runs["reef"].engine_result.completed
+    vgg = next(r for r in records if r.task_type == "vgg19")
+    assert len(vgg.plan_ms) > 10

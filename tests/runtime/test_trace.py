@@ -1,0 +1,51 @@
+"""ExecutionTrace invariant checking."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.trace import ExecutionTrace, TraceEntry
+
+
+def entry(rid=0, block=0, start=0.0, end=1.0, task="m"):
+    return TraceEntry(
+        request_id=rid, task_type=task, block_index=block, start_ms=start, end_ms=end
+    )
+
+
+def test_entry_end_before_start_rejected():
+    with pytest.raises(SimulationError):
+        entry(start=5.0, end=4.0)
+
+
+def test_verify_passes_serial_trace():
+    t = ExecutionTrace()
+    t.record(entry(rid=1, block=0, start=0, end=2))
+    t.record(entry(rid=2, block=0, start=2, end=5))
+    t.record(entry(rid=1, block=1, start=5, end=7))
+    t.verify()
+    assert t.busy_ms() == 7.0
+    assert len(t) == 3
+
+
+def test_verify_detects_overlap():
+    t = ExecutionTrace()
+    t.record(entry(rid=1, start=0, end=3))
+    t.record(entry(rid=2, start=2, end=4))
+    with pytest.raises(SimulationError, match="overlap"):
+        t.verify()
+
+
+def test_verify_detects_block_order_violation():
+    t = ExecutionTrace()
+    t.record(entry(rid=1, block=1, start=0, end=1))
+    with pytest.raises(SimulationError, match="expected 0"):
+        t.verify()
+
+
+def test_for_request_filters():
+    t = ExecutionTrace()
+    t.record(entry(rid=1, block=0, start=0, end=1))
+    t.record(entry(rid=2, block=0, start=1, end=2))
+    t.record(entry(rid=1, block=1, start=2, end=3))
+    assert len(t.for_request(1)) == 2
+    assert len(t.for_request(99)) == 0

@@ -1,0 +1,144 @@
+"""Workload generation: Table 2 scenarios, PREMA chunks, task catalogues."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.workload import (
+    SCENARIOS,
+    Scenario,
+    WorkloadGenerator,
+    build_task_specs,
+    materialize_requests,
+    prema_chunk_plan,
+    scenario_by_name,
+)
+from repro.types import RequestClass
+
+from tests.conftest import make_profile
+
+
+class TestScenarios:
+    def test_table2_values(self):
+        assert [s.lambda_ms for s in SCENARIOS] == [160, 150, 140, 130, 120, 110]
+        assert all(s.n_requests == 1000 for s in SCENARIOS)
+        assert SCENARIOS[0].load == "low"
+        assert SCENARIOS[5].load == "high"
+
+    def test_lookup(self):
+        assert scenario_by_name("scenario3").lambda_ms == 140
+        with pytest.raises(SimulationError):
+            scenario_by_name("scenario99")
+
+    def test_invalid_scenario(self):
+        with pytest.raises(SimulationError):
+            Scenario("bad", -1.0, "low")
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        g = WorkloadGenerator(("a", "b"), seed=3)
+        x = g.generate(SCENARIOS[0])
+        y = g.generate(SCENARIOS[0])
+        assert [(i.arrival_ms, i.model_name) for i in x] == [
+            (i.arrival_ms, i.model_name) for i in y
+        ]
+
+    def test_seed_changes_schedule(self):
+        a = WorkloadGenerator(("a",), seed=1).generate(SCENARIOS[0])
+        b = WorkloadGenerator(("a",), seed=2).generate(SCENARIOS[0])
+        assert a != b
+
+    def test_sorted_arrivals_and_count(self):
+        items = WorkloadGenerator(("a", "b", "c"), seed=0).generate(SCENARIOS[1])
+        times = [i.arrival_ms for i in items]
+        assert times == sorted(times)
+        assert len(items) == 999  # 1000 // 3 per model * 3, truncated
+
+    def test_per_model_interarrival_mean(self):
+        """Each model is its own Poisson stream with mean lambda."""
+        scen = Scenario("test", 100.0, "low", n_requests=4000)
+        items = WorkloadGenerator(("a", "b"), seed=0).generate(scen)
+        for model in ("a", "b"):
+            ts = np.array([i.arrival_ms for i in items if i.model_name == model])
+            gaps = np.diff(np.concatenate([[0.0], ts]))
+            assert gaps.mean() == pytest.approx(100.0, rel=0.15)
+
+    def test_empty_models_rejected(self):
+        with pytest.raises(SimulationError):
+            WorkloadGenerator((), seed=0)
+
+
+class TestPremaChunks:
+    def test_chunks_cover_total(self):
+        p = make_profile(np.linspace(1, 3, 16))
+        chunks = prema_chunk_plan(p, 4)
+        assert len(chunks) == 4
+        assert sum(chunks) == pytest.approx(p.total_ms)
+
+    def test_chunks_equal_op_count_not_time(self):
+        # Front-loaded profile: equal-op chunks are uneven in time.
+        p = make_profile([10.0] * 4 + [1.0] * 12)
+        chunks = prema_chunk_plan(p, 4)
+        assert chunks[0] == pytest.approx(40.0)
+        assert chunks[-1] == pytest.approx(4.0)
+
+    def test_more_chunks_than_ops_clamped(self):
+        p = make_profile([1.0, 2.0])
+        chunks = prema_chunk_plan(p, 10)
+        assert sum(chunks) == pytest.approx(3.0)
+
+
+class TestTaskSpecs:
+    def make_profiles(self):
+        return {
+            "short": make_profile([1.0] * 10, name="short"),
+            "long": make_profile([2.0] * 20, name="long"),
+        }
+
+    def test_vanilla_specs(self):
+        specs = build_task_specs(self.make_profiles(), plan_kind="vanilla")
+        assert specs["short"].blocks_ms == (10.0,)
+        assert specs["long"].blocks_ms == (40.0,)
+
+    def test_split_specs_use_plans(self):
+        specs = build_task_specs(
+            self.make_profiles(),
+            split_plans={"long": (20.0, 21.0)},
+            plan_kind="split",
+        )
+        assert specs["long"].blocks_ms == (20.0, 21.0)
+        assert specs["short"].blocks_ms == (10.0,)  # absent from plans
+
+    def test_prema_specs_chunked(self):
+        specs = build_task_specs(self.make_profiles(), plan_kind="prema")
+        assert len(specs["long"].blocks_ms) == 4
+
+    def test_request_classes_propagated(self):
+        specs = build_task_specs(
+            self.make_profiles(),
+            plan_kind="vanilla",
+            request_classes={"long": RequestClass.LONG},
+        )
+        assert specs["long"].request_class is RequestClass.LONG
+        assert specs["short"].request_class is RequestClass.SHORT
+
+    def test_unknown_plan_kind(self):
+        with pytest.raises(SimulationError):
+            build_task_specs(self.make_profiles(), plan_kind="bogus")
+
+    def test_materialize_requests(self):
+        specs = build_task_specs(self.make_profiles(), plan_kind="vanilla")
+        items = WorkloadGenerator(("short", "long"), seed=0).generate(
+            Scenario("t", 50.0, "low", n_requests=10)
+        )
+        arr = materialize_requests(items, specs)
+        assert len(arr) == len(items)
+        assert all(t == r.arrival_ms for t, r in arr)
+
+    def test_materialize_unknown_model(self):
+        items = WorkloadGenerator(("ghost",), seed=0).generate(
+            Scenario("t", 50.0, "low", n_requests=2)
+        )
+        with pytest.raises(SimulationError, match="ghost"):
+            materialize_requests(items, {})

@@ -1,0 +1,183 @@
+"""Scheduler policies: arrival placement, selection, plans."""
+
+import pytest
+
+from repro.scheduling.policies import (
+    ClockWorkScheduler,
+    EDFScheduler,
+    FIFOScheduler,
+    PremaScheduler,
+    RoundRobinScheduler,
+    SJFScheduler,
+    SplitScheduler,
+)
+from repro.scheduling.queue import RequestQueue
+from repro.scheduling.request import Request, TaskSpec
+from repro.splitting.elastic import ElasticSplitConfig
+from repro.types import RequestClass
+
+
+def spec(name="m", ext=10.0, blocks=None, cls=RequestClass.SHORT):
+    return TaskSpec(
+        name=name, ext_ms=ext, blocks_ms=blocks or (ext,), request_class=cls
+    )
+
+
+def req(name="m", ext=10.0, arrival=0.0, blocks=None, cls=RequestClass.SHORT):
+    return Request(task=spec(name, ext, blocks, cls), arrival_ms=arrival)
+
+
+class TestFIFO:
+    def test_appends_and_unsplit_plan(self):
+        s = FIFOScheduler()
+        q = RequestQueue()
+        r1 = req("a", blocks=(5.0, 5.0))
+        assert s.on_arrival(q, r1, 0.0)
+        s.on_arrival(q, req("b"), 1.0)
+        assert [r.task_type for r in q] == ["a", "b"]
+        assert s.plan_for(r1, q, 0.0) == (10.0,)
+        assert s.select(q, 0.0) == 0
+
+
+class TestClockWork:
+    def test_no_drop_by_default(self):
+        s = ClockWorkScheduler()
+        q = RequestQueue()
+        for i in range(10):
+            assert s.on_arrival(q, req(f"t{i}", ext=100.0), 0.0)
+        assert s.dropped == 0
+
+    def test_drops_predicted_stragglers(self):
+        s = ClockWorkScheduler(drop_alpha=3.0)
+        q = RequestQueue()
+        assert s.on_arrival(q, req("a", ext=10.0), 0.0)
+        assert s.on_arrival(q, req("b", ext=10.0), 0.0)
+        # Backlog 20 + own 10 over 10 = RR 3.0 <= 3.0: admitted.
+        assert s.on_arrival(q, req("c", ext=10.0), 0.0)
+        # Backlog 30 + 10 over 10 = 4.0 > 3.0: dropped.
+        assert not s.on_arrival(q, req("d", ext=10.0), 0.0)
+        assert s.dropped == 1
+        assert len(q) == 3
+
+    def test_invalid_drop_alpha(self):
+        with pytest.raises(ValueError):
+            ClockWorkScheduler(drop_alpha=1.0)
+
+
+class TestPrema:
+    def test_tokens_prefer_high_priority_waiters(self):
+        s = PremaScheduler()
+        q = RequestQueue()
+        long_ = req("vgg", ext=67.5, arrival=0.0, cls=RequestClass.LONG)
+        short = req("yolo", ext=10.8, arrival=50.0, cls=RequestClass.SHORT)
+        q.append(long_)
+        q.append(short)
+        # At t=60: long waited 60 (slowdown .89 * prio 3), short waited 10
+        # (slowdown ~.93 * prio 9) -> short wins.
+        assert s.select(q, 60.0) == 1
+
+    def test_long_wait_eventually_wins(self):
+        s = PremaScheduler()
+        q = RequestQueue()
+        long_ = req("vgg", ext=67.5, arrival=0.0, cls=RequestClass.LONG)
+        short = req("yolo", ext=10.8, arrival=10_000.0, cls=RequestClass.SHORT)
+        q.append(long_)
+        q.append(short)
+        # Long has waited 10s: token 3*(1+148) >> short's 9*(1+0).
+        assert s.select(q, 10_000.0) == 0
+
+    def test_has_preemption_overhead(self):
+        assert PremaScheduler().preemption_overhead_ms > 0
+
+    def test_appends_fifo(self):
+        s = PremaScheduler()
+        q = RequestQueue()
+        s.on_arrival(q, req("a"), 0.0)
+        s.on_arrival(q, req("b"), 0.0)
+        assert [r.task_type for r in q] == ["a", "b"]
+
+
+class TestSJF:
+    def test_orders_by_remaining(self):
+        s = SJFScheduler()
+        q = RequestQueue()
+        s.on_arrival(q, req("long", ext=50.0), 0.0)
+        s.on_arrival(q, req("short", ext=5.0), 0.0)
+        s.on_arrival(q, req("mid", ext=20.0), 0.0)
+        assert [r.task_type for r in q] == ["short", "mid", "long"]
+
+    def test_never_passes_started_head(self):
+        s = SJFScheduler()
+        q = RequestQueue()
+        running = req("long", ext=50.0)
+        running.begin((50.0,), 0.0)
+        q.append(running)
+        s.on_arrival(q, req("short", ext=5.0), 0.0)
+        assert q[0] is running
+
+
+class TestEDF:
+    def test_orders_by_deadline(self):
+        s = EDFScheduler(alpha=4.0)
+        q = RequestQueue()
+        # Deadlines: 0 + 4*50 = 200 vs 10 + 4*10 = 50.
+        s.on_arrival(q, req("long", ext=50.0, arrival=0.0), 0.0)
+        s.on_arrival(q, req("short", ext=10.0, arrival=10.0), 10.0)
+        assert [r.task_type for r in q] == ["short", "long"]
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            EDFScheduler(alpha=0.0)
+
+    def test_uses_block_plan(self):
+        s = EDFScheduler()
+        q = RequestQueue()
+        r = req("m", blocks=(3.0, 7.0))
+        assert s.plan_for(r, q, 0.0) == (3.0, 7.0)
+
+
+class TestRoundRobin:
+    def test_least_blocks_first(self):
+        s = RoundRobinScheduler()
+        q = RequestQueue()
+        a = req("a", blocks=(5.0, 5.0), arrival=0.0)
+        b = req("b", blocks=(5.0, 5.0), arrival=1.0)
+        a.begin((5.0, 5.0), 0.0)
+        a.pop_block()
+        q.append(a)
+        q.append(b)
+        assert s.select(q, 10.0) == 1  # b has 0 blocks done, a has 1
+
+    def test_fifo_tiebreak(self):
+        s = RoundRobinScheduler()
+        q = RequestQueue()
+        q.append(req("a", arrival=5.0))
+        q.append(req("b", arrival=1.0))
+        assert s.select(q, 10.0) == 1
+
+
+class TestSplitPolicy:
+    def test_greedy_arrival_and_counter(self):
+        s = SplitScheduler()
+        q = RequestQueue()
+        s.on_arrival(q, req("vgg", ext=67.5), 0.0)
+        s.on_arrival(q, req("yolo", ext=10.8), 1.0)
+        assert q[0].task_type == "yolo"
+        assert s.preempt_inserts == 1
+
+    def test_plan_splits_when_calm(self):
+        s = SplitScheduler()
+        q = RequestQueue()
+        r = req("vgg", ext=67.5, blocks=(34.0, 34.0))
+        q.append(r)
+        assert s.plan_for(r, q, 0.0) == (34.0, 34.0)
+
+    def test_plan_unsplit_when_overloaded(self):
+        s = SplitScheduler(elastic=ElasticSplitConfig(max_queue_depth=2))
+        q = RequestQueue()
+        r = req("vgg", ext=67.5, blocks=(34.0, 34.0))
+        q.append(r)
+        for i in range(4):
+            q.append(req(f"x{i}"))
+        assert s.plan_for(r, q, 0.0) == (67.5,)
+        assert s.elastic.suspensions == 1

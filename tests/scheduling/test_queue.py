@@ -1,0 +1,97 @@
+"""RequestQueue mutation surface."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.scheduling.queue import RequestQueue
+from repro.scheduling.request import Request
+
+from tests.scheduling.test_request import spec
+
+
+def req(name="m", ext=10.0, arrival=0.0):
+    return Request(task=spec(name=name, ext=ext, blocks=(ext,)), arrival_ms=arrival)
+
+
+def test_append_and_order():
+    q = RequestQueue()
+    a, b = req("a"), req("b")
+    q.append(a)
+    q.append(b)
+    assert list(q) == [a, b]
+    assert len(q) == 2
+    assert q[1] is b
+
+
+def test_insert_positions():
+    q = RequestQueue()
+    a, b, c = req("a"), req("b"), req("c")
+    q.append(a)
+    q.insert(0, b)
+    q.insert(2, c)
+    assert [r.task_type for r in q] == ["b", "a", "c"]
+
+
+def test_insert_out_of_range():
+    q = RequestQueue()
+    with pytest.raises(SchedulingError):
+        q.insert(1, req())
+
+
+def test_pop_head():
+    q = RequestQueue()
+    a = req("a")
+    q.append(a)
+    assert q.pop_head() is a
+    assert q.empty
+    with pytest.raises(SchedulingError):
+        q.pop_head()
+
+
+def test_peek():
+    q = RequestQueue()
+    with pytest.raises(SchedulingError):
+        q.peek()
+    a = req()
+    q.append(a)
+    assert q.peek() is a
+    assert len(q) == 1
+
+
+def test_move_to_front():
+    q = RequestQueue()
+    a, b, c = req("a"), req("b"), req("c")
+    for r in (a, b, c):
+        q.append(r)
+    q.move_to_front(2)
+    assert [r.task_type for r in q] == ["c", "a", "b"]
+    with pytest.raises(SchedulingError):
+        q.move_to_front(5)
+
+
+def test_remove():
+    q = RequestQueue()
+    a, b = req("a"), req("b")
+    q.append(a)
+    q.append(b)
+    q.remove(a)
+    assert list(q) == [b]
+    with pytest.raises(SchedulingError):
+        q.remove(a)
+
+
+def test_waiting_ahead_and_backlog():
+    q = RequestQueue()
+    q.append(req("a", ext=5.0))
+    q.append(req("b", ext=7.0))
+    q.append(req("c", ext=11.0))
+    assert q.waiting_ahead_ms(0) == 0.0
+    assert q.waiting_ahead_ms(2) == 12.0
+    assert q.total_backlog_ms() == 23.0
+
+
+def test_task_types():
+    q = RequestQueue()
+    q.append(req("x"))
+    q.append(req("y"))
+    assert q.task_types() == ["x", "y"]

@@ -1,0 +1,99 @@
+"""TaskSpec and Request state machine."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.scheduling.request import Request, TaskSpec
+from repro.types import RequestClass
+
+
+def spec(name="m", ext=10.0, blocks=(4.0, 6.0), cls=RequestClass.SHORT):
+    return TaskSpec(name=name, ext_ms=ext, blocks_ms=blocks, request_class=cls)
+
+
+class TestTaskSpec:
+    def test_totals(self):
+        s = spec()
+        assert s.split_total_ms == 10.0
+        assert s.n_blocks == 2
+
+    def test_unsplit(self):
+        s = spec().unsplit()
+        assert s.blocks_ms == (10.0,)
+        assert s.name == "m"
+
+    def test_unsplit_idempotent(self):
+        s = spec(blocks=(10.0,))
+        assert s.unsplit() is s
+
+    def test_invalid_ext(self):
+        with pytest.raises(SchedulingError):
+            spec(ext=0.0)
+
+    def test_empty_blocks(self):
+        with pytest.raises(SchedulingError):
+            spec(blocks=())
+
+    def test_negative_block(self):
+        with pytest.raises(SchedulingError):
+            spec(blocks=(1.0, -1.0))
+
+
+class TestRequest:
+    def test_fresh_state(self):
+        r = Request(task=spec(), arrival_ms=5.0)
+        assert not r.started
+        assert not r.done
+        assert r.ext_left_ms == 10.0
+        assert r.blocks_left == 2
+        assert r.waited_ms(8.0) == 3.0
+
+    def test_unique_ids(self):
+        a = Request(task=spec(), arrival_ms=0.0)
+        b = Request(task=spec(), arrival_ms=0.0)
+        assert a.request_id != b.request_id
+
+    def test_begin_fixes_plan(self):
+        r = Request(task=spec(), arrival_ms=0.0)
+        r.begin((10.0,), now_ms=2.0)
+        assert r.started
+        assert r.plan_ms == (10.0,)
+        assert r.first_start_ms == 2.0
+        assert r.ext_left_ms == 10.0
+
+    def test_double_begin_rejected(self):
+        r = Request(task=spec(), arrival_ms=0.0)
+        r.begin((10.0,), 0.0)
+        with pytest.raises(SchedulingError, match="already planned"):
+            r.begin((10.0,), 1.0)
+
+    def test_pop_blocks_consumes_plan(self):
+        r = Request(task=spec(), arrival_ms=0.0)
+        r.begin((4.0, 6.0), 0.0)
+        assert r.pop_block() == 4.0
+        assert r.ext_left_ms == 6.0
+        assert r.blocks_left == 1
+        assert r.pop_block() == 6.0
+        assert r.blocks_left == 0
+        with pytest.raises(SchedulingError, match="no blocks left"):
+            r.pop_block()
+
+    def test_pop_without_plan_rejected(self):
+        r = Request(task=spec(), arrival_ms=0.0)
+        with pytest.raises(SchedulingError, match="no plan"):
+            r.pop_block()
+
+    def test_e2e_and_rr(self):
+        r = Request(task=spec(), arrival_ms=10.0)
+        r.finish_ms = 40.0
+        assert r.e2e_ms() == 30.0
+        assert r.response_ratio_final() == 3.0
+
+    def test_e2e_before_finish_rejected(self):
+        r = Request(task=spec(), arrival_ms=0.0)
+        with pytest.raises(SchedulingError, match="not finished"):
+            r.e2e_ms()
+
+    def test_waited_clamped_nonnegative(self):
+        r = Request(task=spec(), arrival_ms=10.0)
+        assert r.waited_ms(5.0) == 0.0

@@ -1,0 +1,45 @@
+"""Eq. 3 and Algorithm 1's ResponseRatio."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.scheduling.request import Request
+from repro.scheduling.response_ratio import predicted_response_ratio, response_ratio
+
+from tests.scheduling.test_request import spec
+
+
+def test_idle_system_rr_is_one():
+    # No waiting at all: RR = ext/ext = 1.
+    assert response_ratio(0.0, 0.0, 10.0, 10.0) == 1.0
+
+
+def test_eq3_decomposition():
+    # waited 5 + waiting 15 + ext 10 over ext 10 = 3.0
+    assert response_ratio(5.0, 15.0, 10.0, 10.0) == 3.0
+
+
+def test_alpha_scales_target():
+    base = response_ratio(5.0, 15.0, 10.0, 10.0)
+    assert response_ratio(5.0, 15.0, 10.0, 10.0, alpha=2.0) == base / 2.0
+
+
+def test_invalid_inputs():
+    with pytest.raises(SchedulingError):
+        response_ratio(0, 0, 1, 0.0)
+    with pytest.raises(SchedulingError):
+        response_ratio(0, 0, 1, 1.0, alpha=0.0)
+
+
+def test_predicted_rr_uses_live_state():
+    r = Request(task=spec(ext=10.0, blocks=(4.0, 6.0)), arrival_ms=0.0)
+    # Not started: waited = now, ext_left = full plan.
+    assert predicted_response_ratio(r, waiting_ms=20.0, now_ms=5.0) == pytest.approx(
+        (5.0 + 20.0 + 10.0) / 10.0
+    )
+    r.begin((4.0, 6.0), 5.0)
+    r.pop_block()
+    # One block done: ext_left is 6.
+    assert predicted_response_ratio(r, waiting_ms=0.0, now_ms=9.0) == pytest.approx(
+        (9.0 + 6.0) / 10.0
+    )

@@ -1,0 +1,42 @@
+"""ScaledClock behaviour."""
+
+import time
+
+import pytest
+
+from repro.server.clock import ScaledClock
+
+
+def test_invalid_scale():
+    with pytest.raises(ValueError):
+        ScaledClock(scale=0.0)
+
+
+def test_monotonic():
+    clock = ScaledClock(scale=1e-6)
+    a = clock.now_ms()
+    b = clock.now_ms()
+    assert b >= a
+
+
+def test_scaling():
+    clock = ScaledClock(scale=1e-4)  # 10000 sim-ms per real second
+    t0 = clock.now_ms()
+    time.sleep(0.02)
+    elapsed = clock.now_ms() - t0
+    assert 150 <= elapsed <= 2000  # ~200 sim-ms with generous slack
+
+
+def test_sleep_ms_blocks_roughly():
+    clock = ScaledClock(scale=1e-4)
+    t0 = time.monotonic()
+    clock.sleep_ms(100)  # = 10 real ms
+    assert time.monotonic() - t0 >= 0.009
+
+
+def test_sleep_nonpositive_noop():
+    clock = ScaledClock(scale=1.0)
+    t0 = time.monotonic()
+    clock.sleep_ms(0)
+    clock.sleep_ms(-5)
+    assert time.monotonic() - t0 < 0.05

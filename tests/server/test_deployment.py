@@ -1,0 +1,61 @@
+"""DeploymentManager: offline splitting + block persistence."""
+
+import pytest
+
+from repro.graphs.serialize import load_ronnx
+from repro.hardware.presets import jetson_nano
+from repro.server.deployment import DeploymentManager
+from repro.splitting.genetic import GAConfig
+from repro.zoo.registry import get_model
+
+
+@pytest.fixture
+def manager(tmp_path):
+    return DeploymentManager(
+        jetson_nano(), block_dir=tmp_path, ga_config=GAConfig(seed=0)
+    )
+
+
+def test_long_model_gets_split(manager):
+    rec = manager.deploy(get_model("resnet50"))
+    assert len(rec.task.blocks_ms) >= 2
+    assert rec.cuts
+    assert rec.task.ext_ms == pytest.approx(28.35)
+
+
+def test_short_model_stays_whole(manager):
+    rec = manager.deploy(get_model("yolov2"))
+    assert rec.task.blocks_ms == (pytest.approx(10.8),)
+    assert rec.cuts == ()
+
+
+def test_blocks_persisted_and_loadable(manager, tmp_path):
+    rec = manager.deploy(get_model("resnet50"))
+    assert len(rec.block_paths) == len(rec.cuts) + 1
+    total_ops = 0
+    for path in rec.block_paths:
+        block = load_ronnx(path)
+        total_ops += len(block)
+        assert block.metadata["parent"] == "resnet50"
+    assert total_ops == len(get_model("resnet50", cached=True))
+
+
+def test_block_boundary_inputs(manager):
+    rec = manager.deploy(get_model("resnet50"))
+    second = load_ronnx(rec.block_paths[1])
+    # The second block's inputs are tensors crossing the first cut.
+    assert len(second.inputs) >= 1
+    assert all(t.name for t in second.inputs)
+
+
+def test_no_persistence_without_dir():
+    manager = DeploymentManager(jetson_nano(), ga_config=GAConfig(seed=0))
+    rec = manager.deploy(get_model("vgg19"))
+    assert rec.block_paths == ()
+
+
+def test_task_specs_accumulate(manager):
+    manager.deploy(get_model("yolov2"))
+    manager.deploy(get_model("vgg19"))
+    specs = manager.task_specs()
+    assert set(specs) == {"yolov2", "vgg19"}

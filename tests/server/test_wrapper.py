@@ -1,0 +1,57 @@
+"""Request wrapper/unwrapper."""
+
+import pytest
+
+from repro.errors import ServerError
+from repro.graphs.serialize import dump_ronnx, dumps_ronnx
+from repro.scheduling.request import TaskSpec
+from repro.server.wrapper import RequestUnwrapper, RequestWrapper
+from repro.zoo.registry import get_model
+
+
+@pytest.fixture
+def unwrapper():
+    return RequestUnwrapper()
+
+
+def test_unwrap_graph_object(unwrapper):
+    g = get_model("googlenet")
+    assert unwrapper.unwrap(g) is g
+
+
+def test_unwrap_ronnx_string(unwrapper):
+    g = get_model("vgg19")
+    out = unwrapper.unwrap(dumps_ronnx(g))
+    assert out.name == "vgg19"
+    assert len(out) == len(g)
+
+
+def test_unwrap_path(unwrapper, tmp_path):
+    g = get_model("yolov2")
+    path = dump_ronnx(g, tmp_path / "y.ronnx")
+    assert unwrapper.unwrap(path).name == "yolov2"
+
+
+def test_unwrap_str_path(unwrapper, tmp_path):
+    g = get_model("yolov2")
+    path = dump_ronnx(g, tmp_path / "y.ronnx")
+    assert unwrapper.unwrap(str(path)).name == "yolov2"
+
+
+def test_unwrap_bad_type(unwrapper):
+    with pytest.raises(ServerError, match="unwrap"):
+        unwrapper.unwrap(42)
+
+
+def test_wrapper_builds_requests():
+    spec = TaskSpec(name="m", ext_ms=10.0, blocks_ms=(10.0,))
+    w = RequestWrapper({"m": spec})
+    r = w.wrap("m", arrival_ms=3.0)
+    assert r.task is spec
+    assert r.arrival_ms == 3.0
+
+
+def test_wrapper_unknown_model():
+    w = RequestWrapper({})
+    with pytest.raises(ServerError, match="not deployed"):
+        w.wrap("ghost", 0.0)

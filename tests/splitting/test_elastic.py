@@ -1,0 +1,63 @@
+"""Elastic splitting policy (§3.3)."""
+
+from repro.splitting.elastic import ElasticPolicy, ElasticSplitConfig, QueueSnapshot
+
+
+def snap(*types: str) -> QueueSnapshot:
+    return QueueSnapshot.from_types(list(types))
+
+
+def test_light_mixed_queue_splits():
+    policy = ElasticPolicy()
+    assert policy.should_split(snap("a", "b", "a"))
+    assert policy.suspensions == 0
+
+
+def test_deep_queue_suspends():
+    policy = ElasticPolicy(ElasticSplitConfig(max_queue_depth=3))
+    assert not policy.should_split(snap("a", "b", "c", "d"))
+    assert policy.suspensions == 1
+
+
+def test_depth_boundary_inclusive():
+    policy = ElasticPolicy(ElasticSplitConfig(max_queue_depth=3))
+    assert policy.should_split(snap("a", "b", "c"))  # == threshold: still on
+
+
+def test_homogeneous_queue_suspends():
+    policy = ElasticPolicy(
+        ElasticSplitConfig(same_type_fraction=0.8, same_type_min_queue=3)
+    )
+    assert not policy.should_split(snap("a", "a", "a", "a"))
+
+
+def test_dominant_fraction_threshold():
+    policy = ElasticPolicy(
+        ElasticSplitConfig(same_type_fraction=0.8, same_type_min_queue=3)
+    )
+    # 3 of 4 = 0.75 < 0.8 -> keep splitting.
+    assert policy.should_split(snap("a", "a", "a", "b"))
+    # 4 of 5 = 0.8 >= 0.8 -> suspend.
+    assert not policy.should_split(snap("a", "a", "a", "a", "b"))
+
+
+def test_tiny_queue_never_homogeneous_suspended():
+    policy = ElasticPolicy(ElasticSplitConfig(same_type_min_queue=3))
+    assert policy.should_split(snap("a", "a"))
+
+
+def test_empty_queue_splits():
+    policy = ElasticPolicy()
+    assert policy.should_split(snap())
+
+
+def test_disabled_policy_always_splits():
+    policy = ElasticPolicy(ElasticSplitConfig(enabled=False, max_queue_depth=0))
+    assert policy.should_split(snap(*["a"] * 50))
+    assert policy.suspensions == 0
+
+
+def test_snapshot_counts():
+    s = snap("a", "b", "a")
+    assert s.depth == 3
+    assert s.type_counts == {"a": 2, "b": 1}

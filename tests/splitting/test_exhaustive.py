@@ -1,0 +1,81 @@
+"""Exhaustive search ground truth and the vectorised evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchError
+from repro.splitting.exhaustive import ExhaustiveSplitter, evaluate_cut_matrix
+from repro.splitting.fitness import fitness
+from repro.splitting.metrics import block_std_ms
+from repro.splitting.search_space import enumerate_cuts
+
+from tests.conftest import make_profile
+
+
+@pytest.fixture
+def profile():
+    rng = np.random.default_rng(3)
+    times = rng.uniform(0.5, 3.0, size=18)
+    costs = rng.uniform(0.1, 0.8, size=17)
+    return make_profile(times, cut_costs=costs)
+
+
+def brute_force_best(profile, m):
+    best = (-np.inf, None)
+    for cuts in enumerate_cuts(profile.n_ops, m):
+        times = profile.block_times_for_cuts(cuts)
+        sigma = float(np.std(times))
+        overhead = sum(profile.cut_cost_ms[c] for c in cuts) / profile.total_ms
+        f = fitness(sigma, profile.total_ms, overhead, m)
+        if f > best[0]:
+            best = (f, cuts)
+    return best
+
+
+@pytest.mark.parametrize("m", [2, 3])
+def test_matches_python_brute_force(profile, m):
+    result = ExhaustiveSplitter().search(profile, m)
+    expected_fit, expected_cuts = brute_force_best(profile, m)
+    assert result.fitness == pytest.approx(expected_fit)
+    assert result.partition.cuts == expected_cuts
+
+
+def test_counts_all_candidates(profile):
+    result = ExhaustiveSplitter().search(profile, 3)
+    from repro.splitting.search_space import count_candidates
+
+    assert result.candidates_evaluated == count_candidates(profile.n_ops, 3)
+
+
+def test_candidate_limit_enforced(profile):
+    with pytest.raises(SearchError, match="exceed"):
+        ExhaustiveSplitter(max_candidates=5).search(profile, 3)
+
+
+def test_needs_two_blocks(profile):
+    with pytest.raises(SearchError):
+        ExhaustiveSplitter().search(profile, 1)
+
+
+def test_stride_reduces_work(profile):
+    full = ExhaustiveSplitter().search(profile, 2)
+    strided = ExhaustiveSplitter().search(profile, 2, stride=3)
+    assert strided.candidates_evaluated < full.candidates_evaluated
+    assert strided.fitness <= full.fitness + 1e-12
+
+
+class TestEvaluateCutMatrix:
+    def test_matches_block_times_for_cuts(self, profile):
+        cuts = np.array([[2, 7], [0, 16], [5, 11]])
+        sigma, overhead = evaluate_cut_matrix(profile, cuts)
+        for i, row in enumerate(cuts):
+            times = profile.block_times_for_cuts(tuple(row))
+            assert sigma[i] == pytest.approx(block_std_ms(times))
+            expected_ov = sum(profile.cut_cost_ms[c] for c in row) / profile.total_ms
+            assert overhead[i] == pytest.approx(expected_ov)
+
+    def test_single_cut_matrix(self, profile):
+        cuts = np.array([[4], [9]])
+        sigma, overhead = evaluate_cut_matrix(profile, cuts)
+        assert sigma.shape == (2,)
+        assert (overhead > 0).all()

@@ -1,0 +1,51 @@
+"""Eq. 2 fitness properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.splitting.fitness import fitness, fitness_components
+
+pos = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+def test_maximum_at_zero_penalties():
+    # sigma = 0, overhead = 0 gives -(e^-1 + e^-1) = -2/e.
+    assert fitness(0.0, 10.0, 0.0, 2) == pytest.approx(-2.0 / np.e)
+
+
+def test_monotone_in_sigma():
+    assert fitness(1.0, 10.0, 0.1, 2) > fitness(2.0, 10.0, 0.1, 2)
+
+
+def test_monotone_in_overhead():
+    assert fitness(1.0, 10.0, 0.1, 2) > fitness(1.0, 10.0, 0.5, 2)
+
+
+def test_more_blocks_soften_overhead_penalty():
+    # Eq. 2 divides overhead by m.
+    assert fitness(1.0, 10.0, 0.5, 4) > fitness(1.0, 10.0, 0.5, 2)
+
+
+def test_vectorised_matches_scalar():
+    sigmas = np.array([0.5, 1.0, 2.0])
+    overheads = np.array([0.1, 0.2, 0.3])
+    vec = fitness(sigmas, 10.0, overheads, 3)
+    for i in range(3):
+        assert vec[i] == pytest.approx(
+            fitness(float(sigmas[i]), 10.0, float(overheads[i]), 3)
+        )
+
+
+@given(pos, pos)
+def test_always_negative(sigma, overhead):
+    assert fitness(sigma, 50.0, overhead, 3) < 0
+
+
+def test_components_sum_to_fitness():
+    c = fitness_components(1.5, 20.0, 0.25, 3)
+    assert c["fitness"] == pytest.approx(
+        -(c["evenness_term"] + c["overhead_term"])
+    )
+    assert c["fitness"] == pytest.approx(fitness(1.5, 20.0, 0.25, 3))

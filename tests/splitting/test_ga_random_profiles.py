@@ -1,0 +1,66 @@
+"""GA vs exhaustive ground truth on randomly generated profiles.
+
+The targeted GA tests use fixed seeds; this property test sweeps random
+op-time/cut-cost landscapes (front-loaded, back-loaded, spiky, flat) and
+requires the GA to stay within a small margin of the global optimum.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.splitting.exhaustive import ExhaustiveSplitter
+from repro.splitting.genetic import GAConfig, GeneticSplitter
+
+from tests.conftest import make_profile
+
+
+@st.composite
+def random_landscape(draw):
+    n_ops = draw(st.integers(8, 22))
+    shape = draw(st.sampled_from(["flat", "front", "back", "spiky"]))
+    rng = np.random.default_rng(draw(st.integers(0, 2**16)))
+    if shape == "flat":
+        times = rng.uniform(0.8, 1.2, n_ops)
+    elif shape == "front":
+        times = np.linspace(3.0, 0.5, n_ops) * rng.uniform(0.8, 1.2, n_ops)
+    elif shape == "back":
+        times = np.linspace(0.5, 3.0, n_ops) * rng.uniform(0.8, 1.2, n_ops)
+    else:  # spiky
+        times = rng.uniform(0.2, 0.6, n_ops)
+        spikes = rng.choice(n_ops, size=max(1, n_ops // 5), replace=False)
+        times[spikes] += rng.uniform(3.0, 6.0, len(spikes))
+    costs = rng.uniform(0.02, 0.5, n_ops - 1)
+    return make_profile(times, cut_costs=costs)
+
+
+@given(random_landscape(), st.integers(2, 3))
+@settings(max_examples=40, deadline=None)
+def test_ga_within_margin_of_exhaustive(profile, n_blocks):
+    ga = GeneticSplitter(GAConfig(seed=0, generations=40)).search(
+        profile, n_blocks
+    )
+    ex = ExhaustiveSplitter().search(profile, n_blocks)
+    # Fitness is negative; allow a 5% relative slack on arbitrary
+    # landscapes (fixed-seed tests require exact optimum on the real ones).
+    assert ga.fitness >= ex.fitness * 1.05
+    assert len(ga.cuts) == n_blocks - 1
+
+
+@given(random_landscape())
+@settings(max_examples=25, deadline=None)
+def test_ga_split_always_beats_random_average(profile):
+    """The GA's split must beat the average random split's fitness."""
+    from repro.splitting.exhaustive import evaluate_cut_matrix
+    from repro.splitting.fitness import fitness
+    from repro.splitting.search_space import sample_cuts_uniform
+
+    rng = np.random.default_rng(1)
+    pop = sample_cuts_uniform(rng, profile.n_ops, 3, 64)
+    sigma, overhead = evaluate_cut_matrix(profile, pop)
+    random_mean = float(
+        np.mean(fitness(sigma, profile.total_ms, overhead, 3))
+    )
+    ga = GeneticSplitter(GAConfig(seed=0)).search(profile, 3)
+    assert ga.fitness >= random_mean

@@ -1,0 +1,111 @@
+"""GA behaviour: determinism, convergence, optimality, history."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchError
+from repro.splitting.exhaustive import ExhaustiveSplitter
+from repro.splitting.genetic import GAConfig, GeneticSplitter
+
+from tests.conftest import make_profile
+
+
+@pytest.fixture
+def small_profile():
+    rng = np.random.default_rng(7)
+    times = rng.uniform(0.5, 4.0, size=24)
+    costs = rng.uniform(0.05, 0.5, size=23)
+    return make_profile(times, cut_costs=costs)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"population_size": 2},
+            {"crossover_prob": 1.5},
+            {"mutation_prob": -0.1},
+            {"elite_fraction": 0.9},
+            {"guided_init_fraction": 2.0},
+            {"generations": 0},
+        ],
+    )
+    def test_invalid_config_rejected(self, kw):
+        with pytest.raises(SearchError):
+            GAConfig(**kw)
+
+
+class TestSearch:
+    def test_deterministic_given_seed(self, small_profile):
+        a = GeneticSplitter(GAConfig(seed=5)).search(small_profile, 3)
+        b = GeneticSplitter(GAConfig(seed=5)).search(small_profile, 3)
+        assert a.cuts == b.cuts
+        assert a.fitness == b.fitness
+
+    def test_different_seeds_may_differ_but_valid(self, small_profile):
+        for seed in range(3):
+            r = GeneticSplitter(GAConfig(seed=seed)).search(small_profile, 3)
+            assert len(r.cuts) == 2
+            assert all(0 <= c <= small_profile.n_ops - 2 for c in r.cuts)
+
+    def test_best_fitness_monotone_over_generations(self, small_profile):
+        r = GeneticSplitter(GAConfig(seed=1)).search(small_profile, 3)
+        fits = [h.best_fitness for h in r.history]
+        assert all(a <= b + 1e-12 for a, b in zip(fits, fits[1:]))
+
+    def test_history_consistent_with_result(self, small_profile):
+        r = GeneticSplitter(GAConfig(seed=1)).search(small_profile, 3)
+        assert r.history[-1].best_fitness == pytest.approx(r.fitness)
+        assert r.history[-1].best_sigma_ms == pytest.approx(r.sigma_ms)
+        assert len(r.history) == r.generations_run
+
+    @pytest.mark.parametrize("m", [2, 3])
+    def test_finds_near_exhaustive_optimum(self, small_profile, m):
+        ga = GeneticSplitter(GAConfig(seed=0, generations=40)).search(
+            small_profile, m
+        )
+        ex = ExhaustiveSplitter().search(small_profile, m)
+        # Within 2% of the global optimum's (negative) fitness.
+        assert ga.fitness >= ex.fitness * 1.02
+
+    def test_finds_exact_optimum_on_real_models(self, resnet_profile):
+        ga = GeneticSplitter(GAConfig(seed=1)).search(resnet_profile, 3)
+        ex = ExhaustiveSplitter().search(resnet_profile, 3)
+        assert ga.fitness == pytest.approx(ex.fitness, rel=1e-3)
+
+    def test_early_stop_on_stall(self, small_profile):
+        cfg = GAConfig(seed=0, generations=200, patience=5)
+        r = GeneticSplitter(cfg).search(small_profile, 2)
+        assert r.converged_early
+        assert r.generations_run < 200
+
+    def test_evaluations_accounted(self, small_profile):
+        cfg = GAConfig(seed=0, population_size=10, generations=5, patience=99)
+        r = GeneticSplitter(cfg).search(small_profile, 3)
+        assert r.evaluations == 10 * r.generations_run
+
+    def test_rejects_single_block(self, small_profile):
+        with pytest.raises(SearchError):
+            GeneticSplitter().search(small_profile, 1)
+
+    def test_rejects_impossible_split(self):
+        profile = make_profile([1.0, 2.0, 3.0])
+        with pytest.raises(SearchError):
+            GeneticSplitter().search(profile, 5)
+
+    def test_blind_init_still_works(self, small_profile):
+        cfg = GAConfig(seed=0, guided_init_fraction=0.0)
+        r = GeneticSplitter(cfg).search(small_profile, 3)
+        assert len(r.cuts) == 2
+
+    def test_all_guided_init_works(self, small_profile):
+        cfg = GAConfig(seed=0, guided_init_fraction=1.0)
+        r = GeneticSplitter(cfg).search(small_profile, 3)
+        assert len(r.cuts) == 2
+
+    def test_paper_convergence_speed(self, resnet_profile, vgg_profile):
+        """Fig. 5: optima found within ~15 generations on the real models."""
+        for profile in (resnet_profile, vgg_profile):
+            for m in (2, 3, 4):
+                r = GeneticSplitter(GAConfig(seed=0)).search(profile, m)
+                assert r.generations_run <= 20

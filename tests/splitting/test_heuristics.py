@@ -1,0 +1,91 @@
+"""Alternative splitters: balanced heuristic and simulated annealing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchError
+from repro.splitting.exhaustive import ExhaustiveSplitter
+from repro.splitting.heuristics import (
+    AnnealingConfig,
+    AnnealingSplitter,
+    balanced_split,
+)
+
+from tests.conftest import make_profile
+
+
+@pytest.fixture
+def profile():
+    rng = np.random.default_rng(21)
+    return make_profile(
+        rng.uniform(0.5, 3.0, 26), cut_costs=rng.uniform(0.05, 0.4, 25)
+    )
+
+
+class TestBalanced:
+    def test_valid_partition(self, profile):
+        r = balanced_split(profile, 3)
+        assert r.partition.n_blocks == 3
+        assert r.evaluations >= 1
+
+    def test_near_optimal_on_smooth_landscape(self, profile):
+        bal = balanced_split(profile, 2)
+        ex = ExhaustiveSplitter().search(profile, 2)
+        assert bal.fitness >= ex.fitness * 1.05  # within 5% (negative scale)
+
+    def test_matches_exhaustive_on_real_model(self, resnet_profile):
+        bal = balanced_split(resnet_profile, 3)
+        ex = ExhaustiveSplitter().search(resnet_profile, 3)
+        assert bal.fitness == pytest.approx(ex.fitness, rel=1e-6)
+
+    def test_rejects_single_block(self, profile):
+        with pytest.raises(SearchError):
+            balanced_split(profile, 1)
+
+    def test_rejects_oversplit(self):
+        p = make_profile([1.0, 2.0])
+        with pytest.raises(SearchError):
+            balanced_split(p, 4)
+
+
+class TestAnnealing:
+    def test_valid_and_deterministic(self, profile):
+        a = AnnealingSplitter(AnnealingConfig(seed=3)).search(profile, 3)
+        b = AnnealingSplitter(AnnealingConfig(seed=3)).search(profile, 3)
+        assert a.cuts == b.cuts
+        assert a.fitness == b.fitness
+
+    def test_near_optimal(self, profile):
+        ann = AnnealingSplitter(AnnealingConfig(seed=0)).search(profile, 3)
+        ex = ExhaustiveSplitter().search(profile, 3)
+        assert ann.fitness >= ex.fitness * 1.03
+
+    def test_matches_exhaustive_on_real_model(self, vgg_profile):
+        ann = AnnealingSplitter(AnnealingConfig(seed=0)).search(vgg_profile, 3)
+        ex = ExhaustiveSplitter().search(vgg_profile, 3)
+        assert ann.fitness >= ex.fitness * 1.01
+
+    def test_invalid_config(self):
+        with pytest.raises(SearchError):
+            AnnealingConfig(iterations=0)
+        with pytest.raises(SearchError):
+            AnnealingConfig(cooling=1.5)
+        with pytest.raises(SearchError):
+            AnnealingConfig(initial_temperature=0.0)
+
+    def test_rejects_single_block(self, profile):
+        with pytest.raises(SearchError):
+            AnnealingSplitter().search(profile, 1)
+
+
+def test_all_methods_agree_on_smooth_landscapes(resnet_profile):
+    """GA, annealing, balanced hill-climbing and exhaustive search land on
+    the same optimum for the real model — the objective, not the
+    optimiser, determines the split."""
+    from repro.splitting.genetic import GAConfig, GeneticSplitter
+
+    ga = GeneticSplitter(GAConfig(seed=0)).search(resnet_profile, 3)
+    bal = balanced_split(resnet_profile, 3)
+    ann = AnnealingSplitter(AnnealingConfig(seed=0)).search(resnet_profile, 3)
+    ex = ExhaustiveSplitter().search(resnet_profile, 3)
+    assert ga.cuts == bal.cuts == ann.cuts == ex.partition.cuts

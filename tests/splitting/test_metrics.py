@@ -1,0 +1,107 @@
+"""Eq. 1 and the Table-3 metrics — including the property-based check that
+the closed form matches brute-force averaging."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.splitting.metrics import (
+    block_range_percent,
+    block_std_ms,
+    expected_waiting_latency_ms,
+    partition_summary,
+    splitting_overhead_fraction,
+)
+from repro.splitting.partition import Partition
+
+from tests.conftest import make_profile
+
+block_times = st.lists(
+    st.floats(min_value=0.01, max_value=1000.0, allow_nan=False),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestEq1:
+    def test_single_block_half_latency(self):
+        assert expected_waiting_latency_ms([40.0]) == 20.0
+
+    def test_even_blocks(self):
+        # n even blocks of t: wait = t/2 regardless of n.
+        assert expected_waiting_latency_ms([10.0] * 4) == 5.0
+        assert expected_waiting_latency_ms([10.0] * 7) == 5.0
+
+    def test_formula_identity(self):
+        """0.5*sum(t^2)/sum(t) == 0.5*(sigma^2/mean + mean)."""
+        t = np.array([3.0, 7.0, 12.0, 1.5])
+        lhs = expected_waiting_latency_ms(t)
+        rhs = 0.5 * (t.std() ** 2 / t.mean() + t.mean())
+        assert lhs == pytest.approx(rhs)
+
+    @given(block_times)
+    def test_closed_form_identity_property(self, times):
+        t = np.asarray(times)
+        lhs = expected_waiting_latency_ms(t)
+        rhs = 0.5 * (np.var(t) / t.mean() + t.mean())
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    @given(block_times)
+    @settings(max_examples=30)
+    def test_matches_discretised_average(self, times):
+        """Integrate the waiting function on a fine grid and compare."""
+        t = np.asarray(times)
+        ends = np.cumsum(t)
+        total = ends[-1]
+        grid = np.linspace(0, total, 20001)[:-1] + total / 40002
+        idx = np.searchsorted(ends, grid, side="right")
+        waits = ends[np.minimum(idx, len(t) - 1)] - grid
+        assert waits.mean() == pytest.approx(
+            expected_waiting_latency_ms(t), rel=5e-3
+        )
+
+    @given(block_times)
+    def test_uneven_never_beats_even_same_total(self, times):
+        """For a fixed total and count, even blocks minimise Eq. 1."""
+        t = np.asarray(times)
+        even = np.full_like(t, t.mean())
+        assert expected_waiting_latency_ms(t) >= expected_waiting_latency_ms(
+            even
+        ) - 1e-9
+
+    def test_empty_rejected(self):
+        with pytest.raises(PartitionError):
+            expected_waiting_latency_ms([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(PartitionError):
+            expected_waiting_latency_ms([1.0, -1.0])
+
+    def test_zero_total(self):
+        assert expected_waiting_latency_ms([0.0, 0.0]) == 0.0
+
+
+class TestOtherMetrics:
+    def test_std(self):
+        assert block_std_ms([5.0, 5.0]) == 0.0
+        assert block_std_ms([0.0, 10.0]) == 5.0
+
+    def test_range_percent(self):
+        assert block_range_percent([5.0, 5.0]) == 0.0
+        assert block_range_percent([2.0, 8.0]) == pytest.approx(60.0)
+
+    def test_overhead_fraction(self):
+        profile = make_profile([4.0, 6.0], cut_costs=[1.0])
+        p = Partition(profile=profile, cuts=(0,))
+        assert splitting_overhead_fraction(p) == pytest.approx(0.1)
+
+    def test_summary_keys_and_consistency(self):
+        profile = make_profile([4.0, 6.0], cut_costs=[1.0])
+        p = Partition(profile=profile, cuts=(0,))
+        s = partition_summary(p)
+        assert s["blocks"] == 2
+        assert s["overhead_pct"] == pytest.approx(10.0)
+        assert s["total_ms"] == pytest.approx(11.0)
+        assert s["std_ms"] == block_std_ms(p.block_times_ms)

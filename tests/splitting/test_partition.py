@@ -1,0 +1,62 @@
+"""Partition validation and derived quantities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.splitting.partition import Partition, normalize_cuts
+
+from tests.conftest import make_profile
+
+
+@pytest.fixture
+def profile():
+    return make_profile([1.0, 2.0, 3.0, 4.0], cut_costs=[0.1, 0.2, 0.3])
+
+
+class TestNormalizeCuts:
+    def test_sorts(self):
+        assert normalize_cuts([2, 0], 5) == (0, 2)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(PartitionError, match="duplicate"):
+            normalize_cuts([1, 1], 5)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(PartitionError, match="out of range"):
+            normalize_cuts([4], 5)  # max is n-2 = 3
+        with pytest.raises(PartitionError):
+            normalize_cuts([-1], 5)
+
+    def test_empty_ok(self):
+        assert normalize_cuts([], 5) == ()
+
+
+class TestPartition:
+    def test_vanilla(self, profile):
+        p = Partition.vanilla(profile)
+        assert p.n_blocks == 1
+        assert not p.is_split
+        assert p.total_ms == 10.0
+        assert p.overhead_ms == 0.0
+
+    def test_split_blocks_and_overhead(self, profile):
+        p = Partition(profile=profile, cuts=(1,))
+        np.testing.assert_allclose(p.block_times_ms, [3.0, 7.2])
+        assert p.overhead_ms == pytest.approx(0.2)
+        assert p.n_blocks == 2
+
+    def test_cuts_canonicalised(self, profile):
+        p = Partition(profile=profile, cuts=(2, 0))
+        assert p.cuts == (0, 2)
+
+    def test_block_ranges(self, profile):
+        p = Partition(profile=profile, cuts=(0, 2))
+        assert p.block_ranges() == [(0, 0), (1, 2), (3, 3)]
+
+    def test_invalid_cuts_raise(self, profile):
+        with pytest.raises(PartitionError):
+            Partition(profile=profile, cuts=(9,))
+
+    def test_str(self, profile):
+        assert "2 blocks" in str(Partition(profile=profile, cuts=(1,)))

@@ -1,0 +1,114 @@
+"""Candidate counting, enumeration, and guided sampling."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SearchError
+from repro.splitting.search_space import (
+    _repair_row,
+    count_candidates,
+    enumerate_cuts,
+    sample_cuts_observation_guided,
+    sample_cuts_uniform,
+)
+
+from tests.conftest import make_profile
+
+
+class TestCounting:
+    def test_formula(self):
+        # Paper §2.2: dividing M ops into N blocks has C(M-1, N-1) options.
+        assert count_candidates(122, 3) == math.comb(121, 2)
+
+    def test_degenerate(self):
+        assert count_candidates(5, 1) == 1
+        assert count_candidates(5, 5) == 1
+        assert count_candidates(5, 6) == 0
+
+    def test_invalid(self):
+        with pytest.raises(SearchError):
+            count_candidates(0, 1)
+
+    def test_enumeration_matches_count(self):
+        cands = list(enumerate_cuts(8, 3))
+        assert len(cands) == count_candidates(8, 3)
+        assert len(set(cands)) == len(cands)
+        for c in cands:
+            assert list(c) == sorted(c)
+            assert all(0 <= x <= 6 for x in c)
+
+    def test_strided_enumeration(self):
+        cands = list(enumerate_cuts(10, 2, stride=3))
+        assert all(c[0] % 3 == 0 for c in cands)
+
+    def test_bad_stride(self):
+        with pytest.raises(SearchError):
+            list(enumerate_cuts(10, 2, stride=0))
+
+
+class TestSampling:
+    def test_uniform_shape_and_validity(self):
+        rng = np.random.default_rng(0)
+        pop = sample_cuts_uniform(rng, 20, 4, 50)
+        assert pop.shape == (50, 3)
+        for row in pop:
+            assert len(set(row.tolist())) == 3
+            assert (np.diff(row) > 0).all()
+            assert row.min() >= 0 and row.max() <= 18
+
+    def test_uniform_zero_cuts(self):
+        rng = np.random.default_rng(0)
+        assert sample_cuts_uniform(rng, 10, 1, 5).shape == (5, 0)
+
+    def test_uniform_too_many_cuts(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(SearchError):
+            sample_cuts_uniform(rng, 3, 5, 1)
+
+    def test_guided_valid_and_biased(self):
+        """Guided samples should sit near time-even positions."""
+        # Front-loaded profile: first ops are slow, like a CNN.
+        times = np.concatenate([np.full(10, 5.0), np.full(30, 1.0)])
+        profile = make_profile(times)
+        rng = np.random.default_rng(1)
+        pop = sample_cuts_observation_guided(rng, profile, 2, 200)
+        assert pop.shape == (200, 1)
+        # Time midpoint 40ms falls at op index 7 (8*5=40), far left of the
+        # operator midpoint 20 -> guided cuts average well below 20.
+        assert pop.mean() < 15
+        for row in pop:
+            assert 0 <= row[0] <= profile.n_ops - 2
+
+    def test_guided_multiple_cuts_sorted_unique(self):
+        profile = make_profile(np.ones(30))
+        rng = np.random.default_rng(2)
+        pop = sample_cuts_observation_guided(rng, profile, 5, 100)
+        for row in pop:
+            assert (np.diff(row) > 0).all()
+
+
+class TestRepair:
+    @given(
+        st.lists(st.integers(-5, 30), min_size=1, max_size=8),
+        st.integers(min_value=10, max_value=40),
+    )
+    @settings(max_examples=100)
+    def test_repair_row_invariants(self, raw, n_ops):
+        if len(raw) > n_ops - 1:
+            return  # not enough positions to host the cuts
+        rng = np.random.default_rng(0)
+        row = _repair_row(rng, np.asarray(raw, dtype=np.int64), n_ops)
+        assert len(row) == len(raw)
+        assert (np.diff(row) > 0).all() if len(row) > 1 else True
+        assert row.min() >= 0
+        assert row.max() <= n_ops - 2
+
+    def test_repair_preserves_valid_rows(self):
+        rng = np.random.default_rng(0)
+        row = np.array([1, 4, 7])
+        out = _repair_row(rng, row.copy(), 20)
+        np.testing.assert_array_equal(out, row)

@@ -1,0 +1,63 @@
+"""Block-count selection via the Eq.-1 score."""
+
+import pytest
+
+from repro.splitting.genetic import GAConfig
+from repro.splitting.metrics import expected_waiting_latency_ms
+from repro.splitting.selection import choose_block_count, score_split_ms
+
+from tests.conftest import make_profile
+
+
+def test_score_vanilla_is_half_latency():
+    assert score_split_ms([30.0], 30.0) == 15.0
+
+
+def test_score_penalises_overhead():
+    # Two even 16ms blocks of a 30ms model: wait 8 + overhead 2 = 10.
+    assert score_split_ms([16.0, 16.0], 30.0) == pytest.approx(10.0)
+
+
+def test_free_splitting_always_wins():
+    """With zero cut cost, splitting strictly reduces the score."""
+    profile = make_profile([5.0] * 12)
+    choice = choose_block_count(profile, max_blocks=4, config=GAConfig(seed=0))
+    assert choice.n_blocks == 4  # more free blocks keep shrinking E[wait]
+    assert choice.result is not None
+
+
+def test_expensive_splitting_stays_vanilla():
+    profile = make_profile([5.0] * 12, cut_costs=[50.0] * 11)
+    choice = choose_block_count(profile, max_blocks=4, config=GAConfig(seed=0))
+    assert choice.n_blocks == 1
+    assert choice.result is None
+
+
+def test_scores_cover_all_counts():
+    profile = make_profile([5.0] * 12, cut_costs=[1.0] * 11)
+    choice = choose_block_count(profile, max_blocks=4, config=GAConfig(seed=0))
+    assert set(choice.scores_ms) == {1, 2, 3, 4}
+    assert choice.score_ms == min(choice.scores_ms.values())
+
+
+def test_real_models_choose_small_counts(resnet_profile, vgg_profile):
+    """Paper: optimal counts are small (2 for ResNet50, 3 for VGG19)."""
+    for profile in (resnet_profile, vgg_profile):
+        choice = choose_block_count(profile, max_blocks=5, config=GAConfig(seed=0))
+        assert 2 <= choice.n_blocks <= 3
+        # Splitting must beat staying vanilla for the long models.
+        assert choice.scores_ms[choice.n_blocks] < choice.scores_ms[1]
+
+
+def test_consistency_of_winner_score():
+    profile = make_profile([2.0] * 10, cut_costs=[0.2] * 9)
+    choice = choose_block_count(profile, max_blocks=3, config=GAConfig(seed=0))
+    if choice.result is not None:
+        recomputed = score_split_ms(
+            choice.result.partition.block_times_ms, profile.total_ms
+        )
+        assert choice.score_ms == pytest.approx(recomputed)
+    else:
+        assert choice.score_ms == pytest.approx(
+            expected_waiting_latency_ms([profile.total_ms])
+        )

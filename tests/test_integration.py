@@ -1,0 +1,56 @@
+"""Cross-module integration: the full offline + online pipeline."""
+
+import pytest
+
+from repro.experiments.config import ExperimentContext
+from repro.graphs.validate import validate_graph
+from repro.hardware.presets import jetson_nano
+from repro.profiling.profiler import Profiler
+from repro.runtime.simulator import simulate
+from repro.runtime.workload import Scenario
+from repro.splitting.genetic import GAConfig, GeneticSplitter
+from repro.splitting.metrics import expected_waiting_latency_ms
+from repro.zoo.registry import EVALUATED_MODELS, get_model
+
+
+def test_offline_pipeline_end_to_end():
+    """graph -> validate -> profile -> GA split -> Eq. 1 improvement."""
+    g = get_model("vgg19")
+    validate_graph(g)
+    profile = Profiler(jetson_nano()).profile(g)
+    result = GeneticSplitter(GAConfig(seed=0)).search(profile, 3)
+    split_wait = expected_waiting_latency_ms(result.partition.block_times_ms)
+    vanilla_wait = expected_waiting_latency_ms([profile.total_ms])
+    assert split_wait < vanilla_wait
+
+
+def test_online_pipeline_end_to_end():
+    """Workload -> engine -> QoS report, with blocks from the GA."""
+    scen = Scenario("itest", 140.0, "high", n_requests=300)
+    split = simulate("split", scen, keep_trace=True)
+    split.engine_result.trace.verify()
+    baseline = simulate("clockwork", scen)
+    assert split.report.violation_rate(4.0) < baseline.report.violation_rate(4.0)
+    # Preemption actually happened.
+    assert split.report.preemption_count() > 0
+
+
+def test_headline_directions_reduced_scale():
+    """Both abstract claims hold directionally at 300 requests."""
+    scen = Scenario("itest6", 115.0, "high", n_requests=300)
+    runs = {p: simulate(p, scen) for p in ("split", "clockwork", "prema", "rta")}
+    split = runs["split"].report
+    for name in ("clockwork", "prema", "rta"):
+        other = runs[name].report
+        assert split.violation_rate(4.0) <= other.violation_rate(4.0)
+    # Short-model jitter reduced vs RT-A by a large margin.
+    assert split.jitter_ms("yolov2") < runs["rta"].report.jitter_ms("yolov2") * 0.6
+
+
+def test_context_profiles_consistent_with_simulator():
+    ctx = ExperimentContext()
+    profiles = ctx.profiles()
+    assert set(profiles) == set(EVALUATED_MODELS)
+    for name, p in profiles.items():
+        meta = get_model(name, cached=True).metadata
+        assert p.total_ms == pytest.approx(meta["paper_latency_ms"])

@@ -1,0 +1,108 @@
+"""OnlineStats correctness (vs NumPy) and summary helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import (
+    OnlineStats,
+    bootstrap_ci,
+    coefficient_of_variation,
+    percentile,
+    summarize,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestOnlineStats:
+    def test_empty(self):
+        s = OnlineStats()
+        assert s.count == 0
+        assert math.isnan(s.mean)
+        assert math.isnan(s.std)
+
+    def test_single_value(self):
+        s = OnlineStats()
+        s.add(5.0)
+        assert s.mean == 5.0
+        assert s.variance == 0.0
+        assert s.min == 5.0
+        assert s.max == 5.0
+
+    @given(st.lists(finite_floats, min_size=1, max_size=200))
+    def test_matches_numpy(self, xs):
+        s = OnlineStats()
+        s.extend(xs)
+        arr = np.asarray(xs)
+        assert s.count == len(xs)
+        assert s.mean == pytest.approx(arr.mean(), rel=1e-9, abs=1e-6)
+        assert s.variance == pytest.approx(arr.var(), rel=1e-6, abs=1e-4)
+        assert s.min == arr.min()
+        assert s.max == arr.max()
+
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=50),
+        st.lists(finite_floats, min_size=1, max_size=50),
+    )
+    def test_merge_equals_concat(self, xs, ys):
+        a = OnlineStats()
+        a.extend(xs)
+        b = OnlineStats()
+        b.extend(ys)
+        a.merge(b)
+        arr = np.asarray(xs + ys)
+        assert a.count == len(arr)
+        assert a.mean == pytest.approx(arr.mean(), rel=1e-9, abs=1e-6)
+        assert a.variance == pytest.approx(arr.var(), rel=1e-6, abs=1e-4)
+
+    def test_merge_with_empty(self):
+        a = OnlineStats()
+        a.extend([1.0, 2.0])
+        a.merge(OnlineStats())
+        assert a.count == 2
+        b = OnlineStats()
+        b.merge(a)
+        assert b.count == 2
+        assert b.mean == 1.5
+
+
+class TestHelpers:
+    def test_percentile_basic(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+
+    def test_percentile_empty_nan(self):
+        assert math.isnan(percentile([], 50))
+
+    def test_cv(self):
+        assert coefficient_of_variation([2.0, 2.0]) == 0.0
+        assert math.isnan(coefficient_of_variation([]))
+        assert math.isnan(coefficient_of_variation([0.0, 0.0]))
+
+    def test_bootstrap_ci_contains_mean_for_tight_data(self):
+        lo, hi = bootstrap_ci([10.0] * 50, seed=1)
+        assert lo == pytest.approx(10.0)
+        assert hi == pytest.approx(10.0)
+
+    def test_bootstrap_ci_ordered(self):
+        rng = np.random.default_rng(0)
+        xs = rng.normal(5, 1, size=100)
+        lo, hi = bootstrap_ci(xs, seed=2)
+        assert lo < xs.mean() < hi
+
+    def test_bootstrap_empty(self):
+        lo, hi = bootstrap_ci([])
+        assert math.isnan(lo) and math.isnan(hi)
+
+    def test_summarize_keys(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert set(s) == {"mean", "std", "min", "p50", "p95", "p99", "max"}
+        assert s["min"] == 1.0 and s["max"] == 3.0
+
+    def test_summarize_empty_all_nan(self):
+        assert all(math.isnan(v) for v in summarize([]).values())

@@ -1,0 +1,41 @@
+"""Text-table renderer."""
+
+import pytest
+
+from repro.utils.tables import format_table
+
+
+def test_basic_alignment():
+    out = format_table(["name", "x"], [["a", 1.5], ["bb", 10.25]])
+    lines = out.splitlines()
+    assert lines[0].startswith("name")
+    assert "-+-" in lines[1]
+    assert lines[2].startswith("a")
+    assert "10.25" in lines[3]
+
+
+def test_title_rendered():
+    out = format_table(["h"], [["v"]], title="My Table")
+    assert out.splitlines()[0] == "My Table"
+    assert out.splitlines()[1] == "========"
+
+
+def test_floatfmt_applied():
+    out = format_table(["x"], [[3.14159]], floatfmt=".1f")
+    assert "3.1" in out
+    assert "3.14" not in out
+
+
+def test_int_not_float_formatted():
+    out = format_table(["x"], [[7]])
+    assert "7" in out and "7.00" not in out
+
+
+def test_ragged_row_raises():
+    with pytest.raises(ValueError, match="cells"):
+        format_table(["a", "b"], [[1]])
+
+
+def test_empty_rows_ok():
+    out = format_table(["a"], [])
+    assert "a" in out

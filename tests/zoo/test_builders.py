@@ -1,0 +1,124 @@
+"""Architecture builders: Table-1 operator counts, published FLOPs/params."""
+
+import pytest
+
+from repro.graphs.validate import validate_graph
+from repro.types import OpType
+from repro.zoo.registry import get_model, model_names
+
+# The paper's Table 1 (exact targets for the five evaluated models).
+TABLE1_OPS = {
+    "yolov2": 84,
+    "googlenet": 142,
+    "resnet50": 122,
+    "vgg19": 44,
+    "gpt2": 2534,
+}
+
+# Published architecture figures (GFLOPs as 2x MACs, params in millions),
+# with generous tolerance for head/variant differences.
+PUBLISHED = {
+    "vgg19": {"gflops": (35, 45), "mparams": (138, 148)},
+    "resnet50": {"gflops": (7, 9.5), "mparams": (23, 28)},
+    "googlenet": {"gflops": (2.5, 4), "mparams": (5.5, 8)},
+    "alexnet": {"gflops": (1.2, 1.7), "mparams": (57, 64)},
+    "squeezenet": {"gflops": (1.0, 2.0), "mparams": (1.0, 1.6)},
+    "mobilenetv2": {"gflops": (0.5, 0.7), "mparams": (3.0, 4.0)},
+    "densenet": {"gflops": (5.0, 6.5), "mparams": (7.5, 8.5)},
+    "efficientnet": {"gflops": (0.6, 1.0), "mparams": (4.8, 5.6)},
+}
+
+
+@pytest.mark.parametrize("name,expected", sorted(TABLE1_OPS.items()))
+def test_table1_operator_counts_exact(name, expected):
+    assert len(get_model(name, cached=True)) == expected
+
+
+@pytest.mark.parametrize("name", model_names())
+def test_builders_produce_valid_graphs(name):
+    g = get_model(name)
+    validate_graph(g)
+    assert g.total_flops > 0
+    assert g.total_param_bytes > 0
+
+
+@pytest.mark.parametrize("name,bounds", sorted(PUBLISHED.items()))
+def test_published_flops_and_params(name, bounds):
+    g = get_model(name, cached=True)
+    gflops = g.total_flops / 1e9
+    mparams = g.total_param_bytes / 4e6
+    lo, hi = bounds["gflops"]
+    assert lo <= gflops <= hi, f"{name}: {gflops:.2f} GFLOPs outside [{lo}, {hi}]"
+    lo, hi = bounds["mparams"]
+    assert lo <= mparams <= hi, f"{name}: {mparams:.2f} Mparams outside [{lo}, {hi}]"
+
+
+def test_vgg19_structure():
+    g = get_model("vgg19", cached=True)
+    convs = [op for op in g if op.op_type is OpType.CONV]
+    pools = [op for op in g if op.op_type is OpType.MAXPOOL]
+    gemms = [op for op in g if op.op_type is OpType.GEMM]
+    assert len(convs) == 16
+    assert len(pools) == 5
+    assert len(gemms) == 3
+
+
+def test_resnet50_structure():
+    g = get_model("resnet50", cached=True)
+    convs = [op for op in g if op.op_type is OpType.CONV]
+    adds = [op for op in g if op.op_type is OpType.ADD]
+    assert len(convs) == 53  # 1 stem + 48 bottleneck + 4 downsample
+    assert len(adds) == 16
+
+
+def test_googlenet_structure():
+    g = get_model("googlenet", cached=True)
+    concats = [op for op in g if op.op_type is OpType.CONCAT]
+    assert len(concats) == 9  # one per inception module
+
+
+def test_yolov2_structure():
+    g = get_model("yolov2", cached=True)
+    convs = [op for op in g if op.op_type is OpType.CONV]
+    bns = [op for op in g if op.op_type is OpType.BATCHNORM]
+    assert len(convs) == 23
+    assert len(bns) == 22  # all but the detection head conv
+
+
+def test_gpt2_structure():
+    g = get_model("gpt2", cached=True)
+    matmuls = [op for op in g if op.op_type is OpType.MATMUL]
+    gemms = [op for op in g if op.op_type is OpType.GEMM]
+    softmaxes = [op for op in g if op.op_type is OpType.SOFTMAX]
+    # 2 matmuls per head per layer = 2 * 12 * 12
+    assert len(matmuls) == 288
+    # qkv + proj + fc1 + fc2 per layer, + lm_head
+    assert len(gemms) == 4 * 12 + 1
+    # one softmax per head per layer
+    assert len(softmaxes) == 144
+
+
+def test_gpt2_seq_parameter_changes_shapes_not_count():
+    short = get_model("gpt2")
+    from repro.zoo.gpt2 import build_gpt2
+
+    longer = build_gpt2(seq=64)
+    assert len(short) == len(longer)
+    assert longer.total_flops > short.total_flops
+
+
+def test_activations_shrink_toward_back_for_cnns():
+    """The §2.4 observation: boundary data volume decreases with depth."""
+    for name in ("vgg19", "resnet50", "googlenet"):
+        g = get_model(name, cached=True)
+        profile = g.crossing_bytes_profile()
+        n = len(profile)
+        front = profile[: n // 4].mean()
+        back = profile[-n // 4 :].mean()
+        assert front > back, f"{name}: front {front} !> back {back}"
+
+
+def test_input_shapes():
+    assert get_model("yolov2", cached=True).inputs[0].shape == (1, 3, 416, 416)
+    assert get_model("gpt2", cached=True).inputs[0].shape == (1, 32)
+    assert get_model("vgg19", cached=True).inputs[0].shape == (1, 3, 224, 224)

@@ -1,0 +1,57 @@
+"""Model registry behaviour."""
+
+import pytest
+
+from repro.errors import UnknownModelError
+from repro.zoo.registry import (
+    EVALUATED_MODELS,
+    BUILDERS,
+    clear_cache,
+    get_model,
+    model_names,
+)
+
+
+def test_evaluated_models_are_the_paper_five():
+    assert set(EVALUATED_MODELS) == {
+        "yolov2",
+        "googlenet",
+        "resnet50",
+        "vgg19",
+        "gpt2",
+    }
+
+
+def test_model_names_sorted_and_complete():
+    names = model_names()
+    assert list(names) == sorted(names)
+    assert set(names) == set(BUILDERS)
+
+
+def test_unknown_model_raises_with_suggestions():
+    with pytest.raises(UnknownModelError, match="resnet50"):
+        get_model("resnet999")
+
+
+def test_case_insensitive_lookup():
+    assert get_model("ResNet50").name == "resnet50"
+
+
+def test_cached_returns_same_instance():
+    clear_cache()
+    a = get_model("vgg19", cached=True)
+    b = get_model("vgg19", cached=True)
+    assert a is b
+
+
+def test_uncached_returns_fresh_instance():
+    a = get_model("vgg19")
+    b = get_model("vgg19")
+    assert a is not b
+
+
+def test_clear_cache():
+    a = get_model("vgg19", cached=True)
+    clear_cache()
+    b = get_model("vgg19", cached=True)
+    assert a is not b

@@ -1,0 +1,72 @@
+"""ResNet/VGG family variants (beyond the paper's evaluated five)."""
+
+import pytest
+
+from repro.graphs.validate import validate_graph
+from repro.zoo.registry import get_model
+from repro.zoo.resnet import build_resnet
+from repro.zoo.vgg import build_vgg16
+
+# Published parameter counts (millions), 4 bytes each.
+PARAMS_M = {18: 11.7, 34: 21.8, 50: 25.5, 101: 44.5, 152: 60.2}
+
+
+@pytest.mark.parametrize("depth", sorted(PARAMS_M))
+def test_resnet_family_params_match_published(depth):
+    g = build_resnet(depth)
+    validate_graph(g)
+    mparams = g.total_param_bytes / 4e6
+    assert mparams == pytest.approx(PARAMS_M[depth], rel=0.03), depth
+
+
+def test_resnet_depth_increases_ops_and_flops():
+    graphs = [build_resnet(d) for d in (18, 34, 50, 101, 152)]
+    ops = [len(g) for g in graphs]
+    flops = [g.total_flops for g in graphs]
+    assert ops == sorted(ops)
+    assert flops == sorted(flops)
+
+
+def test_resnet50_via_generic_matches_dedicated():
+    generic = build_resnet(50)
+    dedicated = get_model("resnet50")
+    assert len(generic) == len(dedicated)
+    assert generic.total_flops == pytest.approx(dedicated.total_flops)
+    assert generic.total_param_bytes == dedicated.total_param_bytes
+
+
+def test_unsupported_depth():
+    with pytest.raises(ValueError, match="depth"):
+        build_resnet(77)
+
+
+def test_resnet_shallow_marked_short():
+    assert build_resnet(18).metadata["request_class"] == "short"
+    assert build_resnet(101).metadata["request_class"] == "long"
+
+
+def test_vgg16_structure():
+    g = build_vgg16()
+    validate_graph(g)
+    mparams = g.total_param_bytes / 4e6
+    assert mparams == pytest.approx(138.4, rel=0.02)
+    # 13 conv + 13 relu + 5 pool + flatten + 3 fc + 2 relu + softmax = 38
+    assert len(g) == 38
+
+
+def test_variants_registered():
+    for name in ("vgg16", "resnet18", "resnet34", "resnet101", "resnet152"):
+        g = get_model(name, cached=True)
+        assert g.name == name
+
+
+def test_variants_splittable():
+    """The full offline pipeline works on out-of-sample variants."""
+    from repro.hardware.presets import jetson_nano
+    from repro.profiling.profiler import Profiler
+    from repro.splitting.genetic import GAConfig, GeneticSplitter
+
+    profile = Profiler(jetson_nano()).profile(get_model("resnet101", cached=True))
+    result = GeneticSplitter(GAConfig(seed=0)).search(profile, 3)
+    assert result.partition.n_blocks == 3
+    assert result.sigma_ms < profile.total_ms * 0.05
