@@ -1,6 +1,6 @@
 # Development conveniences for the SPLIT reproduction.
 
-.PHONY: install test bench experiments results examples clean
+.PHONY: install test bench bench-check experiments results examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -10,6 +10,12 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# What CI runs: tier-1 tests plus every benchmark's assertions with the
+# timing collection disabled (fast, and robust on shared runners).
+bench-check:
+	pytest tests/ -q
+	pytest benchmarks/ -q --benchmark-disable
 
 experiments:
 	python -m repro.experiments all
@@ -25,5 +31,5 @@ examples:
 	python examples/edge_cluster.py
 
 clean:
-	rm -rf results/ .pytest_cache src/repro.egg-info
+	rm -rf results/ .pytest_cache .split-cache src/repro.egg-info
 	find . -name __pycache__ -type d -exec rm -rf {} +

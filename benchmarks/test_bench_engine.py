@@ -1,0 +1,86 @@
+"""Engine and sweep-layer throughput.
+
+Pins the two numbers the parallel/caching work is judged by:
+
+* simulated requests/second of one ``SequentialEngine`` pass over a
+  1000-request overload scenario (the event-loop fast path);
+* cold-vs-warm plan-store timings — a warm store must make the offline
+  pipeline (profile + GA + block-count selection) several times faster,
+  which is what turns repeated experiment sweeps cheap.
+
+Both run under ``--benchmark-disable`` in CI: the assertions still check
+correctness, only the timing statistics are skipped.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.profiling.store import PlanStore, ProfileStore
+from repro.runtime.simulator import simulate
+from repro.runtime.workload import Scenario
+from repro.splitting.genetic import GAConfig
+from repro.splitting.selection import choose_block_count
+
+OVERLOAD = Scenario("bench-overload", 110.0, "high", n_requests=1000)
+
+
+def test_bench_simulate_throughput(benchmark, ctx):
+    """Simulated requests/second on a 1000-request high-load scenario."""
+    result = benchmark(
+        simulate, "split", OVERLOAD, models=ctx.models, device=ctx.device,
+        seed=ctx.seed,
+    )
+    assert result.report.n_requests == 1000
+    assert result.report.n_dropped == 0
+    if benchmark.stats is not None:  # None under --benchmark-disable
+        benchmark.extra_info["requests_per_sec"] = round(
+            OVERLOAD.n_requests / benchmark.stats["mean"]
+        )
+
+
+def test_bench_plan_store_cold_vs_warm(benchmark, ctx, tmp_path):
+    """Cold vs warm offline pipeline through the persistent stores.
+
+    The benchmark times the *warm* path (what every sweep after the first
+    pays); the cold/warm ratio is attached as ``extra_info`` so the
+    speedup is pinned in the bench trajectory.
+    """
+    profile_store = ProfileStore(tmp_path / "profiles")
+    plan_store = PlanStore(tmp_path / "plans")
+    from repro.profiling.cache import ProfileCache
+
+    profiler = ProfileCache(ctx.device).profiler
+    from repro.zoo.registry import get_model
+
+    graphs = [get_model(m, cached=True) for m in ("resnet50", "vgg19")]
+    cfg = GAConfig(seed=ctx.seed)
+
+    def pipeline():
+        profiles = [
+            profile_store.get_or_profile(g, profiler) for g in graphs
+        ]
+        return [
+            choose_block_count(p, max_blocks=4, config=cfg, store=plan_store)
+            for p in profiles
+        ]
+
+    t0 = time.perf_counter()
+    cold_choices = pipeline()
+    cold_s = time.perf_counter() - t0
+    assert len(plan_store) > 0
+
+    t0 = time.perf_counter()
+    warm_choices = pipeline()
+    warm_s = time.perf_counter() - t0
+
+    # Warm hits reconstruct identical plans (the GA is seeded).
+    for cold, warm in zip(cold_choices, warm_choices):
+        assert warm.n_blocks == cold.n_blocks
+        assert warm.score_ms == cold.score_ms
+
+    result = benchmark(pipeline)
+    assert [c.n_blocks for c in result] == [c.n_blocks for c in cold_choices]
+    benchmark.extra_info["cold_s"] = round(cold_s, 4)
+    benchmark.extra_info["warm_s"] = round(warm_s, 4)
+    benchmark.extra_info["cold_over_warm"] = round(cold_s / warm_s, 2)

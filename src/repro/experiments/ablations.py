@@ -21,12 +21,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.config import ExperimentContext
-from repro.runtime.simulator import simulate
+from repro.profiling.store import default_plan_store
+from repro.runtime.simulator import simulate, warm_caches
+from repro.runtime.sweeps import SweepCell, run_sweep
 from repro.runtime.workload import SCENARIOS
 from repro.splitting.elastic import ElasticSplitConfig
 from repro.splitting.exhaustive import ExhaustiveSplitter
 from repro.splitting.genetic import GAConfig, GeneticSplitter
 from repro.splitting.metrics import expected_waiting_latency_ms
+from repro.splitting.selection import ga_search
 from repro.utils.tables import format_table
 
 
@@ -69,25 +72,28 @@ class AblationResult:
     oracle: tuple[PolicyAblationRow, ...] = ()
 
 
-def _policy_row(
-    ctx: ExperimentContext,
+def _policy_cell(
     label: str,
     policy: str,
     scenario,
+    models: tuple[str, ...],
+    device,
+    seed: int,
     split_plans=None,
     elastic: ElasticSplitConfig | None = None,
 ) -> PolicyAblationRow:
+    """One policy ablation cell (sweep worker: primitives in, row out)."""
     sim = simulate(
         policy,
         scenario,
-        models=ctx.models,
-        device=ctx.device,
-        seed=ctx.seed,
+        models=models,
+        device=device,
+        seed=seed,
         split_plans=split_plans,
         elastic=elastic,
     )
     rep = sim.report
-    shorts = [m for m in ctx.models if m not in ("resnet50", "vgg19")]
+    shorts = [m for m in models if m not in ("resnet50", "vgg19")]
     jit = sum(rep.jitter_ms(m) for m in shorts) / len(shorts)
     return PolicyAblationRow(
         label=label,
@@ -99,39 +105,62 @@ def _policy_row(
     )
 
 
-def run(ctx: ExperimentContext | None = None) -> AblationResult:
+def _ga_init_cell(profile, m: int, seed: int) -> GAInitAblation:
+    """Guided vs blind vs exhaustive for one (model, block count)."""
+    guided = GeneticSplitter(
+        GAConfig(seed=seed, guided_init_fraction=0.75)
+    ).search(profile, m)
+    blind = GeneticSplitter(
+        GAConfig(seed=seed, guided_init_fraction=0.0)
+    ).search(profile, m)
+    ex = ExhaustiveSplitter().search(profile, m)
+    return GAInitAblation(
+        model=profile.model_name,
+        n_blocks=m,
+        guided_fitness=guided.fitness,
+        guided_generations=guided.generations_run,
+        blind_fitness=blind.fitness,
+        blind_generations=blind.generations_run,
+        exhaustive_fitness=ex.fitness,
+    )
+
+
+def _block_count_cell(profile, m: int, seed: int) -> BlockCountRow:
+    if m == 1:
+        return BlockCountRow(
+            model=profile.model_name,
+            n_blocks=1,
+            expected_wait_ms=expected_waiting_latency_ms([profile.total_ms]),
+            overhead_pct=0.0,
+        )
+    r = ga_search(
+        profile, m, config=GAConfig(seed=seed), store=default_plan_store()
+    )
+    return BlockCountRow(
+        model=profile.model_name,
+        n_blocks=m,
+        expected_wait_ms=expected_waiting_latency_ms(r.partition.block_times_ms),
+        overhead_pct=r.overhead_fraction * 100.0,
+    )
+
+
+def run(
+    ctx: ExperimentContext | None = None, jobs: int | None = None
+) -> AblationResult:
     ctx = ctx or ExperimentContext()
-
-    # --- A: GA initialisation --------------------------------------------
-    ga_rows = []
-    exhaustive = ExhaustiveSplitter()
-    for model in ("resnet50", "vgg19"):
-        profile = ctx.profile(model)
-        for m in (2, 3):
-            guided = GeneticSplitter(
-                GAConfig(seed=ctx.seed, guided_init_fraction=0.75)
-            ).search(profile, m)
-            blind = GeneticSplitter(
-                GAConfig(seed=ctx.seed, guided_init_fraction=0.0)
-            ).search(profile, m)
-            ex = exhaustive.search(profile, m)
-            ga_rows.append(
-                GAInitAblation(
-                    model=model,
-                    n_blocks=m,
-                    guided_fitness=guided.fitness,
-                    guided_generations=guided.generations_run,
-                    blind_fitness=blind.fitness,
-                    blind_generations=blind.generations_run,
-                    exhaustive_fitness=ex.fitness,
-                )
-            )
-
+    jobs = jobs if jobs is not None else ctx.jobs
     low, high = SCENARIOS[0], SCENARIOS[5]
 
+    # --- A: GA initialisation --------------------------------------------
+    ga_grid = [
+        (ctx.profile(model), m, ctx.seed)
+        for model in ("resnet50", "vgg19")
+        for m in (2, 3)
+    ]
+
     # --- B: scheduling policy with identical block plans -------------------
-    policy_rows = tuple(
-        _policy_row(ctx, label, policy, scen)
+    policy_grid = [
+        (label, policy, scen)
         for scen in (low, high)
         for label, policy in (
             ("greedy (SPLIT)", "split"),
@@ -139,67 +168,98 @@ def run(ctx: ExperimentContext | None = None) -> AblationResult:
             ("FIFO whole-model", "fifo"),
             ("SJF whole-model", "sjf"),
         )
-    )
-
+    ]
     # --- C: elastic splitting on/off under high load -----------------------
-    elastic_rows = tuple(
-        _policy_row(ctx, label, "split", high, elastic=cfg)
-        for label, cfg in (
-            ("elastic on", ElasticSplitConfig()),
-            ("elastic off", ElasticSplitConfig(enabled=False)),
-        )
-    )
-
+    elastic_grid = [
+        ("elastic on", "split", high, ElasticSplitConfig()),
+        ("elastic off", "split", high, ElasticSplitConfig(enabled=False)),
+    ]
     # --- D: full vs partial preemption (Fig. 3) ----------------------------
-    preemption_rows = tuple(
-        _policy_row(ctx, label, policy, low)
-        for label, policy in (
-            ("full preemption (SPLIT)", "split"),
-            ("partial (round-robin blocks)", "roundrobin"),
-        )
-    )
+    preemption_grid = [
+        ("full preemption (SPLIT)", "split", low),
+        ("partial (round-robin blocks)", "roundrobin", low),
+    ]
+    # --- F: kernel-level oracle (REEF-style) --------------------------------
+    oracle_grid = [
+        ("SPLIT (block boundaries)", "split", high),
+        ("REEF oracle (op boundaries)", "reef", high),
+    ]
 
     # --- E: block-count sweep (Eq. 1 hyperbola) -----------------------------
-    block_rows = []
-    splitter = GeneticSplitter(GAConfig(seed=ctx.seed))
-    for model in ("resnet50", "vgg19"):
-        profile = ctx.profile(model)
-        block_rows.append(
-            BlockCountRow(
-                model=model,
-                n_blocks=1,
-                expected_wait_ms=expected_waiting_latency_ms([profile.total_ms]),
-                overhead_pct=0.0,
-            )
-        )
-        for m in (2, 3, 4, 5, 6):
-            r = splitter.search(profile, m)
-            block_rows.append(
-                BlockCountRow(
-                    model=model,
-                    n_blocks=m,
-                    expected_wait_ms=expected_waiting_latency_ms(
-                        r.partition.block_times_ms
-                    ),
-                    overhead_pct=r.overhead_fraction * 100.0,
-                )
-            )
+    block_grid = [
+        (ctx.profile(model), m, ctx.seed)
+        for model in ("resnet50", "vgg19")
+        for m in (1, 2, 3, 4, 5, 6)
+    ]
 
-    # --- F: kernel-level oracle (REEF-style) --------------------------------
-    oracle_rows = tuple(
-        _policy_row(ctx, label, policy, high)
-        for label, policy in (
-            ("SPLIT (block boundaries)", "split"),
-            ("REEF oracle (op boundaries)", "reef"),
-        )
+    # One flat sweep over every section keeps all cores busy even though
+    # the sections are differently sized; results unpack by position.
+    sim_args = (ctx.models, ctx.device, ctx.seed)
+    cells = (
+        [SweepCell(fn=_ga_init_cell, args=a, label="ablation:A") for a in ga_grid]
+        + [
+            SweepCell(
+                fn=_policy_cell, args=(*a, *sim_args), label="ablation:B"
+            )
+            for a in policy_grid
+        ]
+        + [
+            SweepCell(
+                fn=_policy_cell,
+                args=(label, policy, scen, *sim_args),
+                kwargs={"elastic": cfg},
+                label="ablation:C",
+            )
+            for label, policy, scen, cfg in elastic_grid
+        ]
+        + [
+            SweepCell(
+                fn=_policy_cell, args=(*a, *sim_args), label="ablation:D"
+            )
+            for a in preemption_grid
+        ]
+        + [
+            SweepCell(
+                fn=_block_count_cell, args=a, label="ablation:E"
+            )
+            for a in block_grid
+        ]
+        + [
+            SweepCell(
+                fn=_policy_cell, args=(*a, *sim_args), label="ablation:F"
+            )
+            for a in oracle_grid
+        ]
+    )
+    results = run_sweep(
+        cells,
+        jobs=jobs,
+        warmup=lambda: warm_caches(ctx.models, ctx.device.name),
+    )
+
+    bounds = [
+        len(ga_grid),
+        len(policy_grid),
+        len(elastic_grid),
+        len(preemption_grid),
+        len(block_grid),
+        len(oracle_grid),
+    ]
+    sections = []
+    start = 0
+    for width in bounds:
+        sections.append(tuple(results[start : start + width]))
+        start += width
+    ga_rows, policy_rows, elastic_rows, preemption_rows, block_rows, oracle_rows = (
+        sections
     )
 
     return AblationResult(
-        ga_init=tuple(ga_rows),
+        ga_init=ga_rows,
         policies=policy_rows,
         elastic=elastic_rows,
         preemption=preemption_rows,
-        block_counts=tuple(block_rows),
+        block_counts=block_rows,
         oracle=oracle_rows,
     )
 

@@ -41,12 +41,19 @@ PAPER_TABLE3 = {
 
 @dataclass
 class ExperimentContext:
-    """Shared state for one experiment run (device, profiles, seed)."""
+    """Shared state for one experiment run (device, profiles, seed).
+
+    ``jobs`` is the sweep-level parallelism every experiment passes down
+    to :func:`repro.runtime.sweeps.run_sweep`: ``None`` uses all cores,
+    ``1`` reproduces the sequential path exactly (the reports are
+    bit-identical either way — see ``docs/performance.md``).
+    """
 
     device: DeviceSpec = field(default_factory=jetson_nano)
     models: tuple[str, ...] = EVALUATED_MODELS
     scenarios: tuple[Scenario, ...] = SCENARIOS
     seed: int = 0
+    jobs: int | None = None
     _cache: ProfileCache | None = None
 
     def profile(self, model: str) -> ModelProfile:

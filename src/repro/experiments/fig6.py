@@ -13,7 +13,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.experiments.config import ALPHA_GRID, COMPARED_POLICIES, ExperimentContext
-from repro.runtime.simulator import simulate
+from repro.runtime.simulator import simulate, warm_caches
+from repro.runtime.sweeps import SweepCell, run_sweep
 from repro.runtime.workload import Scenario
 from repro.utils.tables import format_table
 
@@ -54,30 +55,46 @@ class Fig6Result:
         return best
 
 
+def _cell(policy, scenario, models, device, seed, alphas):
+    """One grid cell, reduced to its violation curve (sweep worker)."""
+    sim = simulate(policy, scenario, models=models, device=device, seed=seed)
+    curve = sim.report.violation_curve(alphas)
+    return tuple(float(v) for v in curve)
+
+
 def run(
     ctx: ExperimentContext | None = None,
     policies: tuple[str, ...] = COMPARED_POLICIES,
     scenarios: tuple[Scenario, ...] | None = None,
     alphas: tuple[float, ...] = ALPHA_GRID,
+    jobs: int | None = None,
 ) -> Fig6Result:
     ctx = ctx or ExperimentContext()
     scenarios = scenarios if scenarios is not None else ctx.scenarios
-    cells = []
-    for scen in scenarios:
-        for policy in policies:
-            sim = simulate(
-                policy, scen, models=ctx.models, device=ctx.device, seed=ctx.seed
+    jobs = jobs if jobs is not None else ctx.jobs
+    grid = [(scen, policy) for scen in scenarios for policy in policies]
+    curves = run_sweep(
+        (
+            SweepCell(
+                fn=_cell,
+                args=(policy, scen, ctx.models, ctx.device, ctx.seed, alphas),
+                label=f"fig6:{scen.name}/{policy}",
             )
-            curve = sim.report.violation_curve(alphas)
-            cells.append(
-                Fig6Cell(
-                    policy=policy,
-                    scenario=scen.name,
-                    alphas=alphas,
-                    violation_rate=tuple(float(v) for v in curve),
-                )
-            )
-    return Fig6Result(cells=tuple(cells), alphas=alphas)
+            for scen, policy in grid
+        ),
+        jobs=jobs,
+        warmup=lambda: warm_caches(ctx.models, ctx.device.name),
+    )
+    cells = tuple(
+        Fig6Cell(
+            policy=policy,
+            scenario=scen.name,
+            alphas=alphas,
+            violation_rate=curve,
+        )
+        for (scen, policy), curve in zip(grid, curves)
+    )
+    return Fig6Result(cells=cells, alphas=alphas)
 
 
 def render(result: Fig6Result) -> str:

@@ -13,7 +13,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.experiments.config import COMPARED_POLICIES, ExperimentContext
-from repro.runtime.simulator import simulate
+from repro.runtime.simulator import simulate, warm_caches
+from repro.runtime.sweeps import SweepCell, run_sweep
 from repro.runtime.workload import Scenario
 from repro.utils.tables import format_table
 from repro.zoo.registry import get_model
@@ -57,24 +58,39 @@ class Fig7Result:
         return float(1.0 - ours / theirs)
 
 
+def _cell(policy, scenario, models, device, seed):
+    """One grid cell, reduced to per-model jitter (sweep worker)."""
+    sim = simulate(policy, scenario, models=models, device=device, seed=seed)
+    return {m: sim.report.jitter_ms(m) for m in models}
+
+
 def run(
     ctx: ExperimentContext | None = None,
     policies: tuple[str, ...] = COMPARED_POLICIES,
     scenarios: tuple[Scenario, ...] | None = None,
+    jobs: int | None = None,
 ) -> Fig7Result:
     ctx = ctx or ExperimentContext()
     scenarios = scenarios if scenarios is not None else ctx.scenarios
-    cells = []
-    for scen in scenarios:
-        for policy in policies:
-            sim = simulate(
-                policy, scen, models=ctx.models, device=ctx.device, seed=ctx.seed
+    jobs = jobs if jobs is not None else ctx.jobs
+    grid = [(scen, policy) for scen in scenarios for policy in policies]
+    jitters = run_sweep(
+        (
+            SweepCell(
+                fn=_cell,
+                args=(policy, scen, ctx.models, ctx.device, ctx.seed),
+                label=f"fig7:{scen.name}/{policy}",
             )
-            jit = {m: sim.report.jitter_ms(m) for m in ctx.models}
-            cells.append(
-                Fig7Cell(policy=policy, scenario=scen.name, jitter_ms=jit)
-            )
-    return Fig7Result(cells=tuple(cells), models=ctx.models)
+            for scen, policy in grid
+        ),
+        jobs=jobs,
+        warmup=lambda: warm_caches(ctx.models, ctx.device.name),
+    )
+    cells = tuple(
+        Fig7Cell(policy=policy, scenario=scen.name, jitter_ms=jit)
+        for (scen, policy), jit in zip(grid, jitters)
+    )
+    return Fig7Result(cells=cells, models=ctx.models)
 
 
 def render(result: Fig7Result) -> str:

@@ -135,6 +135,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for sweep fan-out (default: SPLIT_JOBS env "
+            "or all cores; --jobs 1 runs sequentially, bit-for-bit "
+            "identical output)"
+        ),
+    )
+    parser.add_argument(
         "--plot",
         action="store_true",
         help="render fig5/fig6 as ASCII charts instead of tables",
@@ -155,7 +166,7 @@ def main(argv: list[str] | None = None) -> int:
         out_dir = Path(args.out)
         out_dir.mkdir(parents=True, exist_ok=True)
 
-    ctx = ExperimentContext(seed=args.seed)
+    ctx = ExperimentContext(seed=args.seed, jobs=args.jobs)
     ids = EXPERIMENT_IDS if args.experiment == "all" else (args.experiment,)
     for exp_id in ids:
         if args.plot and exp_id in _PLOTTERS:

@@ -15,7 +15,13 @@ from dataclasses import dataclass
 from repro.experiments.config import ExperimentContext
 from repro.runtime.metrics import QoSReport, collect_records
 from repro.runtime.multi import MultiProcessorEngine
-from repro.runtime.simulator import _profiles_for, _request_classes, default_split_plans
+from repro.runtime.simulator import (
+    _profiles_for,
+    _request_classes,
+    default_split_plans,
+    warm_caches,
+)
+from repro.runtime.sweeps import SweepCell, run_sweep
 from repro.runtime.workload import (
     Scenario,
     WorkloadGenerator,
@@ -48,15 +54,38 @@ class ScalingResult:
         raise KeyError((n, router))
 
 
+def _cell(k: int, router: str, items, specs) -> ScalingRow:
+    """One (processor count, router) configuration (sweep worker)."""
+    engine = MultiProcessorEngine(
+        [SplitScheduler() for _ in range(k)], router=router
+    )
+    arrivals = materialize_requests(items, specs)
+    res = engine.run(arrivals)
+    report = QoSReport(collect_records(res.engine_result))
+    counts = [c for c in res.placements.values() if c > 0]
+    imbalance = max(counts) / min(counts) if counts else float("nan")
+    return ScalingRow(
+        n_processors=k,
+        router=router,
+        violation_at_4=report.violation_rate(4.0),
+        violation_at_8=report.violation_rate(8.0),
+        mean_rr=report.mean_response_ratio(),
+        placement_imbalance=imbalance,
+    )
+
+
 def run(
     ctx: ExperimentContext | None = None,
     scenario: Scenario | None = None,
     processor_counts: tuple[int, ...] = (1, 2, 3),
     routers: tuple[str, ...] = ("round_robin", "least_backlog", "model_affinity"),
+    jobs: int | None = None,
 ) -> ScalingResult:
     ctx = ctx or ExperimentContext()
+    jobs = jobs if jobs is not None else ctx.jobs
     # lambda=70 ms per model is far past one Nano's tolerance (footnote 4).
     scenario = scenario or Scenario("overload", 70.0, "high", n_requests=1000)
+    warm_caches(ctx.models, ctx.device.name)
     profiles = _profiles_for(ctx.models, ctx.device.name)
     classes = _request_classes(ctx.models)
     plans = default_split_plans(ctx.models, ctx.device.name)
@@ -65,27 +94,22 @@ def run(
     )
     items = WorkloadGenerator(ctx.models, seed=ctx.seed).generate(scenario)
 
-    rows = []
-    for k in processor_counts:
-        for router in routers if k > 1 else ("round_robin",):
-            engine = MultiProcessorEngine(
-                [SplitScheduler() for _ in range(k)], router=router
+    grid = [
+        (k, router)
+        for k in processor_counts
+        for router in (routers if k > 1 else ("round_robin",))
+    ]
+    rows = run_sweep(
+        (
+            SweepCell(
+                fn=_cell,
+                args=(k, router, items, specs),
+                label=f"scaling:{k}x{router}",
             )
-            arrivals = materialize_requests(items, specs)
-            res = engine.run(arrivals)
-            report = QoSReport(collect_records(res.engine_result))
-            counts = [c for c in res.placements.values() if c > 0]
-            imbalance = max(counts) / min(counts) if counts else float("nan")
-            rows.append(
-                ScalingRow(
-                    n_processors=k,
-                    router=router,
-                    violation_at_4=report.violation_rate(4.0),
-                    violation_at_8=report.violation_rate(8.0),
-                    mean_rr=report.mean_response_ratio(),
-                    placement_imbalance=imbalance,
-                )
-            )
+            for k, router in grid
+        ),
+        jobs=jobs,
+    )
     return ScalingResult(scenario=scenario, rows=tuple(rows))
 
 

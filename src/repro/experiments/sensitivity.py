@@ -15,6 +15,8 @@ from repro.analysis.sensitivity import DeviceSensitivity, sweep_staging_bandwidt
 from repro.experiments.config import ExperimentContext
 from repro.hardware.presets import desktop_gpu, jetson_nano, jetson_xavier
 from repro.profiling.profiler import Profiler
+from repro.profiling.store import default_plan_store
+from repro.runtime.sweeps import sweep_map
 from repro.splitting.genetic import GAConfig
 from repro.splitting.selection import choose_block_count
 from repro.utils.tables import format_table
@@ -36,39 +38,52 @@ class SensitivityResult:
     presets: tuple[PresetRow, ...]
 
 
+def _staging_cell(model: str, device, factors, seed: int) -> DeviceSensitivity:
+    """One model's staging-bandwidth sweep (runs the full offline
+    pipeline per factor; sweep worker)."""
+    return sweep_staging_bandwidth(
+        get_model(model, cached=True), device, factors=factors, seed=seed
+    )
+
+
+def _preset_cell(device, model: str, seed: int) -> PresetRow:
+    """Profile + GA + block-count selection on one device preset."""
+    profile = Profiler(device).profile(get_model(model, cached=True))
+    choice = choose_block_count(
+        profile, max_blocks=4, config=GAConfig(seed=seed),
+        store=default_plan_store(),
+    )
+    overhead = choice.result.overhead_fraction * 100.0 if choice.result else 0.0
+    return PresetRow(
+        device=device.name,
+        model=model,
+        optimal_blocks=choice.n_blocks,
+        overhead_pct=overhead,
+        score_ms=choice.score_ms,
+    )
+
+
 def run(
     ctx: ExperimentContext | None = None,
     models: tuple[str, ...] = ("resnet50", "vgg19"),
     factors: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    jobs: int | None = None,
 ) -> SensitivityResult:
     ctx = ctx or ExperimentContext()
+    jobs = jobs if jobs is not None else ctx.jobs
     sweeps = tuple(
-        sweep_staging_bandwidth(
-            get_model(m, cached=True), ctx.device, factors=factors, seed=ctx.seed
+        sweep_map(
+            _staging_cell,
+            [(m, ctx.device, factors, ctx.seed) for m in models],
+            jobs=jobs,
         )
-        for m in models
     )
-    preset_rows = []
-    for device in (jetson_nano(), jetson_xavier(), desktop_gpu()):
-        profiler = Profiler(device)
-        for m in models:
-            graph = get_model(m, cached=True)
-            profile = profiler.profile(graph)
-            choice = choose_block_count(
-                profile, max_blocks=4, config=GAConfig(seed=ctx.seed)
-            )
-            overhead = (
-                choice.result.overhead_fraction * 100.0 if choice.result else 0.0
-            )
-            preset_rows.append(
-                PresetRow(
-                    device=device.name,
-                    model=m,
-                    optimal_blocks=choice.n_blocks,
-                    overhead_pct=overhead,
-                    score_ms=choice.score_ms,
-                )
-            )
+    preset_grid = [
+        (device, m, ctx.seed)
+        for device in (jetson_nano(), jetson_xavier(), desktop_gpu())
+        for m in models
+    ]
+    preset_rows = sweep_map(_preset_cell, preset_grid, jobs=jobs)
     return SensitivityResult(sweeps=sweeps, presets=tuple(preset_rows))
 
 

@@ -11,9 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.config import PAPER_TABLE3, ExperimentContext
-from repro.splitting.genetic import GAConfig, GeneticSplitter
+from repro.profiling.store import default_plan_store
+from repro.runtime.sweeps import sweep_map
+from repro.splitting.genetic import GAConfig
 from repro.splitting.metrics import partition_summary
-from repro.splitting.selection import choose_block_count
+from repro.splitting.selection import choose_block_count, ga_search
 from repro.utils.tables import format_table
 
 
@@ -38,42 +40,63 @@ class Table3Result:
     optimal_blocks: dict[str, int]
 
 
+def _search_cell(profile, m, config):
+    """One GA search, reduced to the row metrics (sweep worker)."""
+    result = ga_search(profile, m, config=config, store=default_plan_store())
+    s = partition_summary(result.partition)
+    return (s["std_ms"], s["overhead_pct"], s["range_pct"], result.cuts)
+
+
+def _choice_cell(profile, max_blocks, config):
+    choice = choose_block_count(
+        profile, max_blocks=max_blocks, config=config, store=default_plan_store()
+    )
+    return choice.n_blocks
+
+
 def run(
     ctx: ExperimentContext | None = None,
     models: tuple[str, ...] = ("resnet50", "vgg19"),
     block_counts: tuple[int, ...] = (2, 3, 4),
     config: GAConfig | None = None,
+    jobs: int | None = None,
 ) -> Table3Result:
     ctx = ctx or ExperimentContext()
     config = config or GAConfig(seed=ctx.seed)
-    splitter = GeneticSplitter(config)
+    jobs = jobs if jobs is not None else ctx.jobs
+    profiles = {m: ctx.profile(m) for m in models}
+    grid = [(model, m) for model in models for m in block_counts]
+    searched = sweep_map(
+        _search_cell,
+        [(profiles[model], m, config) for model, m in grid],
+        jobs=jobs,
+    )
+    # choose_block_count re-scores the same GA runs; with the shared plan
+    # store the per-count searches above are cache hits, not repeats.
+    chosen = sweep_map(
+        _choice_cell,
+        [(profiles[model], max(block_counts), config) for model in models],
+        jobs=jobs,
+    )
     rows = []
-    optimal: dict[str, int] = {}
-    for model in models:
-        profile = ctx.profile(model)
-        for m in block_counts:
-            result = splitter.search(profile, m)
-            s = partition_summary(result.partition)
-            paper = PAPER_TABLE3.get((model, m), {})
-            rows.append(
-                Table3Row(
-                    model=model,
-                    blocks=m,
-                    std_ms=s["std_ms"],
-                    overhead_pct=s["overhead_pct"],
-                    range_pct=s["range_pct"],
-                    paper_std=float(paper.get("std", float("nan"))),
-                    paper_overhead_pct=float(
-                        paper.get("overhead_pct", float("nan"))
-                    ),
-                    paper_range_pct=float(paper.get("range_pct", float("nan"))),
-                    cuts=result.cuts,
-                )
+    for (model, m), (std_ms, overhead_pct, range_pct, cuts) in zip(grid, searched):
+        paper = PAPER_TABLE3.get((model, m), {})
+        rows.append(
+            Table3Row(
+                model=model,
+                blocks=m,
+                std_ms=std_ms,
+                overhead_pct=overhead_pct,
+                range_pct=range_pct,
+                paper_std=float(paper.get("std", float("nan"))),
+                paper_overhead_pct=float(
+                    paper.get("overhead_pct", float("nan"))
+                ),
+                paper_range_pct=float(paper.get("range_pct", float("nan"))),
+                cuts=tuple(int(c) for c in cuts),
             )
-        choice = choose_block_count(
-            profile, max_blocks=max(block_counts), config=config
         )
-        optimal[model] = choice.n_blocks
+    optimal = dict(zip(models, chosen))
     return Table3Result(rows=tuple(rows), optimal_blocks=optimal)
 
 

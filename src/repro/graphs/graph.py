@@ -8,6 +8,8 @@ operator's output is a data dependency.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -42,6 +44,8 @@ class ModelGraph:
     # --- derived indices, built lazily and invalidated on mutation ---------
     _producer: dict[str, int] | None = field(default=None, repr=False)
     _consumers: dict[str, list[int]] | None = field(default=None, repr=False)
+    _fingerprint: str | None = field(default=None, repr=False)
+    _tensor_names: set[str] | None = field(default=None, repr=False)
 
     def __len__(self) -> int:
         return len(self.operators)
@@ -68,15 +72,21 @@ class ModelGraph:
                     f"{self.name}: operator {op.name!r} redefines tensor {t.name!r}"
                 )
         self.operators.append(op)
+        known.update(t.name for t in op.outputs)
         self._producer = None
         self._consumers = None
+        self._fingerprint = None
         return op
 
     def _known_tensor_names(self) -> set[str]:
-        names = {t.name for t in self.inputs}
-        for op in self.operators:
-            names.update(t.name for t in op.outputs)
-        return names
+        # Maintained incrementally by add(); rebuilding on every append
+        # would make graph construction O(n^2) in tensor count.
+        if self._tensor_names is None:
+            names = {t.name for t in self.inputs}
+            for op in self.operators:
+                names.update(t.name for t in op.outputs)
+            self._tensor_names = names
+        return self._tensor_names
 
     # --- indices -------------------------------------------------------------
     @property
@@ -98,6 +108,44 @@ class ModelGraph:
                     cons.setdefault(t.name, []).append(i)
             self._consumers = cons
         return self._consumers
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of the graph (operators, tensors, metadata).
+
+        Two graphs share a fingerprint iff they describe the same
+        computation *and* calibration inputs, so the hash is a safe cache
+        key for profiles and split plans: renaming-only differences change
+        it (conservative), while the same builder output always hashes
+        identically across processes (BLAKE2b over canonical JSON, immune
+        to hash randomisation). Cached lazily; invalidated by :meth:`add`.
+        """
+        if self._fingerprint is None:
+            def tensor(t: TensorSpec) -> list:
+                return [t.name, list(t.shape), t.dtype]
+
+            payload = {
+                "name": self.name,
+                "inputs": [tensor(t) for t in self.inputs],
+                "operators": [
+                    [
+                        op.name,
+                        op.op_type.value,
+                        [tensor(t) for t in op.inputs],
+                        [tensor(t) for t in op.outputs],
+                        op.flops,
+                        op.param_bytes,
+                        op.attributes,
+                    ]
+                    for op in self.operators
+                ],
+                "metadata": self.metadata,
+            }
+            blob = json.dumps(payload, sort_keys=True, default=str)
+            self._fingerprint = hashlib.blake2b(
+                blob.encode("utf-8"), digest_size=16
+            ).hexdigest()
+        return self._fingerprint
 
     @property
     def output_tensors(self) -> tuple[TensorSpec, ...]:

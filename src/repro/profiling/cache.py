@@ -1,8 +1,14 @@
-"""Profile cache keyed by (model, device, calibration target).
+"""Profile cache keyed by (graph content, device, calibration target).
 
 Experiment sweeps profile the same model hundreds of times; graph
 construction and roofline evaluation dominate, so this memoises the
 resulting :class:`ModelProfile` (which is immutable and safe to share).
+
+The key uses :attr:`ModelGraph.fingerprint` — a content hash — rather
+than the graph *name*: two graphs with the same name and operator count
+but different operators (a re-exported model, a mutated variant) must
+never share a profile, which a name key with an op-count check cannot
+guarantee.
 """
 
 from __future__ import annotations
@@ -23,9 +29,9 @@ class ProfileCache:
     def get(
         self, graph: ModelGraph, target_total_ms: float | None = None
     ) -> ModelProfile:
-        key = (graph.name, self.profiler.device.name, target_total_ms)
+        key = (graph.fingerprint, self.profiler.device.name, target_total_ms)
         hit = self._cache.get(key)
-        if hit is not None and hit.n_ops == len(graph):
+        if hit is not None:
             return hit
         profile = self.profiler.profile(graph, target_total_ms)
         self._cache[key] = profile

@@ -1,16 +1,33 @@
-"""Profile persistence.
+"""Profile and split-plan persistence.
 
 The paper profiles models once offline and reuses the result ("lengthy
 models only need to be split once", §4.1). This module persists
-:class:`ModelProfile` tables as JSON so deployments skip re-profiling, and
-provides a directory-backed store with staleness checks (a profile is
-stale when the graph's operator count changed).
+:class:`ModelProfile` tables and GA split plans as JSON so deployments and
+repeated experiment sweeps skip re-profiling and re-searching:
+
+* :class:`ProfileStore` — profiles keyed by (model, device) on disk, with
+  content-hash staleness checks (a stored profile is reused only when the
+  graph's fingerprint matches what was profiled).
+* :class:`PlanStore` — a content-addressed key/value store for GA results.
+  Keys come from :func:`plan_key`, a BLAKE2b hash over the *profile
+  contents* (per-op times and cut costs, bit-exact), the device, the full
+  GA configuration, and the block count — so any change to the model, the
+  calibration, or a GA hyper-parameter automatically invalidates the
+  entry, and sibling worker processes of a parallel sweep share one cache.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent sweep workers
+can race on the same entry without corrupting it: last writer wins, and
+both writers computed identical payloads anyway (the GA is seeded).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import tempfile
 from pathlib import Path
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -18,9 +35,15 @@ from repro.errors import SerializationError
 from repro.profiling.records import ModelProfile
 
 SCHEMA_VERSION = 1
+PLAN_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default on-disk cache location.
+#: Set it to an empty string to disable persistent caching entirely.
+CACHE_DIR_ENV = "SPLIT_CACHE_DIR"
+_DEFAULT_CACHE_DIR = ".split-cache"
 
 
-def dumps_profile(profile: ModelProfile) -> str:
+def dumps_profile(profile: ModelProfile, fingerprint: str | None = None) -> str:
     payload = {
         "schema": SCHEMA_VERSION,
         "model_name": profile.model_name,
@@ -28,10 +51,12 @@ def dumps_profile(profile: ModelProfile) -> str:
         "op_times_ms": [float(t) for t in profile.op_times_ms],
         "cut_cost_ms": [float(c) for c in profile.cut_cost_ms],
     }
+    if fingerprint is not None:
+        payload["fingerprint"] = fingerprint
     return json.dumps(payload, separators=(",", ":"))
 
 
-def loads_profile(text: str) -> ModelProfile:
+def _profile_payload(text: str) -> dict:
     try:
         payload = json.loads(text)
     except json.JSONDecodeError as exc:
@@ -40,6 +65,11 @@ def loads_profile(text: str) -> ModelProfile:
         raise SerializationError(
             f"unsupported profile schema {payload.get('schema') if isinstance(payload, dict) else payload!r}"
         )
+    return payload
+
+
+def loads_profile(text: str) -> ModelProfile:
+    payload = _profile_payload(text)
     try:
         return ModelProfile(
             model_name=payload["model_name"],
@@ -49,6 +79,55 @@ def loads_profile(text: str) -> ModelProfile:
         )
     except KeyError as exc:
         raise SerializationError(f"profile missing field {exc}") from exc
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (concurrent-writer safe)."""
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def profile_fingerprint(profile: ModelProfile) -> str:
+    """Content hash of a profile's measurement tables.
+
+    Bit-exact over the float arrays, so a plan keyed on it survives only
+    as long as the profile it was searched against is byte-identical.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(profile.model_name.encode("utf-8"))
+    h.update(b"\x00")
+    h.update(profile.device_name.encode("utf-8"))
+    h.update(b"\x00")
+    h.update(np.ascontiguousarray(profile.op_times_ms, dtype=float).tobytes())
+    h.update(np.ascontiguousarray(profile.cut_cost_ms, dtype=float).tobytes())
+    return h.hexdigest()
+
+
+def plan_key(
+    profile: ModelProfile, config_fields: Mapping[str, Any], n_blocks: int
+) -> str:
+    """Cache key for one GA run: profile content + GA config + block count."""
+    blob = json.dumps(
+        {
+            "profile": profile_fingerprint(profile),
+            "config": dict(sorted(config_fields.items())),
+            "n_blocks": int(n_blocks),
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.blake2b(blob.encode("utf-8"), digest_size=16).hexdigest()
 
 
 class ProfileStore:
@@ -61,12 +140,12 @@ class ProfileStore:
     def _path(self, model_name: str, device_name: str) -> Path:
         return self.root / f"{model_name}@{device_name}.profile.json"
 
-    def save(self, profile: ModelProfile) -> Path:
+    def save(self, profile: ModelProfile, fingerprint: str | None = None) -> Path:
         path = self._path(profile.model_name, profile.device_name)
-        path.write_text(dumps_profile(profile), encoding="utf-8")
+        _atomic_write(path, dumps_profile(profile, fingerprint))
         return path
 
-    def load(self, model_name: str, device_name: str) -> ModelProfile:
+    def _read_payload(self, model_name: str, device_name: str) -> dict:
         path = self._path(model_name, device_name)
         try:
             text = path.read_text(encoding="utf-8")
@@ -74,20 +153,48 @@ class ProfileStore:
             raise SerializationError(
                 f"no stored profile for {model_name}@{device_name}"
             ) from exc
-        return loads_profile(text)
+        return _profile_payload(text)
+
+    def load(self, model_name: str, device_name: str) -> ModelProfile:
+        payload = self._read_payload(model_name, device_name)
+        try:
+            return ModelProfile(
+                model_name=payload["model_name"],
+                device_name=payload["device_name"],
+                op_times_ms=np.asarray(payload["op_times_ms"], dtype=float),
+                cut_cost_ms=np.asarray(payload["cut_cost_ms"], dtype=float),
+            )
+        except KeyError as exc:
+            raise SerializationError(f"profile missing field {exc}") from exc
 
     def get_or_profile(
         self, graph, profiler, target_total_ms: float | None = None
     ) -> ModelProfile:
-        """Load if fresh (matching op count), otherwise profile and save."""
+        """Load if fresh, otherwise profile and save.
+
+        Freshness is a *content* check: the stored fingerprint must match
+        the graph's current fingerprint. Profiles persisted before
+        fingerprints existed (no ``fingerprint`` field) fall back to the
+        legacy op-count check, which re-profiles on any length change.
+        """
         try:
-            stored = self.load(graph.name, profiler.device.name)
-            if stored.n_ops == len(graph):
-                return stored
-        except SerializationError:
+            payload = self._read_payload(graph.name, profiler.device.name)
+            stored_fp = payload.get("fingerprint")
+            if stored_fp is not None:
+                fresh = stored_fp == graph.fingerprint
+            else:
+                fresh = len(payload.get("op_times_ms", ())) == len(graph)
+            if fresh:
+                return ModelProfile(
+                    model_name=payload["model_name"],
+                    device_name=payload["device_name"],
+                    op_times_ms=np.asarray(payload["op_times_ms"], dtype=float),
+                    cut_cost_ms=np.asarray(payload["cut_cost_ms"], dtype=float),
+                )
+        except (SerializationError, KeyError):
             pass
         profile = profiler.profile(graph, target_total_ms)
-        self.save(profile)
+        self.save(profile, fingerprint=graph.fingerprint)
         return profile
 
     def list_profiles(self) -> list[tuple[str, str]]:
@@ -99,3 +206,87 @@ class ProfileStore:
             if model and device:
                 out.append((model, device))
         return out
+
+
+class PlanStore:
+    """Content-addressed store for GA split-plan payloads.
+
+    The store itself is schema-checked JSON key/value; what goes *into* a
+    payload (cuts, fitness, convergence counters) is owned by
+    :mod:`repro.splitting.selection`, which keeps this module free of a
+    dependency on the splitting layer. ``load`` returns ``None`` — never
+    raises — on missing, corrupt, or schema-mismatched entries, so a
+    damaged cache degrades to a cold one.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.plan.json"
+
+    def load(self, key: str) -> dict | None:
+        try:
+            text = self._path(key).read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != PLAN_SCHEMA_VERSION
+        ):
+            return None
+        return payload.get("plan")
+
+    def save(self, key: str, plan: dict) -> Path:
+        path = self._path(key)
+        text = json.dumps(
+            {"schema": PLAN_SCHEMA_VERSION, "plan": plan},
+            separators=(",", ":"),
+        )
+        _atomic_write(path, text)
+        return path
+
+    def __len__(self) -> int:
+        return len(list(self.root.glob("*.plan.json")))
+
+    def clear(self) -> None:
+        for path in self.root.glob("*.plan.json"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+
+def cache_root() -> Path | None:
+    """Resolve the persistent cache directory.
+
+    ``SPLIT_CACHE_DIR`` overrides the default (``.split-cache`` under the
+    current working directory); an empty value disables persistence.
+    """
+    raw = os.environ.get(CACHE_DIR_ENV)
+    if raw is None:
+        return Path(_DEFAULT_CACHE_DIR)
+    if raw.strip() == "":
+        return None
+    return Path(raw)
+
+
+def default_plan_store() -> PlanStore | None:
+    """The process-wide plan store, or ``None`` when caching is disabled."""
+    root = cache_root()
+    if root is None:
+        return None
+    return PlanStore(root / "plans")
+
+
+def default_profile_store() -> ProfileStore | None:
+    """The process-wide profile store, or ``None`` when disabled."""
+    root = cache_root()
+    if root is None:
+        return None
+    return ProfileStore(root / "profiles")

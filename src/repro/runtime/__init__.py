@@ -19,7 +19,14 @@ from repro.runtime.workload import (
     prema_chunk_plan,
 )
 from repro.runtime.metrics import QoSReport, RequestRecord, collect_records
-from repro.runtime.simulator import SimulationResult, simulate
+from repro.runtime.simulator import SimulationResult, simulate, warm_caches
+from repro.runtime.sweeps import (
+    SweepCell,
+    cell_seed,
+    resolve_jobs,
+    run_sweep,
+    sweep_map,
+)
 from repro.runtime.multi import (
     ROUTERS,
     MultiEngineResult,
@@ -50,6 +57,12 @@ __all__ = [
     "collect_records",
     "SimulationResult",
     "simulate",
+    "warm_caches",
+    "SweepCell",
+    "cell_seed",
+    "resolve_jobs",
+    "run_sweep",
+    "sweep_map",
     "BurstConfig",
     "BurstyWorkloadGenerator",
     "burstiness_index",

@@ -10,7 +10,6 @@ simply sits behind the preemptor until re-selected.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
@@ -44,11 +43,16 @@ class SequentialEngine:
         result = EngineResult(
             trace=ExecutionTrace() if self.keep_trace else None
         )
-        heap: list[tuple[float, int, Request]] = []
-        for i, (t, req) in enumerate(arrivals):
+        for t, _ in arrivals:
             if t < 0:
                 raise SimulationError(f"negative arrival time {t}")
-            heapq.heappush(heap, (t, i, req))
+        # One stable sort up front replaces a heap push/pop per request;
+        # ties break on input position, exactly like the old (t, i) heap.
+        schedule: list[tuple[float, Request]] = sorted(
+            arrivals, key=lambda pair: pair[0]
+        )
+        n_arrivals = len(schedule)
+        next_idx = 0
 
         queue = RequestQueue()
         running: Request | None = None
@@ -88,8 +92,10 @@ class SequentialEngine:
             running = req
             last_executed = req
 
-        while heap or running is not None or not queue.empty:
-            next_arrival = heap[0][0] if heap else float("inf")
+        while next_idx < n_arrivals or running is not None or not queue.empty:
+            next_arrival = (
+                schedule[next_idx][0] if next_idx < n_arrivals else float("inf")
+            )
             next_done = block_end if running is not None else float("inf")
             if running is None and not queue.empty:
                 # Idle processor with pending work: dispatch immediately.
@@ -99,7 +105,8 @@ class SequentialEngine:
                 break  # nothing left anywhere
             if next_arrival <= next_done:
                 now = next_arrival
-                _, _, req = heapq.heappop(heap)
+                req = schedule[next_idx][1]
+                next_idx += 1
                 admitted = self.scheduler.on_arrival(queue, req, now)
                 if not admitted:
                     result.dropped.append(req)

@@ -4,12 +4,20 @@ Wires together the zoo, profiler, GA splitting, task catalogues, workload
 generation and the engines, mirroring the paper's experimental setup:
 the five Table-1 models, long models split by the GA (with Eq.-1-driven
 block counts), six Poisson scenarios, paired arrival schedules.
+
+Profiles and GA split plans are memoised twice: per process (``lru_cache``,
+returned as read-only mappings so a caller can never corrupt a future
+hit) and on disk via :mod:`repro.profiling.store`, so repeated runs and
+the sibling worker processes of a parallel sweep (see
+:mod:`repro.runtime.sweeps`) never redo the offline pipeline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from types import MappingProxyType
+from typing import Mapping
 
 from repro.errors import SimulationError
 from repro.hardware.contention import ContentionModel
@@ -17,6 +25,7 @@ from repro.hardware.device import DeviceSpec
 from repro.hardware.presets import jetson_nano
 from repro.profiling.cache import ProfileCache
 from repro.profiling.records import ModelProfile
+from repro.profiling.store import default_plan_store, default_profile_store
 from repro.runtime.engine import EngineResult, SequentialEngine
 from repro.runtime.executor import ConcurrentEngine
 from repro.runtime.metrics import QoSReport, collect_records
@@ -74,10 +83,25 @@ def _request_classes(models: tuple[str, ...]) -> dict[str, RequestClass]:
 @lru_cache(maxsize=16)
 def _profiles_for(
     models: tuple[str, ...], device_name: str
-) -> dict[str, ModelProfile]:
+) -> Mapping[str, ModelProfile]:
+    """Read-only model -> profile mapping (process-memoised).
+
+    Consults the persistent profile store (content-hash staleness check)
+    before profiling, and returns a :class:`MappingProxyType`: the result
+    is shared across every future call, so a writable dict would let one
+    caller corrupt all later simulations.
+    """
     device = _device_by_name(device_name)
     cache = ProfileCache(device)
-    return {name: cache.get(get_model(name, cached=True)) for name in models}
+    store = default_profile_store()
+    profiles: dict[str, ModelProfile] = {}
+    for name in models:
+        graph = get_model(name, cached=True)
+        if store is not None:
+            profiles[name] = store.get_or_profile(graph, cache.profiler)
+        else:
+            profiles[name] = cache.get(graph)
+    return MappingProxyType(profiles)
 
 
 def _device_by_name(name: str) -> DeviceSpec:
@@ -96,27 +120,46 @@ def default_split_plans(
     device_name: str = "jetson-nano",
     max_blocks: int = 4,
     seed: int = 0,
-) -> dict[str, tuple[float, ...]]:
+) -> Mapping[str, tuple[float, ...]]:
     """GA block plans for the long models (ResNet50, VGG19 in the paper).
 
     Short models stay unsplit: splitting exists so that *short* requests
     can preempt *long* ones at block boundaries (§5.5). The block count per
     long model comes from the Eq.-1 score via :func:`choose_block_count`.
+    GA results round-trip through the persistent plan store, and the
+    returned mapping is read-only (it backs every future cache hit).
     """
     profiles = _profiles_for(models, device_name)
     classes = _request_classes(models)
+    store = default_plan_store()
     plans: dict[str, tuple[float, ...]] = {}
     for name, profile in profiles.items():
         if classes[name] is not RequestClass.LONG:
             continue
         choice = choose_block_count(
-            profile, max_blocks=max_blocks, config=GAConfig(seed=seed)
+            profile, max_blocks=max_blocks, config=GAConfig(seed=seed), store=store
         )
         if choice.result is not None:
             plans[name] = tuple(
                 float(t) for t in choice.result.partition.block_times_ms
             )
-    return plans
+    return MappingProxyType(plans)
+
+
+def warm_caches(
+    models: tuple[str, ...] = EVALUATED_MODELS,
+    device_name: str = "jetson-nano",
+    max_blocks: int = 4,
+    seed: int = 0,
+) -> None:
+    """Populate the profile and split-plan caches for a model set.
+
+    Parallel sweeps call this in the parent before forking workers: the
+    children inherit the warm in-process caches, and cold-start platforms
+    still find the results in the on-disk stores.
+    """
+    _profiles_for(models, device_name)
+    default_split_plans(models, device_name, max_blocks, seed)
 
 
 def make_scheduler(policy: str, elastic: ElasticSplitConfig | None = None):
@@ -137,43 +180,31 @@ def make_scheduler(policy: str, elastic: ElasticSplitConfig | None = None):
     raise SimulationError(f"unknown sequential policy {policy!r}")
 
 
-def simulate(
+def _specs_and_engine(
     policy: str,
-    scenario: Scenario,
-    models: tuple[str, ...] = EVALUATED_MODELS,
-    device: DeviceSpec | None = None,
-    seed: int = 0,
-    split_plans: dict[str, tuple[float, ...]] | None = None,
-    elastic: ElasticSplitConfig | None = None,
-    keep_trace: bool = False,
-    alphas: dict[str, float] | None = None,
-) -> SimulationResult:
-    """Run one (policy, scenario) cell of the evaluation grid.
-
-    The arrival schedule depends only on (models, scenario, seed), so runs
-    across policies are paired. ``split_plans`` overrides the default GA
-    plans (ablations); ``elastic`` configures SPLIT's elastic splitting;
-    ``alphas`` assigns per-task latency-target multipliers (differentiated
-    QoS — stricter tasks get alpha < 1 and are favoured by the greedy
-    preemption rule).
-    """
+    profiles: Mapping[str, ModelProfile],
+    classes: dict[str, RequestClass],
+    device: DeviceSpec,
+    split_plans: Mapping[str, tuple[float, ...]],
+    elastic: ElasticSplitConfig | None,
+    keep_trace: bool,
+    alphas: dict[str, float] | None,
+):
+    """Policy -> (task catalogue, engine) dispatch shared by
+    :func:`simulate` and :func:`simulate_items`."""
     if policy not in POLICIES:
         raise SimulationError(f"unknown policy {policy!r}; one of {POLICIES}")
-    device = device or jetson_nano()
-    profiles = _profiles_for(models, device.name)
-    classes = _request_classes(models)
-    if split_plans is None:
-        split_plans = default_split_plans(models, device.name)
-
-    items = WorkloadGenerator(models, seed=seed).generate(scenario)
-
     if policy == "rta":
-        specs = build_task_specs(profiles, plan_kind="vanilla", request_classes=classes, alphas=alphas)
+        specs = build_task_specs(
+            profiles, plan_kind="vanilla", request_classes=classes, alphas=alphas
+        )
         engine: SequentialEngine | ConcurrentEngine = ConcurrentEngine(
             ContentionModel(device)
         )
     elif policy == "prema":
-        specs = build_task_specs(profiles, plan_kind="prema", request_classes=classes, alphas=alphas)
+        specs = build_task_specs(
+            profiles, plan_kind="prema", request_classes=classes, alphas=alphas
+        )
         engine = SequentialEngine(make_scheduler(policy), keep_trace=keep_trace)
     elif policy == "reef":
         # Kernel-level oracle (§6): operator-granularity preemption, no
@@ -197,9 +228,32 @@ def simulate(
             make_scheduler(policy, elastic=elastic), keep_trace=keep_trace
         )
     else:  # clockwork, fifo, sjf: whole-model plans
-        specs = build_task_specs(profiles, plan_kind="vanilla", request_classes=classes, alphas=alphas)
+        specs = build_task_specs(
+            profiles, plan_kind="vanilla", request_classes=classes, alphas=alphas
+        )
         engine = SequentialEngine(make_scheduler(policy), keep_trace=keep_trace)
+    return specs, engine
 
+
+def _run(
+    policy: str,
+    scenario: Scenario,
+    items: list,
+    models: tuple[str, ...],
+    device: DeviceSpec | None,
+    split_plans: Mapping[str, tuple[float, ...]] | None,
+    elastic: ElasticSplitConfig | None,
+    keep_trace: bool,
+    alphas: dict[str, float] | None,
+) -> SimulationResult:
+    device = device or jetson_nano()
+    profiles = _profiles_for(models, device.name)
+    classes = _request_classes(models)
+    if split_plans is None:
+        split_plans = default_split_plans(models, device.name)
+    specs, engine = _specs_and_engine(
+        policy, profiles, classes, device, split_plans, elastic, keep_trace, alphas
+    )
     arrivals = materialize_requests(items, specs)
     engine_result = engine.run(arrivals)
     report = QoSReport(collect_records(engine_result))
@@ -212,12 +266,41 @@ def simulate(
     )
 
 
+def simulate(
+    policy: str,
+    scenario: Scenario,
+    models: tuple[str, ...] = EVALUATED_MODELS,
+    device: DeviceSpec | None = None,
+    seed: int = 0,
+    split_plans: Mapping[str, tuple[float, ...]] | None = None,
+    elastic: ElasticSplitConfig | None = None,
+    keep_trace: bool = False,
+    alphas: dict[str, float] | None = None,
+) -> SimulationResult:
+    """Run one (policy, scenario) cell of the evaluation grid.
+
+    The arrival schedule depends only on (models, scenario, seed), so runs
+    across policies are paired. ``split_plans`` overrides the default GA
+    plans (ablations); ``elastic`` configures SPLIT's elastic splitting;
+    ``alphas`` assigns per-task latency-target multipliers (differentiated
+    QoS — stricter tasks get alpha < 1 and are favoured by the greedy
+    preemption rule).
+    """
+    if policy not in POLICIES:
+        raise SimulationError(f"unknown policy {policy!r}; one of {POLICIES}")
+    items = WorkloadGenerator(models, seed=seed).generate(scenario)
+    return _run(
+        policy, scenario, items, models, device, split_plans, elastic,
+        keep_trace, alphas,
+    )
+
+
 def simulate_items(
     policy: str,
     items: list,
     models: tuple[str, ...] = EVALUATED_MODELS,
     device: DeviceSpec | None = None,
-    split_plans: dict[str, tuple[float, ...]] | None = None,
+    split_plans: Mapping[str, tuple[float, ...]] | None = None,
     elastic: ElasticSplitConfig | None = None,
     keep_trace: bool = False,
     alphas: dict[str, float] | None = None,
@@ -236,52 +319,7 @@ def simulate_items(
     scenario = Scenario(
         "trace", lambda_ms=max(mean_gap, 1e-6), load="trace", n_requests=len(items)
     )
-    device = device or jetson_nano()
-    profiles = _profiles_for(models, device.name)
-    classes = _request_classes(models)
-    if split_plans is None:
-        split_plans = default_split_plans(models, device.name)
-
-    if policy == "rta":
-        specs = build_task_specs(profiles, plan_kind="vanilla", request_classes=classes, alphas=alphas)
-        engine: SequentialEngine | ConcurrentEngine = ConcurrentEngine(
-            ContentionModel(device)
-        )
-    elif policy == "prema":
-        specs = build_task_specs(profiles, plan_kind="prema", request_classes=classes, alphas=alphas)
-        engine = SequentialEngine(make_scheduler(policy), keep_trace=keep_trace)
-    elif policy == "reef":
-        specs = build_task_specs(
-            profiles, plan_kind="operator", request_classes=classes, alphas=alphas
-        )
-        engine = SequentialEngine(
-            SplitScheduler(elastic=ElasticSplitConfig(enabled=False)),
-            keep_trace=keep_trace,
-        )
-    elif policy in ("split", "edf", "roundrobin"):
-        specs = build_task_specs(
-            profiles,
-            split_plans=split_plans,
-            plan_kind="split",
-            request_classes=classes,
-            alphas=alphas,
-        )
-        engine = SequentialEngine(
-            make_scheduler(policy, elastic=elastic), keep_trace=keep_trace
-        )
-    elif policy in POLICIES:
-        specs = build_task_specs(profiles, plan_kind="vanilla", request_classes=classes, alphas=alphas)
-        engine = SequentialEngine(make_scheduler(policy), keep_trace=keep_trace)
-    else:
-        raise SimulationError(f"unknown policy {policy!r}; one of {POLICIES}")
-
-    arrivals = materialize_requests(items, specs)
-    engine_result = engine.run(arrivals)
-    report = QoSReport(collect_records(engine_result))
-    return SimulationResult(
-        policy=policy,
-        scenario=scenario,
-        report=report,
-        engine_result=engine_result,
-        split_plans=dict(split_plans),
+    return _run(
+        policy, scenario, items, models, device, split_plans, elastic,
+        keep_trace, alphas,
     )

@@ -52,10 +52,19 @@ class PremaScheduler(Scheduler):
         return priority * (1.0 + slowdown)
 
     def select(self, queue: RequestQueue, now_ms: float) -> int:
+        # Inlined token(): select() runs at every scheduling point over the
+        # whole queue, so the method call, property chain, and max() per
+        # request dominate an overloaded simulation. The expression is kept
+        # textually identical to token() so selections match bit-for-bit.
         best_idx = 0
         best_token = -1.0
+        priorities = PRIORITY_BY_CLASS
         for i, req in enumerate(queue):
-            t = self.token(req, now_ms)
+            task = req.task
+            waited = now_ms - req.arrival_ms
+            if waited < 0.0:
+                waited = 0.0
+            t = priorities[task.request_class] * (1.0 + waited / task.ext_ms)
             if t > best_token:
                 best_token = t
                 best_idx = i

@@ -5,6 +5,13 @@ currently-running request stays at its queue position while its block
 executes; a new arrival that greedily bubbles past position 0 therefore
 preempts it at the next block boundary — all of its remaining blocks are
 deferred together (full preemption, Fig. 3).
+
+Membership is tracked in a side set of request ids so ``remove`` (called
+once per completed request by the engine) checks presence in O(1) and
+locates the entry by identity instead of dataclass equality — the old
+``list.remove`` compared whole ``Request`` dataclasses field by field
+against every queued entry. The id set also rejects double-insertion,
+which would silently corrupt backlog accounting.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ class RequestQueue:
 
     def __init__(self) -> None:
         self._items: list[Request] = []
+        self._ids: set[int] = set()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -31,22 +39,36 @@ class RequestQueue:
     def __getitem__(self, idx: int) -> Request:
         return self._items[idx]
 
+    def __contains__(self, request: Request) -> bool:
+        return request.request_id in self._ids
+
     @property
     def empty(self) -> bool:
         return not self._items
 
+    def _track(self, request: Request) -> None:
+        if request.request_id in self._ids:
+            raise SchedulingError(
+                f"request {request.request_id} is already queued"
+            )
+        self._ids.add(request.request_id)
+
     def append(self, request: Request) -> None:
+        self._track(request)
         self._items.append(request)
 
     def insert(self, index: int, request: Request) -> None:
         if not 0 <= index <= len(self._items):
             raise SchedulingError(f"insert index {index} out of range")
+        self._track(request)
         self._items.insert(index, request)
 
     def pop_head(self) -> Request:
         if not self._items:
             raise SchedulingError("pop from empty request queue")
-        return self._items.pop(0)
+        head = self._items.pop(0)
+        self._ids.discard(head.request_id)
+        return head
 
     def peek(self) -> Request:
         if not self._items:
@@ -60,12 +82,16 @@ class RequestQueue:
         self._items.insert(0, item)
 
     def remove(self, request: Request) -> None:
-        try:
-            self._items.remove(request)
-        except ValueError as exc:
-            raise SchedulingError(
-                f"request {request.request_id} not in queue"
-            ) from exc
+        if request.request_id not in self._ids:
+            raise SchedulingError(f"request {request.request_id} not in queue")
+        # The engine removes the request it just finished running, which
+        # sits at (or near) the head — this scan is O(1) in practice.
+        for i, item in enumerate(self._items):
+            if item is request:
+                del self._items[i]
+                self._ids.discard(request.request_id)
+                return
+        raise SchedulingError(f"request {request.request_id} not in queue")
 
     def waiting_ahead_ms(self, index: int) -> float:
         """Total remaining execution time scheduled ahead of ``index``."""

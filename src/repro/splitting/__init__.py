@@ -30,7 +30,7 @@ from repro.splitting.heuristics import (
     balanced_split,
 )
 from repro.splitting.genetic import GAConfig, GenerationStats, GeneticSplitter, SplitResult
-from repro.splitting.selection import choose_block_count
+from repro.splitting.selection import choose_block_count, ga_search
 from repro.splitting.elastic import ElasticPolicy, ElasticSplitConfig
 
 __all__ = [
@@ -55,6 +55,7 @@ __all__ = [
     "GeneticSplitter",
     "SplitResult",
     "choose_block_count",
+    "ga_search",
     "ElasticPolicy",
     "ElasticSplitConfig",
 ]

@@ -6,15 +6,25 @@ relationship between splitting overhead and average latency is hyperbolic,
 indicating that an optimal number of splits exists" (§3.1). This module
 runs the GA per block count and picks the count minimising expected wait
 plus an overhead penalty on the request's own execution time.
+
+GA runs are the expensive part of the offline pipeline, and they are pure
+functions of (profile contents, GAConfig, block count) — the GA derives
+its RNG from exactly those inputs. :func:`ga_search` therefore supports a
+persistent :class:`~repro.profiling.store.PlanStore`: a hit reconstructs
+the :class:`SplitResult` from the stored cut points (block times, σ and
+overhead are recomputed from the profile, bit-identically), a miss runs
+the GA and persists it for every later run and sibling sweep worker.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.profiling.records import ModelProfile
+from repro.profiling.store import PlanStore, plan_key
 from repro.splitting.genetic import GAConfig, GeneticSplitter, SplitResult
 from repro.splitting.metrics import expected_waiting_latency_ms
+from repro.splitting.partition import Partition
 
 
 @dataclass(frozen=True)
@@ -36,17 +46,80 @@ def score_split_ms(block_times_ms, vanilla_ms: float) -> float:
     return wait + overhead
 
 
+def _plan_payload(result: SplitResult) -> dict:
+    """Serializable essentials of one GA run (history is not persisted:
+    convergence curves are only consumed by Fig. 5, which runs the GA
+    directly)."""
+    return {
+        "cuts": [int(c) for c in result.cuts],
+        "fitness": result.fitness,
+        "sigma_ms": result.sigma_ms,
+        "overhead_fraction": result.overhead_fraction,
+        "generations_run": result.generations_run,
+        "evaluations": result.evaluations,
+        "converged_early": result.converged_early,
+    }
+
+
+def _plan_from_payload(payload: dict, profile: ModelProfile) -> SplitResult | None:
+    try:
+        return SplitResult(
+            partition=Partition(
+                profile=profile, cuts=tuple(int(c) for c in payload["cuts"])
+            ),
+            fitness=float(payload["fitness"]),
+            sigma_ms=float(payload["sigma_ms"]),
+            overhead_fraction=float(payload["overhead_fraction"]),
+            generations_run=int(payload["generations_run"]),
+            evaluations=int(payload["evaluations"]),
+            converged_early=bool(payload["converged_early"]),
+            history=(),
+        )
+    except (KeyError, TypeError, ValueError):
+        return None  # corrupt entry: fall through to a fresh search
+
+
+def ga_search(
+    profile: ModelProfile,
+    n_blocks: int,
+    config: GAConfig | None = None,
+    store: PlanStore | None = None,
+) -> SplitResult:
+    """One (possibly cached) GA run for a fixed block count.
+
+    With a ``store``, the result round-trips through the persistent plan
+    cache keyed on (profile contents, GA config, block count); without
+    one this is exactly ``GeneticSplitter(config).search(...)``. Cached
+    results omit the per-generation history.
+    """
+    config = config or GAConfig()
+    key = None
+    if store is not None:
+        key = plan_key(profile, asdict(config), n_blocks)
+        payload = store.load(key)
+        if payload is not None:
+            cached = _plan_from_payload(payload, profile)
+            if cached is not None:
+                return cached
+    result = GeneticSplitter(config).search(profile, n_blocks)
+    if store is not None and key is not None:
+        store.save(key, _plan_payload(result))
+    return result
+
+
 def choose_block_count(
     profile: ModelProfile,
     max_blocks: int = 5,
     config: GAConfig | None = None,
+    store: PlanStore | None = None,
 ) -> BlockCountChoice:
     """Pick the best number of blocks (1 = stay unsplit) for ``profile``.
 
     Runs the GA for each count in ``2..max_blocks`` and scores every option
-    (including the vanilla model) with :func:`score_split_ms`.
+    (including the vanilla model) with :func:`score_split_ms`. ``store``
+    short-circuits previously searched counts via the persistent plan
+    cache.
     """
-    splitter = GeneticSplitter(config)
     candidates: dict[int, SplitResult] = {}
     scores: dict[int, float] = {
         1: score_split_ms([profile.total_ms], profile.total_ms)
@@ -54,7 +127,7 @@ def choose_block_count(
     for m in range(2, max_blocks + 1):
         if m > profile.n_ops:
             break
-        result = splitter.search(profile, m)
+        result = ga_search(profile, m, config=config, store=store)
         candidates[m] = result
         scores[m] = score_split_ms(
             result.partition.block_times_ms, profile.total_ms

@@ -50,3 +50,21 @@ def test_clear():
     cache.get(get_model("googlenet", cached=True))
     cache.clear()
     assert len(cache) == 0
+
+
+def test_cache_distinguishes_same_name_same_op_count():
+    """Regression: the key is the graph's content hash, so two graphs that
+    share a name and an operator count but compute different things must
+    not share a profile (the old (name, device, target) + n_ops check
+    returned the stale one)."""
+    from tests.graphs.test_graph import linear_graph
+
+    cache = ProfileCache(jetson_nano())
+    small = linear_graph(4, width=10)
+    big = linear_graph(4, width=1000)
+    assert small.name == big.name and len(small) == len(big)
+    a = cache.get(small)
+    b = cache.get(big)
+    assert b is not a
+    assert len(cache) == 2
+    assert a.total_ms != b.total_ms

@@ -76,3 +76,143 @@ class TestStore:
         store.save(make_profile([1.0, 2.0], name="b", device="d"))
         store.save(make_profile([1.0, 2.0], name="a", device="d"))
         assert store.list_profiles() == [("a", "d"), ("b", "d")]
+
+    def test_get_or_profile_detects_stale_same_op_count(self, tmp_path):
+        """Content-fingerprint staleness: a different graph with the same
+        name and op count must be re-profiled, not served from disk."""
+        from tests.graphs.test_graph import linear_graph
+
+        store = ProfileStore(tmp_path)
+        profiler = Profiler(jetson_nano())
+        first = store.get_or_profile(linear_graph(4, width=10), profiler)
+        second = store.get_or_profile(linear_graph(4, width=1000), profiler)
+        assert second.n_ops == first.n_ops
+        assert second.total_ms != first.total_ms
+
+    def test_corrupt_file_reprofiles(self, tmp_path):
+        store = ProfileStore(tmp_path)
+        profiler = Profiler(jetson_nano())
+        g = get_model("googlenet", cached=True)
+        store.get_or_profile(g, profiler)
+        path = store._path(g.name, profiler.device.name)
+        path.write_text("{not json", encoding="utf-8")
+        fresh = store.get_or_profile(g, profiler)
+        assert fresh.n_ops == len(g)
+        # The corrupt entry was overwritten with a valid one.
+        assert store.load(g.name, profiler.device.name).n_ops == len(g)
+
+
+class TestPlanStore:
+    def _profile(self):
+        return make_profile(
+            [4.0, 1.0, 3.0, 2.0, 5.0, 1.0, 2.0, 4.0],
+            cut_costs=[0.5] * 7,
+            name="m",
+            device="d",
+        )
+
+    def test_ga_search_roundtrips(self, tmp_path):
+        from repro.profiling.store import PlanStore
+        from repro.splitting.genetic import GAConfig
+        from repro.splitting.selection import ga_search
+
+        store = PlanStore(tmp_path)
+        profile = self._profile()
+        cfg = GAConfig(seed=7)
+        fresh = ga_search(profile, 3, config=cfg, store=store)
+        assert len(store) == 1
+        cached = ga_search(profile, 3, config=cfg, store=store)
+        assert cached.cuts == fresh.cuts
+        assert cached.fitness == fresh.fitness
+        assert cached.sigma_ms == fresh.sigma_ms
+        assert tuple(cached.partition.block_times_ms) == tuple(
+            fresh.partition.block_times_ms
+        )
+        # Cache hits skip the per-generation history.
+        assert cached.history == ()
+
+    def test_config_change_invalidates(self, tmp_path):
+        from repro.profiling.store import PlanStore
+        from repro.splitting.genetic import GAConfig
+        from repro.splitting.selection import ga_search
+
+        store = PlanStore(tmp_path)
+        profile = self._profile()
+        ga_search(profile, 3, config=GAConfig(seed=7), store=store)
+        ga_search(profile, 3, config=GAConfig(seed=8), store=store)
+        assert len(store) == 2  # different config -> different key
+
+    def test_profile_change_invalidates(self, tmp_path):
+        from repro.profiling.store import PlanStore, plan_key
+        from repro.splitting.genetic import GAConfig
+
+        cfg = GAConfig(seed=7)
+        a = plan_key(self._profile(), {"seed": cfg.seed}, 3)
+        other = make_profile(
+            [4.0, 1.0, 3.0, 2.0, 5.0, 1.0, 2.0, 4.5],
+            cut_costs=[0.5] * 7,
+            name="m",
+            device="d",
+        )
+        b = plan_key(other, {"seed": cfg.seed}, 3)
+        assert a != b
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        from repro.profiling.store import PlanStore, plan_key
+        from repro.splitting.genetic import GAConfig
+        from repro.splitting.selection import ga_search
+
+        store = PlanStore(tmp_path)
+        profile = self._profile()
+        cfg = GAConfig(seed=7)
+        fresh = ga_search(profile, 3, config=cfg, store=store)
+        from dataclasses import asdict
+
+        key = plan_key(profile, asdict(cfg), 3)
+        store._path(key).write_text("garbage", encoding="utf-8")
+        assert store.load(key) is None
+        again = ga_search(profile, 3, config=cfg, store=store)
+        assert again.cuts == fresh.cuts  # GA is seeded: same answer
+
+    def test_schema_mismatch_is_miss(self, tmp_path):
+        from repro.profiling.store import PlanStore
+
+        store = PlanStore(tmp_path)
+        store._path("k").write_text(
+            '{"schema": 99, "plan": {"cuts": [1]}}', encoding="utf-8"
+        )
+        assert store.load("k") is None
+
+    def test_clear_and_len(self, tmp_path):
+        from repro.profiling.store import PlanStore
+
+        store = PlanStore(tmp_path)
+        store.save("k1", {"cuts": [1]})
+        store.save("k2", {"cuts": [2]})
+        assert len(store) == 2
+        store.clear()
+        assert len(store) == 0
+
+
+class TestCacheRoot:
+    def test_default(self, monkeypatch):
+        import repro.profiling.store as mod
+
+        monkeypatch.delenv(mod.CACHE_DIR_ENV, raising=False)
+        assert mod.cache_root() == mod.Path(".split-cache")
+
+    def test_override(self, monkeypatch, tmp_path):
+        import repro.profiling.store as mod
+
+        monkeypatch.setenv(mod.CACHE_DIR_ENV, str(tmp_path / "c"))
+        assert mod.cache_root() == tmp_path / "c"
+        assert mod.default_plan_store().root == tmp_path / "c" / "plans"
+        assert mod.default_profile_store().root == tmp_path / "c" / "profiles"
+
+    def test_empty_disables(self, monkeypatch):
+        import repro.profiling.store as mod
+
+        monkeypatch.setenv(mod.CACHE_DIR_ENV, "")
+        assert mod.cache_root() is None
+        assert mod.default_plan_store() is None
+        assert mod.default_profile_store() is None

@@ -26,6 +26,22 @@ class TestDefaultPlans:
     def test_plans_cached(self):
         assert default_split_plans() is default_split_plans()
 
+    def test_cached_plans_immutable(self):
+        """Regression: the lru_cached mapping used to be a plain dict, so
+        one caller's mutation corrupted every future hit."""
+        plans = default_split_plans()
+        with pytest.raises(TypeError):
+            plans["resnet50"] = (1.0,)
+        with pytest.raises(TypeError):
+            del plans["vgg19"]
+
+    def test_cached_profiles_immutable(self):
+        from repro.runtime.simulator import EVALUATED_MODELS, _profiles_for
+
+        profiles = _profiles_for(EVALUATED_MODELS, "jetson-nano")
+        with pytest.raises(TypeError):
+            profiles["resnet50"] = None
+
 
 class TestSimulate:
     def test_unknown_policy(self):

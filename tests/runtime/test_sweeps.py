@@ -1,0 +1,154 @@
+"""The parallel sweep layer: ordering, determinism, error handling."""
+
+import os
+from unittest import mock
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.sweeps import (
+    JOBS_ENV,
+    SweepCell,
+    cell_seed,
+    resolve_jobs,
+    run_sweep,
+    sweep_map,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _slow_identity(x):
+    # Later-submitted cells finishing first must not reorder the results;
+    # earlier cells sleep longer to force out-of-order completion.
+    import time
+
+    time.sleep(0.05 if x == 0 else 0.0)
+    return x
+
+
+def _boom(x):
+    raise ValueError(f"cell {x} exploded")
+
+
+class TestResolveJobs:
+    def test_explicit_value_wins(self):
+        assert resolve_jobs(3) == 3
+
+    def test_none_defaults_to_cpu_count(self):
+        with mock.patch.dict(os.environ, {JOBS_ENV: ""}):
+            assert resolve_jobs(None) == (os.cpu_count() or 1)
+
+    def test_env_override(self):
+        with mock.patch.dict(os.environ, {JOBS_ENV: "2"}):
+            assert resolve_jobs(None) == 2
+
+    def test_env_non_integer_rejected(self):
+        with mock.patch.dict(os.environ, {JOBS_ENV: "many"}):
+            with pytest.raises(SimulationError):
+                resolve_jobs(None)
+
+    def test_zero_rejected(self):
+        with pytest.raises(SimulationError):
+            resolve_jobs(0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            resolve_jobs(-2)
+
+
+class TestCellSeed:
+    def test_deterministic(self):
+        assert cell_seed(0, "fig6", "s1", "split") == cell_seed(
+            0, "fig6", "s1", "split"
+        )
+
+    def test_distinct_cells_distinct_seeds(self):
+        seeds = {
+            cell_seed(0, "fig6", scen, policy)
+            for scen in ("s1", "s2", "s3")
+            for policy in ("split", "prema")
+        }
+        assert len(seeds) == 6
+
+    def test_root_changes_seed(self):
+        assert cell_seed(0, "x") != cell_seed(1, "x")
+
+
+class TestRunSweep:
+    def test_sequential_order(self):
+        cells = [SweepCell(fn=_square, args=(i,)) for i in range(5)]
+        assert run_sweep(cells, jobs=1) == [0, 1, 4, 9, 16]
+
+    def test_parallel_preserves_submission_order(self):
+        cells = [SweepCell(fn=_slow_identity, args=(i,)) for i in range(4)]
+        assert run_sweep(cells, jobs=2) == [0, 1, 2, 3]
+
+    def test_parallel_matches_sequential(self):
+        cells = [SweepCell(fn=_square, args=(i,)) for i in range(6)]
+        assert run_sweep(cells, jobs=2) == run_sweep(cells, jobs=1)
+
+    def test_empty_grid(self):
+        assert run_sweep([], jobs=4) == []
+
+    def test_accepts_generator(self):
+        gen = (SweepCell(fn=_square, args=(i,)) for i in range(3))
+        assert run_sweep(gen, jobs=1) == [0, 1, 4]
+
+    def test_kwargs_pass_through(self):
+        def f(a, b=0):
+            return a + b
+
+        assert run_sweep([SweepCell(fn=f, args=(1,), kwargs={"b": 2})]) == [3]
+
+    def test_sequential_error_propagates(self):
+        with pytest.raises(ValueError, match="cell 1 exploded"):
+            run_sweep(
+                [SweepCell(fn=_boom, args=(1,)), SweepCell(fn=_square, args=(2,))],
+                jobs=1,
+            )
+
+    def test_parallel_error_propagates(self):
+        cells = [SweepCell(fn=_square, args=(0,)), SweepCell(fn=_boom, args=(1,))]
+        with pytest.raises(ValueError, match="cell 1 exploded"):
+            run_sweep(cells, jobs=2)
+
+    def test_warmup_runs_once_before_cells(self):
+        calls = []
+        run_sweep(
+            [SweepCell(fn=_square, args=(2,))],
+            jobs=1,
+            warmup=lambda: calls.append("warm"),
+        )
+        assert calls == ["warm"]
+
+    def test_warmup_skipped_for_empty_grid(self):
+        calls = []
+        run_sweep([], jobs=1, warmup=lambda: calls.append("warm"))
+        assert calls == []
+
+
+class TestSweepMap:
+    def test_maps_in_order(self):
+        assert sweep_map(_square, [(i,) for i in range(4)], jobs=1) == [0, 1, 4, 9]
+
+    def test_parallel_matches_sequential(self):
+        args = [(i,) for i in range(5)]
+        assert sweep_map(_square, args, jobs=2) == sweep_map(_square, args, jobs=1)
+
+
+class TestSimulationEquivalence:
+    """Sequential and parallel runs of a real (reduced) grid must agree."""
+
+    def test_fig6_cell_grid_jobs1_vs_jobs2(self):
+        from repro.experiments import fig6
+        from repro.experiments.config import ExperimentContext
+        from repro.runtime.workload import Scenario
+
+        ctx = ExperimentContext()
+        scenarios = (Scenario("eq-low", 600.0, "low", n_requests=40),)
+        seq = fig6.run(ctx, policies=("split", "fifo"), scenarios=scenarios, jobs=1)
+        par = fig6.run(ctx, policies=("split", "fifo"), scenarios=scenarios, jobs=2)
+        assert seq == par

@@ -5,14 +5,18 @@ from hypothesis import strategies as st
 
 from repro.scheduling.greedy import greedy_insert, swap_gain
 from repro.scheduling.queue import RequestQueue
-from repro.scheduling.request import Request
+from repro.scheduling.request import Request, TaskSpec
 
 from tests.scheduling.test_request import spec
 
 
-def req(name="m", ext=10.0, arrival=0.0, blocks=None):
+def req(name="m", ext=10.0, arrival=0.0, blocks=None, alpha=None):
     blocks = blocks or (ext,)
-    return Request(task=spec(name=name, ext=ext, blocks=blocks), arrival_ms=arrival)
+    if alpha is None:
+        task = spec(name=name, ext=ext, blocks=blocks)
+    else:
+        task = TaskSpec(name=name, ext_ms=ext, blocks_ms=blocks, alpha=alpha)
+    return Request(task=task, arrival_ms=arrival)
 
 
 class TestSwapGain:
@@ -78,6 +82,35 @@ class TestGreedyInsert:
         q.append(req("resnet", ext=28.35))
         pos = greedy_insert(q, req("yolo", ext=10.8))
         assert pos == 0
+
+    def test_all_same_task_queue_is_fifo(self):
+        q = RequestQueue()
+        first = req("yolo", ext=10.8, arrival=0.0)
+        second = req("yolo", ext=10.8, arrival=1.0)
+        q.append(first)
+        q.append(second)
+        third = req("yolo", ext=10.8, arrival=2.0)
+        assert greedy_insert(q, third) == 2
+        assert [r.request_id for r in q] == [
+            first.request_id,
+            second.request_id,
+            third.request_id,
+        ]
+
+    def test_strict_alpha_refuses_to_be_passed(self):
+        # Equal ext would tie-swap at alpha parity, but the queued task's
+        # tighter target (alpha=0.5) makes being passed cost 10/5 = 2.0
+        # while passing it only gains 10/10 = 1.0: the bubble stops.
+        q = RequestQueue()
+        q.append(req("strict", ext=10.0, alpha=0.5))
+        assert greedy_insert(q, req("lenient", ext=10.0, alpha=1.0)) == 1
+
+    def test_strict_alpha_passes_lenient_equal_ext(self):
+        # Mirror case: the arrival is the strict one, so the same asymmetry
+        # now favours the swap (gain 10/5 = 2.0 vs loss 10/10 = 1.0).
+        q = RequestQueue()
+        q.append(req("lenient", ext=10.0, alpha=1.0))
+        assert greedy_insert(q, req("strict", ext=10.0, alpha=0.5)) == 0
 
     def test_tie_swaps(self):
         # gain == loss (identical ext, different task): Algorithm 1's >= swaps.
