@@ -1,12 +1,16 @@
 # Development conveniences for the SPLIT reproduction.
 
-.PHONY: install test bench bench-check experiments results examples clean
+.PHONY: install test coverage bench bench-check experiments results examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/
+
+# The same coverage gate CI enforces (needs pytest-cov: pip install -e .[test]).
+coverage:
+	pytest tests/ -q --cov=repro --cov-report=term-missing:skip-covered --cov-fail-under=85
 
 bench:
 	pytest benchmarks/ --benchmark-only

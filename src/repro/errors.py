@@ -52,5 +52,15 @@ class ServerError(ReproError):
     """Raised by the threaded serving pipeline (bad state transitions)."""
 
 
+class RequestFailed(ServerError):
+    """Raised when a request fails terminally (retry budget exhausted or
+    dropped by fault injection) instead of completing."""
+
+
+class RequestTimeout(ServerError, TimeoutError):
+    """Raised when a request misses its configured deadline; also a
+    :class:`TimeoutError` so generic timeout handling catches it."""
+
+
 class CalibrationError(ReproError):
     """Raised when a hardware model cannot be calibrated to a target latency."""

@@ -1,0 +1,44 @@
+"""Fault injection, retries, timeouts and overload shedding.
+
+The serving stack's happy path assumes every block executes cleanly and
+every admitted request is eventually served. This package supplies the
+unhappy paths as composable, deterministic policies:
+
+* :mod:`repro.robustness.faults` — a seedable :class:`FaultPlan` plus the
+  :class:`FaultInjector` that evaluates it per block execution (fail,
+  stall, drop), honoured identically by the discrete-event engines and
+  the threaded :class:`~repro.server.server.SplitServer`;
+* :mod:`repro.robustness.retry` — :class:`RetryPolicy`, bounded retries
+  with exponential backoff after a block failure;
+* :mod:`repro.robustness.shedding` — :class:`LoadShedConfig` /
+  :class:`LoadShedder`, overload eviction ordered by response-ratio
+  headroom (most-doomed requests shed first);
+* :mod:`repro.robustness.config` — :class:`RobustnessConfig`, the bundle
+  the engines and server accept (fault plan + retry + timeout + shed).
+
+Everything is pure policy: no component here owns threads or event loops,
+so the simulator and the live server share one fault story (docs/robustness.md).
+"""
+
+from repro.robustness.config import RobustnessConfig
+from repro.robustness.faults import (
+    FaultDecision,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    ScriptedFault,
+)
+from repro.robustness.retry import RetryPolicy
+from repro.robustness.shedding import LoadShedConfig, LoadShedder
+
+__all__ = [
+    "FaultDecision",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "ScriptedFault",
+    "RetryPolicy",
+    "LoadShedConfig",
+    "LoadShedder",
+    "RobustnessConfig",
+]

@@ -1,0 +1,66 @@
+"""The robustness bundle the engines and the server accept."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.robustness.faults import FaultInjector, FaultPlan
+from repro.robustness.retry import RetryPolicy
+from repro.robustness.shedding import LoadShedConfig, LoadShedder
+from repro.scheduling.request import Request
+
+
+@dataclass(frozen=True)
+class RobustnessConfig:
+    """Fault plan + retry + timeout + shed, all optional.
+
+    ``timeout_rr`` expresses the per-request deadline as a response-ratio
+    multiplier (deadline = ``timeout_rr * task.alpha * ext_ms`` past
+    arrival — the natural unit of this codebase); ``timeout_ms`` is an
+    absolute cap. When both are set the tighter deadline wins. A default
+    ``RobustnessConfig()`` is inert: no faults, no timeouts, no shedding,
+    and engine/server behaviour is byte-identical to running without one.
+    """
+
+    faults: FaultPlan | None = None
+    retry: RetryPolicy = RetryPolicy()
+    timeout_rr: float | None = None
+    timeout_ms: float | None = None
+    load_shed: LoadShedConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.timeout_rr is not None and self.timeout_rr <= 0:
+            raise SimulationError("timeout_rr must be positive")
+        if self.timeout_ms is not None and self.timeout_ms <= 0:
+            raise SimulationError("timeout_ms must be positive")
+
+    @property
+    def inert(self) -> bool:
+        """True when this config cannot alter execution at all."""
+        return (
+            (self.faults is None or not self.faults.enabled)
+            and self.timeout_rr is None
+            and self.timeout_ms is None
+            and self.load_shed is None
+        )
+
+    def deadline_ms(self, request: Request) -> float:
+        """Absolute simulated-time deadline for ``request`` (inf = none)."""
+        deadline = float("inf")
+        if self.timeout_rr is not None:
+            deadline = request.arrival_ms + self.timeout_rr * request.task.target_ms
+        if self.timeout_ms is not None:
+            deadline = min(deadline, request.arrival_ms + self.timeout_ms)
+        return deadline
+
+    def make_injector(self) -> FaultInjector | None:
+        """Fresh injector for one run (None when faults are disabled)."""
+        if self.faults is None or not self.faults.enabled:
+            return None
+        return FaultInjector(self.faults)
+
+    def make_shedder(self) -> LoadShedder | None:
+        if self.load_shed is None:
+            return None
+        return LoadShedder(self.load_shed)

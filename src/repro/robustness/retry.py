@@ -1,0 +1,53 @@
+"""Retry policy: bounded retries with exponential backoff.
+
+A block failure (``FaultKind.FAIL``) wastes the block's execution time and
+loses its result; the request then leaves the processor and waits out a
+backoff before re-entering the queue to re-run the failed block. Backoff
+grows exponentially per *request* (attempt = failures so far), the classic
+way to keep a flaky dependency from being hammered while it is unhealthy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How block failures are retried.
+
+    ``max_retries = 0`` means a single failure is terminal. Backoff for the
+    n-th retry (n starting at 0) is ``backoff_base_ms * backoff_factor**n``
+    capped at ``max_backoff_ms`` — simulated milliseconds in the engines,
+    scaled-clock milliseconds in the server.
+    """
+
+    max_retries: int = 2
+    backoff_base_ms: float = 1.0
+    backoff_factor: float = 2.0
+    max_backoff_ms: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise SimulationError("max_retries must be >= 0")
+        if self.backoff_base_ms < 0:
+            raise SimulationError("backoff_base_ms must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise SimulationError("backoff_factor must be >= 1")
+        if self.max_backoff_ms < self.backoff_base_ms:
+            raise SimulationError("max_backoff_ms must be >= backoff_base_ms")
+
+    def backoff_ms(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise SimulationError("attempt must be >= 0")
+        return min(
+            self.backoff_base_ms * self.backoff_factor**attempt,
+            self.max_backoff_ms,
+        )
+
+    def exhausted(self, failures: int) -> bool:
+        """True once ``failures`` block failures leave no retry budget."""
+        return failures > self.max_retries

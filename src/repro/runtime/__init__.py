@@ -18,7 +18,12 @@ from repro.runtime.workload import (
     build_task_specs,
     prema_chunk_plan,
 )
-from repro.runtime.metrics import QoSReport, RequestRecord, collect_records
+from repro.runtime.metrics import (
+    QoSReport,
+    RequestRecord,
+    collect_records,
+    robustness_totals,
+)
 from repro.runtime.simulator import SimulationResult, simulate, warm_caches
 from repro.runtime.sweeps import (
     SweepCell,
@@ -55,6 +60,7 @@ __all__ = [
     "QoSReport",
     "RequestRecord",
     "collect_records",
+    "robustness_totals",
     "SimulationResult",
     "simulate",
     "warm_caches",

@@ -6,13 +6,24 @@ is where block-boundary preemption happens. Preempting an unfinished
 request defers *all* of its remaining blocks (full preemption, Fig. 3) —
 that falls out of the queue discipline, because the preempted request
 simply sits behind the preemptor until re-selected.
+
+With a :class:`~repro.robustness.RobustnessConfig` the engine additionally
+honours a fault plan (block failures, stalls, drops), per-request
+deadlines, bounded retries with exponential backoff, and overload load
+shedding — see ``docs/robustness.md``. Without one, execution follows the
+original fault-free loop unchanged (same float operations in the same
+order, so results are byte-identical).
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
+from repro.robustness.config import RobustnessConfig
+from repro.robustness.faults import FaultKind
 from repro.runtime.trace import ExecutionTrace, TraceEntry
 from repro.scheduling.policies.base import Scheduler
 from repro.scheduling.queue import RequestQueue
@@ -26,26 +37,46 @@ class EngineResult:
     trace: ExecutionTrace | None = None
     context_switches: int = 0
     preemptions: int = 0
+    #: Robustness outcomes (empty/zero on fault-free runs).
+    failed: list[Request] = field(default_factory=list)
+    timed_out: list[Request] = field(default_factory=list)
+    shed: list[Request] = field(default_factory=list)
+    retries: int = 0
+    stalls: int = 0
+    fault_fails: int = 0
+    fault_drops: int = 0
 
 
 class SequentialEngine:
     """Runs a fixed arrival schedule to completion under one scheduler."""
 
-    def __init__(self, scheduler: Scheduler, keep_trace: bool = False):
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        keep_trace: bool = False,
+        robustness: RobustnessConfig | None = None,
+    ):
         self.scheduler = scheduler
         self.keep_trace = keep_trace
+        self.robustness = robustness
 
     def run(self, arrivals: list[tuple[float, Request]]) -> EngineResult:
-        """Simulate until every admitted request finishes.
+        """Simulate until every admitted request finishes or terminates.
 
         ``arrivals`` is a list of ``(time_ms, request)`` pairs (any order).
         """
-        result = EngineResult(
-            trace=ExecutionTrace() if self.keep_trace else None
-        )
         for t, _ in arrivals:
             if t < 0:
                 raise SimulationError(f"negative arrival time {t}")
+        if self.robustness is None:
+            return self._run_fast(arrivals)
+        return self._run_robust(arrivals, self.robustness)
+
+    # ------------------------------------------------------------ fault-free
+    def _run_fast(self, arrivals: list[tuple[float, Request]]) -> EngineResult:
+        result = EngineResult(
+            trace=ExecutionTrace() if self.keep_trace else None
+        )
         # One stable sort up front replaces a heap push/pop per request;
         # ties break on input position, exactly like the old (t, i) heap.
         schedule: list[tuple[float, Request]] = sorted(
@@ -131,6 +162,205 @@ class SequentialEngine:
                     req.finish_ms = now
                     queue.remove(req)
                     result.completed.append(req)
+                dispatch(now)
+
+        if not queue.empty:
+            raise SimulationError(
+                f"engine finished with {len(queue)} requests still queued"
+            )
+        return result
+
+    # --------------------------------------------------------------- faulty
+    def _run_robust(
+        self, arrivals: list[tuple[float, Request]], cfg: RobustnessConfig
+    ) -> EngineResult:
+        """The fault-aware event loop.
+
+        Adds three things to the fault-free loop: a retry heap of parked
+        requests waiting out their backoff, a per-dispatch fault decision
+        (drop / stall / pending fail), and deadline + shed eviction. The
+        processor still runs one block at a time and a running block is
+        never interrupted — a failure is only observed when its block's
+        time has already been spent, matching a real executor that only
+        detects the error at the block's end.
+        """
+        result = EngineResult(
+            trace=ExecutionTrace() if self.keep_trace else None
+        )
+        injector = cfg.make_injector()
+        shedder = cfg.make_shedder()
+        retry = cfg.retry
+        schedule: list[tuple[float, Request]] = sorted(
+            arrivals, key=lambda pair: pair[0]
+        )
+        n_arrivals = len(schedule)
+        next_idx = 0
+
+        queue = RequestQueue()
+        retry_heap: list[tuple[float, int, Request]] = []
+        retry_seq = itertools.count()
+        running: Request | None = None
+        pending_fail = False
+        block_end = 0.0
+        block_start = 0.0
+        last_executed: Request | None = None
+        now = 0.0
+
+        def finish_terminal(req: Request, outcome: str, bucket: list[Request]) -> None:
+            nonlocal last_executed
+            req.outcome = outcome
+            bucket.append(req)
+            if last_executed is req:
+                # The request left the system; selecting another request
+                # afterwards is not a preemption.
+                last_executed = None
+
+        def shed_overload(t: float) -> None:
+            if shedder is None:
+                return
+            for victim in shedder.select_victims(queue, t, exclude=running):
+                queue.remove(victim)
+                finish_terminal(victim, "shed", result.shed)
+
+        def dispatch(t: float) -> None:
+            nonlocal running, pending_fail, block_end, block_start, last_executed
+            while not queue.empty:
+                idx = self.scheduler.select(queue, t)
+                if idx != 0:
+                    queue.move_to_front(idx)
+                req = queue.peek()
+                if t >= cfg.deadline_ms(req):
+                    queue.remove(req)
+                    finish_terminal(req, "timed_out", result.timed_out)
+                    continue
+                decision = (
+                    injector.decide(
+                        req.task_type, req.arrival_ms, req.next_block, req.retries
+                    )
+                    if injector is not None
+                    else None
+                )
+                if decision is not None and decision.kind is FaultKind.DROP:
+                    queue.remove(req)
+                    result.fault_drops += 1
+                    finish_terminal(req, "failed", result.failed)
+                    continue
+                switch_cost = 0.0
+                if (
+                    last_executed is not None
+                    and last_executed is not req
+                    and not last_executed.done
+                    and last_executed.started
+                ):
+                    switch_cost = self.scheduler.preemption_overhead_ms
+                    last_executed.preemptions += 1
+                    result.preemptions += 1
+                if last_executed is not None and last_executed is not req:
+                    result.context_switches += 1
+                if not req.started:
+                    plan = self.scheduler.plan_for(req, queue, t)
+                    req.begin(plan, t)
+                block_ms = req.pop_block()
+                if decision is not None and decision.kind is FaultKind.STALL:
+                    block_ms *= decision.stall_factor
+                    result.stalls += 1
+                pending_fail = (
+                    decision is not None and decision.kind is FaultKind.FAIL
+                )
+                block_start = t + switch_cost
+                block_end = block_start + block_ms
+                running = req
+                last_executed = req
+                return
+            running = None
+
+        while (
+            next_idx < n_arrivals
+            or running is not None
+            or not queue.empty
+            or retry_heap
+        ):
+            next_arrival = (
+                schedule[next_idx][0] if next_idx < n_arrivals else float("inf")
+            )
+            next_retry = retry_heap[0][0] if retry_heap else float("inf")
+            next_done = block_end if running is not None else float("inf")
+            if running is None and not queue.empty:
+                dispatch(now)
+                continue
+            if (
+                next_arrival == float("inf")
+                and next_retry == float("inf")
+                and next_done == float("inf")
+            ):
+                break  # nothing left anywhere
+            if next_arrival <= min(next_retry, next_done):
+                now = next_arrival
+                req = schedule[next_idx][1]
+                next_idx += 1
+                admitted = self.scheduler.on_arrival(queue, req, now)
+                if not admitted:
+                    req.outcome = "rejected"
+                    result.dropped.append(req)
+                else:
+                    shed_overload(now)
+            elif next_retry <= next_done:
+                now = next_retry
+                _, _, req = heapq.heappop(retry_heap)
+                if now >= cfg.deadline_ms(req):
+                    finish_terminal(req, "timed_out", result.timed_out)
+                    continue
+                if self.scheduler.on_arrival(queue, req, now):
+                    shed_overload(now)
+                else:
+                    req.outcome = "rejected"
+                    result.dropped.append(req)
+            else:
+                now = next_done
+                req = running
+                assert req is not None
+                if result.trace is not None:
+                    result.trace.record(
+                        TraceEntry(
+                            request_id=req.request_id,
+                            task_type=req.task_type,
+                            block_index=req.next_block - 1,
+                            start_ms=block_start,
+                            end_ms=now,
+                            failed=pending_fail,
+                        )
+                    )
+                running = None
+                if pending_fail:
+                    pending_fail = False
+                    result.fault_fails += 1
+                    req.unpop_block()
+                    req.retries += 1
+                    queue.remove(req)
+                    if retry.exhausted(req.retries):
+                        finish_terminal(req, "failed", result.failed)
+                    else:
+                        result.retries += 1
+                        if last_executed is req:
+                            last_executed = None
+                        heapq.heappush(
+                            retry_heap,
+                            (
+                                now + retry.backoff_ms(req.retries - 1),
+                                next(retry_seq),
+                                req,
+                            ),
+                        )
+                elif req.blocks_left == 0:
+                    req.finish_ms = now
+                    queue.remove(req)
+                    if now > cfg.deadline_ms(req):
+                        # Finished, but past the client's deadline: the
+                        # response is useless — count it as timed out.
+                        finish_terminal(req, "timed_out", result.timed_out)
+                    else:
+                        req.outcome = "served"
+                        result.completed.append(req)
                 dispatch(now)
 
         if not queue.empty:

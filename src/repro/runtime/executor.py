@@ -10,15 +10,26 @@ behaviour Fig. 1 and §2.2 describe.
 Model: a FIFO admission window of ``device.max_streams`` requests executes
 by processor sharing at aggregate rate ``aligned_efficiency(n)``; requests
 beyond the window queue FIFO.
+
+A :class:`~repro.robustness.RobustnessConfig` adds the same fault story
+the sequential engine has, at whole-request granularity (processor sharing
+has no block boundaries): an injected failure wastes the request's full
+execution then retries it with backoff, a stall inflates its work, a drop
+discards it at admission, and deadlines are enforced at admission and
+completion. Load shedding is queue-discipline-specific and not supported
+here (the sequential engine and the server implement it).
 """
 
 from __future__ import annotations
 
 import heapq
+import itertools
 from collections import deque
 
 from repro.errors import SimulationError
 from repro.hardware.contention import ContentionModel
+from repro.robustness.config import RobustnessConfig
+from repro.robustness.faults import FaultKind
 from repro.runtime.engine import EngineResult
 from repro.scheduling.request import Request
 
@@ -31,6 +42,7 @@ class ConcurrentEngine:
         contention: ContentionModel,
         aligned: bool = True,
         alignment_barrier: bool = False,
+        robustness: RobustnessConfig | None = None,
     ):
         self.contention = contention
         #: ``aligned=True`` uses RT-A's alignment throughput curve;
@@ -43,6 +55,12 @@ class ConcurrentEngine:
         #: the fleet evaluation uses the more charitable processor-sharing
         #: completion; Fig. 1 turns this on.
         self.alignment_barrier = alignment_barrier
+        if robustness is not None and robustness.load_shed is not None:
+            raise SimulationError(
+                "ConcurrentEngine does not support load shedding; use the "
+                "sequential engine or the server"
+            )
+        self.robustness = robustness
 
     def _rate(self, n_active: int) -> float:
         if self.aligned:
@@ -51,6 +69,8 @@ class ConcurrentEngine:
 
     def run(self, arrivals: list[tuple[float, Request]]) -> EngineResult:
         result = EngineResult()
+        cfg = self.robustness
+        injector = cfg.make_injector() if cfg is not None else None
         heap: list[tuple[float, int, Request]] = []
         for i, (t, req) in enumerate(arrivals):
             if t < 0:
@@ -59,6 +79,10 @@ class ConcurrentEngine:
 
         window: dict[int, tuple[Request, float]] = {}  # rid -> (req, work left)
         backlog: deque[Request] = deque()
+        retry_heap: list[tuple[float, int, Request]] = []
+        retry_seq = itertools.count()
+        #: rids whose current execution was failed by the injector.
+        doomed: set[int] = set()
         #: rid -> ids of requests it joined mid-flight (alignment mentors);
         #: with the barrier on, completion is deferred until they finish.
         mentors: dict[int, set[int]] = {}
@@ -70,10 +94,31 @@ class ConcurrentEngine:
         def admit(t: float) -> None:
             while backlog and len(window) < max_streams:
                 req = backlog.popleft()
-                req.begin((req.task.ext_ms,), t)
+                if cfg is not None and t >= cfg.deadline_ms(req):
+                    req.outcome = "timed_out"
+                    result.timed_out.append(req)
+                    continue
+                work = req.task.ext_ms
+                if injector is not None:
+                    decision = injector.decide(
+                        req.task_type, req.arrival_ms, 0, req.retries
+                    )
+                    if decision is not None:
+                        if decision.kind is FaultKind.DROP:
+                            result.fault_drops += 1
+                            req.outcome = "failed"
+                            result.failed.append(req)
+                            continue
+                        if decision.kind is FaultKind.STALL:
+                            work *= decision.stall_factor
+                            result.stalls += 1
+                        else:  # FAIL: detected only once the work is spent
+                            doomed.add(req.request_id)
+                if not req.started:
+                    req.begin((req.task.ext_ms,), t)
                 if self.alignment_barrier:
                     mentors[req.request_id] = set(window.keys()) | set(held)
-                window[req.request_id] = (req, req.task.ext_ms)
+                window[req.request_id] = (req, work)
 
         def advance(to: float) -> None:
             nonlocal now
@@ -96,8 +141,32 @@ class ConcurrentEngine:
         def complete(req: Request, t: float) -> None:
             req.next_block = len(req.plan_ms or (0,))
             req.finish_ms = t
-            result.completed.append(req)
+            if cfg is not None and t > cfg.deadline_ms(req):
+                req.outcome = "timed_out"
+                result.timed_out.append(req)
+            else:
+                req.outcome = "served"
+                result.completed.append(req)
             mentors.pop(req.request_id, None)
+
+        def fail_or_retry(req: Request, t: float) -> None:
+            assert cfg is not None
+            result.fault_fails += 1
+            req.retries += 1
+            mentors.pop(req.request_id, None)
+            if cfg.retry.exhausted(req.retries):
+                req.outcome = "failed"
+                result.failed.append(req)
+            else:
+                result.retries += 1
+                heapq.heappush(
+                    retry_heap,
+                    (
+                        t + cfg.retry.backoff_ms(req.retries - 1),
+                        next(retry_seq),
+                        req,
+                    ),
+                )
 
         def release_held(t: float) -> None:
             """Complete held requests whose mentors have all finished."""
@@ -111,10 +180,11 @@ class ConcurrentEngine:
                         complete(req, t)
                         done_something = True
 
-        while heap or window or backlog or held:
+        while heap or window or backlog or held or retry_heap:
             t_arr = heap[0][0] if heap else float("inf")
+            t_retry = retry_heap[0][0] if retry_heap else float("inf")
             t_done = next_completion()
-            if t_arr <= t_done:
+            if t_arr <= min(t_done, t_retry):
                 if t_arr == float("inf"):
                     raise SimulationError(
                         "alignment barrier deadlock: held requests with no "
@@ -123,6 +193,12 @@ class ConcurrentEngine:
                 advance(t_arr)
                 _, _, req = heapq.heappop(heap)
                 backlog.append(req)
+                admit(now)
+            elif t_retry <= t_done:
+                advance(t_retry)
+                while retry_heap and retry_heap[0][0] <= now:
+                    _, _, req = heapq.heappop(retry_heap)
+                    backlog.append(req)
                 admit(now)
             else:
                 advance(t_done)
@@ -133,6 +209,10 @@ class ConcurrentEngine:
                     raise SimulationError("completion event with nothing done")
                 for rid in finished:
                     req, _ = window.pop(rid)
+                    if rid in doomed:
+                        doomed.discard(rid)
+                        fail_or_retry(req, now)
+                        continue
                     unfinished_mentors = mentors.get(rid, set()) & (
                         set(window) | set(held)
                     )

@@ -28,12 +28,17 @@ class RequestRecord:
     request_id: int
     model: str
     arrival_ms: float
-    finish_ms: float | None  # None = dropped
+    finish_ms: float | None  # None = not served (rejected/shed/failed/...)
     ext_ms: float
     preemptions: int = 0
     #: Task-relative target multiplier (TaskSpec.alpha); the effective
     #: latency target at sweep point a is ``a * alpha * ext_ms``.
     alpha: float = 1.0
+    #: Terminal outcome: "served", "rejected" (admission), "shed"
+    #: (overload eviction), "failed" (fault injection), or "timed_out".
+    outcome: str = "served"
+    #: Block failures retried before the terminal outcome.
+    retries: int = 0
 
     @property
     def dropped(self) -> bool:
@@ -55,23 +60,60 @@ class RequestRecord:
 
 
 def collect_records(result: EngineResult) -> list[RequestRecord]:
-    """Freeze an engine run's outcome into records."""
+    """Freeze an engine run's outcome into records.
 
-    def freeze(req: Request, dropped: bool) -> RequestRecord:
+    Only served requests carry a finish time; every other outcome counts
+    as a violation at any target (``finish_ms=None``).
+    """
+
+    def freeze(req: Request, outcome: str) -> RequestRecord:
         return RequestRecord(
             request_id=req.request_id,
             model=req.task_type,
             arrival_ms=req.arrival_ms,
-            finish_ms=None if dropped else req.finish_ms,
+            finish_ms=req.finish_ms if outcome == "served" else None,
             ext_ms=req.ext_ms,
             preemptions=req.preemptions,
             alpha=req.task.alpha,
+            outcome=outcome,
+            retries=req.retries,
         )
 
-    records = [freeze(r, False) for r in result.completed]
-    records += [freeze(r, True) for r in result.dropped]
+    records = [freeze(r, "served") for r in result.completed]
+    records += [freeze(r, "rejected") for r in result.dropped]
+    records += [freeze(r, "failed") for r in result.failed]
+    records += [freeze(r, "timed_out") for r in result.timed_out]
+    records += [freeze(r, "shed") for r in result.shed]
     records.sort(key=lambda r: r.arrival_ms)
     return records
+
+
+def robustness_totals(result: EngineResult) -> dict[str, int]:
+    """Outcome counters plus the conservation identity over one run.
+
+    ``submitted == served + rejected + shed + failed + timed_out`` holds by
+    construction (every request lands in exactly one bucket); the chaos
+    tests assert it against the number of requests they submitted.
+    """
+    totals = {
+        "served": len(result.completed),
+        "rejected": len(result.dropped),
+        "shed": len(result.shed),
+        "failed": len(result.failed),
+        "timed_out": len(result.timed_out),
+        "retries": result.retries,
+        "stalls": result.stalls,
+        "fault_fails": result.fault_fails,
+        "fault_drops": result.fault_drops,
+    }
+    totals["submitted"] = (
+        totals["served"]
+        + totals["rejected"]
+        + totals["shed"]
+        + totals["failed"]
+        + totals["timed_out"]
+    )
+    return totals
 
 
 @dataclass

@@ -26,6 +26,7 @@ from repro.hardware.presets import jetson_nano
 from repro.profiling.cache import ProfileCache
 from repro.profiling.records import ModelProfile
 from repro.profiling.store import default_plan_store, default_profile_store
+from repro.robustness.config import RobustnessConfig
 from repro.runtime.engine import EngineResult, SequentialEngine
 from repro.runtime.executor import ConcurrentEngine
 from repro.runtime.metrics import QoSReport, collect_records
@@ -189,6 +190,7 @@ def _specs_and_engine(
     elastic: ElasticSplitConfig | None,
     keep_trace: bool,
     alphas: dict[str, float] | None,
+    robustness: RobustnessConfig | None = None,
 ):
     """Policy -> (task catalogue, engine) dispatch shared by
     :func:`simulate` and :func:`simulate_items`."""
@@ -199,13 +201,15 @@ def _specs_and_engine(
             profiles, plan_kind="vanilla", request_classes=classes, alphas=alphas
         )
         engine: SequentialEngine | ConcurrentEngine = ConcurrentEngine(
-            ContentionModel(device)
+            ContentionModel(device), robustness=robustness
         )
     elif policy == "prema":
         specs = build_task_specs(
             profiles, plan_kind="prema", request_classes=classes, alphas=alphas
         )
-        engine = SequentialEngine(make_scheduler(policy), keep_trace=keep_trace)
+        engine = SequentialEngine(
+            make_scheduler(policy), keep_trace=keep_trace, robustness=robustness
+        )
     elif policy == "reef":
         # Kernel-level oracle (§6): operator-granularity preemption, no
         # boundary cost, same greedy queue discipline as SPLIT.
@@ -215,6 +219,7 @@ def _specs_and_engine(
         engine = SequentialEngine(
             SplitScheduler(elastic=ElasticSplitConfig(enabled=False)),
             keep_trace=keep_trace,
+            robustness=robustness,
         )
     elif policy in ("split", "edf", "roundrobin"):
         specs = build_task_specs(
@@ -225,13 +230,17 @@ def _specs_and_engine(
             alphas=alphas,
         )
         engine = SequentialEngine(
-            make_scheduler(policy, elastic=elastic), keep_trace=keep_trace
+            make_scheduler(policy, elastic=elastic),
+            keep_trace=keep_trace,
+            robustness=robustness,
         )
     else:  # clockwork, fifo, sjf: whole-model plans
         specs = build_task_specs(
             profiles, plan_kind="vanilla", request_classes=classes, alphas=alphas
         )
-        engine = SequentialEngine(make_scheduler(policy), keep_trace=keep_trace)
+        engine = SequentialEngine(
+            make_scheduler(policy), keep_trace=keep_trace, robustness=robustness
+        )
     return specs, engine
 
 
@@ -245,6 +254,7 @@ def _run(
     elastic: ElasticSplitConfig | None,
     keep_trace: bool,
     alphas: dict[str, float] | None,
+    robustness: RobustnessConfig | None = None,
 ) -> SimulationResult:
     device = device or jetson_nano()
     profiles = _profiles_for(models, device.name)
@@ -252,7 +262,8 @@ def _run(
     if split_plans is None:
         split_plans = default_split_plans(models, device.name)
     specs, engine = _specs_and_engine(
-        policy, profiles, classes, device, split_plans, elastic, keep_trace, alphas
+        policy, profiles, classes, device, split_plans, elastic, keep_trace,
+        alphas, robustness,
     )
     arrivals = materialize_requests(items, specs)
     engine_result = engine.run(arrivals)
@@ -276,6 +287,7 @@ def simulate(
     elastic: ElasticSplitConfig | None = None,
     keep_trace: bool = False,
     alphas: dict[str, float] | None = None,
+    robustness: RobustnessConfig | None = None,
 ) -> SimulationResult:
     """Run one (policy, scenario) cell of the evaluation grid.
 
@@ -284,14 +296,15 @@ def simulate(
     plans (ablations); ``elastic`` configures SPLIT's elastic splitting;
     ``alphas`` assigns per-task latency-target multipliers (differentiated
     QoS — stricter tasks get alpha < 1 and are favoured by the greedy
-    preemption rule).
+    preemption rule); ``robustness`` enables fault injection, timeouts,
+    retries and load shedding (see :mod:`repro.robustness`).
     """
     if policy not in POLICIES:
         raise SimulationError(f"unknown policy {policy!r}; one of {POLICIES}")
     items = WorkloadGenerator(models, seed=seed).generate(scenario)
     return _run(
         policy, scenario, items, models, device, split_plans, elastic,
-        keep_trace, alphas,
+        keep_trace, alphas, robustness,
     )
 
 
@@ -304,6 +317,7 @@ def simulate_items(
     elastic: ElasticSplitConfig | None = None,
     keep_trace: bool = False,
     alphas: dict[str, float] | None = None,
+    robustness: RobustnessConfig | None = None,
 ) -> SimulationResult:
     """Run a policy against an explicit arrival schedule.
 
@@ -321,5 +335,5 @@ def simulate_items(
     )
     return _run(
         policy, scenario, items, models, device, split_plans, elastic,
-        keep_trace, alphas,
+        keep_trace, alphas, robustness,
     )

@@ -22,6 +22,9 @@ class TraceEntry:
     block_index: int
     start_ms: float
     end_ms: float
+    #: True when fault injection failed this attempt: the processor time
+    #: was spent but the block's result was lost (it will be re-run).
+    failed: bool = False
 
     def __post_init__(self) -> None:
         if self.end_ms < self.start_ms:
@@ -66,4 +69,5 @@ class ExecutionTrace:
                     f"request {e.request_id} ran block {e.block_index}, "
                     f"expected {expected}"
                 )
-            seen[e.request_id] = expected + 1
+            if not e.failed:  # a failed attempt re-runs the same block
+                seen[e.request_id] = expected + 1

@@ -107,6 +107,12 @@ class Request:
     first_start_ms: float | None = None
     finish_ms: float | None = None
     preemptions: int = 0
+    #: Block failures retried so far (fault injection; see
+    #: :mod:`repro.robustness`).
+    retries: int = 0
+    #: Terminal outcome label set by the engine/server; "served" on normal
+    #: completion, else "shed" / "failed" / "timed_out" / "rejected".
+    outcome: str = "pending"
     #: Suffix-sum table of the fixed plan; None until dispatched (the
     #: task's own table applies while the plan is still the default).
     _plan_suffix_ms: tuple[float, ...] | None = field(
@@ -162,6 +168,15 @@ class Request:
         t = self.plan_ms[self.next_block]
         self.next_block += 1
         return t
+
+    def unpop_block(self) -> None:
+        """Rewind the last popped block (its execution failed and the
+        result was lost); the block will be re-run on the next dispatch."""
+        if self.next_block <= 0:
+            raise SchedulingError(
+                f"request {self.request_id} has no block to rewind"
+            )
+        self.next_block -= 1
 
     @property
     def blocks_left(self) -> int:

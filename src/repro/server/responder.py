@@ -4,6 +4,12 @@ In the paper the responder speaks RPC on its own thread with locked
 asynchronous reads/writes; here it exposes an in-process future-style
 handle per submission and a completion callback wired to the token
 assigner.
+
+Every submitted request resolves its handle exactly once, whatever
+happens to it: served (:class:`InferenceResult`), rejected by admission,
+shed under overload, failed by fault injection / exhausted retries, or
+timed out past its deadline. The unhappy outcomes surface as typed
+exceptions from :meth:`InferenceHandle.result` — never as a hang.
 """
 
 from __future__ import annotations
@@ -11,7 +17,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
-from repro.errors import ServerError
+from repro.errors import RequestFailed, RequestTimeout, ServerError
 from repro.scheduling.request import Request
 
 
@@ -26,6 +32,7 @@ class InferenceResult:
     e2e_ms: float
     response_ratio: float
     preemptions: int
+    retries: int = 0
 
 
 class InferenceHandle:
@@ -35,18 +42,20 @@ class InferenceHandle:
         self._request = request
         self._event = threading.Event()
         self._result: InferenceResult | None = None
-        self._dropped = False
+        self._outcome = "pending"
 
     @property
     def request_id(self) -> int:
         return self._request.request_id
 
-    def _complete(self, result: InferenceResult) -> None:
-        self._result = result
-        self._event.set()
+    @property
+    def outcome(self) -> str:
+        """One of pending / served / rejected / shed / failed / timed_out."""
+        return self._outcome
 
-    def _drop(self) -> None:
-        self._dropped = True
+    def _resolve(self, outcome: str, result: InferenceResult | None = None) -> None:
+        self._outcome = outcome
+        self._result = result
         self._event.set()
 
     def done(self) -> bool:
@@ -54,25 +63,40 @@ class InferenceHandle:
 
     @property
     def dropped(self) -> bool:
-        return self._dropped
+        """True when the server discarded the request without serving it
+        (admission rejection or overload shedding)."""
+        return self._outcome in ("rejected", "shed")
 
     def result(self, timeout_s: float | None = None) -> InferenceResult:
         if not self._event.wait(timeout=timeout_s):
             raise ServerError(
                 f"request {self.request_id} did not complete within timeout"
             )
-        if self._dropped or self._result is None:
+        if self._outcome == "failed":
+            raise RequestFailed(
+                f"request {self.request_id} failed "
+                f"after {self._request.retries} retries"
+            )
+        if self._outcome == "timed_out":
+            raise RequestTimeout(
+                f"request {self.request_id} missed its deadline"
+            )
+        if self._result is None:
             raise ServerError(f"request {self.request_id} was dropped")
         return self._result
 
 
 class Responder:
-    """Tracks in-flight handles and resolves them on completion."""
+    """Tracks in-flight handles and resolves them on terminal outcomes."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._pending: dict[int, InferenceHandle] = {}
         self.completed: list[InferenceResult] = []
+        self.rejected = 0
+        self.shed = 0
+        self.failed = 0
+        self.timed_out = 0
 
     def register(self, request: Request) -> InferenceHandle:
         handle = InferenceHandle(request)
@@ -80,11 +104,39 @@ class Responder:
             self._pending[request.request_id] = handle
         return handle
 
-    def reject(self, request: Request) -> None:
+    def _retire(self, request: Request, outcome: str) -> InferenceHandle | None:
+        request.outcome = outcome
         with self._lock:
-            handle = self._pending.pop(request.request_id, None)
+            return self._pending.pop(request.request_id, None)
+
+    def reject(self, request: Request) -> None:
+        """Admission control turned the request away at submit time."""
+        handle = self._retire(request, "rejected")
         if handle is not None:
-            handle._drop()
+            self.rejected += 1
+            handle._resolve("rejected")
+
+    def drop_shed(self, request: Request) -> None:
+        """Overload shedding evicted the request from the queue."""
+        handle = self._retire(request, "shed")
+        if handle is not None:
+            self.shed += 1
+            handle._resolve("shed")
+
+    def fail(self, request: Request) -> None:
+        """Fault injection dropped the request or exhausted its retries."""
+        handle = self._retire(request, "failed")
+        if handle is not None:
+            self.failed += 1
+            handle._resolve("failed")
+
+    def timeout(self, request: Request, now_ms: float | None = None) -> None:
+        """The request missed its deadline (queued, parked, or finished
+        too late)."""
+        handle = self._retire(request, "timed_out")
+        if handle is not None:
+            self.timed_out += 1
+            handle._resolve("timed_out")
 
     def resolve(self, request: Request, finish_ms: float) -> None:
         """Completion callback for the token assigner."""
@@ -96,12 +148,13 @@ class Responder:
             e2e_ms=finish_ms - request.arrival_ms,
             response_ratio=(finish_ms - request.arrival_ms) / request.ext_ms,
             preemptions=request.preemptions,
+            retries=request.retries,
         )
+        handle = self._retire(request, "served")
         with self._lock:
-            handle = self._pending.pop(request.request_id, None)
             self.completed.append(result)
         if handle is not None:
-            handle._complete(result)
+            handle._resolve("served", result)
 
     def in_flight(self) -> int:
         with self._lock:

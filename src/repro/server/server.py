@@ -21,6 +21,7 @@ from repro.errors import ServerError
 from repro.graphs.graph import ModelGraph
 from repro.hardware.device import DeviceSpec
 from repro.hardware.presets import jetson_nano
+from repro.robustness.config import RobustnessConfig
 from repro.scheduling.policies.base import Scheduler
 from repro.scheduling.policies.split_policy import SplitScheduler
 from repro.server.clock import ScaledClock
@@ -40,15 +41,23 @@ class SplitServer:
         time_scale: float = 1e-5,
         block_dir: str | Path | None = None,
         admission_alpha: float | None = None,
+        robustness: RobustnessConfig | None = None,
     ):
         """``admission_alpha`` enables ClockWork-style admission control:
         a submission whose *predicted* response ratio (current backlog plus
         its own execution over its isolated time) already exceeds the
         threshold is rejected immediately instead of queuing to miss its
-        target anyway."""
+        target anyway.
+
+        ``robustness`` arms fault injection, per-request deadlines, retry
+        with backoff, and overload load shedding (see
+        :mod:`repro.robustness` and ``docs/robustness.md``); the unhappy
+        outcomes surface as typed exceptions from the inference handles.
+        """
         if admission_alpha is not None and admission_alpha <= 1.0:
             raise ServerError("admission_alpha must exceed 1")
         self.admission_alpha = admission_alpha
+        self.robustness = robustness
         self.rejected = 0
         self.device = device or jetson_nano()
         self.clock = ScaledClock(scale=time_scale)
@@ -58,9 +67,18 @@ class SplitServer:
         )
         self.responder = Responder()
         self._scheduler = scheduler or SplitScheduler()
-        self.tokens = TokenScheduler(self._scheduler)
+        self.tokens = TokenScheduler(
+            self._scheduler,
+            robustness=robustness,
+            on_timeout=self.responder.timeout,
+            on_shed=self.responder.drop_shed,
+            on_failed=self.responder.fail,
+        )
         self.assigner = TokenAssigner(
-            self.tokens, self.clock, self.responder.resolve
+            self.tokens,
+            self.clock,
+            self.responder.resolve,
+            on_timeout=self.responder.timeout,
         )
         self._wrapper: RequestWrapper | None = None
         self._running = False
@@ -150,4 +168,11 @@ class SplitServer:
                 sum(rr) / len(rr) if rr else float("nan")
             ),
             "max_response_ratio": max(rr) if rr else float("nan"),
+            # Robustness outcomes (all zero without a RobustnessConfig).
+            "shed": self.responder.shed,
+            "failed": self.responder.failed,
+            "timed_out": self.responder.timed_out,
+            "retries": self.tokens.retries,
+            "stalls": self.tokens.stalls,
+            "parked": self.tokens.parked(),
         }

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import SearchError
+
 
 @dataclass(frozen=True)
 class ElasticSplitConfig:
@@ -33,6 +35,21 @@ class ElasticSplitConfig:
     same_type_min_queue: int = 3
     #: Set False to disable elasticity entirely (ablation mode).
     enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise SearchError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if not 0.0 < self.same_type_fraction <= 1.0:
+            raise SearchError(
+                "same_type_fraction must be in (0, 1], "
+                f"got {self.same_type_fraction}"
+            )
+        if self.same_type_min_queue < 1:
+            raise SearchError(
+                f"same_type_min_queue must be >= 1, got {self.same_type_min_queue}"
+            )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,127 @@
+"""Chaos regression: a seeded stochastic FaultPlan through the engines.
+
+The ISSUE-mandated scenario — 10% block failures, 5% stalls — must leave
+the system fully accounted for: every submitted request reaches exactly
+one terminal outcome, no request out-lives its deadline, retry counts
+reconcile against the injector's issued faults, and the same seed yields
+the same run down to the last finish time.
+"""
+
+import pytest
+
+from repro.robustness import FaultPlan, RetryPolicy, RobustnessConfig
+from repro.runtime.metrics import robustness_totals
+from repro.runtime.simulator import simulate
+from repro.runtime.workload import Scenario
+
+CHAOS = RobustnessConfig(
+    faults=FaultPlan(seed=11, fail_rate=0.10, stall_rate=0.05),
+    retry=RetryPolicy(max_retries=2, backoff_base_ms=2.0),
+    timeout_rr=40.0,
+)
+SMALL = Scenario("chaos-small", 160.0, "low", n_requests=120)
+
+
+@pytest.fixture(scope="module")
+def chaos_result():
+    return simulate("split", SMALL, keep_trace=True, robustness=CHAOS)
+
+
+class TestChaosRun:
+    def test_totals_reconcile(self, chaos_result):
+        totals = robustness_totals(chaos_result.engine_result)
+        assert totals["submitted"] == 120
+        assert (
+            totals["served"]
+            + totals["rejected"]
+            + totals["shed"]
+            + totals["failed"]
+            + totals["timed_out"]
+            == 120
+        )
+
+    def test_faults_actually_fired(self, chaos_result):
+        totals = robustness_totals(chaos_result.engine_result)
+        # 10% of a few hundred block attempts: failures must show up.
+        assert totals["fault_fails"] > 0
+        assert totals["stalls"] > 0
+
+    def test_retry_counts_match_plan(self, chaos_result):
+        """Every issued FAIL either became a retry or ended a request."""
+        res = chaos_result.engine_result
+        exhausted = res.fault_fails - res.retries
+        assert exhausted >= 0
+        # The plan has no drop_rate, so every failed request is an
+        # exhausted-retries failure.
+        assert res.fault_drops == 0
+        assert len(res.failed) == exhausted
+        for req in res.failed:
+            assert req.retries > CHAOS.retry.max_retries
+
+    def test_no_request_outlives_deadline(self, chaos_result):
+        res = chaos_result.engine_result
+        for req in res.completed:
+            assert req.finish_ms <= CHAOS.deadline_ms(req) + 1e-9
+        for req in res.timed_out:
+            assert req.outcome == "timed_out"
+
+    def test_every_request_terminal(self, chaos_result):
+        res = chaos_result.engine_result
+        for bucket, outcome in [
+            (res.completed, "served"),
+            (res.failed, "failed"),
+            (res.timed_out, "timed_out"),
+            (res.shed, "shed"),
+        ]:
+            for req in bucket:
+                assert req.outcome == outcome
+
+    def test_trace_verifies_under_faults(self, chaos_result):
+        chaos_result.engine_result.trace.verify()
+
+    def test_same_seed_identical_metrics(self):
+        a = simulate("split", SMALL, robustness=CHAOS)
+        b = simulate("split", SMALL, robustness=CHAOS)
+        assert robustness_totals(a.engine_result) == robustness_totals(
+            b.engine_result
+        )
+        fa = sorted((r.arrival_ms, r.finish_ms) for r in a.engine_result.completed)
+        fb = sorted((r.arrival_ms, r.finish_ms) for r in b.engine_result.completed)
+        assert fa == fb
+
+    def test_different_fault_seed_changes_run(self):
+        other = RobustnessConfig(
+            faults=FaultPlan(seed=12, fail_rate=0.10, stall_rate=0.05),
+            retry=CHAOS.retry,
+            timeout_rr=CHAOS.timeout_rr,
+        )
+        a = simulate("split", SMALL, robustness=CHAOS)
+        b = simulate("split", SMALL, robustness=other)
+        fa = sorted((r.arrival_ms, r.finish_ms) for r in a.engine_result.completed)
+        fb = sorted((r.arrival_ms, r.finish_ms) for r in b.engine_result.completed)
+        assert fa != fb
+
+
+class TestChaosDisabledIsByteIdentical:
+    def test_inert_config_equals_no_config(self):
+        plain = simulate("split", SMALL)
+        inert = simulate("split", SMALL, robustness=RobustnessConfig())
+        fa = [(r.arrival_ms, r.finish_ms) for r in plain.report.records]
+        fb = [(r.arrival_ms, r.finish_ms) for r in inert.report.records]
+        assert fa == fb
+
+    @pytest.mark.parametrize("policy", ["rta", "clockwork"])
+    def test_inert_config_other_policies(self, policy):
+        plain = simulate(policy, SMALL)
+        inert = simulate(policy, SMALL, robustness=RobustnessConfig())
+        fa = [(r.arrival_ms, r.finish_ms) for r in plain.report.records]
+        fb = [(r.arrival_ms, r.finish_ms) for r in inert.report.records]
+        assert fa == fb
+
+
+class TestChaosConcurrentEngine:
+    def test_rta_chaos_reconciles(self):
+        r = simulate("rta", SMALL, robustness=CHAOS)
+        totals = robustness_totals(r.engine_result)
+        assert totals["submitted"] == 120
+        assert totals["fault_fails"] > 0

@@ -1,0 +1,273 @@
+"""SequentialEngine / ConcurrentEngine under a RobustnessConfig.
+
+Scripted faults give exact control: each test places one fault on one
+block attempt and checks the engine's timing and bookkeeping to the
+millisecond.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.robustness import (
+    FaultKind,
+    FaultPlan,
+    LoadShedConfig,
+    RetryPolicy,
+    RobustnessConfig,
+    ScriptedFault,
+)
+from repro.runtime.engine import SequentialEngine
+from repro.runtime.executor import ConcurrentEngine, ContentionModel
+from repro.runtime.metrics import robustness_totals
+from repro.scheduling.policies import FIFOScheduler, SplitScheduler
+from repro.scheduling.request import Request, TaskSpec
+from repro.types import RequestClass
+
+
+def spec(name="m", ext=10.0, blocks=None, cls=RequestClass.SHORT):
+    return TaskSpec(
+        name=name, ext_ms=ext, blocks_ms=blocks or (ext,), request_class=cls
+    )
+
+
+def arrivals(*items):
+    """items: (time, name, ext, blocks)."""
+    return [
+        (t, Request(task=spec(name, ext, blocks), arrival_ms=t))
+        for t, name, ext, blocks in items
+    ]
+
+
+def run_robust(cfg, *items, scheduler=None, keep_trace=False):
+    eng = SequentialEngine(
+        scheduler or FIFOScheduler(), keep_trace=keep_trace, robustness=cfg
+    )
+    return eng.run(arrivals(*items))
+
+
+class TestInertEquivalence:
+    def test_inert_config_matches_fault_free_run(self):
+        items = [
+            (0.0, "a", 10.0, (5.0, 5.0)),
+            (2.0, "b", 4.0, None),
+            (7.0, "c", 8.0, (4.0, 4.0)),
+        ]
+        plain = SequentialEngine(SplitScheduler()).run(arrivals(*items))
+        inert = SequentialEngine(
+            SplitScheduler(), robustness=RobustnessConfig()
+        ).run(arrivals(*items))
+        key = lambda r: (r.task_type, r.arrival_ms)
+        for a, b in zip(
+            sorted(plain.completed, key=key), sorted(inert.completed, key=key)
+        ):
+            assert a.finish_ms == b.finish_ms
+            assert a.first_start_ms == b.first_start_ms
+            assert a.preemptions == b.preemptions
+        assert inert.retries == inert.stalls == 0
+        assert inert.failed == inert.timed_out == inert.shed == []
+
+
+class TestScriptedFail:
+    CFG = RobustnessConfig(
+        faults=FaultPlan(
+            scripted=(ScriptedFault(FaultKind.FAIL, block_index=0, attempt=0),)
+        ),
+        retry=RetryPolicy(max_retries=2, backoff_base_ms=5.0),
+    )
+
+    def test_fail_then_retry_succeeds(self):
+        res = run_robust(self.CFG, (0.0, "m", 10.0, None))
+        # Block runs 0-10 and fails, parks 5 ms, reruns 15-25.
+        assert len(res.completed) == 1
+        assert res.completed[0].finish_ms == 25.0
+        assert res.completed[0].retries == 1
+        assert res.retries == 1 and res.fault_fails == 1
+
+    def test_retries_exhausted_fails_request(self):
+        cfg = RobustnessConfig(
+            faults=FaultPlan(
+                scripted=(ScriptedFault(FaultKind.FAIL, block_index=0),)
+            ),
+            retry=RetryPolicy(max_retries=1, backoff_base_ms=5.0),
+        )
+        res = run_robust(cfg, (0.0, "m", 10.0, None))
+        assert res.completed == []
+        assert len(res.failed) == 1
+        assert res.failed[0].outcome == "failed"
+        assert res.failed[0].retries == 2
+        assert res.fault_fails == 2 and res.retries == 1
+
+    def test_exponential_backoff_timing(self):
+        cfg = RobustnessConfig(
+            faults=FaultPlan(
+                scripted=(
+                    ScriptedFault(FaultKind.FAIL, block_index=0, attempt=0),
+                    ScriptedFault(FaultKind.FAIL, block_index=0, attempt=1),
+                )
+            ),
+            retry=RetryPolicy(
+                max_retries=3, backoff_base_ms=4.0, backoff_factor=3.0
+            ),
+        )
+        res = run_robust(cfg, (0.0, "m", 10.0, None))
+        # 0-10 fail, +4 backoff, 14-24 fail, +12 backoff, 36-46 served.
+        assert res.completed[0].finish_ms == 46.0
+        assert res.completed[0].retries == 2
+
+    def test_failed_block_rerun_recorded_in_trace(self):
+        res = run_robust(
+            self.CFG,
+            (0.0, "m", 10.0, (5.0, 5.0)),
+            scheduler=SplitScheduler(),
+            keep_trace=True,
+        )
+        res.trace.verify()  # failed entries must not break contiguity
+        entries = res.trace.entries
+        assert [e.block_index for e in entries] == [0, 0, 1]
+        assert [e.failed for e in entries] == [True, False, False]
+
+
+class TestScriptedStallAndDrop:
+    def test_stall_stretches_block(self):
+        cfg = RobustnessConfig(
+            faults=FaultPlan(
+                scripted=(
+                    ScriptedFault(FaultKind.STALL, block_index=0, stall_factor=3.0),
+                )
+            )
+        )
+        res = run_robust(cfg, (0.0, "m", 10.0, None))
+        assert res.completed[0].finish_ms == 30.0
+        assert res.stalls == 1
+
+    def test_drop_fails_request_without_processor_time(self):
+        cfg = RobustnessConfig(
+            faults=FaultPlan(
+                scripted=(ScriptedFault(FaultKind.DROP, task_type="a"),)
+            )
+        )
+        res = run_robust(cfg, (0.0, "a", 10.0, None), (1.0, "b", 5.0, None))
+        assert [r.task_type for r in res.failed] == ["a"]
+        assert res.fault_drops == 1
+        # "a" consumed no processor time, so "b" starts at its arrival.
+        b = res.completed[0]
+        assert b.first_start_ms == 1.0 and b.finish_ms == 6.0
+
+
+class TestDeadlines:
+    def test_late_finish_counts_as_timeout(self):
+        cfg = RobustnessConfig(timeout_ms=5.0)
+        res = run_robust(cfg, (0.0, "m", 10.0, None))
+        assert res.completed == []
+        assert len(res.timed_out) == 1
+        assert res.timed_out[0].outcome == "timed_out"
+
+    def test_queued_request_evicted_at_dispatch(self):
+        cfg = RobustnessConfig(timeout_rr=2.0)
+        res = run_robust(
+            cfg, (0.0, "a", 20.0, None), (0.0, "b", 2.0, None)
+        )
+        # a serves 0-20 (deadline 40); b's deadline (4) passes while it
+        # waits behind a, so it is evicted at dispatch without running.
+        assert [r.task_type for r in res.completed] == ["a"]
+        assert [r.task_type for r in res.timed_out] == ["b"]
+        assert res.timed_out[0].first_start_ms is None
+
+    def test_timeout_rr_uses_task_target(self):
+        cfg = RobustnessConfig(timeout_rr=2.0)
+        res = run_robust(
+            cfg, (0.0, "a", 10.0, None), (0.0, "b", 10.0, None), (0.0, "c", 10.0, None)
+        )
+        # Deadlines are arrival + 2*10 = 20: a finishes at 10, b at 20,
+        # c would finish at 30 > 20.
+        assert sorted(r.task_type for r in res.completed) == ["a", "b"]
+        assert [r.task_type for r in res.timed_out] == ["c"]
+
+    def test_no_deadline_everything_served(self):
+        cfg = RobustnessConfig()
+        res = run_robust(cfg, *[(0.0, f"r{i}", 10.0, None) for i in range(5)])
+        assert len(res.completed) == 5
+
+
+class TestLoadShedding:
+    def test_burst_sheds_excess(self):
+        cfg = RobustnessConfig(
+            load_shed=LoadShedConfig(max_queue_depth=1)
+        )
+        res = run_robust(
+            cfg,
+            (0.0, "a", 10.0, None),
+            (0.0, "b", 10.0, None),
+            (0.0, "c", 10.0, None),
+        )
+        assert [r.task_type for r in res.completed] == ["a"]
+        assert sorted(r.task_type for r in res.shed) == ["b", "c"]
+        for r in res.shed:
+            assert r.outcome == "shed"
+
+    def test_totals_reconcile(self):
+        cfg = RobustnessConfig(
+            load_shed=LoadShedConfig(max_queue_depth=2), timeout_ms=200.0
+        )
+        res = run_robust(
+            cfg, *[(float(i), f"r{i}", 10.0, None) for i in range(8)]
+        )
+        totals = robustness_totals(res)
+        assert totals["submitted"] == 8
+        assert totals["served"] + totals["shed"] + totals["timed_out"] == 8
+
+
+class TestConcurrentEngineRobust:
+    def test_load_shed_rejected(self):
+        from repro.hardware.presets import jetson_nano
+
+        with pytest.raises(SimulationError, match="load shedding"):
+            ConcurrentEngine(
+                ContentionModel(jetson_nano()),
+                robustness=RobustnessConfig(
+                    load_shed=LoadShedConfig(max_queue_depth=4)
+                ),
+            )
+
+    def test_scripted_drop(self):
+        from repro.hardware.presets import jetson_nano
+
+        cfg = RobustnessConfig(
+            faults=FaultPlan(
+                scripted=(ScriptedFault(FaultKind.DROP, task_type="a"),)
+            )
+        )
+        eng = ConcurrentEngine(ContentionModel(jetson_nano()), robustness=cfg)
+        res = eng.run(arrivals((0.0, "a", 10.0, None), (0.0, "b", 10.0, None)))
+        assert [r.task_type for r in res.failed] == ["a"]
+        assert [r.task_type for r in res.completed] == ["b"]
+        assert res.fault_drops == 1
+
+    def test_fail_retries_then_serves(self):
+        from repro.hardware.presets import jetson_nano
+
+        cfg = RobustnessConfig(
+            faults=FaultPlan(
+                scripted=(ScriptedFault(FaultKind.FAIL, attempt=0),)
+            ),
+            retry=RetryPolicy(max_retries=2, backoff_base_ms=5.0),
+        )
+        eng = ConcurrentEngine(ContentionModel(jetson_nano()), robustness=cfg)
+        res = eng.run(arrivals((0.0, "m", 10.0, None)))
+        assert len(res.completed) == 1
+        assert res.completed[0].retries == 1
+        assert res.retries == 1 and res.fault_fails == 1
+
+    def test_inert_matches_fault_free(self):
+        from repro.hardware.presets import jetson_nano
+
+        items = [(0.0, "a", 10.0, None), (3.0, "b", 8.0, None)]
+        plain = ConcurrentEngine(ContentionModel(jetson_nano())).run(
+            arrivals(*items)
+        )
+        inert = ConcurrentEngine(
+            ContentionModel(jetson_nano()), robustness=RobustnessConfig()
+        ).run(arrivals(*items))
+        fa = sorted((r.task_type, r.finish_ms) for r in plain.completed)
+        fb = sorted((r.task_type, r.finish_ms) for r in inert.completed)
+        assert fa == fb

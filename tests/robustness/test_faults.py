@@ -1,0 +1,208 @@
+"""Unit tests for the fault-injection primitives (repro.robustness)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.robustness import (
+    FaultDecision,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    RetryPolicy,
+    RobustnessConfig,
+    ScriptedFault,
+)
+from repro.scheduling.request import Request, TaskSpec
+
+
+class TestFaultPlan:
+    def test_default_plan_disabled(self):
+        assert not FaultPlan().enabled
+
+    def test_any_rate_enables(self):
+        assert FaultPlan(fail_rate=0.1).enabled
+        assert FaultPlan(stall_rate=0.1).enabled
+        assert FaultPlan(drop_rate=0.1).enabled
+
+    def test_scripted_enables(self):
+        assert FaultPlan(scripted=(ScriptedFault(FaultKind.FAIL),)).enabled
+
+    @pytest.mark.parametrize("field", ["fail_rate", "stall_rate", "drop_rate"])
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_rate_out_of_range(self, field, bad):
+        with pytest.raises(SimulationError, match=field):
+            FaultPlan(**{field: bad})
+
+    def test_rates_must_sum_to_at_most_one(self):
+        with pytest.raises(SimulationError, match="sum"):
+            FaultPlan(fail_rate=0.5, stall_rate=0.4, drop_rate=0.2)
+
+    def test_stall_factor_below_one_rejected(self):
+        with pytest.raises(SimulationError, match="stall_factor"):
+            FaultPlan(stall_factor=0.5)
+
+
+class TestFaultInjector:
+    def test_zero_rates_never_fault(self):
+        inj = FaultInjector(FaultPlan(seed=1))
+        for i in range(200):
+            assert inj.decide("m", float(i), 0, 0) is None
+        assert inj.fails_issued == inj.stalls_issued == inj.drops_issued == 0
+
+    def test_deterministic_in_arguments(self):
+        a = FaultInjector(FaultPlan(seed=3, fail_rate=0.2, stall_rate=0.1))
+        b = FaultInjector(FaultPlan(seed=3, fail_rate=0.2, stall_rate=0.1))
+        da = [a.decide("m", float(i), i % 3, 0) for i in range(300)]
+        db = [b.decide("m", float(i), i % 3, 0) for i in range(300)]
+        assert da == db
+
+    def test_call_order_irrelevant(self):
+        a = FaultInjector(FaultPlan(seed=3, fail_rate=0.3))
+        b = FaultInjector(FaultPlan(seed=3, fail_rate=0.3))
+        keys = [("m", float(i), 0, 0) for i in range(100)]
+        da = {k: a.decide(*k) for k in keys}
+        db = {k: b.decide(*k) for k in reversed(keys)}
+        assert da == db
+
+    def test_seed_changes_pattern(self):
+        a = FaultInjector(FaultPlan(seed=0, fail_rate=0.3))
+        b = FaultInjector(FaultPlan(seed=1, fail_rate=0.3))
+        da = [a.decide("m", float(i), 0, 0) for i in range(200)]
+        db = [b.decide("m", float(i), 0, 0) for i in range(200)]
+        assert da != db
+
+    def test_raising_one_rate_preserves_other_faults(self):
+        """Disjoint draw ranges: every FAIL at fail_rate=0.1 is still a
+        FAIL at 0.2, and stalls keep their positions when fail grows."""
+        lo = FaultInjector(FaultPlan(seed=5, fail_rate=0.1, stall_rate=0.1))
+        hi = FaultInjector(FaultPlan(seed=5, fail_rate=0.2, stall_rate=0.1))
+        for i in range(500):
+            d_lo = lo.decide("m", float(i), 0, 0)
+            d_hi = hi.decide("m", float(i), 0, 0)
+            if d_lo is not None and d_lo.kind is FaultKind.FAIL:
+                assert d_hi is not None and d_hi.kind is FaultKind.FAIL
+
+    def test_rates_approximately_respected(self):
+        inj = FaultInjector(FaultPlan(seed=9, fail_rate=0.2, drop_rate=0.1))
+        n = 4000
+        for i in range(n):
+            inj.decide("m", float(i), 0, 0)
+        assert inj.fails_issued == pytest.approx(0.2 * n, rel=0.2)
+        assert inj.drops_issued == pytest.approx(0.1 * n, rel=0.25)
+        assert inj.stalls_issued == 0
+
+    def test_counters_track_decisions(self):
+        inj = FaultInjector(
+            FaultPlan(scripted=(ScriptedFault(FaultKind.STALL),))
+        )
+        for i in range(7):
+            inj.decide("m", float(i), 0, 0)
+        assert inj.stalls_issued == 7
+
+
+class TestScriptedFaults:
+    def test_exact_match(self):
+        rule = ScriptedFault(FaultKind.FAIL, task_type="m", block_index=1, attempt=0)
+        assert rule.matches("m", 1, 0)
+        assert not rule.matches("m", 0, 0)
+        assert not rule.matches("m", 1, 1)
+        assert not rule.matches("other", 1, 0)
+
+    def test_none_is_wildcard(self):
+        rule = ScriptedFault(FaultKind.DROP)
+        assert rule.matches("anything", 3, 7)
+
+    def test_first_matching_rule_wins(self):
+        plan = FaultPlan(
+            scripted=(
+                ScriptedFault(FaultKind.STALL, block_index=0, stall_factor=4.0),
+                ScriptedFault(FaultKind.DROP),
+            )
+        )
+        inj = FaultInjector(plan)
+        d0 = inj.decide("m", 0.0, 0, 0)
+        d1 = inj.decide("m", 0.0, 1, 0)
+        assert d0 == FaultDecision(FaultKind.STALL, stall_factor=4.0)
+        assert d1 is not None and d1.kind is FaultKind.DROP
+
+    def test_scripted_beats_stochastic(self):
+        plan = FaultPlan(
+            fail_rate=1.0, scripted=(ScriptedFault(FaultKind.STALL),)
+        )
+        d = FaultInjector(plan).decide("m", 0.0, 0, 0)
+        assert d is not None and d.kind is FaultKind.STALL
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        p = RetryPolicy(backoff_base_ms=2.0, backoff_factor=3.0)
+        assert p.backoff_ms(0) == 2.0
+        assert p.backoff_ms(1) == 6.0
+        assert p.backoff_ms(2) == 18.0
+
+    def test_backoff_capped(self):
+        p = RetryPolicy(backoff_base_ms=10.0, backoff_factor=10.0, max_backoff_ms=50.0)
+        assert p.backoff_ms(5) == 50.0
+
+    def test_exhausted_boundary(self):
+        p = RetryPolicy(max_retries=2)
+        assert not p.exhausted(2)
+        assert p.exhausted(3)
+
+    def test_zero_retries_means_first_failure_terminal(self):
+        assert RetryPolicy(max_retries=0).exhausted(1)
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(SimulationError):
+            RetryPolicy().backoff_ms(-1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"backoff_base_ms": -1.0},
+            {"backoff_factor": 0.5},
+            {"backoff_base_ms": 10.0, "max_backoff_ms": 5.0},
+        ],
+    )
+    def test_invalid_policy(self, kwargs):
+        with pytest.raises(SimulationError):
+            RetryPolicy(**kwargs)
+
+
+class TestRobustnessConfig:
+    def test_default_is_inert(self):
+        assert RobustnessConfig().inert
+
+    def test_disabled_fault_plan_stays_inert(self):
+        assert RobustnessConfig(faults=FaultPlan()).inert
+        assert RobustnessConfig(faults=FaultPlan()).make_injector() is None
+
+    def test_any_feature_flips_inert(self):
+        assert not RobustnessConfig(faults=FaultPlan(fail_rate=0.1)).inert
+        assert not RobustnessConfig(timeout_rr=4.0).inert
+        assert not RobustnessConfig(timeout_ms=100.0).inert
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"timeout_rr": 0.0}, {"timeout_rr": -1.0}, {"timeout_ms": 0.0}]
+    )
+    def test_invalid_timeouts(self, kwargs):
+        with pytest.raises(SimulationError):
+            RobustnessConfig(**kwargs)
+
+    def test_deadline_tighter_of_rr_and_absolute(self):
+        req = Request(
+            task=TaskSpec(name="m", ext_ms=10.0, blocks_ms=(10.0,)),
+            arrival_ms=100.0,
+        )
+        cfg = RobustnessConfig(timeout_rr=4.0, timeout_ms=25.0)
+        assert cfg.deadline_ms(req) == 125.0  # absolute cap wins
+        cfg = RobustnessConfig(timeout_rr=2.0, timeout_ms=500.0)
+        assert cfg.deadline_ms(req) == 120.0  # rr deadline wins
+
+    def test_no_timeout_means_infinite_deadline(self):
+        req = Request(
+            task=TaskSpec(name="m", ext_ms=10.0, blocks_ms=(10.0,)),
+            arrival_ms=0.0,
+        )
+        assert RobustnessConfig().deadline_ms(req) == float("inf")

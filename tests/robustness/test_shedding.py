@@ -1,0 +1,89 @@
+"""Unit tests for overload load shedding (repro.robustness.shedding)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.robustness import LoadShedConfig, LoadShedder
+from repro.scheduling.queue import RequestQueue
+from repro.scheduling.request import Request, TaskSpec
+
+
+def make_queue(*items):
+    """items: (name, ext_ms, arrival_ms)."""
+    q = RequestQueue()
+    reqs = []
+    for name, ext, arrival in items:
+        r = Request(
+            task=TaskSpec(name=name, ext_ms=ext, blocks_ms=(ext,)),
+            arrival_ms=arrival,
+        )
+        q.append(r)
+        reqs.append(r)
+    return q, reqs
+
+
+class TestLoadShedConfig:
+    def test_needs_at_least_one_trigger(self):
+        with pytest.raises(SimulationError, match="max_queue_depth or"):
+            LoadShedConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_queue_depth": 0},
+            {"max_backlog_ms": 0.0},
+            {"max_backlog_ms": -5.0},
+            {"max_queue_depth": 4, "target_alpha": 0.0},
+        ],
+    )
+    def test_invalid_values(self, kwargs):
+        with pytest.raises(SimulationError):
+            LoadShedConfig(**kwargs)
+
+
+class TestVictimSelection:
+    def test_within_limits_sheds_nothing(self):
+        q, _ = make_queue(("a", 10.0, 0.0), ("b", 10.0, 0.0))
+        shedder = LoadShedder(LoadShedConfig(max_queue_depth=2))
+        assert shedder.select_victims(q, now_ms=0.0) == []
+        assert shedder.shed_count == 0
+
+    def test_sheds_down_to_depth_limit(self):
+        q, _ = make_queue(*((f"r{i}", 10.0, 0.0) for i in range(5)))
+        shedder = LoadShedder(LoadShedConfig(max_queue_depth=2))
+        victims = shedder.select_victims(q, now_ms=0.0)
+        assert len(victims) == 3
+        assert shedder.shed_count == 3
+
+    def test_lowest_headroom_shed_first(self):
+        # Same ext everywhere; the request that has waited longest has the
+        # least headroom and must be the first victim.
+        q, reqs = make_queue(
+            ("fresh", 10.0, 90.0), ("stale", 10.0, 0.0), ("mid", 10.0, 50.0)
+        )
+        shedder = LoadShedder(LoadShedConfig(max_queue_depth=1))
+        victims = shedder.select_victims(q, now_ms=100.0)
+        assert [v.task_type for v in victims] == ["stale", "mid"]
+
+    def test_running_request_excluded(self):
+        q, reqs = make_queue(("run", 10.0, 0.0), ("wait", 10.0, 50.0))
+        shedder = LoadShedder(LoadShedConfig(max_queue_depth=1))
+        victims = shedder.select_victims(q, now_ms=100.0, exclude=reqs[0])
+        # "run" has less headroom but is mid-block; "wait" goes instead.
+        assert victims == [reqs[1]]
+
+    def test_backlog_trigger(self):
+        q, _ = make_queue(("a", 40.0, 0.0), ("b", 40.0, 0.0), ("c", 40.0, 0.0))
+        shedder = LoadShedder(LoadShedConfig(max_backlog_ms=100.0))
+        victims = shedder.select_victims(q, now_ms=0.0)
+        assert len(victims) == 1  # 120 ms backlog -> drop one -> 80 ms
+
+    def test_headroom_sign(self):
+        q, reqs = make_queue(("a", 10.0, 0.0))
+        shedder = LoadShedder(
+            LoadShedConfig(max_queue_depth=1, target_alpha=4.0)
+        )
+        # Predicted time = waited 100 + ext 10 = 110 >> 4x target of 10.
+        assert shedder.headroom(reqs[0], q, now_ms=100.0) < 0
+        # Fresh arrival: predicted 10 == ext, well under 4x.
+        assert shedder.headroom(reqs[0], q, now_ms=0.0) > 0

@@ -87,7 +87,7 @@ class TestSimulate:
         r = simulate(
             "split",
             HEAVY,
-            elastic=ElasticSplitConfig(max_queue_depth=0),
+            elastic=ElasticSplitConfig(max_queue_depth=1),
         )
         # With splitting always suspended, every plan is whole-model: the
         # engine trace would show 150 blocks; cheaper check: results exist.

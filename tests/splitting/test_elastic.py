@@ -1,5 +1,8 @@
 """Elastic splitting policy (§3.3)."""
 
+import pytest
+
+from repro.errors import SearchError
 from repro.splitting.elastic import ElasticPolicy, ElasticSplitConfig, QueueSnapshot
 
 
@@ -52,9 +55,39 @@ def test_empty_queue_splits():
 
 
 def test_disabled_policy_always_splits():
-    policy = ElasticPolicy(ElasticSplitConfig(enabled=False, max_queue_depth=0))
+    policy = ElasticPolicy(ElasticSplitConfig(enabled=False, max_queue_depth=1))
     assert policy.should_split(snap(*["a"] * 50))
     assert policy.suspensions == 0
+
+
+class TestConfigValidation:
+    """Nonsensical thresholds must be rejected at construction."""
+
+    def test_defaults_valid(self):
+        ElasticSplitConfig()
+
+    @pytest.mark.parametrize("depth", [0, -1, -100])
+    def test_max_queue_depth_below_one(self, depth):
+        with pytest.raises(SearchError, match="max_queue_depth"):
+            ElasticSplitConfig(max_queue_depth=depth)
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.5, 1.2, 2.0])
+    def test_same_type_fraction_outside_unit_interval(self, fraction):
+        with pytest.raises(SearchError, match="same_type_fraction"):
+            ElasticSplitConfig(same_type_fraction=fraction)
+
+    def test_fraction_of_one_allowed(self):
+        ElasticSplitConfig(same_type_fraction=1.0)
+
+    @pytest.mark.parametrize("min_queue", [0, -3])
+    def test_same_type_min_queue_below_one(self, min_queue):
+        with pytest.raises(SearchError, match="same_type_min_queue"):
+            ElasticSplitConfig(same_type_min_queue=min_queue)
+
+    def test_invalid_even_when_disabled(self):
+        # Validation is structural, not conditional on `enabled`.
+        with pytest.raises(SearchError):
+            ElasticSplitConfig(enabled=False, max_queue_depth=0)
 
 
 def test_snapshot_counts():

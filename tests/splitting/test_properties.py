@@ -1,0 +1,106 @@
+"""Property-based splitting invariants (hypothesis).
+
+Whatever profile and seed the GA is handed, its output must be a *valid*
+split — every operator covered exactly once by contiguous blocks, block
+count as requested — and it must never lose to the trivial baseline that
+cuts at even operator indices (Eq. 2 fitness is the shared yardstick;
+larger is better).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.splitting.fitness import fitness
+from repro.splitting.genetic import GAConfig, GeneticSplitter
+from repro.splitting.partition import Partition
+
+from tests.conftest import make_profile
+
+SMALL_GA = dict(population_size=16, generations=12, patience=6)
+
+
+@st.composite
+def profile_and_blocks(draw):
+    n_ops = draw(st.integers(6, 24))
+    rng = np.random.default_rng(draw(st.integers(0, 2**16)))
+    times = rng.uniform(0.2, 5.0, n_ops)
+    costs = rng.uniform(0.0, 0.4, n_ops - 1)
+    n_blocks = draw(st.integers(2, min(5, n_ops - 1)))
+    return make_profile(times, cut_costs=costs), n_blocks
+
+
+def even_index_cuts(n_ops: int, n_blocks: int) -> tuple[int, ...]:
+    """Baseline: cut after every ceil-even share of operator *indices*
+    (ignores operator times entirely)."""
+    cuts = sorted({round(j * n_ops / n_blocks) - 1 for j in range(1, n_blocks)})
+    return tuple(min(max(c, 0), n_ops - 2) for c in cuts)
+
+
+def eq2_fitness(partition: Partition, n_blocks: int) -> float:
+    times = partition.block_times_ms
+    sigma = float(times.std())
+    overhead = partition.overhead_ms / partition.vanilla_ms
+    return fitness(sigma, partition.vanilla_ms, overhead, n_blocks)
+
+
+@given(profile_and_blocks(), st.integers(0, 2**16))
+@settings(max_examples=30, deadline=None, derandomize=True)
+def test_plan_partitions_operators_contiguously(case, ga_seed):
+    profile, n_blocks = case
+    result = GeneticSplitter(GAConfig(seed=ga_seed, **SMALL_GA)).search(
+        profile, n_blocks
+    )
+    ranges = result.partition.block_ranges()
+    # Contiguous, gap-free, in-order coverage of every operator.
+    assert ranges[0][0] == 0
+    assert ranges[-1][1] == profile.n_ops - 1
+    for (_, hi), (lo, _) in zip(ranges[:-1], ranges[1:]):
+        assert lo == hi + 1
+    covered = [i for lo, hi in ranges for i in range(lo, hi + 1)]
+    assert covered == list(range(profile.n_ops))
+
+
+@given(profile_and_blocks(), st.integers(0, 2**16))
+@settings(max_examples=30, deadline=None, derandomize=True)
+def test_block_count_matches_request(case, ga_seed):
+    profile, n_blocks = case
+    result = GeneticSplitter(GAConfig(seed=ga_seed, **SMALL_GA)).search(
+        profile, n_blocks
+    )
+    assert result.partition.n_blocks == n_blocks
+    assert len(result.cuts) == n_blocks - 1
+    assert len(set(result.cuts)) == n_blocks - 1
+    assert all(0 <= c <= profile.n_ops - 2 for c in result.cuts)
+
+
+@given(profile_and_blocks())
+@settings(max_examples=30, deadline=None, derandomize=True)
+def test_ga_winner_at_least_as_fit_as_even_index_baseline(case):
+    profile, n_blocks = case
+    result = GeneticSplitter(
+        GAConfig(seed=0, population_size=32, generations=30, patience=12)
+    ).search(profile, n_blocks)
+    baseline_cuts = even_index_cuts(profile.n_ops, n_blocks)
+    baseline = Partition(profile=profile, cuts=baseline_cuts)
+    # The baseline may collapse duplicate cuts on tiny models; only a
+    # same-block-count comparison is meaningful.
+    if baseline.n_blocks != n_blocks:
+        return
+    base_fit = eq2_fitness(baseline, n_blocks)
+    assert result.fitness >= base_fit - 1e-9
+
+
+@given(profile_and_blocks(), st.integers(0, 2**16))
+@settings(max_examples=20, deadline=None, derandomize=True)
+def test_reported_fitness_matches_partition(case, ga_seed):
+    """SplitResult.fitness must be Eq. 2 evaluated on its own partition."""
+    profile, n_blocks = case
+    result = GeneticSplitter(GAConfig(seed=ga_seed, **SMALL_GA)).search(
+        profile, n_blocks
+    )
+    expected = eq2_fitness(result.partition, n_blocks)
+    assert result.fitness == pytest.approx(expected, rel=1e-9, abs=1e-9)
