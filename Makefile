@@ -12,8 +12,12 @@ test:
 coverage:
 	pytest tests/ -q --cov=repro --cov-report=term-missing:skip-covered --cov-fail-under=85
 
+# Full timed run; distils the raw dump into BENCH_<rev>.json (requests/sec,
+# streaming speedup vs the list-backed queue, peak RSS of the 100k cell,
+# cold/warm plan-store ratio) so successive runs leave a comparable trail.
 bench:
-	pytest benchmarks/ --benchmark-only
+	pytest benchmarks/ --benchmark-only --benchmark-json=.benchmarks.json
+	python benchmarks/report.py .benchmarks.json .
 
 # What CI runs: tier-1 tests plus every benchmark's assertions with the
 # timing collection disabled (fast, and robust on shared runners).

@@ -1,0 +1,72 @@
+"""Condense a pytest-benchmark JSON dump into ``BENCH_<rev>.json``.
+
+``make bench`` runs the suite with ``--benchmark-json`` and then invokes
+this script, which distils the (large, machine-specific) raw dump down to
+the handful of numbers the performance work is judged by:
+
+* requests/second of the batch and streaming engine passes (n = 1000 and
+  the n = 100k cell), plus the streaming speedup over the list-backed
+  queue baseline;
+* peak incremental RSS of the 100k streaming cell;
+* cold/warm plan-store ratio.
+
+The output file is named after the current git revision so successive
+bench runs accumulate a comparable trajectory in the repo root.
+
+Usage::
+
+    python benchmarks/report.py <benchmark-json> [out-dir]
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+
+def _short_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def summarize(raw: dict) -> dict:
+    """Per-benchmark mean wall time plus every ``extra_info`` pin."""
+    benches = {}
+    for bench in raw.get("benchmarks", []):
+        name = bench["name"]
+        entry: dict = {"mean_s": round(bench["stats"]["mean"], 6)}
+        entry.update(bench.get("extra_info", {}))
+        benches[name] = entry
+    return {
+        "revision": _short_rev(),
+        "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "machine": raw.get("machine_info", {}).get("node", "unknown"),
+        "benchmarks": benches,
+    }
+
+
+def main(argv: list[str]) -> int:
+    if not 2 <= len(argv) <= 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    src = Path(argv[1])
+    out_dir = Path(argv[2]) if len(argv) == 3 else Path(".")
+    raw = json.loads(src.read_text())
+    report = summarize(raw)
+    out = out_dir / f"BENCH_{report['revision']}.json"
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out} ({len(report['benchmarks'])} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

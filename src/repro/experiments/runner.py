@@ -24,6 +24,7 @@ from repro.experiments import (
     robustness,
     scaling,
     sensitivity,
+    stress,
     table1,
     table3,
 )
@@ -115,6 +116,9 @@ _RUNNERS = {
     "scaling": lambda ctx: scaling.render(scaling.run(ctx)),
     "bursts": lambda ctx: bursts.render(bursts.run(ctx)),
     "robustness": lambda ctx: robustness.render(robustness.run(ctx)),
+    # Not in EXPERIMENT_IDS (and so not in "all"): the default ladder
+    # streams a million requests, an explicit opt-in.
+    "stress": lambda ctx: stress.render(stress.run(ctx)),
 }
 
 _PLOTTERS = {
@@ -130,7 +134,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=(*EXPERIMENT_IDS, "all"),
+        choices=(*EXPERIMENT_IDS, "stress", "all"),
         help="which table/figure to regenerate",
     )
     parser.add_argument("--seed", type=int, default=0)

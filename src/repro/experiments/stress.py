@@ -1,0 +1,160 @@
+"""Million-request stress study: throughput and memory past the paper's n.
+
+The paper evaluates 1000 requests per scenario (§5.1); this experiment
+drives the same pipeline — chunked Poisson arrivals, the deque-backed
+queue, greedy preemption, streaming QoS — at n up to 10^6 to demonstrate
+that the reproduction's asymptotics hold: wall-clock grows ~linearly in n
+and peak incremental memory stays flat (bounded by the live queue and the
+fixed-size accumulators, not by n).
+
+Not part of ``python -m repro.experiments all`` — a million-request cell
+is a deliberate, explicit run: ``python -m repro.experiments stress``.
+With ``verify=True`` every cell also replays through the batch engine
+path and asserts the streamed violation counts match the batch report's
+bit-for-bit (CI runs the 10^5 cell this way).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.experiments.config import ALPHA_GRID, ExperimentContext
+from repro.runtime.simulator import simulate, simulate_stream, warm_caches
+from repro.runtime.workload import Scenario
+from repro.utils.memwatch import PeakRSS
+from repro.utils.tables import format_table
+
+#: The stress ladder: the paper's n, then two and three orders beyond.
+DEFAULT_SIZES = (1_000, 100_000, 1_000_000)
+
+#: Table 2's heaviest load (scenario6) — the queue actually builds depth,
+#: so the stress run exercises the scheduler, not just the event loop.
+DEFAULT_LAMBDA_MS = 110.0
+
+
+@dataclass(frozen=True)
+class StressRow:
+    n_requests: int
+    wall_s: float
+    requests_per_s: float
+    peak_rss_delta_mb: float
+    served: int
+    rejected: int
+    violation_at_8: float
+    verified: bool
+
+
+@dataclass(frozen=True)
+class StressResult:
+    policy: str
+    lambda_ms: float
+    rows: tuple[StressRow, ...]
+
+    def row(self, n: int) -> StressRow:
+        for r in self.rows:
+            if r.n_requests == n:
+                return r
+        raise KeyError(n)
+
+
+def run_cell(
+    n_requests: int,
+    ctx: ExperimentContext | None = None,
+    policy: str = "split",
+    lambda_ms: float = DEFAULT_LAMBDA_MS,
+    verify: bool = False,
+) -> StressRow:
+    """One stress cell: stream n requests, measure wall time and memory.
+
+    Caches are warmed (and, with ``verify``, the batch replay runs)
+    before the watch starts, so the measured interval covers exactly the
+    streaming pipeline: arrival generation, scheduling, QoS folding.
+    """
+    ctx = ctx or ExperimentContext()
+    scenario = Scenario(
+        f"stress-{n_requests}", lambda_ms, "high", n_requests=n_requests
+    )
+    warm_caches(ctx.models, ctx.device.name)
+
+    with PeakRSS() as watch:
+        t0 = time.perf_counter()
+        streamed = simulate_stream(
+            policy, scenario, models=ctx.models, device=ctx.device, seed=ctx.seed
+        )
+        wall_s = time.perf_counter() - t0
+
+    qos = streamed.qos
+    totals = qos.totals()
+    if totals["submitted"] != n_requests:
+        raise SimulationError(
+            f"conservation broken: {totals['submitted']} terminal records "
+            f"for {n_requests} submitted requests"
+        )
+
+    if verify:
+        batch = simulate(
+            policy, scenario, models=ctx.models, device=ctx.device, seed=ctx.seed
+        )
+        grid = np.asarray(ALPHA_GRID, dtype=float)
+        if not np.array_equal(
+            batch.report.violation_curve(grid), qos.violation_curve(grid)
+        ):
+            raise SimulationError(
+                f"streaming violation curve diverges from batch at "
+                f"n={n_requests} ({policy})"
+            )
+        if (
+            batch.report.n_requests != qos.n_requests
+            or batch.report.n_dropped != qos.n_dropped
+        ):
+            raise SimulationError(
+                f"streaming outcome counts diverge from batch at n={n_requests}"
+            )
+
+    return StressRow(
+        n_requests=n_requests,
+        wall_s=wall_s,
+        requests_per_s=n_requests / wall_s if wall_s > 0 else float("inf"),
+        peak_rss_delta_mb=watch.delta_bytes / 1e6,
+        served=totals["served"],
+        rejected=totals["rejected"],
+        violation_at_8=qos.violation_rate(8.0),
+        verified=verify,
+    )
+
+
+def run(
+    ctx: ExperimentContext | None = None,
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    policy: str = "split",
+    lambda_ms: float = DEFAULT_LAMBDA_MS,
+    verify: bool = False,
+) -> StressResult:
+    ctx = ctx or ExperimentContext()
+    rows = tuple(
+        run_cell(n, ctx=ctx, policy=policy, lambda_ms=lambda_ms, verify=verify)
+        for n in sizes
+    )
+    return StressResult(policy=policy, lambda_ms=lambda_ms, rows=rows)
+
+
+def render(result: StressResult) -> str:
+    return format_table(
+        ["requests", "wall (s)", "req/s", "peak dRSS (MB)", "served",
+         "rejected", "viol@8", "verified"],
+        [
+            [r.n_requests, r.wall_s, r.requests_per_s, r.peak_rss_delta_mb,
+             r.served, r.rejected, r.violation_at_8,
+             "yes" if r.verified else "-"]
+            for r in result.rows
+        ],
+        floatfmt=".2f",
+        title=(
+            f"Streaming stress ({result.policy}, lambda="
+            f"{result.lambda_ms} ms per model): linear time, flat memory"
+        ),
+    )

@@ -16,15 +16,24 @@ from repro.runtime.workload import (
     Scenario,
     WorkloadGenerator,
     build_task_specs,
+    materialize_stream,
     prema_chunk_plan,
 )
 from repro.runtime.metrics import (
+    DEFAULT_ALPHA_GRID,
     QoSReport,
     RequestRecord,
+    StreamingQoS,
     collect_records,
     robustness_totals,
 )
-from repro.runtime.simulator import SimulationResult, simulate, warm_caches
+from repro.runtime.simulator import (
+    SimulationResult,
+    StreamingSimulationResult,
+    simulate,
+    simulate_stream,
+    warm_caches,
+)
 from repro.runtime.sweeps import (
     SweepCell,
     cell_seed,
@@ -56,13 +65,18 @@ __all__ = [
     "Scenario",
     "WorkloadGenerator",
     "build_task_specs",
+    "materialize_stream",
     "prema_chunk_plan",
+    "DEFAULT_ALPHA_GRID",
     "QoSReport",
     "RequestRecord",
+    "StreamingQoS",
     "collect_records",
     "robustness_totals",
     "SimulationResult",
+    "StreamingSimulationResult",
     "simulate",
+    "simulate_stream",
     "warm_caches",
     "SweepCell",
     "cell_seed",

@@ -7,6 +7,18 @@ request defers *all* of its remaining blocks (full preemption, Fig. 3) —
 that falls out of the queue discipline, because the preempted request
 simply sits behind the preemptor until re-selected.
 
+The fault-free path has two entry points over one shared event loop:
+
+* :meth:`SequentialEngine.run` — the batch API: takes the full arrival
+  list, returns an :class:`EngineResult` holding every terminal request.
+* :meth:`SequentialEngine.run_stream` — the streaming API for
+  million-request traces: consumes a time-ordered *iterator* of arrivals
+  (see :meth:`~repro.runtime.workload.WorkloadGenerator.iter_arrivals`)
+  and hands each terminal request to a sink callback the moment it
+  leaves the system, retaining nothing — O(live queue) memory instead of
+  O(total requests). Scheduling decisions are identical between the two
+  because they run the same loop over the same arrival sequence.
+
 With a :class:`~repro.robustness.RobustnessConfig` the engine additionally
 honours a fault plan (block failures, stalls, drops), per-request
 deadlines, bounded retries with exponential backoff, and overload load
@@ -20,6 +32,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
 
 from repro.errors import SimulationError
 from repro.robustness.config import RobustnessConfig
@@ -28,6 +41,10 @@ from repro.runtime.trace import ExecutionTrace, TraceEntry
 from repro.scheduling.policies.base import Scheduler
 from repro.scheduling.queue import RequestQueue
 from repro.scheduling.request import Request
+
+#: Streaming sink: called once per terminal request with its outcome
+#: label ("served" or "rejected" on the fault-free path).
+RecordSink = Callable[[Request, str], None]
 
 
 @dataclass
@@ -45,20 +62,34 @@ class EngineResult:
     stalls: int = 0
     fault_fails: int = 0
     fault_drops: int = 0
+    #: Terminal counts. On batch runs these equal the list lengths; on
+    #: streaming runs the lists stay empty (requests go to the sink) and
+    #: only the counters record how many requests reached each outcome.
+    n_completed: int = 0
+    n_dropped: int = 0
 
 
 class SequentialEngine:
-    """Runs a fixed arrival schedule to completion under one scheduler."""
+    """Runs a fixed arrival schedule to completion under one scheduler.
+
+    ``queue_cls`` selects the pending-queue backend; the default
+    :class:`RequestQueue` is the deque-backed fast structure, while
+    :class:`~repro.scheduling.queue.ListBackedRequestQueue` reproduces the
+    original list costs (used by the benchmarks as the asymptotic
+    baseline — both order requests identically).
+    """
 
     def __init__(
         self,
         scheduler: Scheduler,
         keep_trace: bool = False,
         robustness: RobustnessConfig | None = None,
+        queue_cls: type = RequestQueue,
     ):
         self.scheduler = scheduler
         self.keep_trace = keep_trace
         self.robustness = robustness
+        self.queue_cls = queue_cls
 
     def run(self, arrivals: list[tuple[float, Request]]) -> EngineResult:
         """Simulate until every admitted request finishes or terminates.
@@ -82,15 +113,83 @@ class SequentialEngine:
         schedule: list[tuple[float, Request]] = sorted(
             arrivals, key=lambda pair: pair[0]
         )
-        n_arrivals = len(schedule)
-        next_idx = 0
 
-        queue = RequestQueue()
+        def emit(req: Request, outcome: str) -> None:
+            if outcome == "served":
+                result.completed.append(req)
+            else:
+                result.dropped.append(req)
+
+        self._event_loop(iter(schedule), emit, result)
+        return result
+
+    def run_stream(
+        self,
+        arrivals: Iterable[tuple[float, Request]],
+        sink: RecordSink,
+    ) -> EngineResult:
+        """Run a time-ordered arrival stream, emitting terminals to ``sink``.
+
+        ``arrivals`` is any iterable of ``(time_ms, request)`` pairs in
+        nondecreasing time order (violations raise
+        :class:`SimulationError`); it is consumed lazily, so generators
+        over million-request traces never materialise the schedule.
+        ``sink(request, outcome)`` is invoked exactly once per request at
+        its terminal event — ``"served"`` when it finishes, ``"rejected"``
+        when admission drops it — after which the engine holds no
+        reference, keeping memory proportional to the live queue.
+
+        The returned :class:`EngineResult` carries the aggregate counters
+        (``n_completed``/``n_dropped``/``context_switches``/
+        ``preemptions`` and the trace when ``keep_trace`` is set) with
+        empty per-request lists. Fault injection is not streamable:
+        configure ``robustness`` and this method raises.
+        """
+        if self.robustness is not None:
+            raise SimulationError(
+                "run_stream supports fault-free runs only; use run() with a "
+                "RobustnessConfig"
+            )
+        result = EngineResult(
+            trace=ExecutionTrace() if self.keep_trace else None
+        )
+
+        def validated(
+            pairs: Iterable[tuple[float, Request]],
+        ) -> Iterator[tuple[float, Request]]:
+            last = 0.0
+            for t, req in pairs:
+                if t < 0:
+                    raise SimulationError(f"negative arrival time {t}")
+                if t < last:
+                    raise SimulationError(
+                        f"arrival stream not time-ordered: {t} after {last}"
+                    )
+                last = t
+                yield t, req
+
+        self._event_loop(validated(arrivals), sink, result)
+        return result
+
+    def _event_loop(
+        self,
+        schedule: Iterator[tuple[float, Request]],
+        emit: RecordSink,
+        result: EngineResult,
+    ) -> None:
+        """The fault-free loop shared by :meth:`run` and :meth:`run_stream`.
+
+        ``schedule`` yields arrivals in nondecreasing time order; ``emit``
+        receives every terminal request. Batch and streaming callers see
+        identical scheduling decisions because this is the only code path.
+        """
+        queue = self.queue_cls()
         running: Request | None = None
         block_end = 0.0
         block_start = 0.0
         last_executed: Request | None = None
         now = 0.0
+        pending: tuple[float, Request] | None = next(schedule, None)
 
         def dispatch(t: float) -> None:
             nonlocal running, block_end, block_start, last_executed
@@ -123,10 +222,8 @@ class SequentialEngine:
             running = req
             last_executed = req
 
-        while next_idx < n_arrivals or running is not None or not queue.empty:
-            next_arrival = (
-                schedule[next_idx][0] if next_idx < n_arrivals else float("inf")
-            )
+        while pending is not None or running is not None or not queue.empty:
+            next_arrival = pending[0] if pending is not None else float("inf")
             next_done = block_end if running is not None else float("inf")
             if running is None and not queue.empty:
                 # Idle processor with pending work: dispatch immediately.
@@ -136,11 +233,12 @@ class SequentialEngine:
                 break  # nothing left anywhere
             if next_arrival <= next_done:
                 now = next_arrival
-                req = schedule[next_idx][1]
-                next_idx += 1
+                req = pending[1]  # type: ignore[index]
+                pending = next(schedule, None)
                 admitted = self.scheduler.on_arrival(queue, req, now)
                 if not admitted:
-                    result.dropped.append(req)
+                    result.n_dropped += 1
+                    emit(req, "rejected")
                 # A running block is never interrupted; if idle, the loop's
                 # next iteration dispatches at `now`.
             else:
@@ -161,14 +259,14 @@ class SequentialEngine:
                 if req.blocks_left == 0:
                     req.finish_ms = now
                     queue.remove(req)
-                    result.completed.append(req)
+                    result.n_completed += 1
+                    emit(req, "served")
                 dispatch(now)
 
         if not queue.empty:
             raise SimulationError(
                 f"engine finished with {len(queue)} requests still queued"
             )
-        return result
 
     # --------------------------------------------------------------- faulty
     def _run_robust(
@@ -196,7 +294,7 @@ class SequentialEngine:
         n_arrivals = len(schedule)
         next_idx = 0
 
-        queue = RequestQueue()
+        queue = self.queue_cls()
         retry_heap: list[tuple[float, int, Request]] = []
         retry_seq = itertools.count()
         running: Request | None = None
@@ -367,4 +465,6 @@ class SequentialEngine:
             raise SimulationError(
                 f"engine finished with {len(queue)} requests still queued"
             )
+        result.n_completed = len(result.completed)
+        result.n_dropped = len(result.dropped)
         return result

@@ -29,12 +29,13 @@ from repro.profiling.store import default_plan_store, default_profile_store
 from repro.robustness.config import RobustnessConfig
 from repro.runtime.engine import EngineResult, SequentialEngine
 from repro.runtime.executor import ConcurrentEngine
-from repro.runtime.metrics import QoSReport, collect_records
+from repro.runtime.metrics import QoSReport, StreamingQoS, collect_records
 from repro.runtime.workload import (
     Scenario,
     WorkloadGenerator,
     build_task_specs,
     materialize_requests,
+    materialize_stream,
 )
 from repro.scheduling.policies import (
     ClockWorkScheduler,
@@ -69,6 +70,17 @@ class SimulationResult:
     policy: str
     scenario: Scenario
     report: QoSReport
+    engine_result: EngineResult
+    split_plans: dict[str, tuple[float, ...]]
+
+
+@dataclass(frozen=True)
+class StreamingSimulationResult:
+    """One streamed cell: aggregate QoS without per-request records."""
+
+    policy: str
+    scenario: Scenario
+    qos: StreamingQoS
     engine_result: EngineResult
     split_plans: dict[str, tuple[float, ...]]
 
@@ -305,6 +317,66 @@ def simulate(
     return _run(
         policy, scenario, items, models, device, split_plans, elastic,
         keep_trace, alphas, robustness,
+    )
+
+
+def simulate_stream(
+    policy: str,
+    scenario: Scenario,
+    models: tuple[str, ...] = EVALUATED_MODELS,
+    device: DeviceSpec | None = None,
+    seed: int = 0,
+    split_plans: Mapping[str, tuple[float, ...]] | None = None,
+    elastic: ElasticSplitConfig | None = None,
+    keep_trace: bool = False,
+    alphas: dict[str, float] | None = None,
+    qos: StreamingQoS | None = None,
+    chunk_size: int = WorkloadGenerator.DEFAULT_CHUNK,
+) -> StreamingSimulationResult:
+    """Run one cell end-to-end in O(1) memory per request.
+
+    The bounded-memory pipeline: ``WorkloadGenerator.iter_arrivals``
+    (chunked Poisson draws, heap-merged) feeds
+    :func:`~repro.runtime.workload.materialize_stream`, the engine's
+    ``run_stream`` consumes it lazily, and every terminal request folds
+    into a :class:`~repro.runtime.metrics.StreamingQoS` accumulator. The
+    scheduling decisions — and therefore every QoS number on the shared
+    alpha grid — are identical to :func:`simulate` with the same
+    arguments; only the aggregation differs. Pass ``qos`` to configure
+    the alpha grid or histogram resolution (or to accumulate several
+    scenarios into one view).
+
+    Streaming is fault-free and sequential-only: robustness configs and
+    the ``rta`` concurrent engine both need terminal lists, so they stay
+    on the batch path.
+    """
+    if policy == "rta":
+        raise SimulationError(
+            "policy 'rta' runs on the concurrent engine, which is not "
+            "streamable; use simulate()"
+        )
+    device = device or jetson_nano()
+    profiles = _profiles_for(models, device.name)
+    classes = _request_classes(models)
+    if split_plans is None:
+        split_plans = default_split_plans(models, device.name)
+    specs, engine = _specs_and_engine(
+        policy, profiles, classes, device, split_plans, elastic, keep_trace,
+        alphas, robustness=None,
+    )
+    assert isinstance(engine, SequentialEngine)
+    if qos is None:
+        qos = StreamingQoS()
+    arrivals = WorkloadGenerator(models, seed=seed).iter_arrivals(
+        scenario, chunk_size=chunk_size
+    )
+    engine_result = engine.run_stream(materialize_stream(arrivals, specs), qos.observe)
+    return StreamingSimulationResult(
+        policy=policy,
+        scenario=scenario,
+        qos=qos,
+        engine_result=engine_result,
+        split_plans=dict(split_plans),
     )
 
 

@@ -8,7 +8,9 @@ every policy so comparisons are paired.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -73,22 +75,91 @@ class WorkloadGenerator:
     so the queue grows without bound.
     """
 
+    #: Per-model block size for :meth:`iter_arrivals`; large enough that
+    #: RNG-call and cumsum fixed costs amortise away, small enough that a
+    #: five-model merge holds well under a megabyte of float64 state.
+    DEFAULT_CHUNK = 8192
+
     def __init__(self, models: tuple[str, ...], seed: int = 0):
         if not models:
             raise SimulationError("need at least one model in the mix")
         self.models = models
         self.seed = seed
 
+    def _model_counts(self, n_requests: int) -> tuple[int, ...]:
+        """Round-robin split of ``n_requests`` across the model mix.
+
+        The first ``n % m`` models take one extra request, so the counts
+        always sum to exactly ``n_requests`` (the old ``n // m`` floor
+        undercounted whenever the mix size does not divide the total —
+        999 of 1000 for a three-model mix).
+        """
+        base, extra = divmod(n_requests, len(self.models))
+        return tuple(
+            base + 1 if i < extra else base for i in range(len(self.models))
+        )
+
     def generate(self, scenario: Scenario) -> list[WorkloadItem]:
-        per_model = max(1, scenario.n_requests // len(self.models))
+        """Materialise the full arrival schedule (the paper-scale path)."""
         items: list[WorkloadItem] = []
-        for name in self.models:
+        for name, count in zip(self.models, self._model_counts(scenario.n_requests)):
+            if count == 0:
+                continue
             rng = rng_from(self.seed, "workload", scenario.name, name)
-            gaps = rng.exponential(scenario.lambda_ms, size=per_model)
+            gaps = rng.exponential(scenario.lambda_ms, size=count)
             for t in np.cumsum(gaps):
                 items.append(WorkloadItem(arrival_ms=float(t), model_name=name))
         items.sort(key=lambda it: it.arrival_ms)
-        return items[: scenario.n_requests]
+        return items
+
+    def _poisson_stream(
+        self, scenario: Scenario, name: str, model_idx: int, count: int, chunk: int
+    ) -> Iterator[tuple[float, int, str]]:
+        """One model's arrival times in blocks of ``chunk`` draws.
+
+        Identical to :meth:`generate`'s per-model column: splitting
+        ``rng.exponential`` into several calls continues the PCG64 stream
+        sample-for-sample, and seeding each block's cumsum with the
+        previous block's last arrival replays the same left-to-right float
+        additions as one whole-array ``np.cumsum``. Yields
+        ``(arrival_ms, model_idx, name)`` so a heap-merge breaks ties on
+        the model's position in the mix — the same order a stable sort
+        gives :meth:`generate`.
+        """
+        rng = rng_from(self.seed, "workload", scenario.name, name)
+        last = 0.0
+        produced = 0
+        while produced < count:
+            size = min(chunk, count - produced)
+            gaps = rng.exponential(scenario.lambda_ms, size=size)
+            times = np.cumsum(np.concatenate(((last,), gaps)))[1:]
+            last = float(times[-1])
+            for t in times:
+                yield (float(t), model_idx, name)
+            produced += size
+
+    def iter_arrivals(
+        self, scenario: Scenario, chunk_size: int = DEFAULT_CHUNK
+    ) -> Iterator[tuple[float, str]]:
+        """Lazily yield ``(arrival_ms, model_name)`` in arrival order.
+
+        Bit-identical sequence to :meth:`generate` for the same seed, at
+        O(models x chunk_size) peak memory instead of O(n_requests): each
+        model's Poisson process is drawn in NumPy blocks and the per-model
+        streams are heap-merged on ``(time, model position)``. This is the
+        workload side of the million-request path — pair it with
+        :func:`materialize_stream` and ``SequentialEngine.run_stream``.
+        """
+        if chunk_size < 1:
+            raise SimulationError("chunk_size must be >= 1")
+        counts = self._model_counts(scenario.n_requests)
+        streams = [
+            self._poisson_stream(scenario, name, idx, count, chunk_size)
+            for idx, (name, count) in enumerate(zip(self.models, counts))
+            if count > 0
+        ]
+        for t, _, name in heapq.merge(*streams):
+            yield (t, name)
 
 
 def prema_chunk_plan(profile: ModelProfile, n_chunks: int = 4) -> tuple[float, ...]:
@@ -164,3 +235,20 @@ def materialize_requests(
             raise SimulationError(f"no TaskSpec for model {item.model_name!r}")
         out.append((item.arrival_ms, Request(task=spec, arrival_ms=item.arrival_ms)))
     return out
+
+
+def materialize_stream(
+    arrivals: Iterable[tuple[float, str]], specs: dict[str, TaskSpec]
+) -> Iterator[tuple[float, Request]]:
+    """Lazily build fresh Requests from an ``(arrival_ms, model_name)`` stream.
+
+    The streaming counterpart of :func:`materialize_requests`: each
+    Request exists only between its creation here and its terminal event
+    in ``SequentialEngine.run_stream``, so a million-request trace never
+    holds more live Requests than the queue is deep.
+    """
+    for arrival_ms, model_name in arrivals:
+        spec = specs.get(model_name)
+        if spec is None:
+            raise SimulationError(f"no TaskSpec for model {model_name!r}")
+        yield (arrival_ms, Request(task=spec, arrival_ms=arrival_ms))

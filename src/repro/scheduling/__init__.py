@@ -7,7 +7,7 @@ SJF / EDF references.
 """
 
 from repro.scheduling.request import Request, TaskSpec
-from repro.scheduling.queue import RequestQueue
+from repro.scheduling.queue import ListBackedRequestQueue, RequestQueue
 from repro.scheduling.response_ratio import response_ratio
 from repro.scheduling.greedy import greedy_insert
 from repro.scheduling.policies import (
@@ -24,6 +24,7 @@ __all__ = [
     "Request",
     "TaskSpec",
     "RequestQueue",
+    "ListBackedRequestQueue",
     "response_ratio",
     "greedy_insert",
     "Scheduler",

@@ -27,9 +27,17 @@ class EDFScheduler(Scheduler):
         return request.arrival_ms + self.alpha * request.ext_ms
 
     def on_arrival(self, queue: RequestQueue, request: Request, now_ms: float) -> bool:
-        d = self.deadline_ms(request)
+        # The selection key (the absolute deadline) is fixed at arrival, so
+        # it is computed once here and the bubble reads each neighbour's key
+        # through a tail-to-head iterator — O(1) per step on the deque
+        # backend, stopping at the first neighbour with an earlier-or-equal
+        # deadline (FIFO among equal deadlines, same position as before).
+        alpha = self.alpha
+        d = request.arrival_ms + alpha * request.ext_ms
         pos = len(queue)
-        while pos > 0 and self.deadline_ms(queue[pos - 1]) > d:
+        for ahead in reversed(queue):
+            if not ahead.arrival_ms + alpha * ahead.ext_ms > d:
+                break
             pos -= 1
         queue.insert(pos, request)
         return True

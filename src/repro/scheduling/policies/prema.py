@@ -27,6 +27,33 @@ PRIORITY_BY_CLASS = {
     RequestClass.LONG: 3.0,
 }
 
+#: Token values reachable with zero waiting time (``p * (1 + 0)``); a
+#: winner on this plateau forces the full-scan fallback in ``select``.
+_PLATEAU_TOKENS = frozenset(PRIORITY_BY_CLASS.values())
+
+
+def _select_scan(queue: RequestQueue, now_ms: float) -> int:
+    """The original full-queue argmax — the selection oracle.
+
+    ``select`` delegates here on its exactness escapes, and the
+    equivalence tests run whole scenarios against it. The token
+    expression is kept textually identical to ``PremaScheduler.token``
+    so selections match bit-for-bit.
+    """
+    best_idx = 0
+    best_token = -1.0
+    priorities = PRIORITY_BY_CLASS
+    for i, req in enumerate(queue):
+        task = req.task
+        waited = now_ms - req.arrival_ms
+        if waited < 0.0:
+            waited = 0.0
+        t = priorities[task.request_class] * (1.0 + waited / task.ext_ms)
+        if t > best_token:
+            best_token = t
+            best_idx = i
+    return best_idx
+
 
 class PremaScheduler(Scheduler):
     """Dynamic token scheduling with checkpoint-granular preemption."""
@@ -52,14 +79,35 @@ class PremaScheduler(Scheduler):
         return priority * (1.0 + slowdown)
 
     def select(self, queue: RequestQueue, now_ms: float) -> int:
-        # Inlined token(): select() runs at every scheduling point over the
-        # whole queue, so the method call, property chain, and max() per
-        # request dominate an overloaded simulation. The expression is kept
-        # textually identical to token() so selections match bit-for-bit.
-        best_idx = 0
-        best_token = -1.0
+        """Candidate-pruned token selection, bit-identical to a full scan.
+
+        PREMA's token ``p * (1 + waited / ext)`` is *arrival-monotone*:
+        within one task type (fixed ``p`` and ``ext``) the earliest queued
+        arrival always holds the largest token, strictly so once it has
+        waited at all. The queue keeps a lazy per-type min-arrival heap
+        (:meth:`RequestQueue.min_arrival_candidates`), so the argmax is
+        found by scoring O(#types) candidates instead of rescanning the
+        whole queue at every block boundary. The token expression is kept
+        textually identical to :meth:`token` / :func:`_select_scan` so the
+        winning floats match bit-for-bit.
+
+        Two exactness escapes keep the decision identical to the full scan
+        in every corner case:
+
+        * exact token *ties* between candidates are broken by live queue
+          position (``index_of``), the full scan's first-wins rule;
+        * a winner sitting on the zero-wait plateau (token exactly equal
+          to its class priority) falls back to the full scan — on that
+          plateau the within-type ordering is no longer strict, so a
+          same-type non-candidate could tie; the plateau only occurs when
+          the winner just arrived, which under load means a short queue.
+        """
+        candidates = queue.min_arrival_candidates()
         priorities = PRIORITY_BY_CLASS
-        for i, req in enumerate(queue):
+        best_req: Request | None = None
+        best_token = -1.0
+        tied: list[Request] | None = None
+        for req in candidates:
             task = req.task
             waited = now_ms - req.arrival_ms
             if waited < 0.0:
@@ -67,5 +115,14 @@ class PremaScheduler(Scheduler):
             t = priorities[task.request_class] * (1.0 + waited / task.ext_ms)
             if t > best_token:
                 best_token = t
-                best_idx = i
-        return best_idx
+                best_req = req
+                tied = None
+            elif t == best_token and best_req is not None:
+                if tied is None:
+                    tied = [best_req]
+                tied.append(req)
+        if best_req is None or best_token in _PLATEAU_TOKENS:
+            return _select_scan(queue, now_ms)
+        if tied is not None:
+            return min(queue.index_of(r) for r in tied)
+        return queue.index_of(best_req)

@@ -20,10 +20,13 @@ class SJFScheduler(Scheduler):
     def on_arrival(self, queue: RequestQueue, request: Request, now_ms: float) -> bool:
         # Insert before the first queued request with more remaining work,
         # but never ahead of position 0's already-started execution order.
+        # The selection key (remaining work) is read once per neighbour via
+        # a tail-to-head iterator — O(1) per bubble step on the deque
+        # backend; the stop condition and final position are unchanged.
+        key = request.ext_left_ms
         pos = len(queue)
-        while pos > 0:
-            ahead = queue[pos - 1]
-            if ahead.started or ahead.ext_left_ms <= request.ext_left_ms:
+        for ahead in reversed(queue):
+            if ahead.started or ahead.ext_left_ms <= key:
                 break
             pos -= 1
         queue.insert(pos, request)

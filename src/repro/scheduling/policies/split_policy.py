@@ -35,7 +35,12 @@ class SplitScheduler(Scheduler):
     def plan_for(
         self, request: Request, queue: RequestQueue, now_ms: float
     ) -> tuple[float, ...]:
-        snapshot = QueueSnapshot.from_types(queue.task_types())
+        # The queue maintains its task-type census incrementally, so the
+        # elastic decision is O(#types) per first dispatch instead of the
+        # O(queue length) scan ``QueueSnapshot.from_types(queue.task_types())``
+        # used to pay — on deep overload queues that scan dominated the
+        # whole event loop. The counts are identical by construction.
+        snapshot = QueueSnapshot(depth=len(queue), type_counts=queue.type_counts())
         if self.elastic.should_split(snapshot):
             return request.task.blocks_ms
         return (request.task.ext_ms,)

@@ -1,5 +1,6 @@
 """Small cross-cutting helpers: seeded RNG, statistics, text tables."""
 
+from repro.utils.memwatch import PeakRSS, current_rss_bytes, traced_peak
 from repro.utils.rng import derive_seed, rng_from
 from repro.utils.stats import (
     OnlineStats,
@@ -11,6 +12,9 @@ from repro.utils.stats import (
 from repro.utils.tables import format_table
 
 __all__ = [
+    "PeakRSS",
+    "current_rss_bytes",
+    "traced_peak",
     "derive_seed",
     "rng_from",
     "OnlineStats",

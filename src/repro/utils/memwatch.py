@@ -1,0 +1,101 @@
+"""Peak-memory measurement without external dependencies.
+
+Two complementary instruments:
+
+* :class:`PeakRSS` — a background thread sampling resident-set size from
+  ``/proc/self/statm``. Captures the *process* high-water mark over a
+  code block (NumPy buffers, interpreter overhead, everything), which is
+  what the stress tables report. Sampling can miss a sub-interval spike
+  and ``/proc`` is Linux-only (elsewhere it degrades to zeros), so use it
+  for reporting, not assertions.
+* :func:`traced_peak` — ``tracemalloc``'s deterministic peak of *Python*
+  allocations over a callable. Platform-independent and exact, so the CI
+  bounded-memory check asserts on it; it under-reports C-level buffers
+  and costs ~2x runtime, hence not the default for throughput numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import tracemalloc
+from typing import Any, Callable, Tuple
+
+try:
+    _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+except (AttributeError, ValueError, OSError):  # non-POSIX fallback
+    _PAGE_SIZE = 4096
+
+
+def current_rss_bytes() -> int:
+    """Resident-set size of this process, 0 where ``/proc`` is absent."""
+    try:
+        with open("/proc/self/statm", "rb") as fh:
+            return int(fh.read().split()[1]) * _PAGE_SIZE
+    except (OSError, ValueError, IndexError):
+        return 0
+
+
+class PeakRSS:
+    """Context manager sampling peak RSS over the guarded block.
+
+    >>> with PeakRSS() as watch:
+    ...     result = expensive()
+    >>> watch.delta_bytes  # peak RSS growth during the block
+
+    ``delta_bytes`` is the high-water mark minus the RSS at entry —
+    the block's *incremental* footprint, which is the number the
+    bounded-memory claims are about (the interpreter + imports baseline
+    is excluded).
+    """
+
+    def __init__(self, interval_s: float = 0.005):
+        self.interval_s = interval_s
+        self.baseline_bytes = 0
+        self.peak_bytes = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def _sample(self) -> None:
+        while not self._stop.is_set():
+            rss = current_rss_bytes()
+            if rss > self.peak_bytes:
+                self.peak_bytes = rss
+            self._stop.wait(self.interval_s)
+
+    def __enter__(self) -> "PeakRSS":
+        self.baseline_bytes = current_rss_bytes()
+        self.peak_bytes = self.baseline_bytes
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._sample, daemon=True)
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        rss = current_rss_bytes()  # final sample so short blocks register
+        if rss > self.peak_bytes:
+            self.peak_bytes = rss
+
+    @property
+    def delta_bytes(self) -> int:
+        return max(0, self.peak_bytes - self.baseline_bytes)
+
+
+def traced_peak(fn: Callable[[], Any]) -> Tuple[Any, int]:
+    """Run ``fn`` under tracemalloc; return (result, peak allocated bytes).
+
+    The peak covers only allocations made while tracing — a deterministic
+    upper bound on the callable's live Python-object footprint, suitable
+    for hard CI assertions.
+    """
+    tracemalloc.start()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak

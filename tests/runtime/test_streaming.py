@@ -1,0 +1,228 @@
+"""Streaming pipeline: batch equivalence, backend bit-identity, StreamingQoS.
+
+The load-bearing guarantees of the streaming rework:
+
+* ``simulate_stream`` makes the *same scheduling decisions* as
+  ``simulate`` — pinned per Table-2 scenario by exact violation-curve
+  equality and, for the split policy, block-level trace equality;
+* the deque+runs queue orders identically to the list-backed oracle when
+  driven by the real engine (not just by the property-suite programs);
+* :class:`StreamingQoS` reproduces :class:`QoSReport`'s numbers from a
+  record stream in O(1) memory.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.engine import SequentialEngine
+from repro.runtime.metrics import (
+    DEFAULT_ALPHA_GRID,
+    QoSReport,
+    StreamingQoS,
+    collect_records,
+)
+from repro.runtime.simulator import (
+    _profiles_for,
+    _request_classes,
+    default_split_plans,
+    simulate,
+    simulate_stream,
+)
+from repro.runtime.workload import (
+    SCENARIOS,
+    Scenario,
+    WorkloadGenerator,
+    build_task_specs,
+    materialize_stream,
+)
+from repro.scheduling.policies import SplitScheduler
+from repro.scheduling.queue import ListBackedRequestQueue, RequestQueue
+
+SMALL = Scenario("stream-small", 160.0, "low", n_requests=150)
+HEAVY = Scenario("stream-heavy", 110.0, "high", n_requests=400)
+
+
+def canonical_trace(trace):
+    """Trace tuples with request ids renumbered by first appearance.
+
+    ``Request.request_id`` comes from a process-global counter, so two
+    runs of the same scenario disagree on raw ids; first-appearance
+    order is the run-invariant identity.
+    """
+    ids: dict[int, int] = {}
+    out = []
+    for e in trace.entries:
+        rid = ids.setdefault(e.request_id, len(ids))
+        out.append((rid, e.task_type, e.block_index, e.start_ms, e.end_ms))
+    return out
+
+
+class TestBatchStreamEquivalence:
+    @pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.name)
+    def test_table2_curves_identical(self, scenario):
+        batch = simulate("split", scenario)
+        stream = simulate_stream("split", scenario)
+        grid = np.asarray(DEFAULT_ALPHA_GRID)
+        assert np.array_equal(
+            batch.report.violation_curve(grid), stream.qos.violation_curve()
+        )
+        assert stream.qos.n_requests == batch.report.n_requests
+        assert stream.qos.n_dropped == batch.report.n_dropped
+
+    @pytest.mark.parametrize("policy", ["prema", "fifo", "edf", "sjf"])
+    def test_other_policies_agree(self, policy):
+        batch = simulate(policy, HEAVY)
+        stream = simulate_stream(policy, HEAVY)
+        grid = np.asarray(DEFAULT_ALPHA_GRID)
+        assert np.array_equal(
+            batch.report.violation_curve(grid), stream.qos.violation_curve()
+        )
+
+    def test_split_trace_bit_identical(self):
+        batch = simulate("split", HEAVY, keep_trace=True)
+        stream = simulate_stream("split", HEAVY, keep_trace=True)
+        assert canonical_trace(batch.engine_result.trace) == canonical_trace(
+            stream.engine_result.trace
+        )
+
+    def test_scalar_metrics_match(self):
+        batch = simulate("split", HEAVY)
+        stream = simulate_stream("split", HEAVY)
+        rep, qos = batch.report, stream.qos
+        assert qos.mean_latency_ms() == pytest.approx(
+            np.mean(rep.latencies_for()), abs=1e-9
+        )
+        assert qos.jitter_ms() == pytest.approx(rep.jitter_ms(), abs=1e-9)
+        assert qos.mean_response_ratio() == pytest.approx(
+            rep.mean_response_ratio(), abs=1e-9
+        )
+        assert qos.models() == rep.models()
+        assert qos.preemption_count() == rep.preemption_count()
+
+    def test_rta_not_streamable(self):
+        with pytest.raises(SimulationError, match="not .*streamable|streamable"):
+            simulate_stream("rta", SMALL)
+
+    def test_shared_accumulator_spans_scenarios(self):
+        qos = StreamingQoS()
+        simulate_stream("split", SMALL, qos=qos)
+        simulate_stream("split", HEAVY, qos=qos)
+        assert qos.n_requests == SMALL.n_requests + HEAVY.n_requests
+
+
+class TestBackendBitIdentity:
+    """The deque+runs queue vs the list oracle under the real engine."""
+
+    def _trace(self, queue_cls):
+        models = ("yolov2", "googlenet", "resnet50", "vgg19", "gpt2")
+        profiles = _profiles_for(models, "jetson-nano")
+        specs = build_task_specs(
+            profiles,
+            split_plans=default_split_plans(models, "jetson-nano"),
+            plan_kind="split",
+            request_classes=_request_classes(models),
+        )
+        engine = SequentialEngine(
+            SplitScheduler(), keep_trace=True, queue_cls=queue_cls
+        )
+        qos = StreamingQoS()
+        arrivals = WorkloadGenerator(models, seed=0).iter_arrivals(HEAVY)
+        result = engine.run_stream(materialize_stream(arrivals, specs), qos.observe)
+        return canonical_trace(result.trace), qos
+
+    def test_traces_and_curves_equal(self):
+        fast_trace, fast_qos = self._trace(RequestQueue)
+        slow_trace, slow_qos = self._trace(ListBackedRequestQueue)
+        assert fast_trace == slow_trace
+        assert np.array_equal(
+            fast_qos.violation_counts(), slow_qos.violation_counts()
+        )
+        assert fast_qos.totals() == slow_qos.totals()
+
+
+class TestStreamingQoSUnit:
+    def test_grid_must_be_increasing(self):
+        with pytest.raises(SimulationError, match="strictly increasing"):
+            StreamingQoS(alphas=[2.0, 2.0, 3.0])
+        with pytest.raises(SimulationError, match="non-empty"):
+            StreamingQoS(alphas=[])
+        with pytest.raises(SimulationError, match="histogram"):
+            StreamingQoS(hist_bin_ms=0.0)
+
+    def test_off_grid_alpha_rejected(self):
+        qos = StreamingQoS(alphas=[2.0, 4.0])
+        qos._add(model="m", e2e_ms=10.0, ext_ms=1.0, task_alpha=1.0,
+                 outcome="served", retries=0, preemptions=0)
+        with pytest.raises(SimulationError, match="not on the streaming grid"):
+            qos.violation_rate(3.0)
+
+    def test_empty_accumulator_is_nan(self):
+        qos = StreamingQoS()
+        assert math.isnan(qos.violation_rate(2.0))
+        assert np.isnan(qos.violation_curve()).all()
+        assert math.isnan(qos.mean_latency_ms())
+        assert math.isnan(qos.latency_percentile(95))
+        assert qos.n_requests == 0
+
+    def test_matches_report_from_records(self):
+        """Feeding a QoSReport's own records through add_record reproduces
+        its curve exactly — the streaming path is a re-aggregation, not an
+        approximation."""
+        result = simulate("split", HEAVY)
+        report = QoSReport(collect_records(result.engine_result))
+        qos = StreamingQoS()
+        for record in report.records:
+            qos.add_record(record)
+        grid = np.asarray(DEFAULT_ALPHA_GRID)
+        assert np.array_equal(
+            report.violation_curve(grid), qos.violation_curve()
+        )
+        assert qos.n_dropped == report.n_dropped
+
+    def test_percentile_brackets_order_statistic(self):
+        qos = StreamingQoS(hist_bin_ms=1.0, hist_bins=128)
+        latencies = [3.2, 7.9, 15.0, 15.4, 99.1, 2.0, 55.5]
+        for lat in latencies:
+            qos._add(model="m", e2e_ms=lat, ext_ms=1.0, task_alpha=1.0,
+                     outcome="served", retries=0, preemptions=0)
+        for q in (50, 90, 95, 99):
+            stat = sorted(latencies)[
+                min(max(math.ceil(q / 100 * len(latencies)), 1), len(latencies)) - 1
+            ]
+            sp = qos.latency_percentile(q)
+            assert 0.0 <= sp - stat <= 1.0 + 1e-9, (q, sp, stat)
+
+    def test_percentile_overflow_is_inf(self):
+        qos = StreamingQoS(hist_bin_ms=1.0, hist_bins=4)
+        qos._add(model="m", e2e_ms=1e9, ext_ms=1.0, task_alpha=1.0,
+                 outcome="served", retries=0, preemptions=0)
+        assert qos.latency_percentile(99) == math.inf
+
+    def test_dropped_requests_violate_everywhere(self):
+        qos = StreamingQoS()
+        qos._add(model="m", e2e_ms=math.inf, ext_ms=1.0, task_alpha=1.0,
+                 outcome="rejected", retries=0, preemptions=0)
+        assert (qos.violation_curve() == 1.0).all()
+        assert qos.n_dropped == 1
+        # Dropped requests contribute no latency samples.
+        assert math.isnan(qos.mean_latency_ms())
+
+    def test_unknown_outcome_rejected(self):
+        qos = StreamingQoS()
+        with pytest.raises(SimulationError, match="unknown terminal outcome"):
+            qos._add(model="m", e2e_ms=1.0, ext_ms=1.0, task_alpha=1.0,
+                     outcome="vanished", retries=0, preemptions=0)
+
+    def test_totals_conservation(self):
+        stream = simulate_stream("split", SMALL)
+        totals = stream.qos.totals()
+        assert totals["submitted"] == SMALL.n_requests
+        assert (
+            totals["served"] + totals["rejected"] + totals["shed"]
+            + totals["failed"] + totals["timed_out"]
+        ) == totals["submitted"]

@@ -10,6 +10,7 @@ from repro.runtime.workload import (
     WorkloadGenerator,
     build_task_specs,
     materialize_requests,
+    materialize_stream,
     prema_chunk_plan,
     scenario_by_name,
 )
@@ -53,7 +54,14 @@ class TestGenerator:
         items = WorkloadGenerator(("a", "b", "c"), seed=0).generate(SCENARIOS[1])
         times = [i.arrival_ms for i in items]
         assert times == sorted(times)
-        assert len(items) == 999  # 1000 // 3 per model * 3, truncated
+        # Exactly n_requests even when the mix size does not divide it:
+        # the first n % m models contribute one extra request (the old
+        # floor-division allocation silently produced 999 here).
+        assert len(items) == 1000
+        per_model = {m: 0 for m in ("a", "b", "c")}
+        for item in items:
+            per_model[item.model_name] += 1
+        assert per_model == {"a": 334, "b": 333, "c": 333}
 
     def test_per_model_interarrival_mean(self):
         """Each model is its own Poisson stream with mean lambda."""
@@ -67,6 +75,72 @@ class TestGenerator:
     def test_empty_models_rejected(self):
         with pytest.raises(SimulationError):
             WorkloadGenerator((), seed=0)
+
+
+class TestChunkedArrivals:
+    """iter_arrivals must reproduce generate() exactly: same per-model
+    Poisson draws (chunked RNG calls continue the PCG64 stream
+    sample-for-sample), same cumulative sums (each chunk's cumsum is
+    seeded with the previous chunk's last arrival), same merge order."""
+
+    def _pairs(self, items):
+        return [(i.arrival_ms, i.model_name) for i in items]
+
+    @pytest.mark.parametrize("chunk", [1, 7, 97, 8192])
+    def test_identical_to_generate_any_chunk_size(self, chunk):
+        gen = WorkloadGenerator(("a", "b", "c"), seed=11)
+        scen = Scenario("t", 120.0, "high", n_requests=1000)
+        batch = self._pairs(gen.generate(scen))
+        streamed = list(gen.iter_arrivals(scen, chunk_size=chunk))
+        assert streamed == batch
+
+    @pytest.mark.parametrize("scenario", SCENARIOS[:2] + SCENARIOS[-1:],
+                             ids=lambda s: s.name)
+    def test_identical_on_table2_scenarios(self, scenario):
+        models = ("yolov2", "googlenet", "resnet50", "vgg19", "gpt2")
+        gen = WorkloadGenerator(models, seed=0)
+        assert list(gen.iter_arrivals(scenario)) == self._pairs(
+            gen.generate(scenario)
+        )
+
+    def test_fewer_requests_than_models(self):
+        gen = WorkloadGenerator(("a", "b", "c"), seed=2)
+        scen = Scenario("tiny", 50.0, "low", n_requests=2)
+        streamed = list(gen.iter_arrivals(scen))
+        assert streamed == self._pairs(gen.generate(scen))
+        assert len(streamed) == 2
+
+    def test_lazy_no_full_materialization(self):
+        """Pulling one arrival must not realise the whole schedule."""
+        gen = WorkloadGenerator(("a",), seed=0)
+        scen = Scenario("big", 10.0, "high", n_requests=10**8)
+        it = gen.iter_arrivals(scen, chunk_size=16)
+        t, name = next(it)
+        assert name == "a" and t > 0.0
+
+    def test_materialize_stream_matches_requests(self):
+        specs = build_task_specs(
+            {
+                "short": make_profile([1.0] * 10, name="short"),
+                "long": make_profile([2.0] * 20, name="long"),
+            },
+            plan_kind="vanilla",
+        )
+        gen = WorkloadGenerator(("short", "long"), seed=0)
+        scen = Scenario("t", 50.0, "low", n_requests=20)
+        batch = materialize_requests(gen.generate(scen), specs)
+        streamed = list(materialize_stream(gen.iter_arrivals(scen), specs))
+        assert len(streamed) == len(batch)
+        for (tb, rb), (ts, rs) in zip(batch, streamed):
+            assert tb == ts
+            assert rb.task is rs.task
+            assert rb.arrival_ms == rs.arrival_ms
+
+    def test_materialize_stream_unknown_model(self):
+        gen = WorkloadGenerator(("ghost",), seed=0)
+        scen = Scenario("t", 50.0, "low", n_requests=2)
+        with pytest.raises(SimulationError, match="ghost"):
+            list(materialize_stream(gen.iter_arrivals(scen), {}))
 
 
 class TestPremaChunks:

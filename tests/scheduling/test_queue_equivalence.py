@@ -1,0 +1,194 @@
+"""Property suite: RequestQueue vs the list-backed reference oracle.
+
+Random mutation programs — appends, positional inserts, greedy/EDF/SJF
+bubbles, head pops, peeks with engine-contract state mutations, moves,
+removes, PREMA selections — are applied to both queue backends with the
+*same* Request objects, and every step asserts identical ordering,
+identical greedy insert positions, identical selections, and that the
+deque backend's run-length summary stays consistent with its elements.
+
+The programs respect the engine's dispatch discipline (a request's
+scheduling state is only mutated after ``peek`` returned it), which is
+the contract the run-length compression's soundness rests on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduling.greedy import greedy_insert
+from repro.scheduling.policies.edf import EDFScheduler
+from repro.scheduling.policies.prema import PremaScheduler, _select_scan
+from repro.scheduling.policies.sjf import SJFScheduler
+from repro.scheduling.queue import ListBackedRequestQueue, RequestQueue
+from repro.scheduling.request import Request, TaskSpec
+from repro.types import RequestClass
+
+#: A small task pool engineered for adversarial cases: split and unsplit
+#: plans, a strict (alpha < 1) and a lenient (alpha > 1) task, and the
+#: tie pair — identical ext/target/remaining-time constants under two
+#: names, so greedy swap gains hit exactly 0.0 and FIFO tie-breaks must
+#: agree between backends.
+TASKS = (
+    TaskSpec("t-short", 10.0, (10.0,), RequestClass.SHORT),
+    TaskSpec("t-split", 10.0, (5.0, 5.5), RequestClass.SHORT),
+    TaskSpec("t-tie-a", 20.0, (20.0,), RequestClass.SHORT),
+    TaskSpec("t-tie-b", 20.0, (10.0, 10.0), RequestClass.SHORT),
+    TaskSpec("t-long", 80.0, (30.0, 30.0, 30.0), RequestClass.LONG, alpha=2.0),
+    TaskSpec("t-strict", 40.0, (20.0, 21.0), RequestClass.LONG, alpha=0.5),
+)
+
+#: Coarse arrival grid so per-type minimum-arrival ties actually occur.
+ARRIVALS = (0.0, 1.0, 2.0, 5.0, 10.0)
+
+OPS = (
+    "append", "insert", "greedy", "edf", "sjf", "pop", "peek",
+    "move", "remove", "prema", "candidates",
+)
+
+_op = st.tuples(
+    st.sampled_from(OPS),
+    st.integers(0, len(TASKS) - 1),
+    st.integers(0, len(ARRIVALS) - 1),
+    st.integers(0, 2**16),
+)
+
+
+def _check_step(fast: RequestQueue, slow: ListBackedRequestQueue) -> None:
+    assert [r.request_id for r in fast] == [r.request_id for r in slow]
+    assert fast._runs_consistent()
+
+
+def _run_program(ops) -> tuple[RequestQueue, ListBackedRequestQueue]:
+    fast, slow = RequestQueue(), ListBackedRequestQueue()
+    edf, sjf, prema = EDFScheduler(), SJFScheduler(), PremaScheduler()
+    live: list[Request] = []
+    now = 0.0
+    for name, ti, ai, k in ops:
+        now += 1.0
+        if name in ("append", "insert", "greedy", "edf", "sjf"):
+            req = Request(task=TASKS[ti], arrival_ms=ARRIVALS[ai])
+            if name == "append":
+                fast.append(req)
+                slow.append(req)
+            elif name == "insert":
+                idx = k % (len(fast) + 1)
+                fast.insert(idx, req)
+                slow.insert(idx, req)
+            elif name == "greedy":
+                assert greedy_insert(fast, req) == greedy_insert(slow, req)
+            elif name == "edf":
+                edf.on_arrival(fast, req, now)
+                edf.on_arrival(slow, req, now)
+            else:
+                sjf.on_arrival(fast, req, now)
+                sjf.on_arrival(slow, req, now)
+            live.append(req)
+        elif name == "pop":
+            if fast.empty:
+                continue
+            a, b = fast.pop_head(), slow.pop_head()
+            assert a is b
+            live.remove(a)
+        elif name == "peek":
+            # The engine contract: peek, then (and only then) mutate the
+            # head's scheduling state; remove it when its plan runs dry.
+            if fast.empty:
+                continue
+            a, b = fast.peek(), slow.peek()
+            assert a is b
+            if not a.started:
+                a.begin(a.task.blocks_ms, now)
+            a.pop_block()
+            if a.blocks_left == 0:
+                fast.remove(a)
+                slow.remove(a)
+                live.remove(a)
+        elif name == "move":
+            if fast.empty:
+                continue
+            idx = k % len(fast)
+            fast.move_to_front(idx)
+            slow.move_to_front(idx)
+        elif name == "remove":
+            if not live:
+                continue
+            req = live.pop(k % len(live))
+            fast.remove(req)
+            slow.remove(req)
+        elif name == "prema":
+            assert prema.select(fast, now) == _select_scan(slow, now)
+        else:  # candidates — exercises the lazy arrival heaps mid-program
+            got = {r.request_id for r in fast.min_arrival_candidates()}
+            want = {r.request_id for r in slow.min_arrival_candidates()}
+            assert got == want
+        _check_step(fast, slow)
+    return fast, slow
+
+
+@settings(deadline=None, max_examples=150)
+@given(st.lists(_op, max_size=80))
+def test_random_programs_order_identically(ops):
+    fast, slow = _run_program(ops)
+    assert fast.task_types() == slow.task_types()
+    assert fast.type_counts() == slow.type_counts()
+    assert fast.total_backlog_ms() == slow.total_backlog_ms()
+    for i in range(len(fast) + 1):
+        assert fast.waiting_ahead_ms(i) == slow.waiting_ahead_ms(i)
+
+
+class TestRunSummaryEdges:
+    """Deterministic probes of the run-maintenance corner cases."""
+
+    def _fill(self, queue, task, n, arrival=0.0):
+        reqs = [Request(task=task, arrival_ms=arrival) for _ in range(n)]
+        for r in reqs:
+            queue.append(r)
+        return reqs
+
+    def test_interior_split_of_compressed_run(self):
+        q = RequestQueue()
+        self._fill(q, TASKS[0], 5)
+        intruder = Request(task=TASKS[4], arrival_ms=0.0)
+        q.insert(2, intruder)
+        assert q._runs_consistent()
+        assert q.task_types() == (
+            ["t-short"] * 2 + ["t-long"] + ["t-short"] * 3
+        )
+        # One compressed run was split into [2, intruder, 3].
+        assert [run[1] for run in q._runs] == [2, 1, 3]
+
+    def test_peek_taints_head_into_exact_singleton(self):
+        q = RequestQueue()
+        reqs = self._fill(q, TASKS[1], 3)
+        head = q.peek()
+        assert head is reqs[0]
+        runs = list(q._runs)
+        assert runs[0][2] is head and runs[0][1] == 1
+        assert runs[1][2] is None and runs[1][1] == 2
+        # The engine may now mutate the peeked head; the summary stays
+        # sound because only the exact singleton changed state.
+        head.begin(head.task.blocks_ms, 0.0)
+        head.pop_block()
+        assert q._runs_consistent()
+
+    def test_started_request_reinserted_as_exact_run(self):
+        q = RequestQueue()
+        self._fill(q, TASKS[0], 2)
+        started = q.peek()
+        started.begin(started.task.blocks_ms, 0.0)
+        # A greedy arrival passing position 0 demotes the started head.
+        q.move_to_front(1)
+        assert q._runs_consistent()
+        assert q._runs[1][2] is started
+
+    def test_greedy_tie_pair_keeps_fifo_order(self):
+        """swap_gain is exactly 0.0 between the tie tasks: the bubble must
+        keep walking (strict < 0 stop), identically on both backends."""
+        for cls in (RequestQueue, ListBackedRequestQueue):
+            q = cls()
+            first = Request(task=TASKS[2], arrival_ms=0.0)
+            q.append(first)
+            pos = greedy_insert(q, Request(task=TASKS[3], arrival_ms=1.0))
+            assert pos == 0, cls.__name__

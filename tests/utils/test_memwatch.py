@@ -1,0 +1,39 @@
+"""Memory instrumentation: RSS sampling and tracemalloc wrapping."""
+
+from __future__ import annotations
+
+from repro.utils.memwatch import PeakRSS, current_rss_bytes, traced_peak
+
+
+class TestCurrentRSS:
+    def test_positive_on_linux(self):
+        # /proc/self/statm exists on every platform CI runs on; the
+        # helper's 0 fallback is for exotic hosts only.
+        assert current_rss_bytes() > 0
+
+
+class TestPeakRSS:
+    def test_tracks_baseline_and_peak(self):
+        with PeakRSS(interval_s=0.001) as watch:
+            blob = bytearray(8 * 2**20)
+            blob[0] = 1
+        assert watch.baseline_bytes > 0
+        assert watch.peak_bytes >= watch.baseline_bytes
+        assert watch.delta_bytes >= 0
+
+    def test_thread_released_on_exit(self):
+        with PeakRSS() as watch:
+            assert watch._thread is not None and watch._thread.is_alive()
+        assert watch._thread is None
+
+
+class TestTracedPeak:
+    def test_returns_result_and_peak(self):
+        result, peak = traced_peak(lambda: sum(range(1000)))
+        assert result == 499500
+        assert peak > 0
+
+    def test_peak_scales_with_allocation(self):
+        _, small = traced_peak(lambda: bytearray(2**16))
+        _, large = traced_peak(lambda: bytearray(2**24))
+        assert large > small
