@@ -1,6 +1,6 @@
 # Development conveniences for the SPLIT reproduction.
 
-.PHONY: install test coverage bench bench-check experiments results examples clean
+.PHONY: install test coverage typecheck bench bench-check experiments results examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,6 +12,16 @@ test:
 coverage:
 	pytest tests/ -q --cov=repro --cov-report=term-missing:skip-covered --cov-fail-under=85
 
+# Strict typing on the kernel-facing layers (the CI gate; pip install
+# -e .[typecheck] to get mypy). Skips gracefully where mypy is absent so
+# the target is safe in minimal containers.
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy --strict src/repro/runtime src/repro/robustness; \
+	else \
+		echo "mypy not installed; skipping (pip install -e .[typecheck])"; \
+	fi
+
 # Full timed run; distils the raw dump into BENCH_<rev>.json (requests/sec,
 # streaming speedup vs the list-backed queue, peak RSS of the 100k cell,
 # cold/warm plan-store ratio) so successive runs leave a comparable trail.
@@ -20,10 +30,12 @@ bench:
 	python benchmarks/report.py .benchmarks.json .
 
 # What CI runs: tier-1 tests plus every benchmark's assertions with the
-# timing collection disabled (fast, and robust on shared runners).
+# timing collection disabled (fast, and robust on shared runners), plus
+# the 100k streaming throughput pin against BENCH_50545cc.json (within
+# 10% of the pre-kernel baseline; see benchmarks/test_bench_regression.py).
 bench-check:
 	pytest tests/ -q
-	pytest benchmarks/ -q --benchmark-disable
+	SPLIT_BENCH_PIN=1 pytest benchmarks/ -q --benchmark-disable
 
 experiments:
 	python -m repro.experiments all

@@ -1,0 +1,83 @@
+"""Throughput regression pin against the recorded baseline.
+
+``BENCH_50545cc.json`` (repo root) freezes the 100k-request streaming
+throughput measured immediately before the kernel unification. This test
+re-times the same cell and asserts the current engine stays within 10%
+of that number — the refactor's performance budget. A unified kernel
+that slowed the hot path down would pass every correctness test and
+still be a regression; this is the gate that catches it.
+
+Wall-clock throughput is noisy on shared runners, so the pin only runs
+when ``SPLIT_BENCH_PIN`` is set — ``make bench-check`` sets it; plain
+``pytest benchmarks/`` skips it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runtime.engine import SequentialEngine
+from repro.runtime.metrics import StreamingQoS
+from repro.runtime.simulator import (
+    _profiles_for,
+    _request_classes,
+    default_split_plans,
+    warm_caches,
+)
+from repro.runtime.workload import (
+    Scenario,
+    WorkloadGenerator,
+    build_task_specs,
+    materialize_stream,
+)
+from repro.scheduling.policies import SplitScheduler
+
+BASELINE_FILE = Path(__file__).resolve().parent.parent / "BENCH_50545cc.json"
+#: The refactor's budget: at least 90% of the pre-kernel throughput.
+FLOOR_FRACTION = 0.9
+N = 100_000
+
+
+@pytest.mark.skipif(
+    not os.environ.get("SPLIT_BENCH_PIN"),
+    reason="throughput pin runs only under `make bench-check` "
+    "(SPLIT_BENCH_PIN=1): wall-clock numbers are meaningless on busy "
+    "machines",
+)
+def test_stream_100k_within_10pct_of_baseline(ctx):
+    baseline = json.loads(BASELINE_FILE.read_text())
+    base_rps = baseline["benchmarks"]["stream_100k"]["requests_per_sec"]
+    floor = base_rps * FLOOR_FRACTION
+
+    warm_caches(ctx.models, ctx.device.name)
+    profiles = _profiles_for(ctx.models, ctx.device.name)
+    classes = _request_classes(ctx.models)
+    plans = default_split_plans(ctx.models, ctx.device.name)
+    specs = build_task_specs(
+        profiles, split_plans=plans, plan_kind="split", request_classes=classes
+    )
+    scenario = Scenario("pin-stream-100k", 110.0, "high", n_requests=N)
+
+    best_s = float("inf")
+    for _ in range(3):  # best-of-3 absorbs scheduler noise
+        engine = SequentialEngine(SplitScheduler())
+        qos = StreamingQoS()
+        arrivals = WorkloadGenerator(ctx.models, seed=ctx.seed).iter_arrivals(
+            scenario
+        )
+        t0 = time.perf_counter()
+        engine.run_stream(materialize_stream(arrivals, specs), qos.observe)
+        best_s = min(best_s, time.perf_counter() - t0)
+        assert qos.n_requests == N
+
+    rps = N / best_s
+    assert rps >= floor, (
+        f"streaming throughput regressed: {rps:.0f} req/s vs baseline "
+        f"{base_rps} req/s (floor {floor:.0f}, revision "
+        f"{baseline['revision']})"
+    )

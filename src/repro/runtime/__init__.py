@@ -1,14 +1,34 @@
 """Discrete-event serving runtime for the shared edge GPU.
 
-:class:`SequentialEngine` executes one block at a time (non-preemptible
-mid-block, preemptible at boundaries) under a pluggable scheduler;
+One discrete-event loop — :class:`EventKernel` — owns virtual time, the
+arrival stream and the block dispatch/finish cycle (see
+``docs/kernel.md``). :class:`SequentialEngine` (one processor, one queue)
+and :class:`MultiProcessorEngine` (k processors behind a router) are thin
+adapters over it; both execute one block at a time (non-preemptible
+mid-block, preemptible at boundaries) under pluggable schedulers and
+share the kernel's robustness features and streaming sinks.
 :class:`ConcurrentEngine` models RT-A's multi-stream co-execution via
-contention-degraded processor sharing. :func:`simulate` wires profiles,
-partitions, workloads and engines together for the evaluation scenarios.
+contention-degraded processor sharing and keeps its own loop.
+:func:`simulate` wires profiles, partitions, workloads and engines
+together for the evaluation scenarios.
 """
 
 from repro.runtime.events import Arrival, EventKind
 from repro.runtime.trace import ExecutionTrace, TraceEntry
+from repro.runtime.kernel import (
+    EngineResult,
+    EventKernel,
+    Hooks,
+    KernelHooks,
+    ProcState,
+    RecordSink,
+    RoutedQueues,
+    Router,
+    SingleQueue,
+    batch_sink,
+    validate_batch_arrivals,
+    validated_stream,
+)
 from repro.runtime.engine import SequentialEngine
 from repro.runtime.executor import ConcurrentEngine
 from repro.runtime.workload import (
@@ -59,6 +79,18 @@ __all__ = [
     "EventKind",
     "ExecutionTrace",
     "TraceEntry",
+    "EngineResult",
+    "EventKernel",
+    "Hooks",
+    "KernelHooks",
+    "ProcState",
+    "RecordSink",
+    "RoutedQueues",
+    "Router",
+    "SingleQueue",
+    "batch_sink",
+    "validate_batch_arrivals",
+    "validated_stream",
     "SequentialEngine",
     "ConcurrentEngine",
     "SCENARIOS",

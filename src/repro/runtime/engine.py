@@ -1,4 +1,4 @@
-"""Sequential block-granularity discrete-event engine.
+"""Sequential block-granularity engine: a thin adapter over the kernel.
 
 The processor runs exactly one block at a time. A running block is never
 interrupted; between blocks the scheduler re-selects the queue head, which
@@ -7,7 +7,8 @@ request defers *all* of its remaining blocks (full preemption, Fig. 3) —
 that falls out of the queue discipline, because the preempted request
 simply sits behind the preemptor until re-selected.
 
-The fault-free path has two entry points over one shared event loop:
+Both entry points drive the unified discrete-event kernel
+(:mod:`repro.runtime.kernel`) with a single-queue adapter:
 
 * :meth:`SequentialEngine.run` — the batch API: takes the full arrival
   list, returns an :class:`EngineResult` holding every terminal request.
@@ -17,56 +18,39 @@ The fault-free path has two entry points over one shared event loop:
   and hands each terminal request to a sink callback the moment it
   leaves the system, retaining nothing — O(live queue) memory instead of
   O(total requests). Scheduling decisions are identical between the two
-  because they run the same loop over the same arrival sequence.
+  because they run the same kernel over the same arrival sequence.
 
-With a :class:`~repro.robustness.RobustnessConfig` the engine additionally
+With a :class:`~repro.robustness.RobustnessConfig` the kernel additionally
 honours a fault plan (block failures, stalls, drops), per-request
 deadlines, bounded retries with exponential backoff, and overload load
-shedding — see ``docs/robustness.md``. Without one, execution follows the
-original fault-free loop unchanged (same float operations in the same
-order, so results are byte-identical).
+shedding — see ``docs/robustness.md`` — on *both* entry points: streaming
+robustness is supported since the kernel unification. Without one,
+execution follows the original fault-free loop unchanged (same float
+operations in the same order, so results are byte-identical; the
+differential suite in ``tests/runtime/test_kernel_differential.py`` pins
+this against a frozen pre-kernel copy).
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+import warnings
+from typing import Iterable, Iterator
 
-from repro.errors import SimulationError
 from repro.robustness.config import RobustnessConfig
-from repro.robustness.faults import FaultKind
-from repro.runtime.trace import ExecutionTrace, TraceEntry
+from repro.runtime.kernel import (
+    EngineResult,
+    EventKernel,
+    KernelHooks,
+    RecordSink,
+    batch_sink,
+    validate_batch_arrivals,
+    validated_stream,
+)
 from repro.scheduling.policies.base import Scheduler
 from repro.scheduling.queue import RequestQueue
 from repro.scheduling.request import Request
 
-#: Streaming sink: called once per terminal request with its outcome
-#: label ("served" or "rejected" on the fault-free path).
-RecordSink = Callable[[Request, str], None]
-
-
-@dataclass
-class EngineResult:
-    completed: list[Request] = field(default_factory=list)
-    dropped: list[Request] = field(default_factory=list)
-    trace: ExecutionTrace | None = None
-    context_switches: int = 0
-    preemptions: int = 0
-    #: Robustness outcomes (empty/zero on fault-free runs).
-    failed: list[Request] = field(default_factory=list)
-    timed_out: list[Request] = field(default_factory=list)
-    shed: list[Request] = field(default_factory=list)
-    retries: int = 0
-    stalls: int = 0
-    fault_fails: int = 0
-    fault_drops: int = 0
-    #: Terminal counts. On batch runs these equal the list lengths; on
-    #: streaming runs the lists stay empty (requests go to the sink) and
-    #: only the counters record how many requests reached each outcome.
-    n_completed: int = 0
-    n_dropped: int = 0
+__all__ = ["EngineResult", "RecordSink", "SequentialEngine"]
 
 
 class SequentialEngine:
@@ -76,7 +60,9 @@ class SequentialEngine:
     :class:`RequestQueue` is the deque-backed fast structure, while
     :class:`~repro.scheduling.queue.ListBackedRequestQueue` reproduces the
     original list costs (used by the benchmarks as the asymptotic
-    baseline — both order requests identically).
+    baseline — both order requests identically). ``hooks`` plugs a
+    :class:`~repro.runtime.kernel.KernelHooks` observer into the kernel's
+    lifecycle edges (admit/dispatch/block-finish/preempt/retry/terminal).
     """
 
     def __init__(
@@ -85,42 +71,35 @@ class SequentialEngine:
         keep_trace: bool = False,
         robustness: RobustnessConfig | None = None,
         queue_cls: type = RequestQueue,
+        hooks: KernelHooks | None = None,
     ):
         self.scheduler = scheduler
         self.keep_trace = keep_trace
         self.robustness = robustness
         self.queue_cls = queue_cls
+        self.hooks = hooks
+
+    def _kernel(self, robustness: RobustnessConfig | None) -> EventKernel:
+        return EventKernel(
+            [self.scheduler],
+            robustness=robustness,
+            keep_trace=self.keep_trace,
+            hooks=self.hooks,
+            queue_cls=self.queue_cls,
+        )
 
     def run(self, arrivals: list[tuple[float, Request]]) -> EngineResult:
         """Simulate until every admitted request finishes or terminates.
 
         ``arrivals`` is a list of ``(time_ms, request)`` pairs (any order).
         """
-        for t, _ in arrivals:
-            if t < 0:
-                raise SimulationError(f"negative arrival time {t}")
-        if self.robustness is None:
-            return self._run_fast(arrivals)
-        return self._run_robust(arrivals, self.robustness)
-
-    # ------------------------------------------------------------ fault-free
-    def _run_fast(self, arrivals: list[tuple[float, Request]]) -> EngineResult:
-        result = EngineResult(
-            trace=ExecutionTrace() if self.keep_trace else None
-        )
+        validate_batch_arrivals(arrivals)
         # One stable sort up front replaces a heap push/pop per request;
         # ties break on input position, exactly like the old (t, i) heap.
-        schedule: list[tuple[float, Request]] = sorted(
-            arrivals, key=lambda pair: pair[0]
-        )
-
-        def emit(req: Request, outcome: str) -> None:
-            if outcome == "served":
-                result.completed.append(req)
-            else:
-                result.dropped.append(req)
-
-        self._event_loop(iter(schedule), emit, result)
+        schedule = sorted(arrivals, key=lambda pair: pair[0])
+        kernel = self._kernel(self.robustness)
+        result = EngineResult(trace=kernel.procs[0].trace)
+        kernel.run(iter(schedule), batch_sink(result), result)
         return result
 
     def run_stream(
@@ -132,339 +111,73 @@ class SequentialEngine:
 
         ``arrivals`` is any iterable of ``(time_ms, request)`` pairs in
         nondecreasing time order (violations raise
-        :class:`SimulationError`); it is consumed lazily, so generators
-        over million-request traces never materialise the schedule.
-        ``sink(request, outcome)`` is invoked exactly once per request at
-        its terminal event — ``"served"`` when it finishes, ``"rejected"``
-        when admission drops it — after which the engine holds no
-        reference, keeping memory proportional to the live queue.
+        :class:`~repro.errors.SimulationError`); it is consumed lazily, so
+        generators over million-request traces never materialise the
+        schedule. ``sink(request, outcome)`` is invoked exactly once per
+        request at its terminal event — ``"served"`` when it finishes,
+        ``"rejected"`` when admission drops it, and (with a robustness
+        config) ``"shed"`` / ``"failed"`` / ``"timed_out"`` for the
+        unhappy endings — after which the engine holds no reference,
+        keeping memory proportional to the live queue plus parked retries.
 
         The returned :class:`EngineResult` carries the aggregate counters
         (``n_completed``/``n_dropped``/``context_switches``/
-        ``preemptions`` and the trace when ``keep_trace`` is set) with
-        empty per-request lists. Fault injection is not streamable:
-        configure ``robustness`` and this method raises.
+        ``preemptions``, the robustness totals, and the trace when
+        ``keep_trace`` is set) with empty per-request lists.
         """
-        if self.robustness is not None:
-            raise SimulationError(
-                "run_stream supports fault-free runs only; use run() with a "
-                "RobustnessConfig"
-            )
-        result = EngineResult(
-            trace=ExecutionTrace() if self.keep_trace else None
-        )
-
-        def validated(
-            pairs: Iterable[tuple[float, Request]],
-        ) -> Iterator[tuple[float, Request]]:
-            last = 0.0
-            for t, req in pairs:
-                if t < 0:
-                    raise SimulationError(f"negative arrival time {t}")
-                if t < last:
-                    raise SimulationError(
-                        f"arrival stream not time-ordered: {t} after {last}"
-                    )
-                last = t
-                yield t, req
-
-        self._event_loop(validated(arrivals), sink, result)
+        kernel = self._kernel(self.robustness)
+        result = EngineResult(trace=kernel.procs[0].trace)
+        kernel.run(validated_stream(arrivals), sink, result)
         return result
 
+    # ----------------------------------------------------- deprecated shims
     def _event_loop(
         self,
         schedule: Iterator[tuple[float, Request]],
         emit: RecordSink,
         result: EngineResult,
     ) -> None:
-        """The fault-free loop shared by :meth:`run` and :meth:`run_stream`.
+        """Deprecated: the fault-free loop now lives in the kernel.
 
-        ``schedule`` yields arrivals in nondecreasing time order; ``emit``
-        receives every terminal request. Batch and streaming callers see
-        identical scheduling decisions because this is the only code path.
+        Kept for one release as a forwarding wrapper; use
+        :class:`~repro.runtime.kernel.EventKernel` directly (or the public
+        ``run``/``run_stream``) instead.
         """
-        queue = self.queue_cls()
-        running: Request | None = None
-        block_end = 0.0
-        block_start = 0.0
-        last_executed: Request | None = None
-        now = 0.0
-        pending: tuple[float, Request] | None = next(schedule, None)
+        warnings.warn(
+            "SequentialEngine._event_loop is deprecated; the event loop "
+            "moved to repro.runtime.kernel.EventKernel — use run()/"
+            "run_stream() or the kernel directly",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        kernel = self._kernel(robustness=None)
+        kernel.procs[0].trace = result.trace
+        kernel.run(schedule, emit, result)
 
-        def dispatch(t: float) -> None:
-            nonlocal running, block_end, block_start, last_executed
-            if queue.empty:
-                running = None
-                return
-            idx = self.scheduler.select(queue, t)
-            if idx != 0:
-                queue.move_to_front(idx)
-            req = queue.peek()
-            switch_cost = 0.0
-            if (
-                last_executed is not None
-                and last_executed is not req
-                and not last_executed.done
-                and last_executed.started
-            ):
-                # Switching away from an unfinished request = preemption.
-                switch_cost = self.scheduler.preemption_overhead_ms
-                last_executed.preemptions += 1
-                result.preemptions += 1
-            if last_executed is not None and last_executed is not req:
-                result.context_switches += 1
-            if not req.started:
-                plan = self.scheduler.plan_for(req, queue, t)
-                req.begin(plan, t)
-            block_ms = req.pop_block()
-            block_start = t + switch_cost
-            block_end = block_start + block_ms
-            running = req
-            last_executed = req
-
-        while pending is not None or running is not None or not queue.empty:
-            next_arrival = pending[0] if pending is not None else float("inf")
-            next_done = block_end if running is not None else float("inf")
-            if running is None and not queue.empty:
-                # Idle processor with pending work: dispatch immediately.
-                dispatch(now)
-                continue
-            if next_arrival == float("inf") and next_done == float("inf"):
-                break  # nothing left anywhere
-            if next_arrival <= next_done:
-                now = next_arrival
-                req = pending[1]  # type: ignore[index]
-                pending = next(schedule, None)
-                admitted = self.scheduler.on_arrival(queue, req, now)
-                if not admitted:
-                    result.n_dropped += 1
-                    emit(req, "rejected")
-                # A running block is never interrupted; if idle, the loop's
-                # next iteration dispatches at `now`.
-            else:
-                now = next_done
-                req = running
-                assert req is not None
-                if result.trace is not None:
-                    result.trace.record(
-                        TraceEntry(
-                            request_id=req.request_id,
-                            task_type=req.task_type,
-                            block_index=req.next_block - 1,
-                            start_ms=block_start,
-                            end_ms=now,
-                        )
-                    )
-                running = None
-                if req.blocks_left == 0:
-                    req.finish_ms = now
-                    queue.remove(req)
-                    result.n_completed += 1
-                    emit(req, "served")
-                dispatch(now)
-
-        if not queue.empty:
-            raise SimulationError(
-                f"engine finished with {len(queue)} requests still queued"
-            )
-
-    # --------------------------------------------------------------- faulty
     def _run_robust(
         self, arrivals: list[tuple[float, Request]], cfg: RobustnessConfig
     ) -> EngineResult:
-        """The fault-aware event loop.
+        """Deprecated: the fault-aware loop is a kernel feature now.
 
-        Adds three things to the fault-free loop: a retry heap of parked
-        requests waiting out their backoff, a per-dispatch fault decision
-        (drop / stall / pending fail), and deadline + shed eviction. The
-        processor still runs one block at a time and a running block is
-        never interrupted — a failure is only observed when its block's
-        time has already been spent, matching a real executor that only
-        detects the error at the block's end.
+        Kept for one release as a forwarding wrapper; configure
+        ``robustness`` on the engine (or the kernel) instead.
         """
-        result = EngineResult(
-            trace=ExecutionTrace() if self.keep_trace else None
+        warnings.warn(
+            "SequentialEngine._run_robust is deprecated; robustness is a "
+            "kernel feature — pass robustness= to SequentialEngine or "
+            "EventKernel instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        injector = cfg.make_injector()
-        shedder = cfg.make_shedder()
-        retry = cfg.retry
-        schedule: list[tuple[float, Request]] = sorted(
-            arrivals, key=lambda pair: pair[0]
+        validate_batch_arrivals(arrivals)
+        schedule = sorted(arrivals, key=lambda pair: pair[0])
+        kernel = EventKernel(
+            [self.scheduler],
+            robustness=cfg,
+            keep_trace=self.keep_trace,
+            hooks=self.hooks,
+            queue_cls=self.queue_cls,
         )
-        n_arrivals = len(schedule)
-        next_idx = 0
-
-        queue = self.queue_cls()
-        retry_heap: list[tuple[float, int, Request]] = []
-        retry_seq = itertools.count()
-        running: Request | None = None
-        pending_fail = False
-        block_end = 0.0
-        block_start = 0.0
-        last_executed: Request | None = None
-        now = 0.0
-
-        def finish_terminal(req: Request, outcome: str, bucket: list[Request]) -> None:
-            nonlocal last_executed
-            req.outcome = outcome
-            bucket.append(req)
-            if last_executed is req:
-                # The request left the system; selecting another request
-                # afterwards is not a preemption.
-                last_executed = None
-
-        def shed_overload(t: float) -> None:
-            if shedder is None:
-                return
-            for victim in shedder.select_victims(queue, t, exclude=running):
-                queue.remove(victim)
-                finish_terminal(victim, "shed", result.shed)
-
-        def dispatch(t: float) -> None:
-            nonlocal running, pending_fail, block_end, block_start, last_executed
-            while not queue.empty:
-                idx = self.scheduler.select(queue, t)
-                if idx != 0:
-                    queue.move_to_front(idx)
-                req = queue.peek()
-                if t >= cfg.deadline_ms(req):
-                    queue.remove(req)
-                    finish_terminal(req, "timed_out", result.timed_out)
-                    continue
-                decision = (
-                    injector.decide(
-                        req.task_type, req.arrival_ms, req.next_block, req.retries
-                    )
-                    if injector is not None
-                    else None
-                )
-                if decision is not None and decision.kind is FaultKind.DROP:
-                    queue.remove(req)
-                    result.fault_drops += 1
-                    finish_terminal(req, "failed", result.failed)
-                    continue
-                switch_cost = 0.0
-                if (
-                    last_executed is not None
-                    and last_executed is not req
-                    and not last_executed.done
-                    and last_executed.started
-                ):
-                    switch_cost = self.scheduler.preemption_overhead_ms
-                    last_executed.preemptions += 1
-                    result.preemptions += 1
-                if last_executed is not None and last_executed is not req:
-                    result.context_switches += 1
-                if not req.started:
-                    plan = self.scheduler.plan_for(req, queue, t)
-                    req.begin(plan, t)
-                block_ms = req.pop_block()
-                if decision is not None and decision.kind is FaultKind.STALL:
-                    block_ms *= decision.stall_factor
-                    result.stalls += 1
-                pending_fail = (
-                    decision is not None and decision.kind is FaultKind.FAIL
-                )
-                block_start = t + switch_cost
-                block_end = block_start + block_ms
-                running = req
-                last_executed = req
-                return
-            running = None
-
-        while (
-            next_idx < n_arrivals
-            or running is not None
-            or not queue.empty
-            or retry_heap
-        ):
-            next_arrival = (
-                schedule[next_idx][0] if next_idx < n_arrivals else float("inf")
-            )
-            next_retry = retry_heap[0][0] if retry_heap else float("inf")
-            next_done = block_end if running is not None else float("inf")
-            if running is None and not queue.empty:
-                dispatch(now)
-                continue
-            if (
-                next_arrival == float("inf")
-                and next_retry == float("inf")
-                and next_done == float("inf")
-            ):
-                break  # nothing left anywhere
-            if next_arrival <= min(next_retry, next_done):
-                now = next_arrival
-                req = schedule[next_idx][1]
-                next_idx += 1
-                admitted = self.scheduler.on_arrival(queue, req, now)
-                if not admitted:
-                    req.outcome = "rejected"
-                    result.dropped.append(req)
-                else:
-                    shed_overload(now)
-            elif next_retry <= next_done:
-                now = next_retry
-                _, _, req = heapq.heappop(retry_heap)
-                if now >= cfg.deadline_ms(req):
-                    finish_terminal(req, "timed_out", result.timed_out)
-                    continue
-                if self.scheduler.on_arrival(queue, req, now):
-                    shed_overload(now)
-                else:
-                    req.outcome = "rejected"
-                    result.dropped.append(req)
-            else:
-                now = next_done
-                req = running
-                assert req is not None
-                if result.trace is not None:
-                    result.trace.record(
-                        TraceEntry(
-                            request_id=req.request_id,
-                            task_type=req.task_type,
-                            block_index=req.next_block - 1,
-                            start_ms=block_start,
-                            end_ms=now,
-                            failed=pending_fail,
-                        )
-                    )
-                running = None
-                if pending_fail:
-                    pending_fail = False
-                    result.fault_fails += 1
-                    req.unpop_block()
-                    req.retries += 1
-                    queue.remove(req)
-                    if retry.exhausted(req.retries):
-                        finish_terminal(req, "failed", result.failed)
-                    else:
-                        result.retries += 1
-                        if last_executed is req:
-                            last_executed = None
-                        heapq.heappush(
-                            retry_heap,
-                            (
-                                now + retry.backoff_ms(req.retries - 1),
-                                next(retry_seq),
-                                req,
-                            ),
-                        )
-                elif req.blocks_left == 0:
-                    req.finish_ms = now
-                    queue.remove(req)
-                    if now > cfg.deadline_ms(req):
-                        # Finished, but past the client's deadline: the
-                        # response is useless — count it as timed out.
-                        finish_terminal(req, "timed_out", result.timed_out)
-                    else:
-                        req.outcome = "served"
-                        result.completed.append(req)
-                dispatch(now)
-
-        if not queue.empty:
-            raise SimulationError(
-                f"engine finished with {len(queue)} requests still queued"
-            )
-        result.n_completed = len(result.completed)
-        result.n_dropped = len(result.dropped)
+        result = EngineResult(trace=kernel.procs[0].trace)
+        kernel.run(iter(schedule), batch_sink(result), result)
         return result

@@ -31,6 +31,7 @@ from repro.hardware.contention import ContentionModel
 from repro.robustness.config import RobustnessConfig
 from repro.robustness.faults import FaultKind
 from repro.runtime.engine import EngineResult
+from repro.runtime.kernel import validate_batch_arrivals
 from repro.scheduling.request import Request
 
 
@@ -71,10 +72,9 @@ class ConcurrentEngine:
         result = EngineResult()
         cfg = self.robustness
         injector = cfg.make_injector() if cfg is not None else None
+        validate_batch_arrivals(arrivals)
         heap: list[tuple[float, int, Request]] = []
         for i, (t, req) in enumerate(arrivals):
-            if t < 0:
-                raise SimulationError(f"negative arrival time {t}")
             heapq.heappush(heap, (t, i, req))
 
         window: dict[int, tuple[Request, float]] = {}  # rid -> (req, work left)

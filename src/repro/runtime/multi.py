@@ -7,6 +7,16 @@ keeps its blocks local, since moving intermediate activations between
 devices would pay the staging cost twice) and runs each processor with its
 own scheduler instance, preserving every single-processor guarantee.
 
+Since the kernel unification this is a thin adapter over
+:class:`~repro.runtime.kernel.EventKernel` with a
+:class:`~repro.runtime.kernel.RoutedQueues` adapter, which buys the
+features the old hand-rolled loop lacked for free: fault injection /
+deadlines / retries / load shedding via ``robustness=``, streaming sinks
+via :meth:`MultiProcessorEngine.run_stream`, and kernel lifecycle hooks.
+A retried request stays on the processor that first accepted it (its
+blocks are local), and load shedding considers each processor's queue
+separately.
+
 Routers:
 
 * ``round_robin`` — arrival i goes to processor i mod k;
@@ -14,43 +24,55 @@ Routers:
 * ``shortest_queue`` — fewest pending requests (JSQ);
 * ``model_affinity`` — hash by model name (keeps each model's weights
   resident on one device, the deployment the paper's §4.1 implies).
+
+Routers receive the live :class:`~repro.runtime.kernel.ProcState` list
+and may read ``queue``, ``running``, ``block_end``, ``now`` and
+``dispatched_arrivals``.
 """
 
 from __future__ import annotations
 
-import heapq
 import zlib
-from dataclasses import dataclass, field
-from typing import Callable
+from dataclasses import dataclass
+from typing import Iterable
 
 from repro.errors import SimulationError
-from repro.runtime.engine import EngineResult
-from repro.runtime.trace import ExecutionTrace, TraceEntry
+from repro.robustness.config import RobustnessConfig
+from repro.runtime.kernel import (
+    EngineResult,
+    EventKernel,
+    KernelHooks,
+    ProcState,
+    RecordSink,
+    RoutedQueues,
+    Router,
+    batch_sink,
+    validate_batch_arrivals,
+    validated_stream,
+)
+from repro.runtime.trace import ExecutionTrace
 from repro.scheduling.policies.base import Scheduler
-from repro.scheduling.queue import RequestQueue
 from repro.scheduling.request import Request
 
-Router = Callable[[list["_Processor"], Request], int]
 
-
-def round_robin(processors: list["_Processor"], request: Request) -> int:
+def round_robin(processors: list[ProcState], request: Request) -> int:
     counter = sum(p.dispatched_arrivals for p in processors)
     return counter % len(processors)
 
 
-def least_backlog(processors: list["_Processor"], request: Request) -> int:
-    def backlog(p: "_Processor") -> float:
+def least_backlog(processors: list[ProcState], request: Request) -> int:
+    def backlog(p: ProcState) -> float:
         running = p.block_end - p.now if p.running is not None else 0.0
         return p.queue.total_backlog_ms() + max(0.0, running)
 
     return min(range(len(processors)), key=lambda i: backlog(processors[i]))
 
 
-def shortest_queue(processors: list["_Processor"], request: Request) -> int:
+def shortest_queue(processors: list[ProcState], request: Request) -> int:
     return min(range(len(processors)), key=lambda i: len(processors[i].queue))
 
 
-def model_affinity(processors: list["_Processor"], request: Request) -> int:
+def model_affinity(processors: list[ProcState], request: Request) -> int:
     # Stable across processes (Python's str hash is salted per run).
     digest = zlib.crc32(request.task_type.encode("utf-8"))
     return digest % len(processors)
@@ -62,72 +84,6 @@ ROUTERS: dict[str, Router] = {
     "shortest_queue": shortest_queue,
     "model_affinity": model_affinity,
 }
-
-
-@dataclass
-class _Processor:
-    """Per-processor execution state (mirrors SequentialEngine's loop)."""
-
-    index: int
-    scheduler: Scheduler
-    queue: RequestQueue = field(default_factory=RequestQueue)
-    running: Request | None = None
-    block_end: float = float("inf")
-    block_start: float = 0.0
-    last_executed: Request | None = None
-    now: float = 0.0
-    dispatched_arrivals: int = 0
-    #: Per-processor trace (execution on *one* processor never overlaps;
-    #: across processors it legitimately does, so traces are not shared).
-    trace: ExecutionTrace | None = None
-
-    def dispatch(self, t: float, result: EngineResult) -> None:
-        self.now = t
-        if self.queue.empty:
-            self.running = None
-            self.block_end = float("inf")
-            return
-        idx = self.scheduler.select(self.queue, t)
-        if idx != 0:
-            self.queue.move_to_front(idx)
-        req = self.queue.peek()
-        switch_cost = 0.0
-        last = self.last_executed
-        if last is not None and last is not req and not last.done and last.started:
-            switch_cost = self.scheduler.preemption_overhead_ms
-            last.preemptions += 1
-            result.preemptions += 1
-        if last is not None and last is not req:
-            result.context_switches += 1
-        if not req.started:
-            plan = self.scheduler.plan_for(req, self.queue, t)
-            req.begin(plan, t)
-        block_ms = req.pop_block()
-        self.block_start = t + switch_cost
-        self.block_end = self.block_start + block_ms
-        self.running = req
-        self.last_executed = req
-
-    def finish_block(self, t: float, result: EngineResult) -> None:
-        req = self.running
-        assert req is not None
-        if self.trace is not None:
-            self.trace.record(
-                TraceEntry(
-                    request_id=req.request_id,
-                    task_type=req.task_type,
-                    block_index=req.next_block - 1,
-                    start_ms=self.block_start,
-                    end_ms=t,
-                )
-            )
-        self.running = None
-        self.block_end = float("inf")
-        if req.blocks_left == 0:
-            req.finish_ms = t
-            self.queue.remove(req)
-            result.completed.append(req)
-        self.dispatch(t, result)
 
 
 @dataclass
@@ -155,6 +111,8 @@ class MultiProcessorEngine:
         schedulers: list[Scheduler],
         router: str | Router = "least_backlog",
         keep_trace: bool = False,
+        robustness: RobustnessConfig | None = None,
+        hooks: KernelHooks | None = None,
     ):
         if not schedulers:
             raise SimulationError("need at least one processor")
@@ -170,74 +128,46 @@ class MultiProcessorEngine:
             self.router = router
             self.router_name = getattr(router, "__name__", "custom")
         self.keep_trace = keep_trace
+        self.robustness = robustness
+        self.hooks = hooks
 
-    def run(self, arrivals: list[tuple[float, Request]]) -> MultiEngineResult:
-        result = EngineResult()
-        processors = [
-            _Processor(
-                index=i,
-                scheduler=s,
-                trace=ExecutionTrace() if self.keep_trace else None,
-            )
-            for i, s in enumerate(self.schedulers)
-        ]
-        placements = {i: 0 for i in range(len(processors))}
-        heap: list[tuple[float, int, Request]] = []
-        for i, (t, req) in enumerate(arrivals):
-            if t < 0:
-                raise SimulationError(f"negative arrival time {t}")
-            heapq.heappush(heap, (t, i, req))
+    def _kernel(self) -> EventKernel:
+        return EventKernel(
+            self.schedulers,
+            adapter=RoutedQueues(self.router),
+            robustness=self.robustness,
+            keep_trace=self.keep_trace,
+            hooks=self.hooks,
+        )
 
-        while True:
-            next_arrival = heap[0][0] if heap else float("inf")
-            busy_end = min(
-                (p.block_end for p in processors if p.running is not None),
-                default=float("inf"),
-            )
-            # An idle processor with pending work dispatches immediately.
-            idle_pending = next(
-                (
-                    p
-                    for p in processors
-                    if p.running is None and not p.queue.empty
-                ),
-                None,
-            )
-            if idle_pending is not None:
-                idle_pending.dispatch(idle_pending.now, result)
-                continue
-            if next_arrival == float("inf") and busy_end == float("inf"):
-                break
-            if next_arrival <= busy_end:
-                t, _, req = heapq.heappop(heap)
-                target = self.router(processors, req)
-                if not 0 <= target < len(processors):
-                    raise SimulationError(
-                        f"router returned invalid processor {target}"
-                    )
-                proc = processors[target]
-                proc.now = max(proc.now, t)
-                placements[target] += 1
-                proc.dispatched_arrivals += 1
-                admitted = proc.scheduler.on_arrival(proc.queue, req, t)
-                if not admitted:
-                    result.dropped.append(req)
-            else:
-                proc = min(
-                    (p for p in processors if p.running is not None),
-                    key=lambda p: p.block_end,
-                )
-                proc.now = proc.block_end
-                proc.finish_block(proc.block_end, result)
-
-        leftovers = sum(len(p.queue) for p in processors)
-        if leftovers:
-            raise SimulationError(
-                f"multi-engine finished with {leftovers} requests queued"
-            )
+    def _wrap(self, kernel: EventKernel, result: EngineResult) -> MultiEngineResult:
+        placements = {p.index: p.dispatched_arrivals for p in kernel.procs}
         traces = {
-            p.index: p.trace for p in processors if p.trace is not None
+            p.index: p.trace for p in kernel.procs if p.trace is not None
         }
         return MultiEngineResult(
             engine_result=result, placements=placements, traces=traces
         )
+
+    def run(self, arrivals: list[tuple[float, Request]]) -> MultiEngineResult:
+        """Route and serve a batch arrival schedule (any order)."""
+        validate_batch_arrivals(arrivals)
+        schedule = sorted(arrivals, key=lambda pair: pair[0])
+        kernel = self._kernel()
+        result = EngineResult()
+        kernel.run(iter(schedule), batch_sink(result), result)
+        return self._wrap(kernel, result)
+
+    def run_stream(
+        self,
+        arrivals: Iterable[tuple[float, Request]],
+        sink: RecordSink,
+    ) -> MultiEngineResult:
+        """Serve a time-ordered arrival stream, emitting terminals to
+        ``sink`` — the multi-processor counterpart of
+        :meth:`SequentialEngine.run_stream`, with the same O(live queue)
+        memory contract and the same sink outcomes."""
+        kernel = self._kernel()
+        result = EngineResult()
+        kernel.run(validated_stream(arrivals), sink, result)
+        return self._wrap(kernel, result)

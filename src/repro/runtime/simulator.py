@@ -332,6 +332,7 @@ def simulate_stream(
     alphas: dict[str, float] | None = None,
     qos: StreamingQoS | None = None,
     chunk_size: int = WorkloadGenerator.DEFAULT_CHUNK,
+    robustness: RobustnessConfig | None = None,
 ) -> StreamingSimulationResult:
     """Run one cell end-to-end in O(1) memory per request.
 
@@ -346,9 +347,9 @@ def simulate_stream(
     the alpha grid or histogram resolution (or to accumulate several
     scenarios into one view).
 
-    Streaming is fault-free and sequential-only: robustness configs and
-    the ``rta`` concurrent engine both need terminal lists, so they stay
-    on the batch path.
+    ``robustness`` works on the streaming path too (the unhappy terminals
+    fold into the accumulator's shed/failed/timed-out counters). Only the
+    ``rta`` concurrent engine stays batch-only.
     """
     if policy == "rta":
         raise SimulationError(
@@ -362,7 +363,7 @@ def simulate_stream(
         split_plans = default_split_plans(models, device.name)
     specs, engine = _specs_and_engine(
         policy, profiles, classes, device, split_plans, elastic, keep_trace,
-        alphas, robustness=None,
+        alphas, robustness,
     )
     assert isinstance(engine, SequentialEngine)
     if qos is None:

@@ -6,6 +6,16 @@ the single executor thread: it hands the token to the queue head, holds
 the (scaled-clock) processor for one block, and repeats — so preemption
 happens exactly at block boundaries, as in the engine.
 
+The live path is the thread-shaped adapter over the discrete-event
+kernel's dispatch contract: head selection, fault decisions, preemption
+accounting, plan fixing and failure settlement all go through the
+primitives in :mod:`repro.runtime.kernel` (:func:`select_head`,
+:func:`fault_decision`, :func:`is_preemption`, :func:`fix_plan`,
+:func:`settle_failure`), so the server cannot drift from the simulated
+engines — only the clock differs (real scaled time instead of virtual
+time, which is why this adapter keeps its own thread/condition plumbing
+instead of running the kernel's loop).
+
 With a :class:`~repro.robustness.RobustnessConfig` the pair also enforces
 the robustness contract (docs/robustness.md): expired requests are evicted
 from the queue, injected block failures are retried with backoff through a
@@ -26,6 +36,13 @@ from typing import Callable
 from repro.errors import ServerError
 from repro.robustness.config import RobustnessConfig
 from repro.robustness.faults import FaultKind
+from repro.runtime.kernel import (
+    fault_decision,
+    fix_plan,
+    is_preemption,
+    select_head,
+    settle_failure,
+)
 from repro.scheduling.policies.base import Scheduler
 from repro.scheduling.queue import RequestQueue
 from repro.scheduling.request import Request
@@ -82,6 +99,12 @@ class TokenScheduler:
             return float("inf")
         return self.robustness.deadline_ms(request)
 
+    def _leave(self, request: Request) -> None:
+        """Forget a request that left the system mid-flight: selecting
+        another request afterwards is not a preemption (lock held)."""
+        if self._last_granted is request:
+            self._last_granted = None
+
     def _evict_expired(self, now_ms: float) -> None:
         """Remove every queued request past its deadline (lock held)."""
         if self.robustness is None:
@@ -89,8 +112,7 @@ class TokenScheduler:
         for req in [r for r in self._queue if r is not self._executing]:
             if now_ms >= self._deadline(req):
                 self._queue.remove(req)
-                if self._last_granted is req:
-                    self._last_granted = None
+                self._leave(req)
                 self.timed_out += 1
                 if self._on_timeout is not None:
                     self._on_timeout(req)
@@ -104,8 +126,7 @@ class TokenScheduler:
             self._queue, now_ms, exclude=self._executing
         ):
             self._queue.remove(victim)
-            if self._last_granted is victim:
-                self._last_granted = None
+            self._leave(victim)
             self.shed += 1
             if self._on_shed is not None:
                 self._on_shed(victim)
@@ -154,7 +175,8 @@ class TokenScheduler:
         shutdown wake-up with an empty queue.
 
         The block is consumed under the queue lock so arrival-time greedy
-        insertions always observe consistent remaining-time state.
+        insertions always observe consistent remaining-time state. The
+        per-grant decisions are the kernel's dispatch primitives.
         """
         with self._work:
             self._unpark_due(now_ms)
@@ -164,45 +186,31 @@ class TokenScheduler:
                 return None
             self._evict_expired(now_ms)
             while not self._queue.empty:
-                idx = self.scheduler.select(self._queue, now_ms)
-                if idx != 0:
-                    self._queue.move_to_front(idx)
-                req = self._queue.peek()
+                req = select_head(self.scheduler, self._queue, now_ms)
                 fail = False
                 stall_factor = 1.0
-                if self._injector is not None:
-                    decision = self._injector.decide(
-                        req.task_type, req.arrival_ms, req.next_block, req.retries
-                    )
-                    if decision is not None:
-                        if decision.kind is FaultKind.DROP:
-                            self._queue.remove(req)
-                            if self._last_granted is req:
-                                self._last_granted = None
-                            self.failed += 1
-                            if self._on_failed is not None:
-                                self._on_failed(req)
-                            continue
-                        if decision.kind is FaultKind.STALL:
-                            stall_factor = decision.stall_factor
-                            self.stalls += 1
-                        else:
-                            fail = True
-                last = self._last_granted
-                if (
-                    last is not None
-                    and last is not req
-                    and last.started
-                    and not last.done
-                ):
-                    # A different request took the token while `last` still
-                    # has blocks pending: block-boundary preemption.
-                    last.preemptions += 1
+                decision = fault_decision(self._injector, req)
+                if decision is not None:
+                    if decision.kind is FaultKind.DROP:
+                        self._queue.remove(req)
+                        self._leave(req)
+                        self.failed += 1
+                        if self._on_failed is not None:
+                            self._on_failed(req)
+                        continue
+                    if decision.kind is FaultKind.STALL:
+                        stall_factor = decision.stall_factor
+                        self.stalls += 1
+                    else:
+                        fail = True
+                if is_preemption(self._last_granted, req):
+                    # A different request took the token while the last
+                    # one still has blocks pending: block-boundary
+                    # preemption.
+                    self._last_granted.preemptions += 1
                     self.preemptions += 1
                 self._last_granted = req
-                if not req.started:
-                    plan = self.scheduler.plan_for(req, self._queue, now_ms)
-                    req.begin(plan, now_ms)
+                fix_plan(self.scheduler, req, self._queue, now_ms)
                 self._executing = req
                 return TokenGrant(
                     request=req,
@@ -225,18 +233,13 @@ class TokenScheduler:
         park the request for a backed-off retry or fail it terminally."""
         if self.robustness is None:
             raise ServerError("report_failure needs a robustness config")
-        retry = self.robustness.retry
         with self._work:
             if self._executing is request:
                 self._executing = None
-            request.unpop_block()
-            request.retries += 1
+            ready_ms = settle_failure(request, now_ms, self.robustness.retry)
             self._queue.remove(request)
-            if self._last_granted is request:
-                # The request left the token; whoever runs next is not
-                # preempting it.
-                self._last_granted = None
-            if retry.exhausted(request.retries):
+            self._leave(request)
+            if ready_ms is None:
                 self.failed += 1
                 if self._on_failed is not None:
                     self._on_failed(request)
@@ -244,11 +247,7 @@ class TokenScheduler:
                 self.retries += 1
                 heapq.heappush(
                     self._parked,
-                    (
-                        now_ms + retry.backoff_ms(request.retries - 1),
-                        next(self._park_seq),
-                        request,
-                    ),
+                    (ready_ms, next(self._park_seq), request),
                 )
             self._work.notify()
 

@@ -1,0 +1,237 @@
+"""Differential golden-trace suite: kernel engines vs frozen legacy loops.
+
+``_legacy_engines.py`` holds verbatim copies of the pre-kernel
+``SequentialEngine`` (fast path, robust fork, streaming) and
+``MultiProcessorEngine`` loops. The kernel refactor's contract is that
+``robustness=None`` and robust runs alike perform the *same float
+operations in the same order* as those loops, so this suite demands
+exact equality — not approx — on:
+
+* block-level traces (canonicalised by arrival identity) for the six
+  Table-2 scenarios, fault-free and under the chaos config;
+* finish times and terminal-bucket membership;
+* scheduler counters (context switches, preemptions, retries, stalls);
+* QoS violation curves (float-identical, ``np.array_equal``);
+* streaming-sink outputs (the 100k pin runs when ``SPLIT_LARGE_N`` is
+  set; a smaller stream is the default so CI stays fast);
+* multi-engine placements and per-processor traces for all four routers.
+
+If any of these ever needs "approximately equal", the kernel has changed
+behaviour and the change must be justified, not absorbed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.robustness.config import RobustnessConfig
+from repro.robustness.faults import FaultPlan
+from repro.robustness.retry import RetryPolicy
+from repro.runtime.engine import SequentialEngine
+from repro.runtime.metrics import (
+    DEFAULT_ALPHA_GRID,
+    QoSReport,
+    StreamingQoS,
+    collect_records,
+    robustness_totals,
+)
+from repro.runtime.multi import ROUTERS, MultiProcessorEngine
+from repro.runtime.simulator import (
+    _profiles_for,
+    _request_classes,
+    default_split_plans,
+)
+from repro.runtime.workload import (
+    SCENARIOS,
+    Scenario,
+    WorkloadGenerator,
+    build_task_specs,
+    materialize_requests,
+    materialize_stream,
+)
+from repro.scheduling.policies import SplitScheduler
+from repro.zoo.registry import EVALUATED_MODELS
+
+from tests.runtime._legacy_engines import (
+    LEGACY_ROUTERS,
+    LegacyMultiProcessorEngine,
+    LegacySequentialEngine,
+)
+
+CHAOS = RobustnessConfig(
+    faults=FaultPlan(seed=11, fail_rate=0.10, stall_rate=0.05),
+    retry=RetryPolicy(max_retries=2, backoff_base_ms=2.0),
+    timeout_rr=40.0,
+)
+
+_SPECS = None
+_ITEMS: dict[str, list] = {}
+
+
+def split_specs():
+    global _SPECS
+    if _SPECS is None:
+        profiles = _profiles_for(EVALUATED_MODELS, "jetson-nano")
+        classes = _request_classes(EVALUATED_MODELS)
+        plans = default_split_plans(EVALUATED_MODELS, "jetson-nano")
+        _SPECS = build_task_specs(
+            profiles,
+            split_plans=plans,
+            plan_kind="split",
+            request_classes=classes,
+        )
+    return _SPECS
+
+
+def table2_arrivals(scenario: Scenario, seed: int = 0):
+    """Fresh Request objects for one engine run (engines mutate them)."""
+    if scenario.name not in _ITEMS:
+        _ITEMS[scenario.name] = WorkloadGenerator(
+            EVALUATED_MODELS, seed=seed
+        ).generate(scenario)
+    return materialize_requests(_ITEMS[scenario.name], split_specs())
+
+
+def identity(arrivals):
+    """request_id -> arrival index: the run-invariant request identity
+    (raw ids come from a process-global counter)."""
+    return {req.request_id: i for i, (_, req) in enumerate(arrivals)}
+
+
+def canon_trace(trace, ids):
+    return [
+        (
+            ids[e.request_id],
+            e.task_type,
+            e.block_index,
+            e.start_ms,
+            e.end_ms,
+            e.failed,
+        )
+        for e in trace.entries
+    ]
+
+
+def bucket_sig(requests, ids):
+    return sorted(
+        (ids[r.request_id], r.finish_ms, r.retries, r.preemptions)
+        for r in requests
+    )
+
+
+def curve(result) -> np.ndarray:
+    return QoSReport(collect_records(result)).violation_curve(
+        np.asarray(DEFAULT_ALPHA_GRID)
+    )
+
+
+class TestSequentialFaultFree:
+    @pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.name)
+    def test_table2_traces_and_curves_identical(self, scenario):
+        old_arr = table2_arrivals(scenario)
+        new_arr = table2_arrivals(scenario)
+        old = LegacySequentialEngine(SplitScheduler(), keep_trace=True).run(
+            old_arr
+        )
+        new = SequentialEngine(SplitScheduler(), keep_trace=True).run(new_arr)
+        assert canon_trace(new.trace, identity(new_arr)) == canon_trace(
+            old.trace, identity(old_arr)
+        )
+        assert bucket_sig(new.completed, identity(new_arr)) == bucket_sig(
+            old.completed, identity(old_arr)
+        )
+        assert len(new.dropped) == len(old.dropped)
+        assert new.context_switches == old.context_switches
+        assert new.preemptions == old.preemptions
+        assert (new.n_completed, new.n_dropped) == (
+            old.n_completed,
+            old.n_dropped,
+        )
+        assert np.array_equal(curve(new), curve(old))
+
+
+class TestSequentialChaos:
+    @pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.name)
+    def test_table2_robust_runs_identical(self, scenario):
+        old_arr = table2_arrivals(scenario)
+        new_arr = table2_arrivals(scenario)
+        old = LegacySequentialEngine(
+            SplitScheduler(), keep_trace=True, robustness=CHAOS
+        ).run(old_arr)
+        new = SequentialEngine(
+            SplitScheduler(), keep_trace=True, robustness=CHAOS
+        ).run(new_arr)
+        assert canon_trace(new.trace, identity(new_arr)) == canon_trace(
+            old.trace, identity(old_arr)
+        )
+        assert robustness_totals(new) == robustness_totals(old)
+        old_ids, new_ids = identity(old_arr), identity(new_arr)
+        for bucket in ("completed", "failed", "timed_out", "shed", "dropped"):
+            assert bucket_sig(getattr(new, bucket), new_ids) == bucket_sig(
+                getattr(old, bucket), old_ids
+            ), bucket
+        assert np.array_equal(curve(new), curve(old))
+
+
+class TestStreamingPin:
+    def _stream(self, n):
+        scenario = Scenario("diff-stream", 120.0, "high", n_requests=n)
+        gen = WorkloadGenerator(EVALUATED_MODELS, seed=7)
+        return materialize_stream(gen.iter_arrivals(scenario), split_specs())
+
+    def test_streaming_sink_identical(self):
+        # The 100k pin of the scaling PR; CI default keeps the suite fast.
+        n = 100_000 if os.environ.get("SPLIT_LARGE_N") else 3_000
+        old_qos, new_qos = StreamingQoS(), StreamingQoS()
+        old = LegacySequentialEngine(SplitScheduler()).run_stream(
+            self._stream(n), old_qos.observe
+        )
+        new = SequentialEngine(SplitScheduler()).run_stream(
+            self._stream(n), new_qos.observe
+        )
+        assert np.array_equal(
+            new_qos.violation_curve(), old_qos.violation_curve()
+        )
+        assert new_qos.totals() == old_qos.totals()
+        assert (new.n_completed, new.n_dropped) == (
+            old.n_completed,
+            old.n_dropped,
+        )
+        assert new.context_switches == old.context_switches
+        assert new.preemptions == old.preemptions
+
+
+class TestMultiRouters:
+    @pytest.mark.parametrize("router", sorted(ROUTERS))
+    def test_placements_and_traces_identical(self, router):
+        scenario = Scenario("diff-multi", 90.0, "high", n_requests=400)
+        old_arr = table2_arrivals(scenario, seed=3)
+        new_arr = table2_arrivals(scenario, seed=3)
+        old = LegacyMultiProcessorEngine(
+            [SplitScheduler(), SplitScheduler(), SplitScheduler()],
+            router=LEGACY_ROUTERS[router],
+            keep_trace=True,
+        ).run(old_arr)
+        new = MultiProcessorEngine(
+            [SplitScheduler(), SplitScheduler(), SplitScheduler()],
+            router=router,
+            keep_trace=True,
+        ).run(new_arr)
+        assert new.placements == old.placements
+        old_ids, new_ids = identity(old_arr), identity(new_arr)
+        assert set(new.traces) == set(old.traces)
+        for idx in new.traces:
+            assert canon_trace(new.traces[idx], new_ids) == canon_trace(
+                old.traces[idx], old_ids
+            ), f"processor {idx}"
+        assert bucket_sig(new.completed, new_ids) == bucket_sig(
+            old.completed, old_ids
+        )
+        assert (
+            new.engine_result.context_switches
+            == old.engine_result.context_switches
+        )
+        assert new.engine_result.preemptions == old.engine_result.preemptions

@@ -1,0 +1,224 @@
+"""Placement-policy behaviour of the multi-processor engine.
+
+Per-router placement assertions under block-boundary preemption, a
+hypothesis conservation property (every submitted request reaches exactly
+one terminal, for every router and processor count), and the features the
+kernel unification added to the multi engine: fault injection and
+streaming sinks.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.robustness.config import LoadShedConfig, RobustnessConfig
+from repro.robustness.faults import FaultPlan
+from repro.robustness.retry import RetryPolicy
+from repro.runtime.metrics import StreamingQoS, robustness_totals
+from repro.runtime.multi import ROUTERS, MultiProcessorEngine
+from repro.scheduling.policies import FIFOScheduler, SplitScheduler
+from repro.scheduling.request import Request, TaskSpec
+from repro.splitting.elastic import ElasticSplitConfig
+from repro.utils.rng import rng_from
+
+
+def split_scheduler():
+    """Split policy with elastic mode pinned off: long models always run
+    their block plans, so block-boundary preemption stays observable even
+    when the test workload drives the queue deep."""
+    return SplitScheduler(elastic=ElasticSplitConfig(enabled=False))
+
+
+def spec(name="m", ext=10.0, blocks=None):
+    return TaskSpec(name=name, ext_ms=ext, blocks_ms=blocks or (ext,))
+
+
+def arrivals(*items):
+    return [
+        (t, Request(task=spec(name, ext, blocks), arrival_ms=t))
+        for t, name, ext, blocks in items
+    ]
+
+
+def preemptive_mix(n=120, lam=10.0, seed=0):
+    """Long split models + short unsplit ones: short arrivals preempt
+    long residents at block boundaries under the split scheduler."""
+    rng = rng_from(seed, "multi-policies")
+    out, t = [], 0.0
+    for i in range(n):
+        t += float(rng.exponential(lam))
+        # i % 4, deliberately coprime with the 3-processor round-robin
+        # stride, so longs and shorts interleave on every processor.
+        if i % 4 == 0:
+            out.append((t, "long", 60.0, (20.0, 20.0, 20.0)))
+        else:
+            out.append((t, f"short{i % 2}", 8.0, None))
+    return arrivals(*out)
+
+
+def run_router(router, k=3, **kwargs):
+    engine = MultiProcessorEngine(
+        [split_scheduler() for _ in range(k)], router=router, **kwargs
+    )
+    arr = preemptive_mix()
+    return arr, engine.run(arr)
+
+
+class TestPlacementPerPolicy:
+    def test_round_robin_is_modular(self):
+        arr, res = run_router("round_robin")
+        n = len(arr)
+        assert res.placements == {
+            i: len(range(i, n, 3)) for i in range(3)
+        }
+        assert res.engine_result.preemptions > 0
+
+    def test_least_backlog_prefers_empty_processor(self):
+        # A long block occupies processor 0; the next arrival must land
+        # on an idle one.
+        engine = MultiProcessorEngine(
+            [split_scheduler(), split_scheduler()], router="least_backlog"
+        )
+        res = engine.run(
+            arrivals(
+                (0.0, "long", 60.0, (30.0, 30.0)),
+                (1.0, "short", 5.0, None),
+            )
+        )
+        assert res.placements == {0: 1, 1: 1}
+        by_name = {r.task_type: r for r in res.completed}
+        # Landing on the empty processor means no queueing delay at all.
+        assert by_name["short"].finish_ms == pytest.approx(6.0)
+
+    def test_shortest_queue_balances_simultaneous_burst(self):
+        engine = MultiProcessorEngine(
+            [FIFOScheduler(), FIFOScheduler()], router="shortest_queue"
+        )
+        res = engine.run(
+            arrivals(*[(0.0, f"m{i}", 10.0, None) for i in range(4)])
+        )
+        assert res.placements == {0: 2, 1: 2}
+
+    def test_model_affinity_is_sticky_under_preemption(self):
+        arr, res = run_router("model_affinity", keep_trace=True)
+        # Every model's blocks execute on exactly the processor its crc32
+        # hash names — preemption reorders blocks but never migrates them.
+        for idx, trace in res.traces.items():
+            for entry in trace.entries:
+                expected = zlib.crc32(entry.task_type.encode()) % 3
+                assert expected == idx
+        assert res.engine_result.preemptions > 0
+
+    @pytest.mark.parametrize("router", sorted(ROUTERS))
+    def test_preemption_bookkeeping_consistent(self, router):
+        arr, res = run_router(router, keep_trace=True)
+        assert len(res.completed) == len(arr)
+        res.verify_traces()
+        # Per-request preemption counts sum to the engine counter.
+        assert (
+            sum(r.preemptions for r in res.completed)
+            == res.engine_result.preemptions
+        )
+
+
+@st.composite
+def workloads(draw):
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    shapes = draw(
+        st.lists(
+            st.sampled_from(
+                [("short", 6.0, None), ("long", 24.0, (12.0, 12.0))]
+            ),
+            min_size=len(gaps),
+            max_size=len(gaps),
+        )
+    )
+    t, out = 0.0, []
+    for gap, (name, ext, blocks) in zip(gaps, shapes):
+        t += gap
+        out.append((t, name, ext, blocks))
+    return out
+
+
+class TestConservation:
+    @settings(max_examples=40, deadline=None)
+    @given(items=workloads(), k=st.integers(1, 4), router=st.sampled_from(sorted(ROUTERS)))
+    def test_every_request_reaches_one_terminal(self, items, k, router):
+        """served + dropped == submitted for every router and processor
+        count — no request is lost or double-counted by routing."""
+        engine = MultiProcessorEngine(
+            [split_scheduler() for _ in range(k)], router=router
+        )
+        res = engine.run(arrivals(*items))
+        er = res.engine_result
+        assert er.n_completed + er.n_dropped == len(items)
+        assert len(er.completed) + len(er.dropped) == len(items)
+        assert sum(res.placements.values()) == len(items)
+
+
+CHAOS = RobustnessConfig(
+    faults=FaultPlan(seed=11, fail_rate=0.10, stall_rate=0.05, drop_rate=0.02),
+    retry=RetryPolicy(max_retries=2, backoff_base_ms=2.0),
+    timeout_rr=40.0,
+)
+
+
+class TestMultiRobustness:
+    @pytest.mark.parametrize("router", sorted(ROUTERS))
+    def test_fault_injection_conserves_requests(self, router):
+        """The kernel unification gave the multi engine the robustness
+        layer: outcomes still partition the submitted set."""
+        arr = preemptive_mix(n=150, seed=4)
+        engine = MultiProcessorEngine(
+            [split_scheduler() for _ in range(3)],
+            router=router,
+            robustness=CHAOS,
+        )
+        res = engine.run(arr)
+        totals = robustness_totals(res.engine_result)
+        assert totals["submitted"] == len(arr)
+        assert totals["failed"] + totals["timed_out"] > 0
+        assert sum(res.placements.values()) == len(arr)
+
+    def test_load_shedding_per_processor(self):
+        cfg = RobustnessConfig(
+            load_shed=LoadShedConfig(max_queue_depth=2),
+        )
+        engine = MultiProcessorEngine(
+            [FIFOScheduler(), FIFOScheduler()],
+            router="round_robin",
+            robustness=cfg,
+        )
+        burst = arrivals(*[(0.0, f"m{i}", 50.0, None) for i in range(12)])
+        res = engine.run(burst)
+        totals = robustness_totals(res.engine_result)
+        assert totals["shed"] > 0
+        assert totals["submitted"] == 12
+
+    def test_run_stream_matches_run(self):
+        arr_batch = preemptive_mix(n=200, seed=9)
+        arr_stream = preemptive_mix(n=200, seed=9)
+        engine = lambda: MultiProcessorEngine(
+            [split_scheduler() for _ in range(3)],
+            router="least_backlog",
+            robustness=CHAOS,
+        )
+        batch = engine().run(arr_batch)
+        qos = StreamingQoS()
+        stream = engine().run_stream(iter(arr_stream), qos.observe)
+        bt = robustness_totals(batch.engine_result)
+        st_ = qos.totals()
+        for key in ("served", "rejected", "shed", "failed", "timed_out"):
+            assert st_[key] == bt[key], key
+        assert qos.n_requests == bt["submitted"]
+        assert stream.placements == batch.placements
