@@ -1,6 +1,6 @@
 # Development conveniences for the SPLIT reproduction.
 
-.PHONY: install test coverage typecheck bench bench-check experiments results examples clean
+.PHONY: install test coverage typecheck bench bench-check profile experiments results examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -32,10 +32,22 @@ bench:
 # What CI runs: tier-1 tests plus every benchmark's assertions with the
 # timing collection disabled (fast, and robust on shared runners), plus
 # the 100k streaming throughput pin against BENCH_50545cc.json (within
-# 10% of the pre-kernel baseline; see benchmarks/test_bench_regression.py).
+# 10% of the pre-kernel baseline; see benchmarks/test_bench_regression.py),
+# plus the recorded-trajectory diff: the newest committed BENCH_<rev>.json
+# must not regress requests/sec by more than 10% against the pre-kernel
+# baseline (python -m benchmarks.report --compare).
 bench-check:
 	pytest tests/ -q
 	SPLIT_BENCH_PIN=1 pytest benchmarks/ -q --benchmark-disable
+	python -m benchmarks.report --compare BENCH_50545cc.json
+
+# The 100k streaming cell under cProfile (top-25 by cumulative time) —
+# the loop the fast-lane optimisation work is steered by. Accepts
+# N/TOP overrides: make profile N=200000 TOP=40
+N ?= 100000
+TOP ?= 25
+profile:
+	python -m benchmarks.profile_stream $(N) $(TOP)
 
 experiments:
 	python -m repro.experiments all

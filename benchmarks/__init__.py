@@ -1,0 +1,1 @@
+"""Benchmark suite and reporting tools (``python -m benchmarks.report``)."""

@@ -1,0 +1,113 @@
+"""CI perf smoke: time the 100k streaming cell and emit ``BENCH_<rev>.json``.
+
+Gated on ``SPLIT_LARGE_N`` (like the other large-N checks) so plain local
+test runs never pay for it; CI sets the gate, uploads the emitted bench
+file as a workflow artifact, and fails the job if the best-of-3 run blows
+the wall-clock ceiling — a coarse guard against order-of-magnitude
+regressions that is robust to shared-runner noise (the precise 10%
+budget is enforced by ``make bench-check`` on a quiet machine).
+
+Usage::
+
+    python -m benchmarks.perf_smoke [out-dir]
+
+Exit codes: 0 on success or when gated off; 1 when the ceiling is blown.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from benchmarks.report import _short_rev
+
+N = 100_000
+ROUNDS = 3
+#: Generous ceiling for the best-of-3 wall time: the cell runs in well
+#: under a second on a quiet dev machine; 60 s only trips on collapse.
+CEILING_S = 60.0
+
+
+def main(argv: list[str]) -> int:
+    if not os.environ.get("SPLIT_LARGE_N"):
+        print("perf smoke skipped (set SPLIT_LARGE_N=1 to run)")
+        return 0
+    out_dir = Path(argv[1]) if len(argv) > 1 else Path(".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    from repro.runtime.engine import SequentialEngine
+    from repro.runtime.metrics import StreamingQoS
+    from repro.runtime.simulator import (
+        _profiles_for,
+        _request_classes,
+        default_split_plans,
+        warm_caches,
+    )
+    from repro.runtime.workload import (
+        Scenario,
+        WorkloadGenerator,
+        build_task_specs,
+        materialize_chunk_stream,
+    )
+    from repro.scheduling.policies import SplitScheduler
+    from repro.scheduling.request import RequestPool
+    from repro.zoo.registry import EVALUATED_MODELS
+
+    device = "jetson-nano"
+    warm_caches(EVALUATED_MODELS, device)
+    profiles = _profiles_for(EVALUATED_MODELS, device)
+    classes = _request_classes(EVALUATED_MODELS)
+    plans = default_split_plans(EVALUATED_MODELS, device)
+    specs = build_task_specs(
+        profiles, split_plans=plans, plan_kind="split", request_classes=classes
+    )
+    scenario = Scenario("perf-smoke-100k", 110.0, "high", n_requests=N)
+
+    best_s = float("inf")
+    for _ in range(ROUNDS):
+        source = materialize_chunk_stream(
+            WorkloadGenerator(EVALUATED_MODELS, seed=0),
+            scenario,
+            specs,
+            pool=RequestPool(),
+        )
+        qos = StreamingQoS()
+        t0 = time.perf_counter()
+        SequentialEngine(SplitScheduler()).run_stream(source, qos.observe)
+        best_s = min(best_s, time.perf_counter() - t0)
+        assert qos.n_requests == N
+
+    rps = N / best_s
+    report = {
+        "revision": _short_rev(),
+        "generated_utc": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "machine": os.environ.get("RUNNER_NAME", "ci"),
+        "benchmarks": {
+            "stream_100k": {
+                "best_s": round(best_s, 3),
+                "requests_per_sec": round(rps),
+            }
+        },
+    }
+    out = out_dir / f"BENCH_{report['revision']}.json"
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"stream_100k: best of {ROUNDS} = {best_s:.3f}s ({rps:,.0f} req/s)")
+    print(f"wrote {out}")
+    if best_s > CEILING_S:
+        print(
+            f"FAIL: best wall time {best_s:.3f}s exceeds the {CEILING_S:.0f}s "
+            "ceiling",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,84 @@
+"""Profile the 100k-request streaming cell under cProfile.
+
+``make profile`` runs this: one warm-up pass (so the profiled pass sees
+hot profile/plan caches, matching what the throughput pins measure),
+then the same pipeline under cProfile, printing the top entries by
+cumulative time. This is the loop the fast-lane work was steered by —
+when a change moves the throughput pin, this shows where the time went.
+
+Usage::
+
+    python -m benchmarks.profile_stream [n_requests] [top]
+
+Defaults: 100k requests, top 25 functions.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+import time
+
+from repro.runtime.engine import SequentialEngine
+from repro.runtime.metrics import StreamingQoS
+from repro.runtime.simulator import (
+    _profiles_for,
+    _request_classes,
+    default_split_plans,
+    warm_caches,
+)
+from repro.runtime.workload import (
+    Scenario,
+    WorkloadGenerator,
+    build_task_specs,
+    materialize_chunk_stream,
+)
+from repro.scheduling.policies import SplitScheduler
+from repro.scheduling.request import RequestPool
+from repro.zoo.registry import EVALUATED_MODELS
+
+DEVICE = "jetson-nano"
+
+
+def _run_once(specs, n: int) -> StreamingQoS:
+    scenario = Scenario("profile-stream", 110.0, "high", n_requests=n)
+    source = materialize_chunk_stream(
+        WorkloadGenerator(EVALUATED_MODELS, seed=0),
+        scenario,
+        specs,
+        pool=RequestPool(),
+    )
+    qos = StreamingQoS()
+    SequentialEngine(SplitScheduler()).run_stream(source, qos.observe)
+    return qos
+
+
+def main(argv: list[str]) -> int:
+    n = int(argv[1]) if len(argv) > 1 else 100_000
+    top = int(argv[2]) if len(argv) > 2 else 25
+    warm_caches(EVALUATED_MODELS, DEVICE)
+    profiles = _profiles_for(EVALUATED_MODELS, DEVICE)
+    classes = _request_classes(EVALUATED_MODELS)
+    plans = default_split_plans(EVALUATED_MODELS, DEVICE)
+    specs = build_task_specs(
+        profiles, split_plans=plans, plan_kind="split", request_classes=classes
+    )
+
+    t0 = time.perf_counter()
+    qos = _run_once(specs, n)  # warm-up + unprofiled reference timing
+    warm_s = time.perf_counter() - t0
+    assert qos.n_requests == n
+    print(f"unprofiled: {warm_s:.3f}s  ({n / warm_s:,.0f} req/s)\n")
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    _run_once(specs, n)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

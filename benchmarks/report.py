@@ -13,9 +13,18 @@ the handful of numbers the performance work is judged by:
 The output file is named after the current git revision so successive
 bench runs accumulate a comparable trajectory in the repo root.
 
+``--compare`` diffs two reports from that trajectory: per-benchmark
+deltas for every shared numeric metric, with a non-zero exit when any
+benchmark's ``requests_per_sec`` drops more than 10% — the regression
+budget ``make bench-check`` enforces against the committed baseline.
+
 Usage::
 
     python benchmarks/report.py <benchmark-json> [out-dir]
+    python -m benchmarks.report --compare OLD.json [NEW.json]
+
+``NEW.json`` defaults to the most recent ``BENCH_*.json`` (by its
+``generated_utc`` stamp) in the current directory, excluding ``OLD``.
 """
 
 from __future__ import annotations
@@ -38,6 +47,17 @@ def _short_rev() -> str:
         return "unknown"
 
 
+#: A ``requests_per_sec`` drop beyond this fraction fails ``--compare``.
+REGRESSION_TOLERANCE = 0.10
+
+#: Canonical short names for the headline cells, so successive bench
+#: files diff against hand-recorded baselines like ``BENCH_50545cc.json``
+#: (whose keys predate the pytest-benchmark naming).
+ALIASES = {
+    "test_bench_stream_100k_vs_list_baseline": "stream_100k",
+}
+
+
 def summarize(raw: dict) -> dict:
     """Per-benchmark mean wall time plus every ``extra_info`` pin."""
     benches = {}
@@ -46,6 +66,9 @@ def summarize(raw: dict) -> dict:
         entry: dict = {"mean_s": round(bench["stats"]["mean"], 6)}
         entry.update(bench.get("extra_info", {}))
         benches[name] = entry
+        alias = ALIASES.get(name)
+        if alias is not None and alias not in benches:
+            benches[alias] = dict(entry)
     return {
         "revision": _short_rev(),
         "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -54,7 +77,96 @@ def summarize(raw: dict) -> dict:
     }
 
 
+def newest_bench(directory: Path, exclude: Path | None = None) -> Path:
+    """The most recent ``BENCH_*.json`` by its ``generated_utc`` stamp."""
+    candidates = [
+        p
+        for p in directory.glob("BENCH_*.json")
+        if exclude is None or p.resolve() != exclude.resolve()
+    ]
+    if not candidates:
+        raise FileNotFoundError(f"no BENCH_*.json files in {directory}")
+
+    def stamp(path: Path) -> str:
+        try:
+            return str(json.loads(path.read_text()).get("generated_utc", ""))
+        except (OSError, json.JSONDecodeError):
+            return ""
+
+    return max(candidates, key=stamp)
+
+
+def compare(old: dict, new: dict) -> tuple[list[str], list[str]]:
+    """Per-benchmark metric deltas between two reports.
+
+    Returns ``(lines, regressions)``: human-readable delta lines for every
+    numeric metric the two reports share, and one message per benchmark
+    whose ``requests_per_sec`` dropped by more than
+    :data:`REGRESSION_TOLERANCE`.
+    """
+    lines: list[str] = []
+    regressions: list[str] = []
+    old_b, new_b = old.get("benchmarks", {}), new.get("benchmarks", {})
+    for name in sorted(set(old_b) | set(new_b)):
+        if name not in old_b:
+            lines.append(f"{name}: only in new report")
+            continue
+        if name not in new_b:
+            lines.append(f"{name}: only in old report")
+            continue
+        o, n = old_b[name], new_b[name]
+        for metric in sorted(set(o) & set(n)):
+            ov, nv = o[metric], n[metric]
+            if not all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in (ov, nv)
+            ):
+                continue
+            pct = (nv - ov) / ov * 100.0 if ov else float("nan")
+            lines.append(
+                f"{name}  {metric}: {ov:g} -> {nv:g}  ({pct:+.1f}%)"
+            )
+            if (
+                metric == "requests_per_sec"
+                and ov
+                and (nv - ov) / ov < -REGRESSION_TOLERANCE
+            ):
+                regressions.append(
+                    f"{name}: requests_per_sec regressed {pct:+.1f}% "
+                    f"({ov:g} -> {nv:g}), tolerance is "
+                    f"-{REGRESSION_TOLERANCE:.0%}"
+                )
+    return lines, regressions
+
+
+def _compare_main(argv: list[str]) -> int:
+    if not 3 <= len(argv) <= 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    old_path = Path(argv[2])
+    new_path = (
+        Path(argv[3]) if len(argv) == 4 else newest_bench(Path("."), old_path)
+    )
+    old = json.loads(old_path.read_text())
+    new = json.loads(new_path.read_text())
+    print(
+        f"comparing {old_path.name} (rev {old.get('revision', '?')}) -> "
+        f"{new_path.name} (rev {new.get('revision', '?')})"
+    )
+    lines, regressions = compare(old, new)
+    for line in lines:
+        print(f"  {line}")
+    if regressions:
+        for msg in regressions:
+            print(f"REGRESSION: {msg}", file=sys.stderr)
+        return 1
+    print("no throughput regressions beyond tolerance")
+    return 0
+
+
 def main(argv: list[str]) -> int:
+    if len(argv) >= 2 and argv[1] == "--compare":
+        return _compare_main(argv)
     if not 2 <= len(argv) <= 3:
         print(__doc__, file=sys.stderr)
         return 2

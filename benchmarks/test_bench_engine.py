@@ -39,10 +39,11 @@ from repro.runtime.workload import (
     Scenario,
     WorkloadGenerator,
     build_task_specs,
-    materialize_stream,
+    materialize_chunk_stream,
 )
 from repro.scheduling.policies import SplitScheduler
 from repro.scheduling.queue import ListBackedRequestQueue, RequestQueue
+from repro.scheduling.request import RequestPool
 from repro.splitting.genetic import GAConfig
 from repro.splitting.selection import choose_block_count
 from repro.utils.memwatch import PeakRSS
@@ -69,9 +70,10 @@ def _stream_once(ctx, scenario, queue_cls):
 
     ``simulate_stream`` always uses the default (deque+runs) backend, so
     the list-backed baseline assembles the same pipeline by hand: shared
-    profiles/plans, chunked arrivals, lazy materialization, StreamingQoS
-    sink. Both backends therefore time exactly the same work modulo the
-    queue data structure.
+    profiles/plans, vectorised arrival chunks, pooled request
+    materialization, StreamingQoS sink — the production fast-lane
+    pipeline. Both backends therefore time exactly the same work modulo
+    the queue data structure.
     """
     profiles = _profiles_for(ctx.models, ctx.device.name)
     classes = _request_classes(ctx.models)
@@ -81,8 +83,13 @@ def _stream_once(ctx, scenario, queue_cls):
     )
     engine = SequentialEngine(SplitScheduler(), queue_cls=queue_cls)
     qos = StreamingQoS()
-    arrivals = WorkloadGenerator(ctx.models, seed=ctx.seed).iter_arrivals(scenario)
-    engine.run_stream(materialize_stream(arrivals, specs), qos.observe)
+    source = materialize_chunk_stream(
+        WorkloadGenerator(ctx.models, seed=ctx.seed),
+        scenario,
+        specs,
+        pool=RequestPool(),
+    )
+    engine.run_stream(source, qos.observe)
     return qos
 
 

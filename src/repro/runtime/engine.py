@@ -72,12 +72,17 @@ class SequentialEngine:
         robustness: RobustnessConfig | None = None,
         queue_cls: type = RequestQueue,
         hooks: KernelHooks | None = None,
+        fast_lane: bool | None = None,
     ):
         self.scheduler = scheduler
         self.keep_trace = keep_trace
         self.robustness = robustness
         self.queue_cls = queue_cls
         self.hooks = hooks
+        #: Forwarded to the kernel: ``None`` auto-selects the fault-free
+        #: fast lane when eligible, ``False`` forces the reference loop
+        #: (the fast-lane differential tests run both sides through this).
+        self.fast_lane = fast_lane
 
     def _kernel(self, robustness: RobustnessConfig | None) -> EventKernel:
         return EventKernel(
@@ -86,6 +91,7 @@ class SequentialEngine:
             keep_trace=self.keep_trace,
             hooks=self.hooks,
             queue_cls=self.queue_cls,
+            fast_lane=self.fast_lane,
         )
 
     def run(self, arrivals: list[tuple[float, Request]]) -> EngineResult:
@@ -99,7 +105,9 @@ class SequentialEngine:
         schedule = sorted(arrivals, key=lambda pair: pair[0])
         kernel = self._kernel(self.robustness)
         result = EngineResult(trace=kernel.procs[0].trace)
-        kernel.run(iter(schedule), batch_sink(result), result)
+        # The sorted list goes to the kernel as-is: the fast lane consumes
+        # it in place, the reference lane iterates it.
+        kernel.run(schedule, batch_sink(result), result)
         return result
 
     def run_stream(
@@ -127,7 +135,13 @@ class SequentialEngine:
         """
         kernel = self._kernel(self.robustness)
         result = EngineResult(trace=kernel.procs[0].trace)
-        kernel.run(validated_stream(arrivals), sink, result)
+        if hasattr(arrivals, "next_chunk"):
+            # Chunk-capable sources (see kernel.ChunkSource) validate
+            # their own chunks: the fast lane consumes them whole, the
+            # reference lane iterates the same source element-wise.
+            kernel.run(arrivals, sink, result)
+        else:
+            kernel.run(validated_stream(arrivals), sink, result)
         return result
 
     # ----------------------------------------------------- deprecated shims

@@ -46,8 +46,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Protocol
+from typing import Any, Callable, Iterable, Iterator, Protocol
 
 from repro.errors import SimulationError
 from repro.robustness.config import RobustnessConfig
@@ -55,7 +56,7 @@ from repro.robustness.faults import FaultDecision, FaultInjector, FaultKind
 from repro.robustness.retry import RetryPolicy
 from repro.runtime.trace import ExecutionTrace, TraceEntry
 from repro.scheduling.policies.base import Scheduler
-from repro.scheduling.queue import RequestQueue
+from repro.scheduling.queue import ListBackedRequestQueue, RequestQueue
 from repro.scheduling.request import Request
 
 _INF = float("inf")
@@ -63,6 +64,31 @@ _INF = float("inf")
 #: Terminal sink: called exactly once per request with its outcome label
 #: ("served", "rejected", "shed", "failed" or "timed_out").
 RecordSink = Callable[[Request, str], None]
+
+#: How many arrivals the fast lane pulls from a plain iterator per refill,
+#: and how many terminals it buffers before flushing to the sink.
+_FAST_CHUNK = 4096
+
+
+class ChunkSource(Protocol):
+    """An arrival source that can hand out whole time-ordered chunks.
+
+    The kernel's fast lane recognises such sources by the presence of
+    :meth:`next_chunk` and consumes arrivals chunk-wise; the reference
+    lane (and any other consumer) iterates the same source element-wise.
+    ``pool`` is an optional :class:`~repro.scheduling.request.RequestPool`
+    the source draws requests from — when present, the fast lane recycles
+    terminal requests back into it after the sink has seen them, so the
+    sink must not retain references.
+    """
+
+    pool: Any
+
+    def next_chunk(self) -> tuple[list[float], list[Request]] | None:
+        """The next time-ordered ``(times, requests)`` chunk, or None."""
+        ...
+
+    def __iter__(self) -> Iterator[tuple[float, Request]]: ...
 
 
 @dataclass
@@ -360,6 +386,7 @@ class EventKernel:
         keep_trace: bool = False,
         hooks: KernelHooks | None = None,
         queue_cls: type = RequestQueue,
+        fast_lane: bool | None = None,
     ):
         if not schedulers:
             raise SimulationError("need at least one processor")
@@ -375,11 +402,65 @@ class EventKernel:
         self.adapter: QueueAdapter = adapter if adapter is not None else SingleQueue()
         self.robustness = robustness
         self.hooks = hooks
+        #: ``None`` selects the fault-free fast lane automatically when
+        #: eligible; ``False`` forces the reference loop (differential
+        #: tests pin the lanes against each other through this switch).
+        self.fast_lane = fast_lane
+        #: Which lane the last :meth:`run` call took ("fast"/"reference").
+        self.lane_used: str | None = None
         self._injector: FaultInjector | None = None
         self._shedder = None
         if robustness is not None:
             self._injector = robustness.make_injector()
             self._shedder = robustness.make_shedder()
+
+    # ----------------------------------------------------------- fast lane
+    def _fast_eligible(self) -> bool:
+        """Whether :meth:`run` may take the fault-free fast lane.
+
+        The fast lane replays the reference loop's float operations in the
+        same order but batches arrival admission and terminal settlement;
+        that is only sound when nothing can observe the intermediate
+        states it skips: no robustness machinery (retries, deadlines,
+        shedding, fault injection), no observer hooks beyond the no-op
+        defaults, a single processor behind the trivial adapter, and one
+        of the two known queue backends (whose batched insert is pinned
+        against per-request inserts by the equivalence suite).
+        """
+        if self.fast_lane is False:
+            return False
+        if self.robustness is not None:
+            return False
+        hooks = self.hooks
+        if hooks is not None and type(hooks) is not Hooks:
+            return False
+        if len(self.procs) != 1:
+            return False
+        if type(self.adapter) is not SingleQueue:
+            return False
+        queue_type = type(self.procs[0].queue)
+        return queue_type is RequestQueue or queue_type is ListBackedRequestQueue
+
+    @staticmethod
+    def _batch_observer(
+        emit: RecordSink,
+    ) -> Callable[[list[Request], list[str]], None] | None:
+        """Resolve a sink's batched variant, if it offers one.
+
+        A bound method ``obj.observe`` opts into batched settlement by
+        defining ``obj.observe_batch(requests, outcomes)`` (same naming
+        convention for any sink name). The batched variant must be
+        observably identical to calling the scalar sink once per request
+        in order; ``StreamingQoS.observe_batch`` is the canonical case.
+        """
+        func = getattr(emit, "__func__", None)
+        owner = getattr(emit, "__self__", None)
+        if func is None or owner is None:
+            return None
+        batch = getattr(owner, func.__name__ + "_batch", None)
+        if not callable(batch):
+            return None
+        return batch  # type: ignore[no-any-return]
 
     # ----------------------------------------------------------- lifecycle
     def _terminal(
@@ -495,7 +576,7 @@ class EventKernel:
     # ---------------------------------------------------------------- run
     def run(
         self,
-        schedule: Iterator[tuple[float, Request]],
+        schedule: Iterable[tuple[float, Request]],
         emit: RecordSink,
         result: EngineResult,
     ) -> EngineResult:
@@ -503,10 +584,21 @@ class EventKernel:
 
         ``schedule`` yields ``(time_ms, request)`` in nondecreasing time
         order (callers validate via :func:`validate_batch_arrivals` +
-        sort, or :func:`validated_stream`); ``emit`` receives every
-        terminal request exactly once. Counters and traces accumulate on
+        sort, or :func:`validated_stream`; :class:`ChunkSource` objects
+        validate their own chunks); ``emit`` receives every terminal
+        request exactly once. Counters and traces accumulate on
         ``result``, which is returned for convenience.
+
+        Fault-free default-configuration runs take the batched fast lane
+        (see :meth:`_fast_eligible`); everything else runs the reference
+        loop below. Both produce byte-identical traces and float-identical
+        results — the differential suite pins it.
         """
+        if self._fast_eligible():
+            self.lane_used = "fast"
+            return self._run_fast(schedule, emit, result)
+        self.lane_used = "reference"
+        stream = iter(schedule)
         procs = self.procs
         single = len(procs) == 1
         p0 = procs[0]
@@ -517,7 +609,7 @@ class EventKernel:
         shedding = self._shedder is not None
         retry_heap: list[tuple[float, int, int, Request]] = []
         retry_seq = itertools.count()
-        pending: tuple[float, Request] | None = next(schedule, None)
+        pending: tuple[float, Request] | None = next(stream, None)
 
         while True:
             # An idle processor with pending work dispatches immediately,
@@ -550,7 +642,7 @@ class EventKernel:
             if next_arrival <= next_retry and next_arrival <= next_done:
                 now = next_arrival
                 req = pending[1]  # type: ignore[index]
-                pending = next(schedule, None)
+                pending = next(stream, None)
                 proc = p0 if single else procs[adapter.route(procs, req)]
                 proc.now = max(proc.now, now)
                 proc.dispatched_arrivals += 1
@@ -652,6 +744,242 @@ class EventKernel:
         if leftovers:
             raise SimulationError(
                 f"engine finished with {leftovers} requests still queued"
+            )
+        return result
+
+    def _run_fast(
+        self,
+        schedule: Iterable[tuple[float, Request]],
+        emit: RecordSink,
+        result: EngineResult,
+    ) -> EngineResult:
+        """The fault-free fast lane: the reference loop with its three
+        per-request costs batched away.
+
+        Same event order, same float operations (the differential suite
+        pins byte-identical traces and float-identical QoS), reached by
+        exploiting three invariants of the fault-free single-processor
+        loop: (a) while a block runs, every arrival at or before its end
+        is admitted consecutively with no other event in between, so a
+        whole run of pending arrivals can be admitted in one
+        ``bulk_admit`` call; (b) after a finish drains the queue, the next
+        arrival's own time is the grant time; (c) terminal settlement is
+        order-sensitive only in the sink-call sequence, so terminals are
+        buffered and flushed through the sink's batched variant
+        (``observe_batch``) in original order.
+
+        Arrivals come from a :class:`ChunkSource` (structure-of-arrays
+        chunks, ~zero allocation with a request pool), a pre-validated
+        list, or any iterator (pulled in chunks). ``preemption_overhead_ms``
+        is read once per run — it is a policy constant.
+        """
+        proc = self.procs[0]
+        scheduler = proc.scheduler
+        queue = proc.queue
+        # Eligibility pinned the exact queue type, so reading its backing
+        # sequence for the emptiness test is safe (and skips a property
+        # call per finished block).
+        queue_items = queue._items
+        trace = proc.trace
+
+        # -- arrival source normalisation --------------------------------
+        times: list[float] = []
+        reqs: list[Request] = []
+        i = 0
+        n = 0
+        pool = None
+        if hasattr(schedule, "next_chunk"):
+            source: ChunkSource = schedule  # type: ignore[assignment]
+            pool = source.pool
+
+            def refill() -> bool:
+                nonlocal times, reqs, i, n
+                while True:
+                    nxt = source.next_chunk()
+                    if nxt is None:
+                        return False
+                    if nxt[0]:
+                        times, reqs = nxt
+                        i, n = 0, len(times)
+                        return True
+        elif isinstance(schedule, list):
+            # Batch entry point: validated and sorted by the caller.
+            times = [pair[0] for pair in schedule]
+            reqs = [pair[1] for pair in schedule]
+            n = len(times)
+
+            def refill() -> bool:
+                return False
+        else:
+            stream = iter(schedule)
+
+            def refill() -> bool:
+                nonlocal times, reqs, i, n
+                pairs = list(itertools.islice(stream, _FAST_CHUNK))
+                if not pairs:
+                    return False
+                times = [pair[0] for pair in pairs]
+                reqs = [pair[1] for pair in pairs]
+                i, n = 0, len(times)
+                return True
+
+        # -- per-run constants and buffered settlement -------------------
+        bulk = getattr(scheduler, "bulk_admit", None)
+        default_select = type(scheduler).select is Scheduler.select
+        overhead = scheduler.preemption_overhead_ms
+        batch_observer = self._batch_observer(emit)
+        out_reqs: list[Request] = []
+        out_outcomes: list[str] = []
+
+        def flush() -> None:
+            if not out_reqs:
+                return
+            if batch_observer is not None:
+                batch_observer(out_reqs, out_outcomes)
+            else:
+                for done_req, outcome in zip(out_reqs, out_outcomes):
+                    emit(done_req, outcome)
+            if pool is not None:
+                pool.recycle(out_reqs)
+            out_reqs.clear()
+            out_outcomes.clear()
+
+        # -- the loop, over locals ---------------------------------------
+        proc_now = proc.now
+        dispatched = 0
+        n_completed = 0
+        n_dropped = 0
+        context_switches = 0
+        preemptions = 0
+        running: Request | None = None
+        last_executed: Request | None = proc.last_executed
+        block_start = proc.block_start
+        block_end = _INF
+
+        while True:
+            if running is None:
+                # Idle processor == empty queue (fault-free invariant):
+                # the next arrival opens service at its own time.
+                if i >= n and not refill():
+                    break
+                t = times[i]
+                req = reqs[i]
+                i += 1
+                proc_now = t
+                dispatched += 1
+                if not scheduler.on_arrival(queue, req, t):
+                    n_dropped += 1
+                    out_reqs.append(req)
+                    out_outcomes.append("rejected")
+                    if len(out_reqs) >= _FAST_CHUNK:
+                        flush()
+                    continue
+                now = t
+            else:
+                # Admit every arrival at or before the running block's end
+                # (arrival fires before finish on exact ties). Nothing else
+                # can happen in between, so whole runs settle at once.
+                while True:
+                    if i < n:
+                        j = bisect_right(times, block_end, i)
+                        if j > i:
+                            dispatched += j - i
+                            proc_now = times[j - 1]
+                            batch = reqs[i:j]
+                            if bulk is not None:
+                                i = j
+                                bulk(queue, batch)
+                            else:
+                                batch_ts = times[i:j]
+                                i = j
+                                for bi, breq in enumerate(batch):
+                                    if not scheduler.on_arrival(
+                                        queue, breq, batch_ts[bi]
+                                    ):
+                                        n_dropped += 1
+                                        out_reqs.append(breq)
+                                        out_outcomes.append("rejected")
+                                if len(out_reqs) >= _FAST_CHUNK:
+                                    flush()
+                        if i < n:
+                            break  # next arrival is past this block
+                    if not refill():
+                        break
+                # Finish the running block.
+                now = block_end
+                proc_now = now
+                req = running
+                if trace is not None:
+                    trace.record(
+                        TraceEntry(
+                            request_id=req.request_id,
+                            task_type=req.task_type,
+                            block_index=req.next_block - 1,
+                            start_ms=block_start,
+                            end_ms=now,
+                            failed=False,
+                        )
+                    )
+                plan = req.plan_ms
+                assert plan is not None
+                if req.next_block == len(plan):
+                    req.finish_ms = now
+                    queue.remove(req)
+                    n_completed += 1
+                    out_reqs.append(req)
+                    out_outcomes.append("served")
+                    if len(out_reqs) >= _FAST_CHUNK:
+                        flush()
+                if not queue_items:
+                    running = None
+                    block_end = _INF
+                    continue
+            # ---- grant (the reference _grant, fault-free, inlined) ----
+            if default_select:
+                head = queue.peek()
+            else:
+                idx = scheduler.select(queue, now)
+                if idx != 0:
+                    queue.move_to_front(idx)
+                head = queue.peek()
+            switch_cost = 0.0
+            last = last_executed
+            if (
+                last is not None
+                and last is not head
+                and last.finish_ms is None
+                and last.first_start_ms is not None
+            ):
+                switch_cost = overhead
+                last.preemptions += 1
+                preemptions += 1
+            if last is not None and last is not head:
+                context_switches += 1
+            if head.first_start_ms is None:
+                head.begin(scheduler.plan_for(head, queue, now), now)
+            head_plan = head.plan_ms
+            assert head_plan is not None
+            nb = head.next_block
+            head.next_block = nb + 1
+            block_start = now + switch_cost
+            block_end = block_start + head_plan[nb]
+            running = head
+            last_executed = head
+
+        flush()
+        proc.now = proc_now
+        proc.dispatched_arrivals += dispatched
+        proc.running = None
+        proc.block_end = _INF
+        proc.block_start = block_start
+        proc.last_executed = last_executed
+        result.n_completed += n_completed
+        result.n_dropped += n_dropped
+        result.context_switches += context_switches
+        result.preemptions += preemptions
+        if len(queue):
+            raise SimulationError(
+                f"engine finished with {len(queue)} requests still queued"
             )
         return result
 

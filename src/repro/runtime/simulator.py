@@ -34,8 +34,8 @@ from repro.runtime.workload import (
     Scenario,
     WorkloadGenerator,
     build_task_specs,
+    materialize_chunk_stream,
     materialize_requests,
-    materialize_stream,
 )
 from repro.scheduling.policies import (
     ClockWorkScheduler,
@@ -46,6 +46,7 @@ from repro.scheduling.policies import (
     SJFScheduler,
     SplitScheduler,
 )
+from repro.scheduling.request import RequestPool
 from repro.splitting.elastic import ElasticSplitConfig
 from repro.splitting.genetic import GAConfig
 from repro.splitting.selection import choose_block_count
@@ -336,11 +337,15 @@ def simulate_stream(
 ) -> StreamingSimulationResult:
     """Run one cell end-to-end in O(1) memory per request.
 
-    The bounded-memory pipeline: ``WorkloadGenerator.iter_arrivals``
-    (chunked Poisson draws, heap-merged) feeds
-    :func:`~repro.runtime.workload.materialize_stream`, the engine's
-    ``run_stream`` consumes it lazily, and every terminal request folds
-    into a :class:`~repro.runtime.metrics.StreamingQoS` accumulator. The
+    The bounded-memory pipeline: ``WorkloadGenerator.iter_arrival_chunks``
+    (vectorised Poisson draws, lexsort-merged) feeds
+    :func:`~repro.runtime.workload.materialize_chunk_stream` backed by a
+    :class:`~repro.scheduling.request.RequestPool` (terminal requests are
+    recycled by the kernel's fast lane, so steady-state allocation is
+    ~zero), the engine's ``run_stream`` consumes it chunk-wise on the fast
+    lane (element-wise on the reference lane), and every terminal request
+    folds into a :class:`~repro.runtime.metrics.StreamingQoS` accumulator.
+    The
     scheduling decisions — and therefore every QoS number on the shared
     alpha grid — are identical to :func:`simulate` with the same
     arguments; only the aggregation differs. Pass ``qos`` to configure
@@ -368,10 +373,14 @@ def simulate_stream(
     assert isinstance(engine, SequentialEngine)
     if qos is None:
         qos = StreamingQoS()
-    arrivals = WorkloadGenerator(models, seed=seed).iter_arrivals(
-        scenario, chunk_size=chunk_size
+    source = materialize_chunk_stream(
+        WorkloadGenerator(models, seed=seed),
+        scenario,
+        specs,
+        chunk_size=chunk_size,
+        pool=RequestPool(),
     )
-    engine_result = engine.run_stream(materialize_stream(arrivals, specs), qos.observe)
+    engine_result = engine.run_stream(source, qos.observe)
     return StreamingSimulationResult(
         policy=policy,
         scenario=scenario,

@@ -9,14 +9,15 @@ every policy so comparisons are paired.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.profiling.records import ModelProfile
-from repro.scheduling.request import Request, TaskSpec
+from repro.scheduling.request import Request, RequestPool, TaskSpec
 from repro.types import RequestClass
 from repro.utils.rng import rng_from
 
@@ -161,6 +162,100 @@ class WorkloadGenerator:
         for t, _, name in heapq.merge(*streams):
             yield (t, name)
 
+    def iter_arrival_chunks(
+        self, scenario: Scenario, chunk_size: int = DEFAULT_CHUNK
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """The merged arrival schedule as ``(times, model_indices)`` numpy
+        chunks — the structure-of-arrays feed of the kernel's fast lane.
+
+        Concatenating the chunks reproduces :meth:`iter_arrivals`'s
+        ``(t, model)`` sequence bit-for-bit: each model's times come from
+        the exact :meth:`_poisson_stream` recipe (same RNG call sizes,
+        same seeded cumsum), and each round merges with one stable
+        ``lexsort`` on ``(time, model position)`` — the heap's tie order.
+
+        Per round, every model keeps a buffered block of future arrivals;
+        the *horizon* is the lowest last-buffered time among models that
+        can still draw more. Everything strictly below the horizon is
+        safe to emit (any future draw of any model lands at or above it;
+        strictness keeps a zero-gap tie at the horizon ordered by model
+        position). When nothing clears the horizon, the constraining
+        stream is grown until it moves or exhausts.
+        """
+        if chunk_size < 1:
+            raise SimulationError("chunk_size must be >= 1")
+        counts = self._model_counts(scenario.n_requests)
+        lam = scenario.lambda_ms
+        model_pos: list[int] = []
+        rngs: list[np.random.Generator] = []
+        lasts: list[float] = []
+        produced: list[int] = []
+        totals: list[int] = []
+        bufs: list[np.ndarray] = []
+        for idx, (name, count) in enumerate(zip(self.models, counts)):
+            if count == 0:
+                continue
+            model_pos.append(idx)
+            rngs.append(rng_from(self.seed, "workload", scenario.name, name))
+            lasts.append(0.0)
+            produced.append(0)
+            totals.append(count)
+            bufs.append(np.empty(0, dtype=np.float64))
+        m = len(model_pos)
+
+        def refill(k: int) -> None:
+            size = min(chunk_size, totals[k] - produced[k])
+            gaps = rngs[k].exponential(lam, size=size)
+            times = np.cumsum(np.concatenate(((lasts[k],), gaps)))[1:]
+            lasts[k] = float(times[-1])
+            produced[k] += size
+            bufs[k] = np.concatenate((bufs[k], times)) if bufs[k].size else times
+
+        while True:
+            for k in range(m):
+                if not bufs[k].size and produced[k] < totals[k]:
+                    refill(k)
+            if not any(buf.size for buf in bufs):
+                return
+            horizon = math.inf
+            for k in range(m):
+                if produced[k] < totals[k]:
+                    last_buffered = float(bufs[k][-1])
+                    if last_buffered < horizon:
+                        horizon = last_buffered
+            take = [
+                (
+                    int(np.searchsorted(bufs[k], horizon, side="left"))
+                    if horizon != math.inf
+                    else bufs[k].size
+                )
+                for k in range(m)
+            ]
+            if not sum(take):
+                # Every buffered arrival sits at or past the horizon: grow
+                # the constraining stream(s) until the horizon moves.
+                for k in range(m):
+                    if (
+                        produced[k] < totals[k]
+                        and bufs[k].size
+                        and float(bufs[k][-1]) == horizon
+                    ):
+                        refill(k)
+                continue
+            t_parts = [bufs[k][: take[k]] for k in range(m) if take[k]]
+            idx_parts = [
+                np.full(take[k], model_pos[k], dtype=np.int64)
+                for k in range(m)
+                if take[k]
+            ]
+            for k in range(m):
+                if take[k]:
+                    bufs[k] = bufs[k][take[k] :]
+            t_cat = np.concatenate(t_parts)
+            idx_cat = np.concatenate(idx_parts)
+            order = np.lexsort((idx_cat, t_cat))
+            yield t_cat[order], idx_cat[order]
+
 
 def prema_chunk_plan(profile: ModelProfile, n_chunks: int = 4) -> tuple[float, ...]:
     """PREMA's checkpoint plan: chunks of (nearly) equal *operator count*.
@@ -252,3 +347,102 @@ def materialize_stream(
         if spec is None:
             raise SimulationError(f"no TaskSpec for model {model_name!r}")
         yield (arrival_ms, Request(task=spec, arrival_ms=arrival_ms))
+
+
+class RequestChunkStream:
+    """Chunk-capable arrival source (the kernel's ``ChunkSource`` shape).
+
+    Wraps :meth:`WorkloadGenerator.iter_arrival_chunks` output — or any
+    iterator of ``(times, model_indices)`` array pairs — plus a
+    model-position → :class:`TaskSpec` table. :meth:`next_chunk` validates
+    each chunk (same :class:`SimulationError` messages as
+    ``validated_stream``) and materialises Requests, drawing from ``pool``
+    when one is given so steady-state allocation is ~zero.
+
+    A pooled stream must only feed sinks that retain no terminal requests
+    (``StreamingQoS`` qualifies; the batch engine's result lists do not) —
+    the kernel recycles each request right after its sink call. Iterating
+    the stream element-wise yields the same validated ``(t, request)``
+    pairs, which is how the reference lane consumes it.
+    """
+
+    def __init__(
+        self,
+        chunks: Iterator[tuple[np.ndarray, np.ndarray]],
+        specs_by_index: Sequence[TaskSpec],
+        pool: RequestPool | None = None,
+    ):
+        self._chunks = chunks
+        self._specs: list[TaskSpec] = list(specs_by_index)
+        self.pool = pool
+        self._last = 0.0
+
+    def next_chunk(self) -> tuple[list[float], list[Request]] | None:
+        nxt = next(self._chunks, None)
+        if nxt is None:
+            return None
+        t_arr = np.asarray(nxt[0], dtype=np.float64)
+        times: list[float] = t_arr.tolist()
+        if times:
+            # Vectorised equivalent of validated_stream's element checks.
+            if (
+                float(t_arr.min()) < 0.0
+                or times[0] < self._last
+                or bool(np.any(np.diff(t_arr) < 0.0))
+            ):
+                self._raise_invalid(times)
+            self._last = times[-1]
+        specs = self._specs
+        pool = self.pool
+        indices: list[int] = np.asarray(nxt[1]).tolist()
+        if pool is not None:
+            take = pool.take
+            requests = [take(specs[k], t) for t, k in zip(times, indices)]
+        else:
+            requests = [
+                Request(task=specs[k], arrival_ms=t)
+                for t, k in zip(times, indices)
+            ]
+        return times, requests
+
+    def _raise_invalid(self, times: list[float]) -> None:
+        """Pinpoint the first offending time, validated_stream-style."""
+        last = self._last
+        for t in times:
+            if t < 0:
+                raise SimulationError(f"negative arrival time {t}")
+            if t < last:
+                raise SimulationError(
+                    f"arrival stream not time-ordered: {t} after {last}"
+                )
+            last = t
+        raise SimulationError("arrival chunk failed validation")
+
+    def __iter__(self) -> Iterator[tuple[float, Request]]:
+        while True:
+            chunk = self.next_chunk()
+            if chunk is None:
+                return
+            yield from zip(chunk[0], chunk[1])
+
+
+def materialize_chunk_stream(
+    generator: WorkloadGenerator,
+    scenario: Scenario,
+    specs: dict[str, TaskSpec],
+    chunk_size: int = WorkloadGenerator.DEFAULT_CHUNK,
+    pool: RequestPool | None = None,
+) -> RequestChunkStream:
+    """The chunked counterpart of :func:`materialize_stream`: arrival
+    chunks from ``generator`` joined with its model mix's TaskSpecs.
+    Missing specs raise up front (the stream could not deliver their
+    requests later anyway)."""
+    table: list[TaskSpec] = []
+    for name in generator.models:
+        spec = specs.get(name)
+        if spec is None:
+            raise SimulationError(f"no TaskSpec for model {name!r}")
+        table.append(spec)
+    return RequestChunkStream(
+        generator.iter_arrival_chunks(scenario, chunk_size), table, pool=pool
+    )

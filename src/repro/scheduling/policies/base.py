@@ -22,6 +22,14 @@ class Scheduler(abc.ABC):
     #: Extra latency charged when the processor switches away from a
     #: partially-executed request (checkpoint save/restore cost).
     preemption_overhead_ms: float = 0.0
+    #: Optional batched admission: ``bulk_admit(queue, requests)`` takes a
+    #: time-ordered arrival chunk and must be observably identical —
+    #: ordering, counters, side effects — to calling :meth:`on_arrival`
+    #: once per request in order, and may only be provided by policies that
+    #: never reject. ``None`` (the default) makes the kernel's fast lane
+    #: fall back to per-request admission; policies opt in by defining a
+    #: method of this name (see ``SplitScheduler``).
+    bulk_admit = None
 
     @abc.abstractmethod
     def on_arrival(self, queue: RequestQueue, request: Request, now_ms: float) -> bool:

@@ -14,7 +14,7 @@ from repro.scheduling.greedy import greedy_insert
 from repro.scheduling.policies.base import Scheduler
 from repro.scheduling.queue import RequestQueue
 from repro.scheduling.request import Request
-from repro.splitting.elastic import ElasticPolicy, ElasticSplitConfig, QueueSnapshot
+from repro.splitting.elastic import ElasticPolicy, ElasticSplitConfig
 
 
 class SplitScheduler(Scheduler):
@@ -32,15 +32,29 @@ class SplitScheduler(Scheduler):
             self.preempt_inserts += 1
         return True
 
+    def bulk_admit(self, queue: RequestQueue, requests: list[Request]) -> None:
+        """Admit a time-ordered arrival chunk; identical placements and
+        counters to per-request :meth:`on_arrival` calls (pinned by the
+        fast-lane differential suite). SPLIT never rejects, so the chunk
+        is always fully admitted."""
+        n_before = len(queue)
+        positions = queue.bulk_greedy_insert(requests)
+        # ``pos == 0 and len(queue) > 1`` evaluated as of each insert: only
+        # the chunk's first insert into an empty queue is excluded (every
+        # later insert at 0 lands ahead of at least one queued request).
+        bumps = positions.count(0)
+        if bumps and n_before == 0 and positions[0] == 0:
+            bumps -= 1
+        self.preempt_inserts += bumps
+
     def plan_for(
         self, request: Request, queue: RequestQueue, now_ms: float
     ) -> tuple[float, ...]:
-        # The queue maintains its task-type census incrementally, so the
-        # elastic decision is O(#types) per first dispatch instead of the
-        # O(queue length) scan ``QueueSnapshot.from_types(queue.task_types())``
-        # used to pay — on deep overload queues that scan dominated the
-        # whole event loop. The counts are identical by construction.
-        snapshot = QueueSnapshot(depth=len(queue), type_counts=queue.type_counts())
-        if self.elastic.should_split(snapshot):
+        # The queue maintains its task-type census incrementally and hands
+        # out the live dict (``type_census``), so the elastic decision is
+        # O(#types) per first dispatch with zero allocation — on deep
+        # overload queues the old per-dispatch census copy was a top-three
+        # profile entry. The decision reads the counts and drops them.
+        if self.elastic.should_split_counts(len(queue), queue.type_census()):
             return request.task.blocks_ms
-        return (request.task.ext_ms,)
+        return request.task.unsplit_plan

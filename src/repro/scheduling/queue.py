@@ -75,6 +75,7 @@ class RequestQueue:
         "_arrival_index",
         "_arrival_seq",
         "_runs",
+        "_pair_verdicts",
     )
 
     def __init__(self) -> None:
@@ -82,6 +83,12 @@ class RequestQueue:
         self._ids: set[int] = set()
         #: Live census of queued task types (no zero-count keys).
         self._type_counts: dict[str, int] = {}
+        #: Memo for :meth:`bulk_greedy_insert`: ``(id(new_task), id(run_
+        #: task)) -> (new_task, run_task, stop?)``. Valid because the stop
+        #: test between a never-started arrival and a *compressed* run
+        #: depends only on the two task constants; the cached strong
+        #: references pin both ids, so a hit always means the same pair.
+        self._pair_verdicts: dict[tuple[int, int], tuple[object, object, bool]] = {}
         #: Lazy per-type min-heaps of ``(arrival_ms, seq, request)``; None
         #: until :meth:`min_arrival_candidates` is first called, so queues
         #: that never serve a priority policy pay nothing for it.
@@ -304,17 +311,172 @@ class RequestQueue:
         self._items.appendleft(item)
 
     def remove(self, request: Request) -> None:
-        if request.request_id not in self._ids:
-            raise SchedulingError(f"request {request.request_id} not in queue")
+        rid = request.request_id
+        if rid not in self._ids:
+            raise SchedulingError(f"request {rid} not in queue")
+        items = self._items
         # The engine removes the request it just finished running, which
-        # sits at (or near) the head — this scan is O(1) in practice.
-        for i, item in enumerate(self._items):
+        # sits at (or near) the head — the head case takes a branch-free
+        # path, the rest a scan that is O(1) in practice.
+        if items[0] is request:
+            runs = self._runs
+            first = runs[0]
+            if first[1] == 1:
+                runs.popleft()
+            else:
+                first[1] -= 1
+            items.popleft()
+            self._ids.discard(rid)
+            counts = self._type_counts
+            ttype = request.task_type
+            left = counts[ttype] - 1
+            if left:
+                counts[ttype] = left
+            else:
+                del counts[ttype]
+            return
+        for i, item in enumerate(items):
             if item is request:
                 self._run_delete(i)
-                del self._items[i]
+                del items[i]
                 self._untrack(request)
                 return
-        raise SchedulingError(f"request {request.request_id} not in queue")
+        raise SchedulingError(f"request {rid} not in queue")
+
+    def bulk_greedy_insert(self, requests: list[Request]) -> list[int]:
+        """Insert a whole arrival chunk by the greedy rule (Algorithm 1,
+        Eq. 3), returning each request's insertion index.
+
+        Byte-identical outcome to calling
+        :func:`repro.scheduling.greedy.greedy_insert` once per request in
+        order — the equivalence suite pins this against the list-backed
+        oracle — but the per-request bubble walks the **run summary**
+        directly and memoises the (new task, compressed-run task) stop
+        verdict, so a chunk of same-task arrivals classifies against each
+        run in O(1) after the first comparison. This is the admission path
+        of the kernel's fault-free fast lane.
+        """
+        items = self._items
+        runs = self._runs
+        verdicts = self._pair_verdicts
+        ids = self._ids
+        counts = self._type_counts
+        # Nothing in this loop can build the lazy arrival index, so the
+        # reference is loop-invariant (only min_arrival_candidates sets it).
+        arrival_index = self._arrival_index
+        positions: list[int] = []
+        record = positions.append
+        n = len(items)
+        for req in requests:
+            task = req.task
+            new_type = task.name
+            compressible = req.first_start_ms is None
+            new_ext_left = (
+                task.suffix_ms[0] if compressible else req.ext_left_ms
+            )
+            new_target = task.target_ms
+            # -- bubble from the tail over runs (greedy_insert, run-wise) --
+            pos = n
+            stop_ri = -1
+            ri = len(runs)
+            for run in reversed(runs):
+                ri -= 1
+                member = run[2]
+                if member is None:
+                    rtask = run[0]
+                    if compressible:
+                        key = (id(task), id(rtask))
+                        entry = verdicts.get(key)
+                        if entry is None:
+                            stop = rtask.name == new_type or (
+                                rtask.suffix_ms[0] / new_target
+                                - new_ext_left / rtask.target_ms
+                                < 0.0
+                            )
+                            verdicts[key] = (task, rtask, stop)
+                        else:
+                            stop = entry[2]
+                        if stop:
+                            stop_ri = ri
+                            break
+                    elif rtask.name == new_type or (
+                        rtask.suffix_ms[0] / new_target
+                        - new_ext_left / rtask.target_ms
+                        < 0.0
+                    ):
+                        stop_ri = ri
+                        break
+                    pos -= run[1]
+                else:
+                    # Exact run: live request, re-read per evaluation.
+                    if member.task_type == new_type or (
+                        member.ext_left_ms / new_target
+                        - new_ext_left / member.task.target_ms
+                        < 0.0
+                    ):
+                        stop_ri = ri
+                        break
+                    pos -= 1
+            # -- apply: tracking, run summary, deque (mirrors insert(),
+            # with _track inlined over the hoisted locals) --
+            rid = req.request_id
+            if rid in ids:
+                raise SchedulingError(f"request {rid} is already queued")
+            ids.add(rid)
+            counts[new_type] = counts.get(new_type, 0) + 1
+            if arrival_index is not None:
+                seq = self._arrival_seq
+                self._arrival_seq = seq + 1
+                heapq.heappush(
+                    arrival_index.setdefault(new_type, []),
+                    (req.arrival_ms, seq, req),
+                )
+            if n == 0:
+                runs.append([task, 1, None] if compressible else [task, 1, req])
+                items.append(req)
+            elif pos == n:
+                last = runs[-1]
+                if compressible and last[2] is None and last[0] is task:
+                    last[1] += 1
+                else:
+                    runs.append(
+                        [task, 1, None] if compressible else [task, 1, req]
+                    )
+                items.append(req)
+            elif pos == 0:
+                first = runs[0]
+                if compressible and first[2] is None and first[0] is task:
+                    first[1] += 1
+                else:
+                    runs.appendleft(
+                        [task, 1, None] if compressible else [task, 1, req]
+                    )
+                items.appendleft(req)
+            else:
+                # Stopped at a run boundary: the new element lands directly
+                # behind run ``stop_ri`` (greedy passes whole runs, so an
+                # interior split can never happen here).
+                run = runs[stop_ri]
+                if compressible and run[2] is None and run[0] is task:
+                    run[1] += 1
+                else:
+                    runs.insert(
+                        stop_ri + 1,
+                        [task, 1, None] if compressible else [task, 1, req],
+                    )
+                items.insert(pos, req)
+            n += 1
+            record(pos)
+        return positions
+
+    def type_census(self) -> dict[str, int]:
+        """The live type census (the dict :meth:`type_counts` copies).
+
+        Read-only by contract: callers take a per-dispatch decision from
+        it and must not hold or mutate it. Exists so the elastic-splitting
+        check costs no allocation on the dispatch hot path.
+        """
+        return self._type_counts
 
     # ------------------------------------------------------------- queries
     def index_of(self, request: Request) -> int:
@@ -496,6 +658,34 @@ class ListBackedRequestQueue:
         for r in self._items:
             counts[r.task_type] = counts.get(r.task_type, 0) + 1
         return counts
+
+    def type_census(self) -> dict[str, int]:
+        """Fresh census (the list backend has no incremental one)."""
+        return self.type_counts()
+
+    def bulk_greedy_insert(self, requests: list[Request]) -> list[int]:
+        """Reference implementation: the element-by-element greedy bubble
+        (literally :func:`repro.scheduling.greedy.greedy_insert`), once
+        per request in order."""
+        positions: list[int] = []
+        for req in requests:
+            pos = len(self._items)
+            new_type = req.task_type
+            new_target = req.task.target_ms
+            new_ext_left = req.ext_left_ms
+            for ahead in reversed(self._items):
+                if ahead.task_type == new_type:
+                    break
+                if (
+                    ahead.ext_left_ms / new_target
+                    - new_ext_left / ahead.task.target_ms
+                    < 0.0
+                ):
+                    break
+                pos -= 1
+            self.insert(pos, req)
+            positions.append(pos)
+        return positions
 
     def min_arrival_candidates(self) -> list[Request]:
         """Per-type minimal-arrival requests, computed by definition."""

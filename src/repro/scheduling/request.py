@@ -55,6 +55,16 @@ class TaskSpec:
     suffix_ms: tuple[float, ...] = field(
         init=False, repr=False, compare=False, default=()
     )
+    #: The single-block fallback plan ``(ext_ms,)`` and its suffix table,
+    #: shared by every request of this task that elastic splitting decides
+    #: not to split — so the unsplit dispatch path allocates nothing and
+    #: :meth:`Request.begin` can reuse the table by identity. Derived.
+    unsplit_plan: tuple[float, ...] = field(
+        init=False, repr=False, compare=False, default=()
+    )
+    unsplit_suffix: tuple[float, ...] = field(
+        init=False, repr=False, compare=False, default=()
+    )
 
     def __post_init__(self) -> None:
         if self.ext_ms <= 0:
@@ -66,6 +76,10 @@ class TaskSpec:
         if self.alpha <= 0:
             raise SchedulingError(f"task {self.name!r}: alpha must be positive")
         object.__setattr__(self, "suffix_ms", _suffix_sums(self.blocks_ms))
+        object.__setattr__(self, "unsplit_plan", (self.ext_ms,))
+        object.__setattr__(
+            self, "unsplit_suffix", _suffix_sums((self.ext_ms,))
+        )
 
     @property
     def split_total_ms(self) -> float:
@@ -153,8 +167,13 @@ class Request:
         if self.plan_ms is not None:
             raise SchedulingError(f"request {self.request_id} already planned")
         self.plan_ms = plan_ms
-        if plan_ms == self.task.blocks_ms:
-            self._plan_suffix_ms = self.task.suffix_ms
+        task = self.task
+        if plan_ms == task.blocks_ms:
+            self._plan_suffix_ms = task.suffix_ms
+        elif plan_ms == task.unsplit_plan:
+            # The elastic fallback plan: the task carries its suffix table,
+            # precomputed with the identical left-to-right sum.
+            self._plan_suffix_ms = task.unsplit_suffix
         else:
             self._plan_suffix_ms = _suffix_sums(plan_ms)
         self.first_start_ms = now_ms
@@ -192,3 +211,52 @@ class Request:
     def response_ratio_final(self) -> float:
         """Eq. 3's RR with the realised end-to-end latency."""
         return self.e2e_ms() / self.ext_ms
+
+
+class RequestPool:
+    """Free-list of :class:`Request` objects for steady-state streaming.
+
+    A million-request stream otherwise allocates (and garbage-collects) a
+    million slot dataclasses; recycling them keeps the hot loop at ~zero
+    steady-state allocation. A recycled request is indistinguishable from
+    a fresh one: :meth:`take` resets every mutable field and assigns a
+    **new** ``request_id`` from the global counter, so id uniqueness (which
+    queue membership tracking and trace canonicalisation rely on) is
+    preserved across reuse.
+
+    Only safe when whoever receives the terminal requests keeps no
+    reference to them past the sink call — :class:`~repro.runtime.metrics.
+    StreamingQoS` qualifies (it folds scalars and drops the object), the
+    batch engine's result lists do not. The kernel therefore recycles
+    only for sources that explicitly carry a pool.
+    """
+
+    __slots__ = ("_free",)
+
+    def __init__(self) -> None:
+        self._free: list[Request] = []
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def take(self, task: TaskSpec, arrival_ms: float) -> Request:
+        free = self._free
+        if not free:
+            return Request(task=task, arrival_ms=arrival_ms)
+        req = free.pop()
+        req.task = task
+        req.arrival_ms = arrival_ms
+        req.request_id = next(_request_ids)
+        req.plan_ms = None
+        req.next_block = 0
+        req.first_start_ms = None
+        req.finish_ms = None
+        req.preemptions = 0
+        req.retries = 0
+        req.outcome = "pending"
+        req._plan_suffix_ms = None
+        return req
+
+    def recycle(self, requests: list[Request]) -> None:
+        """Return terminal requests to the free list."""
+        self._free.extend(requests)

@@ -76,15 +76,23 @@ class ElasticPolicy:
 
     def should_split(self, snapshot: QueueSnapshot) -> bool:
         """True when the next request should run as split blocks."""
+        return self.should_split_counts(snapshot.depth, snapshot.type_counts)
+
+    def should_split_counts(
+        self, depth: int, type_counts: dict[str, int]
+    ) -> bool:
+        """:meth:`should_split` taking the queue statistics directly, so
+        hot dispatch paths can pass a live census view instead of building
+        a snapshot (``type_counts`` is read, never retained)."""
         cfg = self.config
         if not cfg.enabled:
             return True  # elasticity off => always honour the static split
-        if snapshot.depth > cfg.max_queue_depth:
+        if depth > cfg.max_queue_depth:
             self.suspensions += 1
             return False
-        if snapshot.depth >= cfg.same_type_min_queue and snapshot.type_counts:
-            dominant = max(snapshot.type_counts.values())
-            if dominant / snapshot.depth >= cfg.same_type_fraction:
+        if depth >= cfg.same_type_min_queue and type_counts:
+            dominant = max(type_counts.values())
+            if dominant / depth >= cfg.same_type_fraction:
                 self.suspensions += 1
                 return False
         return True

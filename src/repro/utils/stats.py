@@ -37,6 +37,34 @@ class OnlineStats:
         for x in xs:
             self.add(x)
 
+    def add_many(self, xs: Sequence[float]) -> None:
+        """Fold a chunk in order with :meth:`add`'s exact arithmetic.
+
+        One call per terminal batch instead of one per sample — the loop
+        runs over locals, so the per-sample attribute traffic of repeated
+        ``add`` calls disappears while every float operation (and thus the
+        result) stays identical.
+        """
+        count = self.count
+        mean = self._mean
+        m2 = self._m2
+        lo = self._min
+        hi = self._max
+        for x in xs:
+            count += 1
+            delta = x - mean
+            mean += delta / count
+            m2 += delta * (x - mean)
+            if x < lo:
+                lo = x
+            if x > hi:
+                hi = x
+        self.count = count
+        self._mean = mean
+        self._m2 = m2
+        self._min = lo
+        self._max = hi
+
     @property
     def mean(self) -> float:
         return self._mean if self.count else math.nan

@@ -44,7 +44,7 @@ ARRIVALS = (0.0, 1.0, 2.0, 5.0, 10.0)
 
 OPS = (
     "append", "insert", "greedy", "edf", "sjf", "pop", "peek",
-    "move", "remove", "prema", "candidates",
+    "move", "remove", "prema", "candidates", "greedy_batch",
 )
 
 _op = st.tuples(
@@ -117,6 +117,20 @@ def _run_program(ops) -> tuple[RequestQueue, ListBackedRequestQueue]:
             req = live.pop(k % len(live))
             fast.remove(req)
             slow.remove(req)
+        elif name == "greedy_batch":
+            # The fast lane's batched admission: same objects into both
+            # backends, positions must match the per-request bubble's.
+            batch = [
+                Request(
+                    task=TASKS[(ti + j) % len(TASKS)],
+                    arrival_ms=ARRIVALS[(ai + j) % len(ARRIVALS)],
+                )
+                for j in range(k % 3 + 1)
+            ]
+            assert fast.bulk_greedy_insert(batch) == slow.bulk_greedy_insert(
+                batch
+            )
+            live.extend(batch)
         elif name == "prema":
             assert prema.select(fast, now) == _select_scan(slow, now)
         else:  # candidates — exercises the lazy arrival heaps mid-program
@@ -192,3 +206,79 @@ class TestRunSummaryEdges:
             q.append(first)
             pos = greedy_insert(q, Request(task=TASKS[3], arrival_ms=1.0))
             assert pos == 0, cls.__name__
+
+    def test_peek_taint_then_move_to_front(self):
+        """Tainting the head of a compressed run and then moving another
+        element to the front must leave the summary consistent: the exact
+        singleton stays exact, the remainder stays compressed."""
+        q = RequestQueue()
+        reqs = self._fill(q, TASKS[0], 4)
+        head = q.peek()  # splits [4] into [1 exact, 3 compressed]
+        head.begin(head.task.blocks_ms, 0.0)
+        q.move_to_front(3)
+        assert q._runs_consistent()
+        assert q[0] is reqs[3] and q[1] is head
+        # The moved element rejoined at the front as its own run; the
+        # started head is still certified by an exact run.
+        runs = list(q._runs)
+        assert runs[1][2] is head
+
+    def test_remove_from_middle_of_compressed_run(self):
+        q = RequestQueue()
+        reqs = self._fill(q, TASKS[1], 5)
+        q.remove(reqs[2])
+        assert q._runs_consistent()
+        assert len(q) == 4 and all(r is not reqs[2] for r in q)
+        # Same-task neighbours: the run just shrinks, no split.
+        assert [run[1] for run in q._runs] == [4]
+        q.remove(reqs[0])  # head removal exercises the fast path
+        assert q._runs_consistent()
+        assert [run[1] for run in q._runs] == [3]
+
+    def test_bulk_insert_matches_per_request_positions(self):
+        """Batched admission lands every request where the one-at-a-time
+        bubble would, including compressed-run merges."""
+        batch_tasks = [TASKS[0], TASKS[0], TASKS[4], TASKS[0], TASKS[5]]
+        lhs, rhs = RequestQueue(), RequestQueue()
+        for r in self._fill(lhs, TASKS[1], 3):
+            rhs.append(r)
+        batch = [
+            Request(task=t, arrival_ms=float(i))
+            for i, t in enumerate(batch_tasks)
+        ]
+        import copy
+
+        mirror = []
+        for r in batch:
+            twin = copy.deepcopy(r)
+            twin.request_id = r.request_id
+            mirror.append(twin)
+        bulk_pos = lhs.bulk_greedy_insert(batch)
+        one_pos = [greedy_insert(rhs, r) for r in mirror]
+        assert bulk_pos == one_pos
+        assert [r.request_id for r in lhs] == [r.request_id for r in rhs]
+        assert lhs._runs_consistent() and rhs._runs_consistent()
+
+    def test_bulk_insert_after_peek_taint(self):
+        """A tainted (exact) head must be re-evaluated per element by the
+        batched bubble, exactly like the per-request walk."""
+        lhs, rhs = RequestQueue(), RequestQueue()
+        for r in self._fill(lhs, TASKS[4], 2):
+            rhs.append(r)
+        head = lhs.peek()
+        assert rhs.peek() is head  # shared objects, shared taint
+        head.begin(head.task.blocks_ms, 0.0)
+        head.pop_block()  # shrink remaining time: exact-run state
+        batch = [Request(task=TASKS[0], arrival_ms=1.0) for _ in range(2)]
+        import copy
+
+        mirror = []
+        for r in batch:
+            twin = copy.deepcopy(r)
+            twin.request_id = r.request_id
+            mirror.append(twin)
+        assert lhs.bulk_greedy_insert(batch) == [
+            greedy_insert(rhs, r) for r in mirror
+        ]
+        assert [r.request_id for r in lhs] == [r.request_id for r in rhs]
+        assert lhs._runs_consistent() and rhs._runs_consistent()
