@@ -1,6 +1,6 @@
 # Development conveniences for the SPLIT reproduction.
 
-.PHONY: install test coverage typecheck bench bench-check profile experiments results examples clean
+.PHONY: install test coverage typecheck bench bench-check profile experiments results examples serve net-test clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -48,6 +48,22 @@ N ?= 100000
 TOP ?= 25
 profile:
 	python -m benchmarks.profile_stream $(N) $(TOP)
+
+# The wire-level serving suite (differential replay, protocol fuzzing,
+# concurrency stress, backpressure) — CI runs this three times in a row
+# as a flake gate; see docs/serving.md.
+net-test:
+	pytest tests/server -m net -q
+
+# Serve the framed TCP protocol locally (Ctrl-C to stop); see
+# docs/serving.md for the client side. HOST/PORT/SCALE/MODELS overrides:
+# make serve PORT=7200 MODELS=yolov2,resnet50
+HOST ?= 127.0.0.1
+PORT ?= 7100
+SCALE ?= 1e-5
+MODELS ?= yolov2,vgg19
+serve:
+	python -m repro.server.net --host $(HOST) --port $(PORT) --scale $(SCALE) --models $(MODELS)
 
 experiments:
 	python -m repro.experiments all

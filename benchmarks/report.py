@@ -55,6 +55,7 @@ REGRESSION_TOLERANCE = 0.10
 #: (whose keys predate the pytest-benchmark naming).
 ALIASES = {
     "test_bench_stream_100k_vs_list_baseline": "stream_100k",
+    "test_bench_server_replay": "server_replay",
 }
 
 

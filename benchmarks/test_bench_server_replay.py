@@ -1,0 +1,58 @@
+"""Sustained throughput of the live wire path (socket front-end).
+
+Pins ``server_replay`` requests/second into the ``BENCH_<rev>.json``
+trajectory: a lockstep replay of an overload trace through a real TCP
+connection — framing, asyncio hand-offs, the responder bridge and the
+discrete-event kernel all on the measured path. Lockstep is the right
+mode to *time* because it never sleeps on the scaled clock: the measured
+wall time is pure wire + kernel work.
+
+Under ``--benchmark-disable`` (CI) the replay still runs once at reduced
+n and keeps the conservation assertion, so the live path is exercised on
+every push without paying for timing rounds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.runtime.workload import Scenario, WorkloadGenerator
+from repro.server.client import replay_items_async
+from repro.server.net import NetServer
+
+MODELS = ("yolov2", "vgg19")
+SEED = 0
+
+
+def _replay_once(items):
+    async def run():
+        # A lockstep replay legitimately holds the whole trace in flight
+        # on one connection, so the cap must clear the trace length.
+        server = NetServer(models=MODELS, mode="lockstep", max_inflight=4096)
+        async with server:
+            return await replay_items_async(
+                "127.0.0.1", server.port, items, mode="lockstep"
+            )
+
+    return asyncio.run(run())
+
+
+def test_bench_server_replay(benchmark, ctx):
+    """Wire requests/second over one socket on an overload trace."""
+    n = 1000 if benchmark.enabled else 100
+    scenario = Scenario("bench-server-replay", 110.0, "high", n_requests=n)
+    items = WorkloadGenerator(MODELS, seed=SEED).generate(scenario)
+
+    report = benchmark.pedantic(
+        _replay_once,
+        args=(items,),
+        rounds=3 if benchmark.enabled else 1,
+        iterations=1,
+    )
+    assert report.sent == n
+    assert report.conserved
+    assert all(r.outcome == "served" for r in report.results)
+    if benchmark.stats is not None:
+        benchmark.extra_info["requests_per_sec"] = round(
+            n / benchmark.stats["mean"]
+        )

@@ -15,6 +15,7 @@ from repro.experiments import (  # noqa: F401
     fig5,
     fig6,
     fig7,
+    live_replay,
     qos_targets,
     robustness,
     scaling,
@@ -24,10 +25,11 @@ from repro.experiments import (  # noqa: F401
     table3,
 )
 
-#: Everything ``python -m repro.experiments all`` runs. ``stress`` is
-#: registered with the CLI but deliberately absent here: its default
-#: ladder tops out at a million requests and is meant to be invoked
-#: explicitly (``python -m repro.experiments stress``).
+#: Everything ``python -m repro.experiments all`` runs. ``stress`` and
+#: ``live_replay`` are registered with the CLI but deliberately absent
+#: here: the stress ladder tops out at a million requests and the live
+#: replay opens real sockets, so both are meant to be invoked explicitly
+#: (``python -m repro.experiments stress`` / ``... live_replay``).
 EXPERIMENT_IDS = (
     "table1",
     "fig1",

@@ -1,0 +1,118 @@
+"""Live-replay study: the socket front-end against the simulator.
+
+Runs the wire-level differential as an experiment: a seeded overload
+trace is replayed through a real TCP server in lockstep mode (framing,
+asyncio plumbing, responder bridge, discrete-event kernel all on the
+live path), the result stream is summarised with
+:mod:`repro.runtime.capture`, and the summary is compared field by field
+against :func:`~repro.runtime.simulator.simulate` on the same trace. The
+report also records the live path's sustained wire throughput.
+
+Not part of ``python -m repro.experiments all`` — it opens real sockets,
+which is an explicit opt-in: ``python -m repro.experiments live_replay``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentContext
+from repro.runtime.capture import (
+    ReplaySummary,
+    summarize_engine_result,
+    summarize_observations,
+)
+from repro.runtime.simulator import simulate
+from repro.runtime.workload import Scenario, WorkloadGenerator
+from repro.server.client import replay_items_async
+from repro.server.net import NetServer
+
+#: Two-model mix keeps the offline GA cheap while still exercising
+#: elastic per-request plans (vgg19 splits, yolov2 stays short).
+MODELS = ("yolov2", "vgg19")
+DEFAULT_N = 500
+DEFAULT_LAMBDA_MS = 110.0
+
+
+@dataclass(frozen=True)
+class LiveReplayResult:
+    n_requests: int
+    wall_s: float
+    requests_per_s: float
+    wire: ReplaySummary
+    sim: ReplaySummary
+
+    @property
+    def match(self) -> bool:
+        return self.wire == self.sim
+
+    def field_matches(self) -> dict[str, bool]:
+        return {
+            "completion_order": self.wire.order == self.sim.order,
+            "finish_times": self.wire.finishes == self.sim.finishes,
+            "split_plans": self.wire.plans == self.sim.plans,
+            "outcome_sets": (
+                self.wire.served == self.sim.served
+                and self.wire.rejected == self.sim.rejected
+                and self.wire.shed == self.sim.shed
+                and self.wire.failed == self.sim.failed
+                and self.wire.timed_out == self.sim.timed_out
+            ),
+        }
+
+
+def run(
+    ctx: ExperimentContext | None = None,
+    n_requests: int = DEFAULT_N,
+    lambda_ms: float = DEFAULT_LAMBDA_MS,
+) -> LiveReplayResult:
+    ctx = ctx or ExperimentContext()
+    scenario = Scenario(
+        f"live-replay-{n_requests}", lambda_ms, "high", n_requests=n_requests
+    )
+    items = WorkloadGenerator(MODELS, seed=ctx.seed).generate(scenario)
+
+    async def _run():
+        server = NetServer(
+            models=MODELS,
+            mode="lockstep",
+            max_inflight=max(4096, n_requests),
+        )
+        async with server:
+            return await replay_items_async(
+                "127.0.0.1", server.port, items, mode="lockstep"
+            )
+
+    report = asyncio.run(_run())
+    sim = simulate("split", scenario, models=MODELS, seed=ctx.seed)
+    return LiveReplayResult(
+        n_requests=n_requests,
+        wall_s=report.wall_s,
+        requests_per_s=(
+            n_requests / report.wall_s if report.wall_s > 0 else float("inf")
+        ),
+        wire=summarize_observations(report.results),
+        sim=summarize_engine_result(sim.engine_result),
+    )
+
+
+def render(result: LiveReplayResult) -> str:
+    lines = [
+        "Live wire replay vs simulator (lockstep differential):",
+        f"  trace: {result.n_requests} requests over {', '.join(MODELS)}",
+        f"  wire throughput: {result.requests_per_s:,.0f} req/s "
+        f"({result.wall_s:.3f} s wall)",
+        f"  outcomes: {result.wire.outcome_totals()}",
+    ]
+    for field, ok in result.field_matches().items():
+        lines.append(f"  {field}: {'MATCH' if ok else 'MISMATCH'}")
+    lines.append(
+        "  verdict: "
+        + (
+            "wire path is float-identical to the simulator"
+            if result.match
+            else "DIVERGENCE DETECTED"
+        )
+    )
+    return "\n".join(lines)

@@ -66,6 +66,11 @@ from repro.runtime.multi import (
     MultiEngineResult,
     MultiProcessorEngine,
 )
+from repro.runtime.capture import (
+    ReplaySummary,
+    summarize_engine_result,
+    summarize_observations,
+)
 from repro.runtime.traces import (
     BurstConfig,
     BurstyWorkloadGenerator,
@@ -123,4 +128,7 @@ __all__ = [
     "ROUTERS",
     "MultiEngineResult",
     "MultiProcessorEngine",
+    "ReplaySummary",
+    "summarize_engine_result",
+    "summarize_observations",
 ]

@@ -1,0 +1,169 @@
+"""Replay summaries: the comparable footprint of one served trace.
+
+The wire-level differential tests (``tests/server/test_net_differential``)
+need to compare a live socket replay against :func:`~repro.runtime.
+simulator.simulate` on the same arrival schedule. Request ids are a
+process-global counter, so they differ between the two runs; what *is*
+stable is the ``(task_type, arrival_ms)`` pair — arrival times come from
+the same seeded :class:`~repro.runtime.workload.WorkloadGenerator` floats
+on both sides, and JSON round-trips IEEE doubles exactly. A
+:class:`ReplaySummary` therefore keys every observation on that pair:
+
+* the completion order and exact finish times of served requests,
+* the split plan fixed at first dispatch for every request that reached
+  one (elastic splitting makes this a per-request decision),
+* the outcome partition (served / rejected / shed / failed / timed_out).
+
+Two equal summaries mean the two systems made the same scheduling
+decisions — the same preemption points, the same plan choices, the same
+shed/fault/deadline verdicts — which is the pin that lets the socket
+front-end evolve without drifting from the kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol
+
+from repro.runtime.kernel import EngineResult
+from repro.scheduling.request import Request
+
+#: Stable request identity across processes: (task_type, arrival_ms).
+RequestKey = tuple[str, float]
+
+
+class ReplayObservation(Protocol):
+    """What one wire result must expose to be summarised (duck-typed by
+    :class:`repro.server.client.WireResult`)."""
+
+    outcome: str
+    model: str
+    arrival_ms: float
+    finish_ms: float | None
+    plan_ms: tuple[float, ...] | None
+
+
+@dataclass(frozen=True)
+class ReplaySummary:
+    """Order- and outcome-exact footprint of one replayed trace."""
+
+    #: Served requests in completion order.
+    order: tuple[RequestKey, ...]
+    #: Exact finish times, aligned with :attr:`order`.
+    finishes: tuple[float, ...]
+    #: Fixed execution plans, for every request that was dispatched at
+    #: least once (sorted by key for order-free comparison).
+    plans: tuple[tuple[RequestKey, tuple[float, ...]], ...]
+    served: frozenset[RequestKey]
+    rejected: frozenset[RequestKey]
+    shed: frozenset[RequestKey]
+    failed: frozenset[RequestKey]
+    timed_out: frozenset[RequestKey]
+
+    @property
+    def n_observed(self) -> int:
+        return (
+            len(self.served)
+            + len(self.rejected)
+            + len(self.shed)
+            + len(self.failed)
+            + len(self.timed_out)
+        )
+
+    def outcome_totals(self) -> dict[str, int]:
+        return {
+            "served": len(self.served),
+            "rejected": len(self.rejected),
+            "shed": len(self.shed),
+            "failed": len(self.failed),
+            "timed_out": len(self.timed_out),
+        }
+
+
+def _key(task_type: str, arrival_ms: float) -> RequestKey:
+    return (task_type, arrival_ms)
+
+
+def summarize_engine_result(result: EngineResult) -> ReplaySummary:
+    """Summary of a batch engine run (``completed`` is in finish order)."""
+    order: list[RequestKey] = []
+    finishes: list[float] = []
+    plans: dict[RequestKey, tuple[float, ...]] = {}
+
+    def note_plan(req: Request) -> None:
+        if req.plan_ms is not None:
+            plans[_key(req.task_type, req.arrival_ms)] = req.plan_ms
+
+    for req in result.completed:
+        key = _key(req.task_type, req.arrival_ms)
+        order.append(key)
+        if req.finish_ms is None:
+            raise ValueError(f"completed request {req.request_id} not finished")
+        finishes.append(req.finish_ms)
+        note_plan(req)
+    buckets: dict[str, list[Request]] = {
+        "rejected": result.dropped,
+        "shed": result.shed,
+        "failed": result.failed,
+        "timed_out": result.timed_out,
+    }
+    sets: dict[str, frozenset[RequestKey]] = {}
+    for outcome, reqs in buckets.items():
+        keys: list[RequestKey] = []
+        for req in reqs:
+            keys.append(_key(req.task_type, req.arrival_ms))
+            note_plan(req)
+        sets[outcome] = frozenset(keys)
+    return ReplaySummary(
+        order=tuple(order),
+        finishes=tuple(finishes),
+        plans=tuple(sorted(plans.items())),
+        served=frozenset(order),
+        rejected=sets["rejected"],
+        shed=sets["shed"],
+        failed=sets["failed"],
+        timed_out=sets["timed_out"],
+    )
+
+
+def summarize_observations(
+    observations: Iterable[ReplayObservation],
+) -> ReplaySummary:
+    """Summary of wire results, in the order the server emitted them.
+
+    A single connection's result/error frames arrive in terminal order
+    (the outbound queue preserves sink order), so the served subsequence
+    *is* the completion order.
+    """
+    order: list[RequestKey] = []
+    finishes: list[float] = []
+    plans: dict[RequestKey, tuple[float, ...]] = {}
+    sets: dict[str, set[RequestKey]] = {
+        "served": set(),
+        "rejected": set(),
+        "shed": set(),
+        "failed": set(),
+        "timed_out": set(),
+    }
+    for obs in observations:
+        key = _key(obs.model, obs.arrival_ms)
+        if obs.outcome not in sets:
+            raise ValueError(f"unknown outcome {obs.outcome!r} for {key}")
+        sets[obs.outcome].add(key)
+        if obs.plan_ms is not None:
+            plans[key] = tuple(obs.plan_ms)
+        if obs.outcome == "served":
+            order.append(key)
+            if obs.finish_ms is None:
+                raise ValueError(f"served observation {key} has no finish time")
+            finishes.append(obs.finish_ms)
+    return ReplaySummary(
+        order=tuple(order),
+        finishes=tuple(finishes),
+        plans=tuple(sorted(plans.items())),
+        served=frozenset(sets["served"]),
+        rejected=frozenset(sets["rejected"]),
+        shed=frozenset(sets["shed"]),
+        failed=frozenset(sets["failed"]),
+        timed_out=frozenset(sets["timed_out"]),
+    )

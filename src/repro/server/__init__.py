@@ -9,6 +9,12 @@ one block at a time under the greedy preemption queue. Execution "runs" a
 block by holding the processor for its profiled duration on a scaled
 clock, so the pipeline exhibits the same concurrency behaviour as the
 discrete-event engine, with real threads and locks.
+
+The wire layer (``docs/serving.md``) puts that pipeline behind a socket:
+:mod:`repro.server.protocol` defines the length-prefixed framed protocol,
+:mod:`repro.server.net` serves it over asyncio TCP (realtime and
+lockstep modes), and :mod:`repro.server.client` provides the async/sync
+clients plus trace-replay helpers.
 """
 
 from repro.server.clock import ScaledClock
@@ -17,6 +23,34 @@ from repro.server.deployment import DeployedModel, DeploymentManager
 from repro.server.token import TokenAssigner, TokenScheduler
 from repro.server.responder import InferenceHandle, InferenceResult, Responder
 from repro.server.server import SplitServer
+from repro.server.protocol import (
+    FrameDecoder,
+    FrameType,
+    ProtocolError,
+    encode_frame,
+)
+
+# net/client are resolved lazily so `python -m repro.server.net` does not
+# double-import the module it is executing (runpy's RuntimeWarning).
+_WIRE_EXPORTS = {
+    "NetServer": "repro.server.net",
+    "AsyncNetClient": "repro.server.client",
+    "NetClient": "repro.server.client",
+    "ReplayReport": "repro.server.client",
+    "WireResult": "repro.server.client",
+    "replay_items": "repro.server.client",
+    "replay_items_async": "repro.server.client",
+}
+
+
+def __getattr__(name: str):
+    module = _WIRE_EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)
+
 
 __all__ = [
     "ScaledClock",
@@ -30,4 +64,15 @@ __all__ = [
     "InferenceResult",
     "Responder",
     "SplitServer",
+    "FrameDecoder",
+    "FrameType",
+    "ProtocolError",
+    "encode_frame",
+    "NetServer",
+    "AsyncNetClient",
+    "NetClient",
+    "ReplayReport",
+    "WireResult",
+    "replay_items",
+    "replay_items_async",
 ]

@@ -1,0 +1,395 @@
+"""Client library for the socket front-end (:mod:`repro.server.net`).
+
+Three layers, outermost first:
+
+* **Replay helpers** — :func:`replay_items` / :func:`replay_items_async`
+  push a :class:`~repro.runtime.workload.WorkloadItem` trace (any output
+  of :meth:`WorkloadGenerator.generate`) through a live server. Lockstep
+  replays go down one connection in arrival order so the result stream is
+  directly comparable to :func:`~repro.runtime.simulator.simulate` via
+  :mod:`repro.runtime.capture`; realtime replays pace arrivals on the
+  scaled wall clock across N connections.
+* **AsyncNetClient** — one connection on the caller's event loop: a
+  background reader task demultiplexes result/error/stats/ack frames back
+  to per-request futures by ``id``, and records infer outcomes in frame
+  order (``received``) because per-connection frame order is the server's
+  terminal order.
+* **NetClient** — blocking facade for scripts and notebooks; it owns a
+  private event loop thread and funnels every call through
+  ``run_coroutine_threadsafe``.
+
+Every infer resolves to a :class:`WireResult` — unhappy outcomes are
+data (``ok=False`` with the wire error code), not exceptions, because
+replay traffic treats shed/failed/timed-out as normal vocabulary.
+Exceptions are reserved for broken conversations: :class:`ProtocolError`
+on a poisoned stream, ``ConnectionError`` when the server goes away.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.runtime.workload import WorkloadItem
+from repro.server.protocol import (
+    FrameDecoder,
+    FrameType,
+    ProtocolError,
+    encode_frame,
+)
+
+
+@dataclass(frozen=True)
+class WireResult:
+    """One infer outcome as it crossed the wire.
+
+    Satisfies :class:`repro.runtime.capture.ReplayObservation`: ``model``
+    / ``arrival_ms`` / ``outcome`` / ``finish_ms`` / ``plan_ms`` are the
+    fields the differential summary keys on.
+    """
+
+    id: int
+    outcome: str
+    ok: bool
+    model: str
+    arrival_ms: float
+    finish_ms: float | None = None
+    e2e_ms: float | None = None
+    response_ratio: float | None = None
+    preemptions: int = 0
+    retries: int = 0
+    plan_ms: tuple[float, ...] | None = None
+    echo: Any = None
+
+
+def _result_from_payload(ftype: FrameType, payload: dict[str, Any]) -> WireResult:
+    plan = payload.get("plan_ms")
+    common = dict(
+        id=payload["id"],
+        model=payload.get("model", ""),
+        arrival_ms=payload.get("arrival_ms", float("nan")),
+        retries=payload.get("retries", 0),
+        plan_ms=tuple(plan) if plan is not None else None,
+        echo=payload.get("echo"),
+    )
+    if ftype is FrameType.RESULT:
+        return WireResult(
+            outcome="served",
+            ok=True,
+            finish_ms=payload.get("finish_ms"),
+            e2e_ms=payload.get("e2e_ms"),
+            response_ratio=payload.get("response_ratio"),
+            preemptions=payload.get("preemptions", 0),
+            **common,
+        )
+    return WireResult(outcome=payload.get("code", "error"), ok=False, **common)
+
+
+class AsyncNetClient:
+    """One framed connection with future-per-request demultiplexing."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        # id -> (kind, future); kind "infer" futures get WireResults and
+        # are recorded in `received`, "meta" futures get raw payloads.
+        self._waiters: dict[int, tuple[str, asyncio.Future]] = {}
+        self._conn_error: BaseException | None = None
+        #: Infer outcomes in the order the server emitted them.
+        self.received: list[WireResult] = []
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, *, rcvbuf: int | None = None
+    ) -> "AsyncNetClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        if rcvbuf is not None:
+            import socket as _socket
+
+            sock = writer.get_extra_info("socket")
+            if sock is not None:
+                sock.setsockopt(
+                    _socket.SOL_SOCKET, _socket.SO_RCVBUF, rcvbuf
+                )
+        return cls(reader, writer)
+
+    # --------------------------------------------------------------- intake
+    async def _read_loop(self) -> None:
+        decoder = FrameDecoder()
+        try:
+            while True:
+                data = await self._reader.read(65536)
+                if not data:
+                    self._fail_all(ConnectionError("server closed connection"))
+                    return
+                for ftype, payload in decoder.feed(data):
+                    self._on_frame(ftype, payload)
+        except (ConnectionError, OSError, ProtocolError) as exc:
+            self._fail_all(exc)
+        except asyncio.CancelledError:
+            self._fail_all(ConnectionError("client closed"))
+            raise
+
+    def _fail_all(self, exc: BaseException) -> None:
+        self._conn_error = exc
+        waiters, self._waiters = self._waiters, {}
+        for _kind, fut in waiters.values():
+            if not fut.done():
+                fut.set_exception(exc)
+
+    def _on_frame(self, ftype: FrameType, payload: dict[str, Any]) -> None:
+        cid = payload.get("id")
+        entry = self._waiters.pop(cid, None) if cid is not None else None
+        if entry is None:
+            if ftype is FrameType.ERROR:
+                # Connection-level error (id None or unknown): poison.
+                self._fail_all(
+                    ProtocolError(
+                        payload.get("message", f"server error: {payload}")
+                    )
+                )
+            return
+        kind, fut = entry
+        if kind == "infer" and ftype in (FrameType.RESULT, FrameType.ERROR):
+            result = _result_from_payload(ftype, payload)
+            self.received.append(result)
+            if not fut.done():
+                fut.set_result(result)
+        else:
+            if not fut.done():
+                fut.set_result(payload)
+
+    # ---------------------------------------------------------------- sends
+    async def _send(
+        self, kind: str, ftype: FrameType, payload: dict[str, Any]
+    ) -> asyncio.Future:
+        if self._conn_error is not None:
+            raise self._conn_error
+        cid = next(self._ids)
+        payload = {"id": cid, **payload}
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters[cid] = (kind, fut)
+        self._writer.write(encode_frame(ftype, payload))
+        await self._writer.drain()
+        return fut
+
+    async def submit(
+        self,
+        model: str,
+        arrival_ms: float | None = None,
+        *,
+        echo: Any = None,
+    ) -> asyncio.Future:
+        """Send one infer frame; returns the future without awaiting it."""
+        payload: dict[str, Any] = {"model": model}
+        if arrival_ms is not None:
+            payload["arrival_ms"] = arrival_ms
+        if echo is not None:
+            payload["echo"] = echo
+        return await self._send("infer", FrameType.INFER, payload)
+
+    async def infer(
+        self,
+        model: str,
+        arrival_ms: float | None = None,
+        *,
+        echo: Any = None,
+    ) -> WireResult:
+        return await (await self.submit(model, arrival_ms, echo=echo))
+
+    async def register(self, model: str) -> dict[str, Any]:
+        """Deploy a zoo model by name on the running server."""
+        return await (
+            await self._send("meta", FrameType.REGISTER, {"model": model})
+        )
+
+    async def register_ronnx(self, ronnx: str) -> dict[str, Any]:
+        """Deploy a model from its ``.ronnx`` wrapper payload."""
+        return await (
+            await self._send("meta", FrameType.REGISTER, {"ronnx": ronnx})
+        )
+
+    async def stats(self) -> dict[str, Any]:
+        return await (await self._send("meta", FrameType.STATS, {}))
+
+    async def drain(self) -> dict[str, Any]:
+        """Run the server dry (lockstep: close the arrival stream)."""
+        return await (await self._send("meta", FrameType.DRAIN, {}))
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, ConnectionError, OSError):
+            pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncNetClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+
+class NetClient:
+    """Blocking client: an event loop on a daemon thread, sync methods.
+
+    Usage::
+
+        with NetClient("127.0.0.1", 7100) as client:
+            result = client.infer("yolov2")
+    """
+
+    def __init__(
+        self, host: str, port: int, *, timeout_s: float = 30.0
+    ) -> None:
+        self._timeout_s = timeout_s
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="net-client-loop", daemon=True
+        )
+        self._thread.start()
+        self._client: AsyncNetClient = self._call(
+            AsyncNetClient.connect(host, port)
+        )
+
+    def _call(self, coro):
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(
+            self._timeout_s
+        )
+
+    @property
+    def received(self) -> list[WireResult]:
+        return self._client.received
+
+    def infer(
+        self, model: str, arrival_ms: float | None = None, *, echo: Any = None
+    ) -> WireResult:
+        return self._call(self._client.infer(model, arrival_ms, echo=echo))
+
+    def register(self, model: str) -> dict[str, Any]:
+        return self._call(self._client.register(model))
+
+    def stats(self) -> dict[str, Any]:
+        return self._call(self._client.stats())
+
+    def drain(self) -> dict[str, Any]:
+        return self._call(self._client.drain())
+
+    def close(self) -> None:
+        if self._loop.is_closed():
+            return
+        try:
+            self._call(self._client.close())
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=5)
+            self._loop.close()
+
+    def __enter__(self) -> "NetClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ------------------------------------------------------------------ replay
+@dataclass
+class ReplayReport:
+    """Outcome of pushing one trace through a live server."""
+
+    #: Infer outcomes in server emission order, per connection, concatenated
+    #: in connection order (for one connection: exact terminal order).
+    results: list[WireResult]
+    sent: int
+    wall_s: float
+
+    def outcome_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for r in self.results:
+            counts[r.outcome] = counts.get(r.outcome, 0) + 1
+        return counts
+
+    @property
+    def conserved(self) -> bool:
+        """Every request sent came back with exactly one terminal frame."""
+        return len(self.results) == self.sent
+
+
+async def replay_items_async(
+    host: str,
+    port: int,
+    items: Sequence[WorkloadItem] | Iterable[WorkloadItem],
+    *,
+    mode: str = "lockstep",
+    connections: int = 1,
+    time_scale: float = 1e-5,
+    drain: bool = True,
+) -> ReplayReport:
+    """Replay a workload trace against a running :class:`NetServer`.
+
+    ``mode`` must match the server's. Lockstep uses exactly one
+    connection (arrival order on one stream is the determinism contract)
+    and stamps each infer with the item's logical ``arrival_ms``;
+    realtime fans submissions over ``connections`` sockets round-robin,
+    pacing real time as ``arrival_ms * time_scale`` seconds from start.
+    """
+    items = list(items)
+    if mode == "lockstep" and connections != 1:
+        raise ValueError("lockstep replay requires exactly one connection")
+    loop = asyncio.get_running_loop()
+    clients = [
+        await AsyncNetClient.connect(host, port) for _ in range(connections)
+    ]
+    t_start = loop.time()
+    try:
+        futures: list[asyncio.Future] = []
+        if mode == "lockstep":
+            (client,) = clients
+            for item in items:
+                futures.append(
+                    await client.submit(item.model_name, item.arrival_ms)
+                )
+            if drain:
+                await client.drain()
+        else:
+            t0 = loop.time()
+            for i, item in enumerate(items):
+                delay = t0 + item.arrival_ms * time_scale - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                futures.append(
+                    await clients[i % connections].submit(item.model_name)
+                )
+            if drain:
+                await clients[0].drain()
+        await asyncio.gather(*futures)
+        wall_s = loop.time() - t_start
+        results = [r for c in clients for r in c.received]
+        return ReplayReport(results=results, sent=len(items), wall_s=wall_s)
+    finally:
+        for client in clients:
+            await client.close()
+
+
+def replay_items(
+    host: str,
+    port: int,
+    items: Sequence[WorkloadItem] | Iterable[WorkloadItem],
+    **kwargs: Any,
+) -> ReplayReport:
+    """Synchronous wrapper around :func:`replay_items_async`."""
+    return asyncio.run(replay_items_async(host, port, items, **kwargs))

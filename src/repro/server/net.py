@@ -1,0 +1,718 @@
+"""Asyncio TCP front-end over the SPLIT serving pipeline.
+
+``python -m repro.server.net --host 0.0.0.0 --port 7100 --models
+yolov2,vgg19`` serves the framed wire protocol of
+:mod:`repro.server.protocol` (see ``docs/serving.md`` for the frame
+layout and error codes). Two serving modes share the protocol:
+
+* **realtime** (default) — arrivals are stamped by the scaled wall clock
+  and executed by the threaded token scheduler/assigner pair, i.e. the
+  paper's Fig.-4 pipeline behind a socket. Real concurrency, real
+  contention; outcome *rates* are meaningful, exact event order is not.
+* **lockstep** — infer frames carry logical ``arrival_ms`` stamps and
+  feed the discrete-event kernel directly
+  (:meth:`~repro.runtime.engine.SequentialEngine.run_stream` consumes
+  the socket as a time-ordered arrival stream). The replay is
+  float-identical to :func:`~repro.runtime.simulator.simulate` on the
+  same trace — completion order, split-plan choices, shed/failed/
+  timed-out verdicts — which is what the differential suite pins. A
+  drain frame closes the arrival stream and runs the system dry.
+
+Robustness composes in both modes: a
+:class:`~repro.robustness.RobustnessConfig` arms fault injection,
+deadline eviction, retries and load shedding, and the unhappy outcomes
+travel back over the wire as typed ERROR frames (codes mirror the
+responder outcomes).
+
+Backpressure is connection-level and bounded everywhere: each connection
+owns a bounded outbound queue drained by one writer task (a slow reader
+blocks only its own writer; overflowing results are dropped and counted
+in ``results_dropped``), and a per-connection in-flight cap refuses
+excess infer frames immediately with ``backpressure`` errors instead of
+letting one flooding client grow server state without limit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import socket
+import threading
+from queue import Queue as ThreadQueue
+from typing import Any
+
+from repro.errors import ReproError, ServerError, UnknownModelError
+from repro.robustness.config import RobustnessConfig
+from repro.runtime.engine import EngineResult, SequentialEngine
+from repro.scheduling.policies.split_policy import SplitScheduler
+from repro.scheduling.request import Request
+from repro.server.protocol import (
+    ERR_BACKPRESSURE,
+    ERR_BAD_STATE,
+    ERR_OUT_OF_ORDER,
+    ERR_PROTOCOL,
+    ERR_UNKNOWN_MODEL,
+    OUTCOME_CODES,
+    FrameDecoder,
+    FrameType,
+    ProtocolError,
+    encode_frame,
+)
+from repro.server.responder import InferenceHandle
+from repro.server.server import SplitServer
+
+_EOF = object()
+_CLOSE = None  # writer-task sentinel
+
+
+class _LockstepCore:
+    """The discrete-event kernel fed by wire arrivals.
+
+    One engine thread runs ``run_stream`` over a blocking intake queue;
+    infer frames put time-ordered ``(arrival_ms, request)`` pairs, the
+    drain frame puts an EOF sentinel, and every terminal request resolves
+    its responder handle from the sink — the exact event order of the
+    simulator, because it *is* the simulator's loop.
+    """
+
+    def __init__(self, engine: SequentialEngine, responder) -> None:
+        self._engine = engine
+        self._responder = responder
+        self._intake: ThreadQueue = ThreadQueue()
+        self._lock = threading.Lock()
+        self._last_ms = 0.0
+        self._finished = False
+        self.result: EngineResult | None = None
+        self.error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="split-lockstep-engine", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    # Called from the event loop only (no awaits between check and
+    # submit), so check/submit pairs are atomic.
+    def check(self, arrival_ms: float) -> str | None:
+        """Admissibility of an arrival stamp; an error code, or None."""
+        with self._lock:
+            if self._finished:
+                return ERR_BAD_STATE
+            if arrival_ms < self._last_ms:
+                return ERR_OUT_OF_ORDER
+        return None
+
+    def submit(self, arrival_ms: float, request: Request) -> None:
+        with self._lock:
+            if self._finished or arrival_ms < self._last_ms:
+                raise ServerError("lockstep submit after check went stale")
+            self._last_ms = arrival_ms
+        self._intake.put((arrival_ms, request))
+
+    def finish(self) -> None:
+        with self._lock:
+            if self._finished:
+                return
+            self._finished = True
+        self._intake.put(_EOF)
+
+    @property
+    def finished(self) -> bool:
+        with self._lock:
+            return self._finished
+
+    def join(self, timeout_s: float = 60.0) -> None:
+        self._thread.join(timeout=timeout_s)
+        if self._thread.is_alive():
+            raise ServerError("lockstep engine failed to drain")
+
+    def _arrivals(self):
+        while True:
+            item = self._intake.get()
+            if item is _EOF:
+                return
+            yield item
+
+    def _run(self) -> None:
+        try:
+            self.result = self._engine.run_stream(self._arrivals(), self._sink)
+        except BaseException as exc:  # engine died: nothing may hang
+            self.error = exc
+            self._responder.abort_pending()
+
+    def _sink(self, request: Request, outcome: str) -> None:
+        r = self._responder
+        if outcome == "served":
+            r.resolve(request, request.finish_ms)
+        elif outcome == "rejected":
+            r.reject(request)
+        elif outcome == "shed":
+            r.drop_shed(request)
+        elif outcome == "failed":
+            r.fail(request)
+        elif outcome == "timed_out":
+            r.timeout(request)
+        else:  # pragma: no cover - kernel emits only the five outcomes
+            raise ServerError(f"unknown terminal outcome {outcome!r}")
+
+
+class _Connection:
+    """Per-connection state: bounded outbound queue + in-flight ledger."""
+
+    def __init__(self, server: "NetServer", writer: asyncio.StreamWriter):
+        self.server = server
+        self.writer = writer
+        self.out: asyncio.Queue = asyncio.Queue(maxsize=server.out_queue_bound)
+        self.inflight = 0
+        self.closed = False
+        self._echo: dict[int, Any] = {}
+
+    def send(self, ftype: FrameType, payload: dict[str, Any]) -> bool:
+        """Enqueue one frame; drops (and counts) when the queue is full.
+
+        Dropping rather than blocking is the slow-reader contract: a
+        client that stops reading loses *its own* frames while the
+        server's memory and every other connection stay bounded and
+        live.
+        """
+        if self.closed:
+            return False
+        try:
+            self.out.put_nowait(encode_frame(ftype, payload))
+            return True
+        except asyncio.QueueFull:
+            self.server.results_dropped += 1
+            return False
+
+    def note_echo(self, cid: int, echo: Any) -> None:
+        if echo is not None:
+            self._echo[cid] = echo
+
+    def take_echo(self, cid: int) -> Any:
+        return self._echo.pop(cid, None)
+
+    async def writer_loop(self) -> None:
+        try:
+            while True:
+                item = await self.out.get()
+                if item is _CLOSE:
+                    return
+                self.writer.write(item)
+                self.server.frames_out += 1
+                await self.writer.drain()
+        except (ConnectionError, OSError):
+            self.closed = True
+
+
+class NetServer:
+    """The asyncio socket front-end (see module docstring).
+
+    ``models`` are deployed before the listener opens (zoo names or
+    :class:`~repro.graphs.graph.ModelGraph` objects); more can be
+    registered over the wire at any time. ``port=0`` binds an ephemeral
+    port, published as :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        models=(),
+        *,
+        mode: str = "realtime",
+        device=None,
+        time_scale: float = 1e-5,
+        robustness: RobustnessConfig | None = None,
+        admission_alpha: float | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = 256,
+        out_queue_bound: int = 1024,
+        drain_timeout_s: float = 60.0,
+        sndbuf: int | None = None,
+    ):
+        if mode not in ("realtime", "lockstep"):
+            raise ServerError(f"unknown serving mode {mode!r}")
+        if max_inflight < 1 or out_queue_bound < 1:
+            raise ServerError("max_inflight and out_queue_bound must be >= 1")
+        self.mode = mode
+        self.host = host
+        self.port = port
+        self.max_inflight = max_inflight
+        self.out_queue_bound = out_queue_bound
+        self.drain_timeout_s = drain_timeout_s
+        self.sndbuf = sndbuf
+        self.split = SplitServer(
+            device=device,
+            time_scale=time_scale,
+            robustness=robustness,
+            admission_alpha=admission_alpha,
+        )
+        self._core: _LockstepCore | None = None
+        if mode == "lockstep":
+            self._core = _LockstepCore(
+                SequentialEngine(SplitScheduler(), robustness=robustness),
+                self.split.responder,
+            )
+        for model in models:
+            self.split.deploy(self._resolve_model(model))
+        self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._conns: set[_Connection] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        # Net-level observability (exposed by the stats frame).
+        self.frames_in = 0
+        self.frames_out = 0
+        self.results_dropped = 0
+        self.backpressure_rejections = 0
+        self.protocol_errors = 0
+        self.connections_total = 0
+        self.orphaned_results = 0
+
+    @staticmethod
+    def _resolve_model(model):
+        if isinstance(model, str) and not model.lstrip().startswith("{"):
+            from repro.zoo.registry import get_model
+
+            return get_model(model)
+        return model
+
+    # ------------------------------------------------------------ lifecycle
+    async def start(self) -> "NetServer":
+        self._loop = asyncio.get_running_loop()
+        if self.mode == "realtime":
+            self.split.start()
+        else:
+            assert self._core is not None
+            self._core.start()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for conn in list(self._conns):
+            conn.closed = True
+            try:
+                conn.writer.close()
+            except Exception:
+                pass
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self.mode == "realtime":
+            self.split.stop()
+        elif self._core is not None and not self._core.finished:
+            self._core.finish()
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._core.join, self.drain_timeout_s
+            )
+
+    async def __aenter__(self) -> "NetServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # ---------------------------------------------------------------- stats
+    def stats(self) -> dict[str, Any]:
+        """Serving + net counters, the stats frame's payload."""
+        out: dict[str, Any] = {
+            "mode": self.mode,
+            "server": self.split.stats(),
+            "net": {
+                "connections": len(self._conns),
+                "connections_total": self.connections_total,
+                "frames_in": self.frames_in,
+                "frames_out": self.frames_out,
+                "results_dropped": self.results_dropped,
+                "backpressure_rejections": self.backpressure_rejections,
+                "protocol_errors": self.protocol_errors,
+                "orphaned_results": self.orphaned_results,
+            },
+        }
+        core = self._core
+        if core is not None and core.result is not None:
+            out["lockstep"] = {
+                "preemptions": core.result.preemptions,
+                "context_switches": core.result.context_switches,
+                "n_completed": core.result.n_completed,
+                "retries": core.result.retries,
+                "stalls": core.result.stalls,
+            }
+        return out
+
+    # ----------------------------------------------------------- connection
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self.sndbuf is not None:
+            sock = writer.get_extra_info("socket")
+            if sock is not None:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, self.sndbuf)
+        conn = _Connection(self, writer)
+        self._conns.add(conn)
+        self.connections_total += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        writer_task = asyncio.create_task(conn.writer_loop())
+        decoder = FrameDecoder()
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                try:
+                    frames = decoder.feed(data)
+                except ProtocolError as exc:
+                    self.protocol_errors += 1
+                    conn.send(
+                        FrameType.ERROR,
+                        {"id": None, "code": ERR_PROTOCOL, "message": str(exc)},
+                    )
+                    break
+                ok = True
+                for ftype, payload in frames:
+                    self.frames_in += 1
+                    if not await self._dispatch(conn, ftype, payload):
+                        ok = False
+                        break
+                if not ok:
+                    break
+        except (ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            pass  # server teardown: exit cleanly, cleanup below
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            conn.closed = True
+            try:
+                conn.out.put_nowait(_CLOSE)
+            except asyncio.QueueFull:
+                writer_task.cancel()
+            try:
+                await writer_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._conns.discard(conn)
+
+    async def _dispatch(
+        self, conn: _Connection, ftype: FrameType, payload: dict[str, Any]
+    ) -> bool:
+        """Handle one client frame; False closes the connection."""
+        if ftype is FrameType.INFER:
+            self._handle_infer(conn, payload)
+            return True
+        if ftype is FrameType.STATS:
+            conn.send(
+                FrameType.STATS, {"id": payload.get("id"), **self.stats()}
+            )
+            return True
+        if ftype is FrameType.DRAIN:
+            await self._handle_drain(conn, payload)
+            return True
+        if ftype is FrameType.REGISTER:
+            await self._handle_register(conn, payload)
+            return True
+        self.protocol_errors += 1
+        conn.send(
+            FrameType.ERROR,
+            {
+                "id": payload.get("id"),
+                "code": ERR_PROTOCOL,
+                "message": f"client may not send {ftype.name} frames",
+            },
+        )
+        return False
+
+    # -------------------------------------------------------------- handlers
+    def _protocol_nack(self, conn: _Connection, cid, message: str) -> None:
+        self.protocol_errors += 1
+        conn.send(
+            FrameType.ERROR, {"id": cid, "code": ERR_PROTOCOL, "message": message}
+        )
+
+    def _handle_infer(self, conn: _Connection, payload: dict[str, Any]) -> None:
+        """Synchronous on purpose: no await between admission checks and
+        submission, so frame order on one connection is submission order."""
+        cid = payload.get("id")
+        if not isinstance(cid, int):
+            self._protocol_nack(conn, None, "infer frame needs an integer id")
+            return
+        model = payload.get("model")
+        if not isinstance(model, str):
+            self._protocol_nack(conn, cid, "infer frame needs a model name")
+            return
+        if conn.inflight >= self.max_inflight:
+            self.backpressure_rejections += 1
+            nack: dict[str, Any] = {
+                "id": cid,
+                "code": ERR_BACKPRESSURE,
+                "model": model,
+            }
+            if payload.get("echo") is not None:
+                nack["echo"] = payload["echo"]
+            conn.send(FrameType.ERROR, nack)
+            return
+        if self.mode == "lockstep":
+            arrival = payload.get("arrival_ms")
+            if not isinstance(arrival, (int, float)) or isinstance(
+                arrival, bool
+            ) or arrival < 0:
+                self._protocol_nack(
+                    conn, cid, "lockstep infer needs a nonnegative arrival_ms"
+                )
+                return
+            arrival = float(arrival)
+            assert self._core is not None
+            code = self._core.check(arrival)
+            if code is not None:
+                conn.send(
+                    FrameType.ERROR,
+                    {
+                        "id": cid,
+                        "code": code,
+                        "model": model,
+                        "arrival_ms": arrival,
+                    },
+                )
+                return
+        else:
+            arrival = self.split.clock.now_ms()
+        try:
+            request = self.split.wrap(model, arrival)
+        except ReproError:
+            conn.send(
+                FrameType.ERROR,
+                {"id": cid, "code": ERR_UNKNOWN_MODEL, "model": model},
+            )
+            return
+        conn.inflight += 1
+        conn.note_echo(cid, payload.get("echo"))
+        if self.mode == "lockstep":
+            assert self._core is not None
+            handle = self.split.responder.register(request)
+            self._core.submit(arrival, request)
+        else:
+            handle = self.split.submit_wrapped(request, arrival)
+        handle.add_done_callback(
+            lambda h, conn=conn, cid=cid: self._bridge(conn, cid, h)
+        )
+
+    def _bridge(self, conn: _Connection, cid: int, handle: InferenceHandle) -> None:
+        """Handle resolution (any thread) -> event-loop delivery."""
+        loop = self._loop
+        if loop is None:
+            return
+        try:
+            loop.call_soon_threadsafe(self._deliver, conn, cid, handle)
+        except RuntimeError:  # loop already closed at teardown
+            pass
+
+    def _deliver(self, conn: _Connection, cid: int, handle: InferenceHandle) -> None:
+        conn.inflight -= 1
+        echo = conn.take_echo(cid)
+        if conn.closed:
+            self.orphaned_results += 1
+            return
+        plan = handle.plan_ms
+        if handle.outcome == "served":
+            res = handle.result_or_none
+            assert res is not None
+            payload: dict[str, Any] = {
+                "id": cid,
+                "model": res.model,
+                "arrival_ms": res.arrival_ms,
+                "finish_ms": res.finish_ms,
+                "e2e_ms": res.e2e_ms,
+                "response_ratio": res.response_ratio,
+                "preemptions": res.preemptions,
+                "retries": res.retries,
+                "plan_ms": list(plan) if plan is not None else None,
+            }
+            if echo is not None:
+                payload["echo"] = echo
+            conn.send(FrameType.RESULT, payload)
+        else:
+            req = handle._request
+            payload = {
+                "id": cid,
+                "code": OUTCOME_CODES.get(handle.outcome, handle.outcome),
+                "model": req.task_type,
+                "arrival_ms": req.arrival_ms,
+                "retries": req.retries,
+                "plan_ms": list(plan) if plan is not None else None,
+            }
+            if echo is not None:
+                payload["echo"] = echo
+            conn.send(FrameType.ERROR, payload)
+
+    async def _handle_register(
+        self, conn: _Connection, payload: dict[str, Any]
+    ) -> None:
+        cid = payload.get("id")
+        name = payload.get("model")
+        ronnx = payload.get("ronnx")
+        assert self._loop is not None
+        try:
+            if isinstance(ronnx, str):
+                graph = ronnx
+            elif isinstance(name, str):
+                if name in self.split.deployment.deployed:
+                    task = self.split.deployment.deployed[name].task
+                    conn.send(
+                        FrameType.ACK,
+                        {
+                            "id": cid,
+                            "model": name,
+                            "already_deployed": True,
+                            "blocks": task.n_blocks,
+                            "ext_ms": task.ext_ms,
+                        },
+                    )
+                    return
+                graph = self._resolve_model(name)
+            else:
+                self._protocol_nack(
+                    conn, cid, "register frame needs a model name or ronnx payload"
+                )
+                return
+            # The offline pipeline (profile + GA) is CPU-heavy: run it off
+            # the event loop so serving stays responsive mid-deploy.
+            record = await self._loop.run_in_executor(
+                None, self.split.register, graph
+            )
+        except UnknownModelError:
+            conn.send(
+                FrameType.ERROR,
+                {"id": cid, "code": ERR_UNKNOWN_MODEL, "model": name},
+            )
+            return
+        except ReproError as exc:
+            conn.send(
+                FrameType.ERROR,
+                {"id": cid, "code": ERR_BAD_STATE, "message": str(exc)},
+            )
+            return
+        conn.send(
+            FrameType.ACK,
+            {
+                "id": cid,
+                "model": record.task.name,
+                "blocks": record.task.n_blocks,
+                "ext_ms": record.task.ext_ms,
+            },
+        )
+
+    async def _handle_drain(
+        self, conn: _Connection, payload: dict[str, Any]
+    ) -> None:
+        cid = payload.get("id")
+        assert self._loop is not None
+        if self.mode == "lockstep":
+            core = self._core
+            assert core is not None
+            core.finish()
+            try:
+                await self._loop.run_in_executor(
+                    None, core.join, self.drain_timeout_s
+                )
+            except ServerError as exc:
+                conn.send(
+                    FrameType.ERROR,
+                    {"id": cid, "code": ERR_BAD_STATE, "message": str(exc)},
+                )
+                return
+            if core.error is not None:
+                conn.send(
+                    FrameType.ERROR,
+                    {
+                        "id": cid,
+                        "code": ERR_BAD_STATE,
+                        "message": f"lockstep engine failed: {core.error}",
+                    },
+                )
+                return
+        else:
+            try:
+                await self._loop.run_in_executor(
+                    None, self.split.drain, self.drain_timeout_s
+                )
+            except ServerError as exc:
+                conn.send(
+                    FrameType.ERROR,
+                    {"id": cid, "code": ERR_BAD_STATE, "message": str(exc)},
+                )
+                return
+        conn.send(FrameType.ACK, {"id": cid, "drained": True})
+
+
+# ------------------------------------------------------------------ CLI
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server.net",
+        description="Serve SPLIT inference over the framed TCP protocol.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7100)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1e-5,
+        help="real seconds per simulated millisecond (realtime mode)",
+    )
+    parser.add_argument(
+        "--mode", choices=("realtime", "lockstep"), default="realtime"
+    )
+    parser.add_argument(
+        "--models",
+        default="yolov2,vgg19",
+        help="comma-separated zoo models deployed at startup",
+    )
+    parser.add_argument("--max-inflight", type=int, default=256)
+    parser.add_argument("--out-queue-bound", type=int, default=1024)
+    args = parser.parse_args(argv)
+
+    async def _serve() -> None:
+        server = NetServer(
+            models=tuple(m for m in args.models.split(",") if m),
+            mode=args.mode,
+            time_scale=args.scale,
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            out_queue_bound=args.out_queue_bound,
+        )
+        async with server:
+            print(
+                f"serving {sorted(server.split.deployment.deployed)} on "
+                f"{server.host}:{server.port} ({server.mode}, "
+                f"scale={args.scale})",
+                flush=True,
+            )
+            await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

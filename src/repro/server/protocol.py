@@ -1,0 +1,180 @@
+"""Wire protocol for the socket serving front-end (``docs/serving.md``).
+
+Frames are length-prefixed so the stream can be cut at arbitrary byte
+boundaries by TCP and reassembled incrementally:
+
+    +----------------+--------+----------------------+
+    | length (u32 BE)| type u8| JSON payload (UTF-8) |
+    +----------------+--------+----------------------+
+
+``length`` counts the type byte plus the payload (so the smallest legal
+frame is ``length == 1``: a type byte with an empty payload, decoded as
+``{}``). Frames larger than :data:`MAX_FRAME` are refused on both encode
+and decode — the decoder rejects an oversized header *before* buffering
+the body, so a hostile length prefix cannot balloon server memory.
+
+Every malformed input maps to a typed :class:`ProtocolError` subclass
+(oversized, truncated-at-EOF, unknown type, undecodable payload) instead
+of a hang or an unhandled crash in the connection loop; the property
+suite in ``tests/server/test_net_protocol.py`` pins this over arbitrary
+payloads, split points, and garbage bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import struct
+from typing import Any, Iterator
+
+from repro.errors import ServerError
+
+#: Hard ceiling on ``type byte + payload`` size (1 MiB).
+MAX_FRAME = 1 << 20
+
+_HEADER = struct.Struct("!I")
+
+
+class ProtocolError(ServerError):
+    """A frame violated the wire format (the connection is poisoned)."""
+
+
+class FrameTooLarge(ProtocolError):
+    """A frame exceeded :data:`MAX_FRAME` (refused before buffering)."""
+
+
+class TruncatedFrame(ProtocolError):
+    """The stream ended mid-frame (only raised by :meth:`FrameDecoder.eof`)."""
+
+
+class BadFrame(ProtocolError):
+    """Unknown frame type, empty frame, or undecodable payload."""
+
+
+class FrameType(enum.IntEnum):
+    """One byte on the wire. Client-originated: REGISTER / INFER / STATS /
+    DRAIN. Server-originated: RESULT / ERROR / STATS (reply) / ACK."""
+
+    REGISTER = 1
+    INFER = 2
+    RESULT = 3
+    ERROR = 4
+    STATS = 5
+    DRAIN = 6
+    ACK = 7
+
+
+#: Error codes carried by ERROR frames' ``code`` field. The first block
+#: mirrors the responder's terminal outcomes one-to-one; the rest are
+#: connection-level conditions introduced by the wire.
+ERR_REJECTED = "rejected"
+ERR_SHED = "shed"
+ERR_FAILED = "failed"
+ERR_TIMED_OUT = "timed_out"
+ERR_BACKPRESSURE = "backpressure"
+ERR_UNKNOWN_MODEL = "unknown_model"
+ERR_OUT_OF_ORDER = "out_of_order"
+ERR_BAD_STATE = "bad_state"
+ERR_PROTOCOL = "protocol"
+
+#: Responder outcome label -> wire error code (identity by construction).
+OUTCOME_CODES = {
+    "rejected": ERR_REJECTED,
+    "shed": ERR_SHED,
+    "failed": ERR_FAILED,
+    "timed_out": ERR_TIMED_OUT,
+}
+
+
+def encode_frame(ftype: FrameType, payload: dict[str, Any] | None = None) -> bytes:
+    """Serialise one frame; raises :class:`FrameTooLarge` past the cap."""
+    body = b"" if payload is None else json.dumps(
+        payload, separators=(",", ":")
+    ).encode("utf-8")
+    length = 1 + len(body)
+    if length > MAX_FRAME:
+        raise FrameTooLarge(
+            f"frame of {length} bytes exceeds MAX_FRAME={MAX_FRAME}"
+        )
+    return _HEADER.pack(length) + bytes([int(ftype)]) + body
+
+
+class FrameDecoder:
+    """Incremental frame reassembler for one connection.
+
+    Feed arbitrary byte chunks; complete frames come out in order. The
+    decoder is *stateful*: after any :class:`ProtocolError` the stream
+    offset is untrustworthy, so the connection must be dropped (feeding
+    more data keeps raising).
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._poisoned: ProtocolError | None = None
+
+    def feed(self, data: bytes) -> list[tuple[FrameType, dict[str, Any]]]:
+        """Buffer ``data`` and return every frame it completed."""
+        if self._poisoned is not None:
+            raise self._poisoned
+        self._buf.extend(data)
+        out: list[tuple[FrameType, dict[str, Any]]] = []
+        try:
+            while True:
+                frame = self._next_frame()
+                if frame is None:
+                    return out
+                out.append(frame)
+        except ProtocolError as exc:
+            self._poisoned = exc
+            raise
+
+    def _next_frame(self) -> tuple[FrameType, dict[str, Any]] | None:
+        buf = self._buf
+        if len(buf) < _HEADER.size:
+            return None
+        (length,) = _HEADER.unpack_from(buf)
+        if length > MAX_FRAME:
+            raise FrameTooLarge(
+                f"declared frame of {length} bytes exceeds MAX_FRAME={MAX_FRAME}"
+            )
+        if length < 1:
+            raise BadFrame("frame without a type byte (length 0)")
+        if len(buf) < _HEADER.size + length:
+            return None
+        type_byte = buf[_HEADER.size]
+        body = bytes(buf[_HEADER.size + 1 : _HEADER.size + length])
+        del buf[: _HEADER.size + length]
+        try:
+            ftype = FrameType(type_byte)
+        except ValueError:
+            raise BadFrame(f"unknown frame type {type_byte}") from None
+        if not body:
+            return ftype, {}
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadFrame(f"undecodable frame payload: {exc}") from None
+        if not isinstance(payload, dict):
+            raise BadFrame(
+                f"frame payload must be a JSON object, got {type(payload).__name__}"
+            )
+        return ftype, payload
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered towards an incomplete frame."""
+        return len(self._buf)
+
+    def eof(self) -> None:
+        """Assert the stream ended on a frame boundary."""
+        if self._buf:
+            raise TruncatedFrame(
+                f"stream ended mid-frame with {len(self._buf)} bytes buffered"
+            )
+
+
+def decode_frames(data: bytes) -> Iterator[tuple[FrameType, dict[str, Any]]]:
+    """Decode a complete byte string; raises on any trailing partial frame."""
+    decoder = FrameDecoder()
+    yield from decoder.feed(data)
+    decoder.eof()

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.errors import RequestFailed, RequestTimeout, ServerError
 from repro.scheduling.request import Request
@@ -43,6 +44,8 @@ class InferenceHandle:
         self._event = threading.Event()
         self._result: InferenceResult | None = None
         self._outcome = "pending"
+        self._cb_lock = threading.Lock()
+        self._callbacks: list[Callable[["InferenceHandle"], None]] = []
 
     @property
     def request_id(self) -> int:
@@ -53,10 +56,42 @@ class InferenceHandle:
         """One of pending / served / rejected / shed / failed / timed_out."""
         return self._outcome
 
+    @property
+    def plan_ms(self) -> tuple[float, ...] | None:
+        """The execution plan fixed at first dispatch (None before)."""
+        return self._request.plan_ms
+
+    @property
+    def result_or_none(self) -> InferenceResult | None:
+        """The result without blocking or raising (None unless served)."""
+        return self._result
+
+    def add_done_callback(
+        self, fn: Callable[["InferenceHandle"], None]
+    ) -> None:
+        """Call ``fn(handle)`` once the handle resolves.
+
+        Fires from whichever thread resolves the request (the token
+        assigner, the lockstep engine thread, or the submitter on
+        immediate rejection) — callbacks must be cheap and thread-safe;
+        the socket front-end uses them to bridge into its event loop. If
+        the handle is already resolved the callback runs immediately on
+        the calling thread.
+        """
+        with self._cb_lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
+
     def _resolve(self, outcome: str, result: InferenceResult | None = None) -> None:
-        self._outcome = outcome
-        self._result = result
-        self._event.set()
+        with self._cb_lock:
+            self._outcome = outcome
+            self._result = result
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -159,3 +194,19 @@ class Responder:
     def in_flight(self) -> int:
         with self._lock:
             return len(self._pending)
+
+    def abort_pending(self) -> int:
+        """Resolve every in-flight handle as failed (server teardown path).
+
+        The no-hang guarantee must survive even an engine crash: whoever
+        was waiting on a handle gets :class:`RequestFailed` instead of
+        blocking forever. Returns the number of handles aborted.
+        """
+        with self._lock:
+            handles = list(self._pending.values())
+            self._pending.clear()
+        for handle in handles:
+            handle._request.outcome = "failed"
+            self.failed += 1
+            handle._resolve("failed")
+        return len(handles)

@@ -15,6 +15,7 @@ Usage::
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 
 from repro.errors import ServerError
@@ -81,16 +82,33 @@ class SplitServer:
             on_timeout=self.responder.timeout,
         )
         self._wrapper: RequestWrapper | None = None
+        self._deploy_lock = threading.Lock()
         self._running = False
 
     # ------------------------------------------------------------ lifecycle
     def deploy(self, model: ModelGraph | str | Path) -> DeployedModel:
         """Offline path: unwrap, split, persist, register."""
         if self._running:
-            raise ServerError("deploy models before starting the server")
+            raise ServerError(
+                "deploy models before starting the server "
+                "(or use register() for live deployment)"
+            )
+        return self.register(model)
+
+    def register(self, model: ModelGraph | str | Path) -> DeployedModel:
+        """Deploy a model, allowed while serving.
+
+        Unlike :meth:`deploy` this is safe on a running server: the
+        offline pipeline (profile, GA split, persistence) happens under a
+        deploy lock and the task-catalogue swap is a single atomic
+        assignment, so concurrent submissions keep seeing a consistent
+        wrapper throughout. The socket front-end's register frame lands
+        here.
+        """
         graph = self.unwrapper.unwrap(model)
-        record = self.deployment.deploy(graph)
-        self._wrapper = RequestWrapper(self.deployment.task_specs())
+        with self._deploy_lock:
+            record = self.deployment.deploy(graph)
+            self._wrapper = RequestWrapper(self.deployment.task_specs())
         return record
 
     def start(self) -> None:
@@ -122,6 +140,19 @@ class SplitServer:
         assert self._wrapper is not None
         now = self.clock.now_ms()
         request = self._wrapper.wrap(model_name, arrival_ms=now)
+        return self.submit_wrapped(request, now)
+
+    def submit_wrapped(
+        self, request, now: float | None = None
+    ) -> InferenceHandle:
+        """Submit an already-wrapped request (the wire front-end's path).
+
+        Registers the handle, applies ClockWork-style admission when
+        configured, and enqueues through the token scheduler; every
+        outcome — including immediate rejection — resolves the handle.
+        """
+        if now is None:
+            now = self.clock.now_ms()
         handle = self.responder.register(request)
         if self.admission_alpha is not None:
             predicted_rr = (
@@ -134,6 +165,12 @@ class SplitServer:
         if not self.tokens.submit(request, now):
             self.responder.reject(request)
         return handle
+
+    def wrap(self, model_name: str, arrival_ms: float):
+        """Build a request against the deployed catalogue (no submission)."""
+        if self._wrapper is None:
+            raise ServerError("no models deployed")
+        return self._wrapper.wrap(model_name, arrival_ms=arrival_ms)
 
     def drain(self, timeout_s: float = 30.0) -> None:
         """Wait until every in-flight request resolves."""

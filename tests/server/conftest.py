@@ -1,0 +1,43 @@
+"""Shared guards for the server test package.
+
+The ``net`` tests drive live sockets, event loops and worker threads; a
+deadlock there would otherwise hang the whole suite. ``pytest-timeout``
+is not available in this environment, so an autouse fixture arms a
+per-test SIGALRM watchdog for every ``net``-marked test: if the test
+(including its fixture setup) overruns, the alarm raises in the main
+thread and pytest reports a failure instead of hanging CI.
+
+Override the default budget per test with
+``@pytest.mark.net(timeout_s=60)``.
+"""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+DEFAULT_TIMEOUT_S = 120
+
+
+@pytest.fixture(autouse=True)
+def _net_watchdog(request):
+    marker = request.node.get_closest_marker("net")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    timeout_s = int(marker.kwargs.get("timeout_s", DEFAULT_TIMEOUT_S))
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"net test exceeded its {timeout_s}s watchdog "
+            "(likely a deadlock in the socket front-end)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(timeout_s)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

@@ -1,0 +1,152 @@
+"""The headline differential: a 200-request trace replayed through the
+live socket server matches the simulator exactly.
+
+The lockstep serving mode carries logical arrival stamps over the wire
+and feeds them to the same discrete-event kernel the simulator runs, so
+the comparison is *float-exact*, not statistical: identical completion
+order, identical finish times, identical per-request split plans, and —
+with robustness armed — identical shed/failed/timed-out outcome sets.
+Request ids differ across processes; :mod:`repro.runtime.capture` keys
+everything on the stable ``(task_type, arrival_ms)`` identity.
+
+This is the pin that lets the wire layer (framing, asyncio plumbing,
+queueing, thread hand-offs) evolve freely: any divergence from the
+kernel's scheduling contract fails loudly here.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.robustness.config import RobustnessConfig
+from repro.robustness.faults import FaultPlan
+from repro.robustness.retry import RetryPolicy
+from repro.robustness.shedding import LoadShedConfig
+from repro.runtime.capture import (
+    summarize_engine_result,
+    summarize_observations,
+)
+from repro.runtime.simulator import simulate
+from repro.runtime.workload import Scenario, WorkloadGenerator
+from repro.server.client import replay_items_async
+from repro.server.net import NetServer
+
+pytestmark = pytest.mark.net
+
+MODELS = ("yolov2", "vgg19")
+SCENARIO = Scenario("netdiff", 35.0, "high", 200)
+SEED = 5
+
+
+def _robustness() -> RobustnessConfig:
+    """Rates tuned so a 200-request replay exercises every unhappy path:
+    injected block failures (some retried, some terminal), request drops,
+    deadline evictions, and queue-depth shedding."""
+    return RobustnessConfig(
+        faults=FaultPlan(seed=11, fail_rate=0.05, drop_rate=0.02),
+        retry=RetryPolicy(max_retries=1),
+        timeout_rr=8.0,
+        load_shed=LoadShedConfig(max_queue_depth=12),
+    )
+
+
+def _items():
+    return WorkloadGenerator(MODELS, seed=SEED).generate(SCENARIO)
+
+
+def _replay(robustness: RobustnessConfig | None):
+    async def run():
+        server = NetServer(
+            models=MODELS, mode="lockstep", robustness=robustness
+        )
+        async with server:
+            report = await replay_items_async(
+                "127.0.0.1", server.port, _items(), mode="lockstep"
+            )
+        return report
+
+    return asyncio.run(run())
+
+
+@pytest.fixture(scope="module")
+def plain():
+    report = _replay(None)
+    sim = simulate("split", SCENARIO, models=MODELS, seed=SEED)
+    return (
+        report,
+        summarize_observations(report.results),
+        summarize_engine_result(sim.engine_result),
+    )
+
+
+@pytest.fixture(scope="module")
+def robust():
+    report = _replay(_robustness())
+    sim = simulate(
+        "split", SCENARIO, models=MODELS, seed=SEED, robustness=_robustness()
+    )
+    return (
+        report,
+        summarize_observations(report.results),
+        summarize_engine_result(sim.engine_result),
+    )
+
+
+# ------------------------------------------------------------- fault-free
+def test_every_request_answered(plain):
+    report, wire, _ = plain
+    assert report.sent == SCENARIO.n_requests
+    assert report.conserved
+    assert wire.n_observed == SCENARIO.n_requests
+
+
+def test_completion_order_identical(plain):
+    _, wire, ref = plain
+    assert wire.order == ref.order
+
+
+def test_finish_times_float_exact(plain):
+    _, wire, ref = plain
+    assert wire.finishes == ref.finishes
+
+
+def test_split_plan_choices_identical(plain):
+    _, wire, ref = plain
+    assert wire.plans == ref.plans
+    # Elastic splitting means plans are per-request decisions; the trace
+    # must actually exercise more than one plan shape for this to pin
+    # anything.
+    assert len({plan for _key, plan in wire.plans}) > 1
+
+
+def test_full_summary_equality(plain):
+    _, wire, ref = plain
+    assert wire == ref
+
+
+# ------------------------------------------------------------- robustness
+def test_robust_outcome_sets_identical(robust):
+    _, wire, ref = robust
+    assert wire.served == ref.served
+    assert wire.shed == ref.shed
+    assert wire.failed == ref.failed
+    assert wire.timed_out == ref.timed_out
+    assert wire.rejected == ref.rejected
+
+
+def test_robust_replay_exercises_unhappy_paths(robust):
+    """The chosen rates must actually produce wire-visible error frames,
+    otherwise the outcome-set assertions above are vacuous."""
+    report, wire, _ = robust
+    assert report.conserved
+    assert len(wire.shed) > 0
+    assert len(wire.timed_out) > 0
+    assert len(wire.failed) > 0
+    assert len(wire.served) > 0
+
+
+def test_robust_full_summary_equality(robust):
+    _, wire, ref = robust
+    assert wire == ref

@@ -1,0 +1,124 @@
+"""Concurrency stress: 32 client connections flooding the realtime server.
+
+The realtime mode has real races to lose — asyncio handlers, the token
+scheduler's lock/condition pair, the assigner thread, and per-connection
+writer tasks all run concurrently on a very tight scaled clock. Exact
+event order is timing-dependent there, so the pinned invariant is
+*request conservation*: every submitted request comes back with exactly
+one terminal frame, the outcome partition sums to the number sent, and
+the server ends the run with nothing in flight. The module watchdog (see
+``conftest.py``) turns any deadlock into a failure instead of a hang.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.robustness.config import RobustnessConfig
+from repro.robustness.shedding import LoadShedConfig
+from repro.server.client import AsyncNetClient
+from repro.server.net import NetServer
+
+pytestmark = pytest.mark.net(timeout_s=90)
+
+N_CONNECTIONS = 32
+PER_CONNECTION = 25
+MODELS = ("yolov2", "vgg19")
+TIME_SCALE = 1e-5  # 1 sim-ms = 10 us wall
+
+
+def _robustness() -> RobustnessConfig:
+    # Queue-depth shedding only — no deadlines. The 800-request flood
+    # guarantees shedding (depth 48 vs ~800 near-simultaneous arrivals),
+    # and the queue head always survives a shed pass, so both outcome
+    # classes appear on *every* run. Wall-clock deadlines would instead
+    # race the submission loop for the GIL (800 socket writes take tens
+    # of wall milliseconds = thousands of sim-ms at this scale), turning
+    # the served/timed-out mix into a coin flip.
+    return RobustnessConfig(
+        load_shed=LoadShedConfig(max_queue_depth=48),
+    )
+
+
+async def _flood():
+    server = NetServer(
+        models=MODELS,
+        mode="realtime",
+        time_scale=TIME_SCALE,
+        robustness=_robustness(),
+        max_inflight=PER_CONNECTION + 8,
+    )
+    async with server:
+        clients = [
+            await AsyncNetClient.connect("127.0.0.1", server.port)
+            for _ in range(N_CONNECTIONS)
+        ]
+        try:
+            # Interleave across connections so submissions genuinely race.
+            futures = []
+            for i in range(PER_CONNECTION):
+                for c, client in enumerate(clients):
+                    model = MODELS[(i + c) % len(MODELS)]
+                    futures.append(await client.submit(model))
+            results = await asyncio.gather(*futures)
+            await clients[0].drain()
+            stats = await clients[0].stats()
+            pending = sum(len(c._waiters) for c in clients)
+        finally:
+            for client in clients:
+                await client.close()
+    return results, stats, pending
+
+
+@pytest.fixture(scope="module")
+def flood():
+    return asyncio.run(_flood())
+
+
+def test_every_request_conserved(flood):
+    results, _stats, _ = flood
+    sent = N_CONNECTIONS * PER_CONNECTION
+    assert len(results) == sent
+    counts: dict[str, int] = {}
+    for r in results:
+        counts[r.outcome] = counts.get(r.outcome, 0) + 1
+    assert sum(counts.values()) == sent
+    assert set(counts) <= {"served", "rejected", "shed", "failed", "timed_out"}
+    assert counts.get("served", 0) > 0
+
+
+def test_server_side_accounting_matches(flood):
+    results, stats, _ = flood
+    srv = stats["server"]
+    sent = N_CONNECTIONS * PER_CONNECTION
+    assert (
+        srv["completed"]
+        + srv["rejected"]
+        + srv["shed"]
+        + srv["failed"]
+        + srv["timed_out"]
+        == sent
+    )
+    assert srv["in_flight"] == 0
+    assert srv["queue_depth"] == 0
+    # Healthy readers on every connection: nothing was dropped for
+    # backpressure and nobody tripped the in-flight cap.
+    assert stats["net"]["results_dropped"] == 0
+    assert stats["net"]["backpressure_rejections"] == 0
+    assert stats["net"]["connections_total"] == N_CONNECTIONS
+
+
+def test_flood_actually_sheds(flood):
+    """The 32-way burst must overload the depth-48 queue; a run where
+    nothing sheds would mean the stress test stopped stressing."""
+    results, _stats, _ = flood
+    unhappy = [r for r in results if not r.ok]
+    assert unhappy, "expected shed outcomes under flood"
+    assert any(r.outcome == "shed" for r in unhappy)
+
+
+def test_no_dangling_client_futures(flood):
+    _results, _stats, pending = flood
+    assert pending == 0
