@@ -1,6 +1,6 @@
 # Development conveniences for the SPLIT reproduction.
 
-.PHONY: install test coverage typecheck bench bench-check profile experiments results examples serve net-test clean
+.PHONY: install test coverage typecheck bench bench-check profile profile-serve experiments results examples serve net-test clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -35,11 +35,13 @@ bench:
 # 10% of the pre-kernel baseline; see benchmarks/test_bench_regression.py),
 # plus the recorded-trajectory diff: the newest committed BENCH_<rev>.json
 # must not regress requests/sec by more than 10% against the pre-kernel
-# baseline (python -m benchmarks.report --compare).
+# baseline (python -m benchmarks.report --compare), and must carry both
+# headline cells — the 100k streaming engine pass and the live wire
+# replay — so neither can silently drop out of the trajectory.
 bench-check:
 	pytest tests/ -q
 	SPLIT_BENCH_PIN=1 pytest benchmarks/ -q --benchmark-disable
-	python -m benchmarks.report --compare BENCH_50545cc.json
+	python -m benchmarks.report --compare BENCH_50545cc.json --require stream_100k,server_replay
 
 # The 100k streaming cell under cProfile (top-25 by cumulative time) —
 # the loop the fast-lane optimisation work is steered by. Accepts
@@ -48,6 +50,15 @@ N ?= 100000
 TOP ?= 25
 profile:
 	python -m benchmarks.profile_stream $(N) $(TOP)
+
+# The wire replay loop under cProfile — client and server endpoints on
+# one profiled event loop (the kernel's engine thread is `make profile`'s
+# job). CODEC/BATCH select the wire path: make profile-serve CODEC=json BATCH=1
+SERVE_N ?= 5000
+CODEC ?= binary-v2
+BATCH ?= 512
+profile-serve:
+	python -m benchmarks.profile_serve $(SERVE_N) $(TOP) $(CODEC) $(BATCH)
 
 # The wire-level serving suite (differential replay, protocol fuzzing,
 # concurrency stress, backpressure) — CI runs this three times in a row

@@ -1,0 +1,132 @@
+"""CI perf smoke for the wire path: time a live socket replay.
+
+The serving-side sibling of :mod:`benchmarks.perf_smoke`: gated on
+``SPLIT_LARGE_N``, it replays an overload trace through a real TCP
+connection (binary codec, batched frames — the ``server_replay``
+benchmark's configuration) best-of-3 and fails the job when the wall
+time blows a generous ceiling. A coarse guard against order-of-magnitude
+wire regressions that is robust to shared-runner noise; the precise 10%
+budget is enforced by ``make bench-check`` on a quiet machine.
+
+The measured cell is merged into the ``BENCH_<rev>.json`` in the output
+directory when :mod:`benchmarks.perf_smoke` already wrote one there (CI
+runs them back to back), so the uploaded artifact carries both headline
+numbers; otherwise a fresh file is written.
+
+Usage::
+
+    python -m benchmarks.perf_smoke_serve [out-dir]
+
+Exit codes: 0 on success or when gated off; 1 when the ceiling is blown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+import threading
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from benchmarks.report import _short_rev
+
+N = 5000
+ROUNDS = 3
+BATCH = 512
+#: Generous ceiling for the best-of-3 wall time: the replay runs in well
+#: under a second on a quiet dev machine; 60 s only trips on collapse.
+CEILING_S = 60.0
+
+
+def main(argv: list[str]) -> int:
+    if not os.environ.get("SPLIT_LARGE_N"):
+        print("serve perf smoke skipped (set SPLIT_LARGE_N=1 to run)")
+        return 0
+    out_dir = Path(argv[1]) if len(argv) > 1 else Path(".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    from repro.runtime.workload import Scenario, WorkloadGenerator
+    from repro.server.client import replay_items_async
+    from repro.server.net import NetServer
+    from repro.server.protocol import CODEC_BINARY
+
+    models = ("yolov2", "vgg19")
+    scenario = Scenario("perf-smoke-serve", 110.0, "high", n_requests=N)
+    items = WorkloadGenerator(models, seed=0).generate(scenario)
+
+    def replay_once() -> float:
+        # Fresh lockstep server per round (DRAIN closes its arrival
+        # stream), on a private loop thread so only the replay is timed.
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+
+        async def start() -> NetServer:
+            server = NetServer(
+                models=models, mode="lockstep", max_inflight=N + 16
+            )
+            await server.start()
+            return server
+
+        server = asyncio.run_coroutine_threadsafe(start(), loop).result(120)
+        t0 = time.perf_counter()
+        report = asyncio.run(
+            replay_items_async(
+                "127.0.0.1",
+                server.port,
+                items,
+                mode="lockstep",
+                codec=CODEC_BINARY,
+                batch_size=BATCH,
+            )
+        )
+        elapsed = time.perf_counter() - t0
+        assert report.conserved and report.sent == N
+        asyncio.run_coroutine_threadsafe(server.stop(), loop).result(120)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=30)
+        loop.close()
+        return elapsed
+
+    best_s = min(replay_once() for _ in range(ROUNDS))
+    rps = N / best_s
+    cell = {
+        "best_s": round(best_s, 3),
+        "requests_per_sec": round(rps),
+        "codec": CODEC_BINARY,
+        "batch_size": BATCH,
+    }
+
+    out = out_dir / f"BENCH_{_short_rev()}.json"
+    if out.exists():
+        report_doc = json.loads(out.read_text())
+        report_doc.setdefault("benchmarks", {})["server_replay"] = cell
+    else:
+        report_doc = {
+            "revision": _short_rev(),
+            "generated_utc": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "machine": os.environ.get("RUNNER_NAME", "ci"),
+            "benchmarks": {"server_replay": cell},
+        }
+    out.write_text(json.dumps(report_doc, indent=2, sort_keys=True) + "\n")
+    print(
+        f"server_replay: best of {ROUNDS} = {best_s:.3f}s ({rps:,.0f} req/s)"
+    )
+    print(f"wrote {out}")
+    if best_s > CEILING_S:
+        print(
+            f"FAIL: best wall time {best_s:.3f}s exceeds the {CEILING_S:.0f}s "
+            "ceiling",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -17,11 +17,16 @@ bench runs accumulate a comparable trajectory in the repo root.
 deltas for every shared numeric metric, with a non-zero exit when any
 benchmark's ``requests_per_sec`` drops more than 10% — the regression
 budget ``make bench-check`` enforces against the committed baseline.
+``--require name1,name2`` additionally fails the comparison when the
+*new* report is missing a named benchmark — the guard that keeps a
+headline cell (``stream_100k``, ``server_replay``) from silently
+dropping out of the trajectory when a test is renamed or skipped.
 
 Usage::
 
     python benchmarks/report.py <benchmark-json> [out-dir]
-    python -m benchmarks.report --compare OLD.json [NEW.json]
+    python -m benchmarks.report --compare OLD.json [NEW.json] \
+        [--require name1,name2]
 
 ``NEW.json`` defaults to the most recent ``BENCH_*.json`` (by its
 ``generated_utc`` stamp) in the current directory, excluding ``OLD``.
@@ -56,6 +61,7 @@ REGRESSION_TOLERANCE = 0.10
 ALIASES = {
     "test_bench_stream_100k_vs_list_baseline": "stream_100k",
     "test_bench_server_replay": "server_replay",
+    "test_bench_server_replay_json": "server_replay_json",
 }
 
 
@@ -140,13 +146,33 @@ def compare(old: dict, new: dict) -> tuple[list[str], list[str]]:
     return lines, regressions
 
 
+def missing_required(new: dict, required: list[str]) -> list[str]:
+    """Required benchmark names absent from ``new`` (or lacking a
+    ``requests_per_sec`` pin — a present-but-empty entry guards nothing)."""
+    benches = new.get("benchmarks", {})
+    return [
+        name
+        for name in required
+        if not isinstance(benches.get(name, {}).get("requests_per_sec"), (int, float))
+    ]
+
+
 def _compare_main(argv: list[str]) -> int:
-    if not 3 <= len(argv) <= 4:
+    args = argv[2:]
+    required: list[str] = []
+    if "--require" in args:
+        at = args.index("--require")
+        if at + 1 >= len(args):
+            print(__doc__, file=sys.stderr)
+            return 2
+        required = [n for n in args[at + 1].split(",") if n]
+        del args[at : at + 2]
+    if not 1 <= len(args) <= 2:
         print(__doc__, file=sys.stderr)
         return 2
-    old_path = Path(argv[2])
+    old_path = Path(args[0])
     new_path = (
-        Path(argv[3]) if len(argv) == 4 else newest_bench(Path("."), old_path)
+        Path(args[1]) if len(args) == 2 else newest_bench(Path("."), old_path)
     )
     old = json.loads(old_path.read_text())
     new = json.loads(new_path.read_text())
@@ -157,9 +183,19 @@ def _compare_main(argv: list[str]) -> int:
     lines, regressions = compare(old, new)
     for line in lines:
         print(f"  {line}")
+    failed = False
+    for name in missing_required(new, required):
+        print(
+            f"MISSING: required benchmark {name!r} has no requests_per_sec "
+            f"in {new_path.name}",
+            file=sys.stderr,
+        )
+        failed = True
     if regressions:
         for msg in regressions:
             print(f"REGRESSION: {msg}", file=sys.stderr)
+        failed = True
+    if failed:
         return 1
     print("no throughput regressions beyond tolerance")
     return 0

@@ -2,53 +2,117 @@
 
 Pins ``server_replay`` requests/second into the ``BENCH_<rev>.json``
 trajectory: a lockstep replay of an overload trace through a real TCP
-connection — framing, asyncio hand-offs, the responder bridge and the
-discrete-event kernel all on the measured path. Lockstep is the right
-mode to *time* because it never sleeps on the scaled clock: the measured
-wall time is pure wire + kernel work.
+connection — framing, codec, asyncio hand-offs, the responder bridge and
+the discrete-event kernel all on the measured path. Lockstep is the
+right mode to *time* because it never sleeps on the scaled clock: the
+measured wall time is pure wire + kernel work.
 
-Under ``--benchmark-disable`` (CI) the replay still runs once at reduced
-n and keeps the conservation assertion, so the live path is exercised on
-every push without paying for timing rounds.
+The headline cell replays over the negotiated binary codec with batched
+INFER/RESULT frames — the fast path the protocol-v2 work targets. A
+second cell keeps the JSON singles path (the original wire protocol) in
+the same trajectory as ``server_replay_json``, so the recorded numbers
+show what negotiation buys without losing sight of the fallback's cost.
+
+Server construction (model deploy, GA plan lookup, socket bind) happens
+on a private event-loop thread *outside* the timed region — a lockstep
+server serves exactly one replay (DRAIN closes the kernel's arrival
+stream), so each timing round gets a fresh instance via ``setup``.
+
+Under ``--benchmark-disable`` (CI) each replay still runs once at
+reduced n and keeps the conservation assertions, so the live path is
+exercised on every push without paying for timing rounds.
 """
 
 from __future__ import annotations
 
 import asyncio
+import threading
 
 from repro.runtime.workload import Scenario, WorkloadGenerator
 from repro.server.client import replay_items_async
 from repro.server.net import NetServer
+from repro.server.protocol import CODEC_BINARY, CODEC_JSON
 
 MODELS = ("yolov2", "vgg19")
 SEED = 0
 
 
-def _replay_once(items):
-    async def run():
+class _LiveServer:
+    """A lockstep ``NetServer`` on a private event-loop thread.
+
+    Keeps deploy + bind off the benchmark clock and lets the timed
+    client code own its own ``asyncio.run`` loop, exactly like an
+    external client process would.
+    """
+
+    def __init__(self, trace_len: int):
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="bench-net-server", daemon=True
+        )
+        self._thread.start()
         # A lockstep replay legitimately holds the whole trace in flight
         # on one connection, so the cap must clear the trace length.
-        server = NetServer(models=MODELS, mode="lockstep", max_inflight=4096)
-        async with server:
-            return await replay_items_async(
-                "127.0.0.1", server.port, items, mode="lockstep"
-            )
+        self._server = self._call(
+            self._start(max_inflight=trace_len + 16)
+        )
 
-    return asyncio.run(run())
+    async def _start(self, max_inflight: int) -> NetServer:
+        server = NetServer(
+            models=MODELS, mode="lockstep", max_inflight=max_inflight
+        )
+        await server.start()
+        return server
+
+    def _call(self, coro):
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(120)
+
+    @property
+    def port(self) -> int:
+        return self._server.port
+
+    def stop(self) -> None:
+        self._call(self._server.stop())
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+        self._loop.close()
 
 
-def test_bench_server_replay(benchmark, ctx):
-    """Wire requests/second over one socket on an overload trace."""
-    n = 1000 if benchmark.enabled else 100
+def _replay(server: _LiveServer, items, codec: str, batch_size: int):
+    return asyncio.run(
+        replay_items_async(
+            "127.0.0.1",
+            server.port,
+            items,
+            mode="lockstep",
+            codec=codec,
+            batch_size=batch_size,
+        )
+    )
+
+
+def _bench_replay(benchmark, n: int, codec: str, batch_size: int) -> None:
     scenario = Scenario("bench-server-replay", 110.0, "high", n_requests=n)
     items = WorkloadGenerator(MODELS, seed=SEED).generate(scenario)
+    servers: list[_LiveServer] = []
 
-    report = benchmark.pedantic(
-        _replay_once,
-        args=(items,),
-        rounds=3 if benchmark.enabled else 1,
-        iterations=1,
-    )
+    def setup():
+        server = _LiveServer(len(items))
+        servers.append(server)
+        return (server, items, codec, batch_size), {}
+
+    try:
+        report = benchmark.pedantic(
+            _replay,
+            setup=setup,
+            rounds=3 if benchmark.enabled else 1,
+            warmup_rounds=1 if benchmark.enabled else 0,
+            iterations=1,
+        )
+    finally:
+        for server in servers:
+            server.stop()
+
     assert report.sent == n
     assert report.conserved
     assert all(r.outcome == "served" for r in report.results)
@@ -56,3 +120,19 @@ def test_bench_server_replay(benchmark, ctx):
         benchmark.extra_info["requests_per_sec"] = round(
             n / benchmark.stats["mean"]
         )
+        benchmark.extra_info["codec"] = codec
+        benchmark.extra_info["batch_size"] = batch_size
+
+
+def test_bench_server_replay(benchmark, ctx):
+    """Wire requests/second, binary codec, batched frames (the headline
+    ``server_replay`` number)."""
+    n = 5000 if benchmark.enabled else 200
+    _bench_replay(benchmark, n, CODEC_BINARY, 512)
+
+
+def test_bench_server_replay_json(benchmark, ctx):
+    """Wire requests/second over the JSON singles path (the fallback
+    codec every client starts on)."""
+    n = 1000 if benchmark.enabled else 100
+    _bench_replay(benchmark, n, CODEC_JSON, 1)

@@ -6,8 +6,16 @@ simulator.simulate` on the same arrival schedule. Request ids are a
 process-global counter, so they differ between the two runs; what *is*
 stable is the ``(task_type, arrival_ms)`` pair — arrival times come from
 the same seeded :class:`~repro.runtime.workload.WorkloadGenerator` floats
-on both sides, and JSON round-trips IEEE doubles exactly. A
-:class:`ReplaySummary` therefore keys every observation on that pair:
+on both sides. Keying on a float is only sound because *neither codec
+may perturb a single bit*: the binary codec ships raw IEEE-754 doubles,
+and Python's JSON emits shortest-round-trip ``repr`` which parses back
+to the identical double — a guarantee of the implementation, not of JSON
+in general, so it is pinned by a regression test
+(``tests/server/test_net_codec.py``) rather than assumed silently, and
+:func:`assert_bits_identical` lets the differential suite check the
+stronger bit-level property instead of ``==`` (which NaN payloads and
+signed zeros can fool). A :class:`ReplaySummary` keys every observation
+on that pair:
 
 * the completion order and exact finish times of served requests,
 * the split plan fixed at first dispatch for every request that reached
@@ -22,6 +30,7 @@ front-end evolve without drifting from the kernel.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import Iterable, Protocol
 
@@ -82,6 +91,50 @@ class ReplaySummary:
 
 def _key(task_type: str, arrival_ms: float) -> RequestKey:
     return (task_type, arrival_ms)
+
+
+def float_bits(value: float) -> bytes:
+    """The IEEE-754 bit pattern of one double (big-endian bytes)."""
+    return struct.pack("!d", value)
+
+
+def _summary_bits(summary: ReplaySummary) -> list[tuple[str, bytes]]:
+    """Every float in a summary as (label, bit-pattern), in a canonical
+    order, with keys' floats included — the full bit-level footprint."""
+    out: list[tuple[str, bytes]] = []
+    for i, (task, arrival) in enumerate(summary.order):
+        out.append((f"order[{i}]={task}", float_bits(arrival)))
+    for i, finish in enumerate(summary.finishes):
+        out.append((f"finishes[{i}]", float_bits(finish)))
+    for (task, arrival), plan in summary.plans:
+        out.append((f"plan-key {task}", float_bits(arrival)))
+        for j, block in enumerate(plan):
+            out.append((f"plan {task}@{arrival!r}[{j}]", float_bits(block)))
+    for outcome in ("served", "rejected", "shed", "failed", "timed_out"):
+        for task, arrival in sorted(getattr(summary, outcome)):
+            out.append((f"{outcome} {task}", float_bits(arrival)))
+    return out
+
+
+def assert_bits_identical(wire: ReplaySummary, ref: ReplaySummary) -> None:
+    """Assert two summaries carry bit-for-bit identical floats.
+
+    Stronger than ``wire == ref``: float equality would call ``-0.0`` and
+    ``0.0`` the same and can never match NaNs, whereas a wire codec that
+    preserves every double exactly must reproduce the *bit patterns*.
+    Raises AssertionError naming the first diverging value.
+    """
+    a, b = _summary_bits(wire), _summary_bits(ref)
+    if len(a) != len(b):
+        raise AssertionError(
+            f"summaries differ in shape: {len(a)} vs {len(b)} float slots"
+        )
+    for (label_a, bits_a), (label_b, bits_b) in zip(a, b):
+        if label_a != label_b or bits_a != bits_b:
+            raise AssertionError(
+                f"float bits diverge at {label_a!r}: "
+                f"{bits_a.hex()} != {bits_b.hex()} ({label_b!r})"
+            )
 
 
 def summarize_engine_result(result: EngineResult) -> ReplaySummary:

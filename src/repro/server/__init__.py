@@ -24,8 +24,13 @@ from repro.server.token import TokenAssigner, TokenScheduler
 from repro.server.responder import InferenceHandle, InferenceResult, Responder
 from repro.server.server import SplitServer
 from repro.server.protocol import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    CODECS,
+    BinaryCodecV2,
     FrameDecoder,
     FrameType,
+    JsonCodec,
     ProtocolError,
     encode_frame,
 )
@@ -64,8 +69,13 @@ __all__ = [
     "InferenceResult",
     "Responder",
     "SplitServer",
+    "CODEC_BINARY",
+    "CODEC_JSON",
+    "CODECS",
+    "BinaryCodecV2",
     "FrameDecoder",
     "FrameType",
+    "JsonCodec",
     "ProtocolError",
     "encode_frame",
     "NetServer",

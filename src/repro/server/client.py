@@ -8,12 +8,17 @@ Three layers, outermost first:
   replays go down one connection in arrival order so the result stream is
   directly comparable to :func:`~repro.runtime.simulator.simulate` via
   :mod:`repro.runtime.capture`; realtime replays pace arrivals on the
-  scaled wall clock across N connections.
+  scaled wall clock across N connections. ``codec`` and ``batch_size``
+  select the negotiated wire codec and the INFER_BATCH chunking of the
+  hot path; ``window`` bounds how much of the outbound stream may sit in
+  the socket buffer before the writer is flushed.
 * **AsyncNetClient** — one connection on the caller's event loop: a
   background reader task demultiplexes result/error/stats/ack frames back
   to per-request futures by ``id``, and records infer outcomes in frame
   order (``received``) because per-connection frame order is the server's
-  terminal order.
+  terminal order. :meth:`negotiate` runs the HELLO handshake: the codec
+  switches at the ACK boundary and the ACK's model table is what binary
+  INFER records index into.
 * **NetClient** — blocking facade for scripts and notebooks; it owns a
   private event loop thread and funnels every call through
   ``run_coroutine_threadsafe``.
@@ -33,8 +38,13 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
+from repro.errors import ServerError
 from repro.runtime.workload import WorkloadItem
 from repro.server.protocol import (
+    CODEC_JSON,
+    CODECS,
+    TAG_OUTCOMES,
+    BinaryCodecV2,
     FrameDecoder,
     FrameType,
     ProtocolError,
@@ -98,19 +108,39 @@ class AsyncNetClient:
         self._writer = writer
         self._ids = itertools.count(1)
         # id -> (kind, future); kind "infer" futures get WireResults and
-        # are recorded in `received`, "meta" futures get raw payloads.
+        # are recorded in `received`, "hello" futures switch the codec at
+        # their ACK boundary, "meta" futures get raw payloads.
         self._waiters: dict[int, tuple[str, asyncio.Future]] = {}
         self._conn_error: BaseException | None = None
+        self._decoder = FrameDecoder()
+        self.binary = False
+        #: The HELLO ACK's model table (binary INFER records index it).
+        self.model_names: list[str] = []
+        self._model_idx: dict[str, int] = {}
         #: Infer outcomes in the order the server emitted them.
         self.received: list[WireResult] = []
+        # Untracked submissions (``submit_batch(..., track=False)``) have
+        # no waiter future; their replies are recognised by count and
+        # recorded in ``received`` only. ``wait_received`` is the
+        # matching completion primitive.
+        self._untracked = 0
+        self._received_target: int | None = None
+        self._received_event = asyncio.Event()
         self._reader_task = asyncio.get_running_loop().create_task(
             self._read_loop()
         )
 
     @classmethod
     async def connect(
-        cls, host: str, port: int, *, rcvbuf: int | None = None
+        cls,
+        host: str,
+        port: int,
+        *,
+        codec: str | None = None,
+        rcvbuf: int | None = None,
     ) -> "AsyncNetClient":
+        """Open a connection; ``codec`` (e.g. ``"binary-v2"``) runs the
+        HELLO handshake before returning."""
         reader, writer = await asyncio.open_connection(host, port)
         if rcvbuf is not None:
             import socket as _socket
@@ -120,11 +150,18 @@ class AsyncNetClient:
                 sock.setsockopt(
                     _socket.SOL_SOCKET, _socket.SO_RCVBUF, rcvbuf
                 )
-        return cls(reader, writer)
+        client = cls(reader, writer)
+        if codec is not None:
+            try:
+                await client.negotiate(codec)
+            except BaseException:
+                await client.close()
+                raise
+        return client
 
     # --------------------------------------------------------------- intake
     async def _read_loop(self) -> None:
-        decoder = FrameDecoder()
+        decoder = self._decoder
         try:
             while True:
                 data = await self._reader.read(65536)
@@ -145,11 +182,77 @@ class AsyncNetClient:
         for _kind, fut in waiters.values():
             if not fut.done():
                 fut.set_exception(exc)
+        # Wake any wait_received() caller; it re-checks the error.
+        self._received_event.set()
 
-    def _on_frame(self, ftype: FrameType, payload: dict[str, Any]) -> None:
+    def _result_from_record(self, record: tuple) -> WireResult:
+        cid, tag, midx, arrival, finish, e2e, rr, preempt, retries, plan = record
+        names = self.model_names
+        model = names[midx] if midx < len(names) else ""
+        if tag == 0:
+            return WireResult(
+                id=cid,
+                outcome="served",
+                ok=True,
+                model=model,
+                arrival_ms=arrival,
+                finish_ms=finish,
+                e2e_ms=e2e,
+                response_ratio=rr,
+                preemptions=preempt,
+                retries=retries,
+                plan_ms=plan,
+            )
+        # Unhappy records carry NaN in the derived-time fields; surface
+        # them as None like the JSON path does.
+        return WireResult(
+            id=cid,
+            outcome=TAG_OUTCOMES[tag],
+            ok=False,
+            model=model,
+            arrival_ms=arrival,
+            retries=retries,
+            plan_ms=plan,
+        )
+
+    def _record(self, result: WireResult) -> None:
+        self.received.append(result)
+        if (
+            self._received_target is not None
+            and len(self.received) >= self._received_target
+        ):
+            self._received_event.set()
+
+    def _settle_record(self, record: tuple) -> None:
+        result = self._result_from_record(record)
+        self._record(result)
+        entry = self._waiters.pop(result.id, None)
+        if entry is not None:
+            if not entry[1].done():
+                entry[1].set_result(result)
+        elif self._untracked:
+            self._untracked -= 1
+
+    def _on_frame(self, ftype: FrameType, payload: Any) -> None:
+        if isinstance(payload, tuple):  # binary RESULT record
+            self._settle_record(payload)
+            return
+        if isinstance(payload, list):  # binary RESULT_BATCH records
+            for record in payload:
+                self._settle_record(record)
+            return
         cid = payload.get("id")
         entry = self._waiters.pop(cid, None) if cid is not None else None
         if entry is None:
+            if (
+                cid is not None
+                and self._untracked
+                and ftype in (FrameType.RESULT, FrameType.ERROR)
+            ):
+                # Reply to an untracked submission: record, don't demux.
+                self._untracked -= 1
+                self._record(_result_from_payload(ftype, payload))
+                return
             if ftype is FrameType.ERROR:
                 # Connection-level error (id None or unknown): poison.
                 self._fail_all(
@@ -161,26 +264,74 @@ class AsyncNetClient:
         kind, fut = entry
         if kind == "infer" and ftype in (FrameType.RESULT, FrameType.ERROR):
             result = _result_from_payload(ftype, payload)
-            self.received.append(result)
+            self._record(result)
             if not fut.done():
                 fut.set_result(result)
-        else:
-            if not fut.done():
-                fut.set_result(payload)
+            return
+        if kind == "hello":
+            if ftype is FrameType.ACK:
+                # The ACK is the last frame of its codec: the client
+                # sends nothing post-HELLO until this resolves, so the
+                # switch happens exactly at the negotiated boundary.
+                codec = CODECS.get(payload.get("codec"))
+                if codec is None:
+                    if not fut.done():
+                        fut.set_exception(
+                            ProtocolError(
+                                f"server ACKed unknown codec {payload!r}"
+                            )
+                        )
+                    return
+                self._decoder.set_codec(codec)
+                self.binary = isinstance(codec, BinaryCodecV2)
+                self.model_names = list(payload.get("models", ()))
+                self._model_idx = {
+                    name: i for i, name in enumerate(self.model_names)
+                }
+            elif not fut.done():  # refused: connection stays on its codec
+                fut.set_exception(
+                    ServerError(
+                        payload.get("message", f"HELLO refused: {payload}")
+                    )
+                )
+                return
+        if not fut.done():
+            fut.set_result(payload)
 
     # ---------------------------------------------------------------- sends
-    async def _send(
-        self, kind: str, ftype: FrameType, payload: dict[str, Any]
-    ) -> asyncio.Future:
+    def _register_waiter(self, kind: str) -> tuple[int, asyncio.Future]:
         if self._conn_error is not None:
             raise self._conn_error
         cid = next(self._ids)
-        payload = {"id": cid, **payload}
         fut: asyncio.Future = asyncio.get_running_loop().create_future()
         self._waiters[cid] = (kind, fut)
-        self._writer.write(encode_frame(ftype, payload))
+        return cid, fut
+
+    async def _send(
+        self, kind: str, ftype: FrameType, payload: dict[str, Any]
+    ) -> asyncio.Future:
+        cid, fut = self._register_waiter(kind)
+        payload = {"id": cid, **payload}
+        self._writer.write(self._decoder.codec.encode(ftype, payload))
         await self._writer.drain()
         return fut
+
+    def _model_index(self, model: str) -> int:
+        idx = self._model_idx.get(model)
+        if idx is None:
+            raise ServerError(
+                f"model {model!r} is not in the negotiated table "
+                f"{self.model_names} (re-negotiate() after registering)"
+            )
+        return idx
+
+    async def negotiate(self, codec: str) -> dict[str, Any]:
+        """HELLO handshake: switch this connection to ``codec`` and
+        refresh the model table. Returns the ACK payload. Must not race
+        in-flight sends — negotiate before pipelining traffic."""
+        return await (
+            await self._send("hello", FrameType.HELLO, {"codec": codec})
+        )
 
     async def submit(
         self,
@@ -190,12 +341,106 @@ class AsyncNetClient:
         echo: Any = None,
     ) -> asyncio.Future:
         """Send one infer frame; returns the future without awaiting it."""
+        if self.binary:
+            if echo is not None:
+                raise ServerError("echo travels on the JSON codec only")
+            cid, fut = self._register_waiter("infer")
+            self._writer.write(
+                BinaryCodecV2.encode_infer(
+                    cid, self._model_index(model), arrival_ms
+                )
+            )
+            await self._writer.drain()
+            return fut
         payload: dict[str, Any] = {"model": model}
         if arrival_ms is not None:
             payload["arrival_ms"] = arrival_ms
         if echo is not None:
             payload["echo"] = echo
         return await self._send("infer", FrameType.INFER, payload)
+
+    async def submit_batch(
+        self,
+        items: Sequence[tuple[str, float | None]],
+        *,
+        flush: bool = True,
+        track: bool = True,
+    ) -> list[asyncio.Future]:
+        """Send one INFER_BATCH frame for ``(model, arrival_ms)`` pairs.
+
+        Returns one future per item, in order. ``flush=False`` leaves the
+        frame in the transport buffer (pipelined replay flushes once per
+        window instead of once per batch). ``track=False`` skips the
+        per-item futures entirely (returns ``[]``): replies land only in
+        ``received`` and completion is observed with
+        :meth:`wait_received` — the cheap path for bulk replays, where a
+        future per request is pure overhead."""
+        if self._conn_error is not None:
+            raise self._conn_error
+        futures: list[asyncio.Future] = []
+        ids = self._ids
+        if self.binary:
+            records: list[tuple[int, int, float]] = []
+            nan = float("nan")
+            for model, arrival_ms in items:
+                if track:
+                    cid, fut = self._register_waiter("infer")
+                    futures.append(fut)
+                else:
+                    cid = next(ids)
+                records.append(
+                    (
+                        cid,
+                        self._model_index(model),
+                        nan if arrival_ms is None else arrival_ms,
+                    )
+                )
+            self._writer.write(BinaryCodecV2.encode_infer_batch(records))
+        else:
+            wire_items: list[dict[str, Any]] = []
+            for model, arrival_ms in items:
+                if track:
+                    cid, fut = self._register_waiter("infer")
+                    futures.append(fut)
+                else:
+                    cid = next(ids)
+                item: dict[str, Any] = {"id": cid, "model": model}
+                if arrival_ms is not None:
+                    item["arrival_ms"] = arrival_ms
+                wire_items.append(item)
+            self._writer.write(
+                encode_frame(FrameType.INFER_BATCH, {"items": wire_items})
+            )
+        if not track:
+            self._untracked += len(items)
+        if flush:
+            await self._writer.drain()
+        return futures
+
+    async def wait_received(self, n: int) -> None:
+        """Block until ``received`` holds at least ``n`` results.
+
+        The completion primitive for untracked submissions: a lockstep
+        server answers every request with exactly one terminal frame, so
+        a replay that sent ``n`` requests is complete when ``n`` results
+        have been recorded. Raises the connection error if the stream
+        breaks first."""
+        if len(self.received) >= n:
+            return
+        if self._conn_error is not None:
+            raise self._conn_error
+        self._received_target = n
+        self._received_event.clear()
+        # Re-check after arming: results may have landed in between.
+        if len(self.received) < n:
+            await self._received_event.wait()
+        self._received_target = None
+        if self._conn_error is not None and len(self.received) < n:
+            raise self._conn_error
+
+    async def flush(self) -> None:
+        """Honour transport flow control for previously unflushed sends."""
+        await self._writer.drain()
 
     async def infer(
         self,
@@ -254,7 +499,12 @@ class NetClient:
     """
 
     def __init__(
-        self, host: str, port: int, *, timeout_s: float = 30.0
+        self,
+        host: str,
+        port: int,
+        *,
+        codec: str | None = None,
+        timeout_s: float = 30.0,
     ) -> None:
         self._timeout_s = timeout_s
         self._loop = asyncio.new_event_loop()
@@ -263,7 +513,7 @@ class NetClient:
         )
         self._thread.start()
         self._client: AsyncNetClient = self._call(
-            AsyncNetClient.connect(host, port)
+            AsyncNetClient.connect(host, port, codec=codec)
         )
 
     def _call(self, coro):
@@ -274,6 +524,9 @@ class NetClient:
     @property
     def received(self) -> list[WireResult]:
         return self._client.received
+
+    def negotiate(self, codec: str) -> dict[str, Any]:
+        return self._call(self._client.negotiate(codec))
 
     def infer(
         self, model: str, arrival_ms: float | None = None, *, echo: Any = None
@@ -338,6 +591,9 @@ async def replay_items_async(
     connections: int = 1,
     time_scale: float = 1e-5,
     drain: bool = True,
+    codec: str = CODEC_JSON,
+    batch_size: int = 1,
+    window: int = 64,
 ) -> ReplayReport:
     """Replay a workload trace against a running :class:`NetServer`.
 
@@ -346,25 +602,56 @@ async def replay_items_async(
     and stamps each infer with the item's logical ``arrival_ms``;
     realtime fans submissions over ``connections`` sockets round-robin,
     pacing real time as ``arrival_ms * time_scale`` seconds from start.
+
+    ``codec`` negotiates the wire codec per connection before any infer;
+    ``batch_size > 1`` ships the lockstep trace as INFER_BATCH frames of
+    that many arrivals, flushing the transport every ``window`` batches —
+    the pipelined fast path the benchmarks measure. Note that a lockstep
+    server buffers terminal results, so the whole trace must fit inside
+    the server's ``max_inflight`` for an un-drained pipelined replay.
     """
     items = list(items)
     if mode == "lockstep" and connections != 1:
         raise ValueError("lockstep replay requires exactly one connection")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
     loop = asyncio.get_running_loop()
+    wire_codec = None if codec == CODEC_JSON else codec
     clients = [
-        await AsyncNetClient.connect(host, port) for _ in range(connections)
+        await AsyncNetClient.connect(host, port, codec=wire_codec)
+        for _ in range(connections)
     ]
     t_start = loop.time()
     try:
         futures: list[asyncio.Future] = []
         if mode == "lockstep":
             (client,) = clients
-            for item in items:
-                futures.append(
-                    await client.submit(item.model_name, item.arrival_ms)
-                )
-            if drain:
-                await client.drain()
+            if batch_size > 1:
+                # Untracked bulk path: no future per request, completion
+                # is the result count (one terminal frame per request is
+                # the lockstep conservation contract).
+                since_flush = 0
+                for start in range(0, len(items), batch_size):
+                    batch = [
+                        (item.model_name, item.arrival_ms)
+                        for item in items[start : start + batch_size]
+                    ]
+                    await client.submit_batch(batch, flush=False, track=False)
+                    since_flush += 1
+                    if since_flush >= window:
+                        await client.flush()
+                        since_flush = 0
+                await client.flush()
+                if drain:
+                    await client.drain()
+                await client.wait_received(len(items))
+            else:
+                for item in items:
+                    futures.append(
+                        await client.submit(item.model_name, item.arrival_ms)
+                    )
+                if drain:
+                    await client.drain()
         else:
             t0 = loop.time()
             for i, item in enumerate(items):

@@ -3,7 +3,8 @@
 ``python -m repro.server.net --host 0.0.0.0 --port 7100 --models
 yolov2,vgg19`` serves the framed wire protocol of
 :mod:`repro.server.protocol` (see ``docs/serving.md`` for the frame
-layout and error codes). Two serving modes share the protocol:
+layout, the binary codec and the error codes). Two serving modes share
+the protocol:
 
 * **realtime** (default) — arrivals are stamped by the scaled wall clock
   and executed by the threaded token scheduler/assigner pair, i.e. the
@@ -18,11 +19,29 @@ layout and error codes). Two serving modes share the protocol:
   timed-out verdicts — which is what the differential suite pins. A
   drain frame closes the arrival stream and runs the system dry.
 
+The hot path is batched end to end: INFER_BATCH frames land as whole
+arrival chunks on the lockstep engine's intake (driving the kernel's
+fault-free fast lane through ``bulk_admit``), terminal settlement goes
+through :meth:`Responder.settle_batch` under one lock, and results flow
+back with one event-loop hop per sink batch and RESULT_BATCH frames on
+binary connections. Each connection's writer coalesces queued frames
+into single socket writes.
+
+``shards=N`` spreads connections over N acceptor loops (SO_REUSEPORT
+kernel steering where the platform has it, an in-process accept-and-
+hand-off loop otherwise). Realtime shards submit into the shared
+thread-safe pipeline; sharded lockstep gives every connection an
+ordered intake lane and a merger thread interleaves the lanes
+deterministically by ``(arrival_ms, task_type)`` (ties break by lane
+registration order) — the blocking merge means every expected lane must
+submit or drain for the stream to advance, which is the price of
+determinism across concurrent connections.
+
 Robustness composes in both modes: a
 :class:`~repro.robustness.RobustnessConfig` arms fault injection,
 deadline eviction, retries and load shedding, and the unhappy outcomes
-travel back over the wire as typed ERROR frames (codes mirror the
-responder outcomes).
+travel back over the wire as typed ERROR frames (JSON) or tagged result
+records (binary).
 
 Backpressure is connection-level and bounded everywhere: each connection
 owns a bounded outbound queue drained by one writer task (a slow reader
@@ -36,23 +55,29 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import heapq
+import itertools
 import socket
 import threading
 from queue import Queue as ThreadQueue
-from typing import Any
+from typing import Any, Callable, Iterator
 
 from repro.errors import ReproError, ServerError, UnknownModelError
 from repro.robustness.config import RobustnessConfig
 from repro.runtime.engine import EngineResult, SequentialEngine
 from repro.scheduling.policies.split_policy import SplitScheduler
-from repro.scheduling.request import Request
+from repro.scheduling.request import Request, TaskSpec
 from repro.server.protocol import (
+    CODECS,
     ERR_BACKPRESSURE,
     ERR_BAD_STATE,
     ERR_OUT_OF_ORDER,
     ERR_PROTOCOL,
     ERR_UNKNOWN_MODEL,
     OUTCOME_CODES,
+    RESULT_HEAD,
+    TAG_BY_OUTCOME,
+    BinaryCodecV2,
     FrameDecoder,
     FrameType,
     ProtocolError,
@@ -63,21 +88,80 @@ from repro.server.server import SplitServer
 
 _EOF = object()
 _CLOSE = None  # writer-task sentinel
+_NAN = float("nan")
+
+#: Byte budget per outbound RESULT_BATCH frame (well under MAX_FRAME).
+_BATCH_FRAME_BYTES = 256 * 1024
+#: Arrivals per merged intake chunk in sharded lockstep mode.
+_MERGE_CHUNK = 1024
+
+#: Sentinel model index for results whose task name is missing from the
+#: connection's HELLO-time model table (deployed after the handshake);
+#: clients render it as an empty model name. Re-HELLO to refresh.
+MODEL_IDX_UNKNOWN = 0xFFFF
+
+
+class _IntakeSource:
+    """The lockstep intake as a kernel :class:`ChunkSource`.
+
+    Wire handlers put validated, time-ordered ``(times, requests)``
+    chunks; the engine thread consumes them — chunk-wise through
+    :meth:`next_chunk` on the fast lane (whole chunks reach
+    ``bulk_admit``), element-wise through ``__iter__`` on the reference
+    lane (robustness armed). Chunks are validated at intake (nonnegative,
+    nondecreasing within and across chunks), which is the ChunkSource
+    contract that lets the engine skip per-element revalidation.
+    ``pool`` is None: wire requests are never recycled, the settlement
+    path still reads them after the sink returns.
+    """
+
+    pool = None
+
+    def __init__(self, intake: ThreadQueue) -> None:
+        self._intake = intake
+        self._done = False
+
+    def next_chunk(self) -> tuple[list[float], list[Request]] | None:
+        # The kernel polls again after exhaustion (idle-processor pulls);
+        # EOF must be sticky or the second call would block forever.
+        if self._done:
+            return None
+        item = self._intake.get()
+        if item is _EOF:
+            self._done = True
+            return None
+        return item  # type: ignore[no-any-return]
+
+    def __iter__(self) -> Iterator[tuple[float, Request]]:
+        while True:
+            chunk = self.next_chunk()
+            if chunk is None:
+                return
+            yield from zip(*chunk)
 
 
 class _LockstepCore:
     """The discrete-event kernel fed by wire arrivals.
 
-    One engine thread runs ``run_stream`` over a blocking intake queue;
-    infer frames put time-ordered ``(arrival_ms, request)`` pairs, the
-    drain frame puts an EOF sentinel, and every terminal request resolves
-    its responder handle from the sink — the exact event order of the
-    simulator, because it *is* the simulator's loop.
+    One engine thread runs ``run_stream`` over a blocking chunk intake;
+    infer frames put time-ordered ``(times, requests)`` chunks, the
+    drain frame puts an EOF sentinel, and terminal requests settle
+    through the batched sink — the exact event order of the simulator,
+    because it *is* the simulator's loop (the fault-free configuration
+    takes the kernel's batched fast lane).
     """
 
-    def __init__(self, engine: SequentialEngine, responder) -> None:
+    def __init__(
+        self,
+        engine: SequentialEngine,
+        responder: Any,
+        settle: Callable[[list[Request], list[str]], None],
+        on_abort: Callable[[], None],
+    ) -> None:
         self._engine = engine
         self._responder = responder
+        self._settle = settle
+        self._on_abort = on_abort
         self._intake: ThreadQueue = ThreadQueue()
         self._lock = threading.Lock()
         self._last_ms = 0.0
@@ -102,12 +186,25 @@ class _LockstepCore:
                 return ERR_OUT_OF_ORDER
         return None
 
-    def submit(self, arrival_ms: float, request: Request) -> None:
+    @property
+    def last_ms(self) -> float:
         with self._lock:
-            if self._finished or arrival_ms < self._last_ms:
+            return self._last_ms
+
+    def submit_chunk(self, times: list[float], requests: list[Request]) -> None:
+        """Enqueue a time-ordered arrival chunk (caller pre-checked every
+        stamp against :meth:`check` / the previous item of the chunk)."""
+        with self._lock:
+            if self._finished or times[0] < self._last_ms:
                 raise ServerError("lockstep submit after check went stale")
-            self._last_ms = arrival_ms
-        self._intake.put((arrival_ms, request))
+            self._last_ms = times[-1]
+        self._intake.put((times, requests))
+
+    def submit_merged(self, times: list[float], requests: list[Request]) -> None:
+        """Intake bypass for the lane merger (sole producer, pre-ordered)."""
+        with self._lock:
+            self._last_ms = times[-1]
+        self._intake.put((times, requests))
 
     def finish(self) -> None:
         with self._lock:
@@ -126,49 +223,194 @@ class _LockstepCore:
         if self._thread.is_alive():
             raise ServerError("lockstep engine failed to drain")
 
-    def _arrivals(self):
-        while True:
-            item = self._intake.get()
-            if item is _EOF:
-                return
-            yield item
-
     def _run(self) -> None:
         try:
-            self.result = self._engine.run_stream(self._arrivals(), self._sink)
+            self.result = self._engine.run_stream(
+                _IntakeSource(self._intake), self._sink
+            )
         except BaseException as exc:  # engine died: nothing may hang
             self.error = exc
             self._responder.abort_pending()
+            self._on_abort()
 
+    # The scalar sink plus its `_batch` variant: the kernel fast lane
+    # resolves `_sink` -> `_sink_batch` by naming convention and flushes
+    # buffered terminals through it; the reference lane (robustness
+    # armed) calls the scalar once per terminal. Both must be observably
+    # identical, so the scalar is the one-element batch.
     def _sink(self, request: Request, outcome: str) -> None:
-        r = self._responder
-        if outcome == "served":
-            r.resolve(request, request.finish_ms)
-        elif outcome == "rejected":
-            r.reject(request)
-        elif outcome == "shed":
-            r.drop_shed(request)
-        elif outcome == "failed":
-            r.fail(request)
-        elif outcome == "timed_out":
-            r.timeout(request)
-        else:  # pragma: no cover - kernel emits only the five outcomes
-            raise ServerError(f"unknown terminal outcome {outcome!r}")
+        self._settle([request], [outcome])
+
+    def _sink_batch(self, requests: list[Request], outcomes: list[str]) -> None:
+        self._settle(requests, outcomes)
+
+
+class _Lane:
+    """One connection's ordered intake lane (sharded lockstep)."""
+
+    __slots__ = ("queue", "last_ms", "eof")
+
+    def __init__(self) -> None:
+        self.queue: ThreadQueue = ThreadQueue()
+        self.last_ms = 0.0
+        self.eof = False
+
+    def put_chunk(self, times: list[float], requests: list[Request]) -> None:
+        self.queue.put((times, requests))
+
+    def close(self) -> None:
+        if not self.eof:
+            self.eof = True
+            self.queue.put(_EOF)
+
+
+class _LaneMerger:
+    """Deterministic k-way merge of per-connection lanes into the core.
+
+    The merger thread starts once every expected lane has registered and
+    interleaves lane items by ``(arrival_ms, task_type)`` (ties break by
+    lane registration order, which is connection-arrival order — stable
+    within a run, arbitrary across runs; seeded workload traces have
+    effectively unique stamps so this never decides a real replay). The
+    merge is *blocking*: an item is emitted only once every open lane has
+    shown a later-or-equal head or reached EOF, so every expected
+    connection must keep submitting (or drain / disconnect, which closes
+    its lane) for the stream to advance.
+    """
+
+    def __init__(self, core: _LockstepCore, expected: int) -> None:
+        self._core = core
+        self._expected = expected
+        self._lanes: list[_Lane] = []
+        self._lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+
+    def add_lane(self) -> _Lane | None:
+        """Register a lane; None when the expected count is reached."""
+        with self._lock:
+            if len(self._lanes) >= self._expected:
+                return None
+            lane = _Lane()
+            self._lanes.append(lane)
+            if len(self._lanes) == self._expected:
+                self._thread = threading.Thread(
+                    target=self._run, name="split-lane-merger", daemon=True
+                )
+                self._thread.start()
+            return lane
+
+    def close_all(self) -> bool:
+        """EOF every registered lane; True when the merger is running."""
+        with self._lock:
+            lanes = list(self._lanes)
+            started = self._thread is not None
+        for lane in lanes:
+            lane.close()
+        return started
+
+    @staticmethod
+    def _iter_lane(lane: _Lane) -> Iterator[tuple[float, Request]]:
+        while True:
+            item = lane.queue.get()
+            if item is _EOF:
+                return
+            yield from zip(*item)
+
+    def _run(self) -> None:
+        try:
+            merged = heapq.merge(
+                *(self._iter_lane(lane) for lane in self._lanes),
+                key=lambda pair: (pair[0], pair[1].task_type),
+            )
+            times: list[float] = []
+            requests: list[Request] = []
+            for t, request in merged:
+                times.append(t)
+                requests.append(request)
+                if len(times) >= _MERGE_CHUNK:
+                    self._core.submit_merged(times, requests)
+                    times, requests = [], []
+            if times:
+                self._core.submit_merged(times, requests)
+        finally:
+            self._core.finish()
+
+
+class _Shard:
+    """One acceptor loop plus its connections and counters.
+
+    Counters live per shard so concurrent loop threads never share a
+    read-modify-write; :class:`NetServer` exposes the sums.
+    """
+
+    __slots__ = (
+        "index",
+        "loop",
+        "thread",
+        "server",
+        "conns",
+        "tasks",
+        "frames_in",
+        "frames_out",
+        "results_dropped",
+        "backpressure_rejections",
+        "protocol_errors",
+        "connections_total",
+        "orphaned_results",
+    )
+
+    def __init__(self, index: int, loop: asyncio.AbstractEventLoop) -> None:
+        self.index = index
+        self.loop = loop
+        self.thread: threading.Thread | None = None
+        self.server: asyncio.base_events.Server | None = None
+        self.conns: set[_Connection] = set()
+        self.tasks: set[asyncio.Task] = set()
+        self.frames_in = 0
+        self.frames_out = 0
+        self.results_dropped = 0
+        self.backpressure_rejections = 0
+        self.protocol_errors = 0
+        self.connections_total = 0
+        self.orphaned_results = 0
 
 
 class _Connection:
-    """Per-connection state: bounded outbound queue + in-flight ledger."""
+    """Per-connection state: bounded outbound queue, in-flight ledger,
+    negotiated codec and its HELLO-time model table."""
 
-    def __init__(self, server: "NetServer", writer: asyncio.StreamWriter):
+    def __init__(self, shard: _Shard, server: "NetServer", writer: asyncio.StreamWriter):
+        self.shard = shard
+        self.loop = shard.loop
         self.server = server
         self.writer = writer
-        self.out: asyncio.Queue = asyncio.Queue(maxsize=server.out_queue_bound)
+        # Lockstep settles terminals in bulk (up to a whole kernel flush
+        # at once), but the in-flight cap already bounds how many results
+        # one connection can have outstanding — so the queue is sized to
+        # never drop them. Realtime keeps the strict bound: its results
+        # trickle in and a slow reader loses its own frames.
+        bound = server.out_queue_bound
+        if server.mode == "lockstep":
+            bound += server.max_inflight
+        self.out: asyncio.Queue = asyncio.Queue(maxsize=bound)
         self.inflight = 0
         self.closed = False
+        self.decoder = FrameDecoder()
+        self.binary = False
+        #: HELLO-time snapshot: index -> (name, spec), name -> index.
+        self.model_names: list[str] = []
+        self.model_specs: list[TaskSpec] = []
+        self.model_idx: dict[str, int] = {}
+        self.lane: _Lane | None = None
         self._echo: dict[int, Any] = {}
 
     def send(self, ftype: FrameType, payload: dict[str, Any]) -> bool:
-        """Enqueue one frame; drops (and counts) when the queue is full.
+        """Encode one control frame with the connection's codec and
+        enqueue it (both codecs carry JSON bodies for control types)."""
+        return self.send_bytes(self.decoder.codec.encode(ftype, payload))
+
+    def send_bytes(self, frame: bytes) -> bool:
+        """Enqueue one pre-encoded frame; drops (and counts) when full.
 
         Dropping rather than blocking is the slow-reader contract: a
         client that stops reading loses *its own* frames while the
@@ -178,11 +420,12 @@ class _Connection:
         if self.closed:
             return False
         try:
-            self.out.put_nowait(encode_frame(ftype, payload))
-            return True
+            self.out.put_nowait(frame)
         except asyncio.QueueFull:
-            self.server.results_dropped += 1
+            self.shard.results_dropped += 1
             return False
+        self.shard.frames_out += 1
+        return True
 
     def note_echo(self, cid: int, echo: Any) -> None:
         if echo is not None:
@@ -192,16 +435,52 @@ class _Connection:
         return self._echo.pop(cid, None)
 
     async def writer_loop(self) -> None:
+        """Drain the outbound queue, coalescing every frame already
+        queued into a single socket write before honouring TCP flow
+        control once (`drain()`)."""
+        out = self.out
+        writer = self.writer
         try:
             while True:
-                item = await self.out.get()
-                if item is _CLOSE:
+                item = await out.get()
+                closing = item is _CLOSE
+                if not closing:
+                    chunks = [item]
+                    while True:
+                        try:
+                            nxt = out.get_nowait()
+                        except asyncio.QueueEmpty:
+                            break
+                        if nxt is _CLOSE:
+                            closing = True
+                            break
+                        chunks.append(nxt)
+                    writer.write(
+                        chunks[0] if len(chunks) == 1 else b"".join(chunks)
+                    )
+                    await writer.drain()
+                if closing:
                     return
-                self.writer.write(item)
-                self.server.frames_out += 1
-                await self.writer.drain()
         except (ConnectionError, OSError):
             self.closed = True
+
+
+def _packed_result_frames(records: list[tuple]) -> list[bytes]:
+    """Pack result records into RESULT_BATCH frames under a size budget."""
+    frames: list[bytes] = []
+    batch: list[tuple] = []
+    size = 4
+    for record in records:
+        plan = record[9]
+        record_size = RESULT_HEAD.size + (8 * len(plan) if plan else 0)
+        if batch and size + record_size > _BATCH_FRAME_BYTES:
+            frames.append(BinaryCodecV2.encode_result_batch(batch))
+            batch, size = [], 4
+        batch.append(record)
+        size += record_size
+    if batch:
+        frames.append(BinaryCodecV2.encode_result_batch(batch))
+    return frames
 
 
 class NetServer:
@@ -211,6 +490,13 @@ class NetServer:
     :class:`~repro.graphs.graph.ModelGraph` objects); more can be
     registered over the wire at any time. ``port=0`` binds an ephemeral
     port, published as :attr:`port` after :meth:`start`.
+
+    ``shards`` spreads connections across that many acceptor loops.
+    Sharded lockstep additionally needs the number of submitting
+    connections up front (``lockstep_lanes``, default ``shards``): the
+    deterministic lane merge starts once that many lockstep connections
+    have submitted, and later lockstep connections are refused with
+    ``bad_state``.
     """
 
     def __init__(
@@ -228,11 +514,16 @@ class NetServer:
         out_queue_bound: int = 1024,
         drain_timeout_s: float = 60.0,
         sndbuf: int | None = None,
+        shards: int = 1,
+        lockstep_lanes: int | None = None,
+        _force_handoff: bool = False,
     ):
         if mode not in ("realtime", "lockstep"):
             raise ServerError(f"unknown serving mode {mode!r}")
         if max_inflight < 1 or out_queue_bound < 1:
             raise ServerError("max_inflight and out_queue_bound must be >= 1")
+        if shards < 1:
+            raise ServerError("shards must be >= 1")
         self.mode = mode
         self.host = host
         self.port = port
@@ -240,6 +531,8 @@ class NetServer:
         self.out_queue_bound = out_queue_bound
         self.drain_timeout_s = drain_timeout_s
         self.sndbuf = sndbuf
+        self.shards = shards
+        self._force_handoff = _force_handoff
         self.split = SplitServer(
             device=device,
             time_scale=time_scale,
@@ -247,25 +540,31 @@ class NetServer:
             admission_alpha=admission_alpha,
         )
         self._core: _LockstepCore | None = None
+        self._merger: _LaneMerger | None = None
+        #: request_id -> (connection, correlation id, echo) for every
+        #: lockstep request in flight; written by connection loops,
+        #: consumed by the engine thread's settlement (per-op dict access
+        #: is GIL-atomic and keys never collide).
+        self._pending: dict[int, tuple[_Connection, int, Any]] = {}
         if mode == "lockstep":
             self._core = _LockstepCore(
                 SequentialEngine(SplitScheduler(), robustness=robustness),
                 self.split.responder,
+                self._settle_lockstep,
+                self._abort_lockstep,
             )
+            if shards > 1:
+                lanes = lockstep_lanes if lockstep_lanes is not None else shards
+                if lanes < 1:
+                    raise ServerError("lockstep_lanes must be >= 1")
+                self._merger = _LaneMerger(self._core, lanes)
         for model in models:
             self.split.deploy(self._resolve_model(model))
         self._server: asyncio.base_events.Server | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
-        self._conns: set[_Connection] = set()
-        self._conn_tasks: set[asyncio.Task] = set()
-        # Net-level observability (exposed by the stats frame).
-        self.frames_in = 0
-        self.frames_out = 0
-        self.results_dropped = 0
-        self.backpressure_rejections = 0
-        self.protocol_errors = 0
-        self.connections_total = 0
-        self.orphaned_results = 0
+        self._shards: list[_Shard] = []
+        self._lsock: socket.socket | None = None
+        self._acceptor: asyncio.Task | None = None
 
     @staticmethod
     def _resolve_model(model):
@@ -275,6 +574,37 @@ class NetServer:
             return get_model(model)
         return model
 
+    # ------------------------------------------------------------- counters
+    # Net-level observability, summed over shards (exposed by the stats
+    # frame; read-only from outside).
+    @property
+    def frames_in(self) -> int:
+        return sum(s.frames_in for s in self._shards)
+
+    @property
+    def frames_out(self) -> int:
+        return sum(s.frames_out for s in self._shards)
+
+    @property
+    def results_dropped(self) -> int:
+        return sum(s.results_dropped for s in self._shards)
+
+    @property
+    def backpressure_rejections(self) -> int:
+        return sum(s.backpressure_rejections for s in self._shards)
+
+    @property
+    def protocol_errors(self) -> int:
+        return sum(s.protocol_errors for s in self._shards)
+
+    @property
+    def connections_total(self) -> int:
+        return sum(s.connections_total for s in self._shards)
+
+    @property
+    def orphaned_results(self) -> int:
+        return sum(s.orphaned_results for s in self._shards)
+
     # ------------------------------------------------------------ lifecycle
     async def start(self) -> "NetServer":
         self._loop = asyncio.get_running_loop()
@@ -283,34 +613,149 @@ class NetServer:
         else:
             assert self._core is not None
             self._core.start()
-        self._server = await asyncio.start_server(
-            self._on_connection, self.host, self.port
-        )
-        self.port = self._server.sockets[0].getsockname()[1]
+        shard0 = _Shard(0, self._loop)
+        self._shards = [shard0]
+        if self.shards == 1:
+            self._server = await asyncio.start_server(
+                self._client_cb(shard0), self.host, self.port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+        elif self._reuse_port_available():
+            self._server = await asyncio.start_server(
+                self._client_cb(shard0), self.host, self.port, reuse_port=True
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+            for index in range(1, self.shards):
+                shard = self._spawn_shard(index)
+                await asyncio.wrap_future(
+                    asyncio.run_coroutine_threadsafe(
+                        self._open_listener(shard), shard.loop
+                    )
+                )
+        else:
+            # In-process sharding: one raw accept loop hands connected
+            # sockets to the shard loops round-robin.
+            lsock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            lsock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            lsock.bind((self.host, self.port))
+            lsock.listen(128)
+            lsock.setblocking(False)
+            self._lsock = lsock
+            self.port = lsock.getsockname()[1]
+            for index in range(1, self.shards):
+                self._spawn_shard(index)
+            self._acceptor = self._loop.create_task(self._accept_loop())
         return self
 
-    async def stop(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
-        for conn in list(self._conns):
+    def _reuse_port_available(self) -> bool:
+        return hasattr(socket, "SO_REUSEPORT") and not self._force_handoff
+
+    def _spawn_shard(self, index: int) -> _Shard:
+        loop = asyncio.new_event_loop()
+        shard = _Shard(index, loop)
+        shard.thread = threading.Thread(
+            target=loop.run_forever,
+            name=f"split-net-shard-{index}",
+            daemon=True,
+        )
+        shard.thread.start()
+        self._shards.append(shard)
+        return shard
+
+    async def _open_listener(self, shard: _Shard) -> None:
+        shard.server = await asyncio.start_server(
+            self._client_cb(shard), self.host, self.port, reuse_port=True
+        )
+
+    def _client_cb(self, shard: _Shard):
+        async def cb(
+            reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        ) -> None:
+            await self._serve_connection(shard, reader, writer)
+
+        return cb
+
+    async def _accept_loop(self) -> None:
+        assert self._loop is not None and self._lsock is not None
+        rr = itertools.cycle(self._shards)
+        try:
+            while True:
+                sock, _addr = await self._loop.sock_accept(self._lsock)
+                shard = next(rr)
+                if shard.loop is self._loop:
+                    self._loop.create_task(self._adopt(shard, sock))
+                else:
+                    asyncio.run_coroutine_threadsafe(
+                        self._adopt(shard, sock), shard.loop
+                    )
+        except (asyncio.CancelledError, OSError):
+            pass
+
+    async def _adopt(self, shard: _Shard, sock: socket.socket) -> None:
+        try:
+            reader, writer = await asyncio.open_connection(sock=sock)
+        except OSError:
+            sock.close()
+            return
+        await self._serve_connection(shard, reader, writer)
+
+    async def _shutdown_shard(self, shard: _Shard) -> None:
+        if shard.server is not None:
+            shard.server.close()
+            await shard.server.wait_closed()
+            shard.server = None
+        for conn in list(shard.conns):
             conn.closed = True
             try:
                 conn.writer.close()
             except Exception:
                 pass
-        for task in list(self._conn_tasks):
+        tasks = list(shard.tasks)
+        for task in tasks:
             task.cancel()
-        if self._conn_tasks:
-            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def stop(self) -> None:
+        if self._acceptor is not None:
+            self._acceptor.cancel()
+            try:
+                await self._acceptor
+            except asyncio.CancelledError:
+                pass
+            self._acceptor = None
+        if self._lsock is not None:
+            self._lsock.close()
+            self._lsock = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for shard in self._shards:
+            if shard.thread is None:
+                await self._shutdown_shard(shard)
+            else:
+                fut = asyncio.run_coroutine_threadsafe(
+                    self._shutdown_shard(shard), shard.loop
+                )
+                await asyncio.wrap_future(fut)
         if self.mode == "realtime":
             self.split.stop()
         elif self._core is not None and not self._core.finished:
-            self._core.finish()
+            if self._merger is not None:
+                if not self._merger.close_all():
+                    self._core.finish()
+            else:
+                self._core.finish()
             await asyncio.get_running_loop().run_in_executor(
                 None, self._core.join, self.drain_timeout_s
             )
+        for shard in self._shards:
+            if shard.thread is not None:
+                shard.loop.call_soon_threadsafe(shard.loop.stop)
+                shard.thread.join(timeout=10)
+                shard.loop.close()
+                shard.thread = None
 
     async def __aenter__(self) -> "NetServer":
         return await self.start()
@@ -319,6 +764,9 @@ class NetServer:
         await self.stop()
 
     async def serve_forever(self) -> None:
+        if self._acceptor is not None:
+            await self._acceptor
+            return
         assert self._server is not None, "call start() first"
         await self._server.serve_forever()
 
@@ -329,8 +777,9 @@ class NetServer:
             "mode": self.mode,
             "server": self.split.stats(),
             "net": {
-                "connections": len(self._conns),
+                "connections": sum(len(s.conns) for s in self._shards),
                 "connections_total": self.connections_total,
+                "shards": len(self._shards),
                 "frames_in": self.frames_in,
                 "frames_out": self.frames_out,
                 "results_dropped": self.results_dropped,
@@ -351,21 +800,24 @@ class NetServer:
         return out
 
     # ----------------------------------------------------------- connection
-    async def _on_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    async def _serve_connection(
+        self,
+        shard: _Shard,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
     ) -> None:
         if self.sndbuf is not None:
             sock = writer.get_extra_info("socket")
             if sock is not None:
                 sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, self.sndbuf)
-        conn = _Connection(self, writer)
-        self._conns.add(conn)
-        self.connections_total += 1
+        conn = _Connection(shard, self, writer)
+        shard.conns.add(conn)
+        shard.connections_total += 1
         task = asyncio.current_task()
         if task is not None:
-            self._conn_tasks.add(task)
-        writer_task = asyncio.create_task(conn.writer_loop())
-        decoder = FrameDecoder()
+            shard.tasks.add(task)
+        writer_task = asyncio.get_running_loop().create_task(conn.writer_loop())
+        decoder = conn.decoder
         try:
             while True:
                 data = await reader.read(65536)
@@ -374,7 +826,7 @@ class NetServer:
                 try:
                     frames = decoder.feed(data)
                 except ProtocolError as exc:
-                    self.protocol_errors += 1
+                    shard.protocol_errors += 1
                     conn.send(
                         FrameType.ERROR,
                         {"id": None, "code": ERR_PROTOCOL, "message": str(exc)},
@@ -382,7 +834,7 @@ class NetServer:
                     break
                 ok = True
                 for ftype, payload in frames:
-                    self.frames_in += 1
+                    shard.frames_in += 1
                     if not await self._dispatch(conn, ftype, payload):
                         ok = False
                         break
@@ -394,8 +846,11 @@ class NetServer:
             pass  # server teardown: exit cleanly, cleanup below
         finally:
             if task is not None:
-                self._conn_tasks.discard(task)
+                shard.tasks.discard(task)
             conn.closed = True
+            if conn.lane is not None:
+                # A vanished connection must not stall the lane merge.
+                conn.lane.close()
             try:
                 conn.out.put_nowait(_CLOSE)
             except asyncio.QueueFull:
@@ -409,14 +864,42 @@ class NetServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
-            self._conns.discard(conn)
+            shard.conns.discard(conn)
 
     async def _dispatch(
-        self, conn: _Connection, ftype: FrameType, payload: dict[str, Any]
+        self, conn: _Connection, ftype: FrameType, payload: Any
     ) -> bool:
         """Handle one client frame; False closes the connection."""
         if ftype is FrameType.INFER:
-            self._handle_infer(conn, payload)
+            if isinstance(payload, tuple):
+                self._handle_infer_records(conn, [payload])
+            else:
+                self._handle_infer(conn, payload)
+            return True
+        if ftype is FrameType.INFER_BATCH:
+            if isinstance(payload, list):
+                self._handle_infer_records(conn, payload)
+                return True
+            items = payload.get("items")
+            if not isinstance(items, list):
+                self._protocol_nack(
+                    conn,
+                    payload.get("id"),
+                    "infer_batch frame needs an items list",
+                )
+                return True
+            # The JSON batch is a compatibility wrapper: items process
+            # exactly like individual INFER frames, in order.
+            for item in items:
+                if isinstance(item, dict):
+                    self._handle_infer(conn, item)
+                else:
+                    self._protocol_nack(
+                        conn, None, "infer_batch items must be objects"
+                    )
+            return True
+        if ftype is FrameType.HELLO:
+            self._handle_hello(conn, payload)
             return True
         if ftype is FrameType.STATS:
             conn.send(
@@ -429,11 +912,12 @@ class NetServer:
         if ftype is FrameType.REGISTER:
             await self._handle_register(conn, payload)
             return True
-        self.protocol_errors += 1
+        conn.shard.protocol_errors += 1
+        cid = payload.get("id") if isinstance(payload, dict) else None
         conn.send(
             FrameType.ERROR,
             {
-                "id": payload.get("id"),
+                "id": cid,
                 "code": ERR_PROTOCOL,
                 "message": f"client may not send {ftype.name} frames",
             },
@@ -442,14 +926,68 @@ class NetServer:
 
     # -------------------------------------------------------------- handlers
     def _protocol_nack(self, conn: _Connection, cid, message: str) -> None:
-        self.protocol_errors += 1
+        conn.shard.protocol_errors += 1
         conn.send(
             FrameType.ERROR, {"id": cid, "code": ERR_PROTOCOL, "message": message}
         )
 
+    def _handle_hello(self, conn: _Connection, payload: dict[str, Any]) -> None:
+        """Codec negotiation: ACK (with the model table) in the current
+        codec, then switch both directions at this frame boundary. The
+        client must not send post-HELLO frames until the ACK arrives —
+        in-flight infers submitted before a codec switch may come back
+        in either codec."""
+        cid = payload.get("id")
+        name = payload.get("codec")
+        codec = CODECS.get(name) if isinstance(name, str) else None
+        if codec is None:
+            # Refused, connection stays on its current codec (fallback
+            # rule: JSON-era clients never negotiate and never break).
+            self._protocol_nack(conn, cid, f"unknown codec {name!r}")
+            return
+        specs_by_name = self.split.deployment.task_specs()
+        names = sorted(specs_by_name)
+        conn.send(
+            FrameType.ACK, {"id": cid, "codec": codec.name, "models": names}
+        )
+        conn.model_names = names
+        conn.model_specs = [specs_by_name[n] for n in names]
+        conn.model_idx = {n: i for i, n in enumerate(names)}
+        conn.binary = isinstance(codec, BinaryCodecV2)
+        conn.decoder.set_codec(codec)
+
+    # -- lockstep intake ---------------------------------------------------
+    def _lockstep_last_ms(self, conn: _Connection) -> float | None:
+        """The ordering floor for this connection's next arrival, or None
+        when the connection may not submit (lane refused / stream done)."""
+        if self._merger is None:
+            assert self._core is not None
+            if self._core.finished:
+                return None
+            return self._core.last_ms
+        if conn.lane is None:
+            conn.lane = self._merger.add_lane()
+            if conn.lane is None:
+                return None
+        if conn.lane.eof:
+            return None
+        return conn.lane.last_ms
+
+    def _submit_lockstep(
+        self, conn: _Connection, times: list[float], requests: list[Request]
+    ) -> None:
+        if self._merger is None:
+            assert self._core is not None
+            self._core.submit_chunk(times, requests)
+        else:
+            assert conn.lane is not None
+            conn.lane.last_ms = times[-1]
+            conn.lane.put_chunk(times, requests)
+
     def _handle_infer(self, conn: _Connection, payload: dict[str, Any]) -> None:
-        """Synchronous on purpose: no await between admission checks and
-        submission, so frame order on one connection is submission order."""
+        """JSON infer. Synchronous on purpose: no await between admission
+        checks and submission, so frame order on one connection is
+        submission order."""
         cid = payload.get("id")
         if not isinstance(cid, int):
             self._protocol_nack(conn, None, "infer frame needs an integer id")
@@ -459,7 +997,7 @@ class NetServer:
             self._protocol_nack(conn, cid, "infer frame needs a model name")
             return
         if conn.inflight >= self.max_inflight:
-            self.backpressure_rejections += 1
+            conn.shard.backpressure_rejections += 1
             nack: dict[str, Any] = {
                 "id": cid,
                 "code": ERR_BACKPRESSURE,
@@ -479,8 +1017,12 @@ class NetServer:
                 )
                 return
             arrival = float(arrival)
-            assert self._core is not None
-            code = self._core.check(arrival)
+            last = self._lockstep_last_ms(conn)
+            code = (
+                ERR_BAD_STATE
+                if last is None
+                else (ERR_OUT_OF_ORDER if arrival < last else None)
+            )
             if code is not None:
                 conn.send(
                     FrameType.ERROR,
@@ -503,24 +1045,229 @@ class NetServer:
             )
             return
         conn.inflight += 1
-        conn.note_echo(cid, payload.get("echo"))
         if self.mode == "lockstep":
-            assert self._core is not None
-            handle = self.split.responder.register(request)
-            self._core.submit(arrival, request)
+            self._pending[request.request_id] = (conn, cid, payload.get("echo"))
+            self._submit_lockstep(conn, [arrival], [request])
         else:
+            conn.note_echo(cid, payload.get("echo"))
             handle = self.split.submit_wrapped(request, arrival)
-        handle.add_done_callback(
-            lambda h, conn=conn, cid=cid: self._bridge(conn, cid, h)
-        )
+            handle.add_done_callback(
+                lambda h, conn=conn, cid=cid: self._bridge(conn, cid, h)
+            )
 
+    def _handle_infer_records(
+        self, conn: _Connection, records: list[tuple]
+    ) -> None:
+        """Binary INFER / INFER_BATCH: ``(cid, model_idx, arrival_ms)``
+        records. Per-record refusals (backpressure, unknown model,
+        out-of-order) come back as tagged result records; accepted
+        lockstep records land on the engine intake as one chunk."""
+        shard = conn.shard
+        specs = conn.model_specs
+        cap = self.max_inflight
+        inflight = conn.inflight
+        nacks: list[tuple] = []
+        if self.mode == "lockstep":
+            times: list[float] = []
+            requests: list[Request] = []
+            cids: list[int] = []
+            last = self._lockstep_last_ms(conn)
+            for cid, midx, arrival in records:
+                if inflight >= cap:
+                    shard.backpressure_rejections += 1
+                    nacks.append(
+                        (cid, _TAG_BACKPRESSURE, midx, arrival,
+                         _NAN, _NAN, _NAN, 0, 0, None)
+                    )
+                    continue
+                if midx >= len(specs):
+                    nacks.append(
+                        (cid, _TAG_UNKNOWN_MODEL, midx, arrival,
+                         _NAN, _NAN, _NAN, 0, 0, None)
+                    )
+                    continue
+                if arrival != arrival or arrival < 0:  # NaN needs a stamp
+                    self._protocol_nack(
+                        conn,
+                        cid,
+                        "lockstep infer needs a nonnegative arrival_ms",
+                    )
+                    continue
+                if last is None or arrival < last:
+                    tag = (
+                        _TAG_BAD_STATE if last is None else _TAG_OUT_OF_ORDER
+                    )
+                    nacks.append(
+                        (cid, tag, midx, arrival,
+                         _NAN, _NAN, _NAN, 0, 0, None)
+                    )
+                    continue
+                last = arrival
+                inflight += 1
+                times.append(arrival)
+                requests.append(Request(task=specs[midx], arrival_ms=arrival))
+                cids.append(cid)
+            conn.inflight = inflight
+            if times:
+                pending = self._pending
+                for request, cid in zip(requests, cids):
+                    pending[request.request_id] = (conn, cid, None)
+                self._submit_lockstep(conn, times, requests)
+        else:
+            accepted: list[Request] = []
+            acc_cids: list[int] = []
+            now = self.split.clock.now_ms()
+            for cid, midx, arrival in records:
+                if inflight >= cap:
+                    shard.backpressure_rejections += 1
+                    nacks.append(
+                        (cid, _TAG_BACKPRESSURE, midx, now,
+                         _NAN, _NAN, _NAN, 0, 0, None)
+                    )
+                    continue
+                if midx >= len(specs):
+                    nacks.append(
+                        (cid, _TAG_UNKNOWN_MODEL, midx, now,
+                         _NAN, _NAN, _NAN, 0, 0, None)
+                    )
+                    continue
+                inflight += 1
+                accepted.append(Request(task=specs[midx], arrival_ms=now))
+                acc_cids.append(cid)
+            conn.inflight = inflight
+            if accepted:
+                handles = self.split.submit_batch(accepted, now)
+                for handle, cid in zip(handles, acc_cids):
+                    handle.add_done_callback(
+                        lambda h, conn=conn, cid=cid: self._bridge(conn, cid, h)
+                    )
+        if nacks:
+            for frame in _packed_result_frames(nacks):
+                conn.send_bytes(frame)
+
+    # -- lockstep settlement ----------------------------------------------
+    def _settle_lockstep(
+        self, requests: list[Request], outcomes: list[str]
+    ) -> None:
+        """Terminal sink (engine thread): batched responder settlement,
+        reply frames encoded off the event loop, one loop hop per shard
+        loop per sink batch."""
+        results = self.split.responder.settle_batch(requests, outcomes)
+        pending = self._pending
+        # conn -> (json frame list) or (binary record list), in terminal
+        # order; per-connection frame order is the determinism contract.
+        json_frames: dict[_Connection, list[bytes]] = {}
+        bin_records: dict[_Connection, list[tuple]] = {}
+        counts: dict[_Connection, int] = {}
+        for request, outcome, result in zip(requests, outcomes, results):
+            entry = pending.pop(request.request_id, None)
+            if entry is None:
+                continue
+            conn, cid, echo = entry
+            counts[conn] = counts.get(conn, 0) + 1
+            plan = request.plan_ms
+            if conn.binary:
+                midx = conn.model_idx.get(
+                    request.task_type, MODEL_IDX_UNKNOWN
+                )
+                if result is not None:
+                    record = (
+                        cid, 0, midx,
+                        result.arrival_ms, result.finish_ms,
+                        result.e2e_ms, result.response_ratio,
+                        result.preemptions, result.retries, plan,
+                    )
+                else:
+                    record = (
+                        cid, TAG_BY_OUTCOME[outcome], midx,
+                        request.arrival_ms, _NAN, _NAN, _NAN,
+                        0, request.retries, plan,
+                    )
+                bin_records.setdefault(conn, []).append(record)
+            else:
+                if result is not None:
+                    payload: dict[str, Any] = {
+                        "id": cid,
+                        "model": result.model,
+                        "arrival_ms": result.arrival_ms,
+                        "finish_ms": result.finish_ms,
+                        "e2e_ms": result.e2e_ms,
+                        "response_ratio": result.response_ratio,
+                        "preemptions": result.preemptions,
+                        "retries": result.retries,
+                        "plan_ms": list(plan) if plan is not None else None,
+                    }
+                    if echo is not None:
+                        payload["echo"] = echo
+                    frame = encode_frame(FrameType.RESULT, payload)
+                else:
+                    payload = {
+                        "id": cid,
+                        "code": OUTCOME_CODES.get(outcome, outcome),
+                        "model": request.task_type,
+                        "arrival_ms": request.arrival_ms,
+                        "retries": request.retries,
+                        "plan_ms": list(plan) if plan is not None else None,
+                    }
+                    if echo is not None:
+                        payload["echo"] = echo
+                    frame = encode_frame(FrameType.ERROR, payload)
+                json_frames.setdefault(conn, []).append(frame)
+        # One call_soon_threadsafe per shard loop per sink batch.
+        by_loop: dict[
+            asyncio.AbstractEventLoop,
+            list[tuple[_Connection, list[bytes], int]],
+        ] = {}
+        for conn, count in counts.items():
+            frames = json_frames.get(conn)
+            if frames is None:
+                frames = _packed_result_frames(bin_records[conn])
+            by_loop.setdefault(conn.loop, []).append((conn, frames, count))
+        for loop, entries in by_loop.items():
+            try:
+                loop.call_soon_threadsafe(self._flush_deliveries, entries)
+            except RuntimeError:  # loop already closed at teardown
+                for conn, _frames, count in entries:
+                    conn.shard.orphaned_results += count
+
+    @staticmethod
+    def _flush_deliveries(
+        entries: list[tuple[_Connection, list[bytes], int]]
+    ) -> None:
+        for conn, frames, count in entries:
+            conn.inflight -= count
+            if conn.closed:
+                conn.shard.orphaned_results += count
+                continue
+            for frame in frames:
+                conn.send_bytes(frame)
+
+    def _abort_lockstep(self) -> None:
+        """Engine crash: no request may hang — every pending wire request
+        gets a terminal ``failed`` error frame (JSON-bodied in both
+        codecs; clients decode ERROR frames under either)."""
+        pending, self._pending = self._pending, {}
+        by_loop: dict[
+            asyncio.AbstractEventLoop,
+            list[tuple[_Connection, list[bytes], int]],
+        ] = {}
+        for _rid, (conn, cid, echo) in pending.items():
+            payload: dict[str, Any] = {"id": cid, "code": "failed"}
+            if echo is not None:
+                payload["echo"] = echo
+            frame = conn.decoder.codec.encode(FrameType.ERROR, payload)
+            by_loop.setdefault(conn.loop, []).append((conn, [frame], 1))
+        for loop, entries in by_loop.items():
+            try:
+                loop.call_soon_threadsafe(self._flush_deliveries, entries)
+            except RuntimeError:
+                pass
+
+    # -- realtime delivery -------------------------------------------------
     def _bridge(self, conn: _Connection, cid: int, handle: InferenceHandle) -> None:
-        """Handle resolution (any thread) -> event-loop delivery."""
-        loop = self._loop
-        if loop is None:
-            return
+        """Handle resolution (any thread) -> connection-loop delivery."""
         try:
-            loop.call_soon_threadsafe(self._deliver, conn, cid, handle)
+            conn.loop.call_soon_threadsafe(self._deliver, conn, cid, handle)
         except RuntimeError:  # loop already closed at teardown
             pass
 
@@ -528,9 +1275,27 @@ class NetServer:
         conn.inflight -= 1
         echo = conn.take_echo(cid)
         if conn.closed:
-            self.orphaned_results += 1
+            conn.shard.orphaned_results += 1
             return
         plan = handle.plan_ms
+        if conn.binary:
+            req = handle._request
+            res = handle.result_or_none
+            midx = conn.model_idx.get(req.task_type, MODEL_IDX_UNKNOWN)
+            if res is not None:
+                record = (
+                    cid, 0, midx, res.arrival_ms, res.finish_ms,
+                    res.e2e_ms, res.response_ratio,
+                    res.preemptions, res.retries, plan,
+                )
+            else:
+                record = (
+                    cid, TAG_BY_OUTCOME.get(handle.outcome, _TAG_BAD_STATE),
+                    midx, req.arrival_ms, _NAN, _NAN, _NAN,
+                    0, req.retries, plan,
+                )
+            conn.send_bytes(BinaryCodecV2.encode_result(record))
+            return
         if handle.outcome == "served":
             res = handle.result_or_none
             assert res is not None
@@ -568,7 +1333,7 @@ class NetServer:
         cid = payload.get("id")
         name = payload.get("model")
         ronnx = payload.get("ronnx")
-        assert self._loop is not None
+        loop = asyncio.get_running_loop()
         try:
             if isinstance(ronnx, str):
                 graph = ronnx
@@ -594,7 +1359,7 @@ class NetServer:
                 return
             # The offline pipeline (profile + GA) is CPU-heavy: run it off
             # the event loop so serving stays responsive mid-deploy.
-            record = await self._loop.run_in_executor(
+            record = await loop.run_in_executor(
                 None, self.split.register, graph
             )
         except UnknownModelError:
@@ -623,13 +1388,20 @@ class NetServer:
         self, conn: _Connection, payload: dict[str, Any]
     ) -> None:
         cid = payload.get("id")
-        assert self._loop is not None
+        loop = asyncio.get_running_loop()
         if self.mode == "lockstep":
             core = self._core
             assert core is not None
-            core.finish()
+            if self._merger is not None:
+                # Sharded lockstep: a drain closes this connection's lane;
+                # the engine finishes once every lane has drained and the
+                # merge has run dry.
+                if conn.lane is not None:
+                    conn.lane.close()
+            else:
+                core.finish()
             try:
-                await self._loop.run_in_executor(
+                await loop.run_in_executor(
                     None, core.join, self.drain_timeout_s
                 )
             except ServerError as exc:
@@ -650,7 +1422,7 @@ class NetServer:
                 return
         else:
             try:
-                await self._loop.run_in_executor(
+                await loop.run_in_executor(
                     None, self.split.drain, self.drain_timeout_s
                 )
             except ServerError as exc:
@@ -660,6 +1432,12 @@ class NetServer:
                 )
                 return
         conn.send(FrameType.ACK, {"id": cid, "drained": True})
+
+
+_TAG_BACKPRESSURE = TAG_BY_OUTCOME[ERR_BACKPRESSURE]
+_TAG_UNKNOWN_MODEL = TAG_BY_OUTCOME[ERR_UNKNOWN_MODEL]
+_TAG_OUT_OF_ORDER = TAG_BY_OUTCOME[ERR_OUT_OF_ORDER]
+_TAG_BAD_STATE = TAG_BY_OUTCOME[ERR_BAD_STATE]
 
 
 # ------------------------------------------------------------------ CLI
@@ -686,6 +1464,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--max-inflight", type=int, default=256)
     parser.add_argument("--out-queue-bound", type=int, default=1024)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="acceptor loops to spread connections across",
+    )
     args = parser.parse_args(argv)
 
     async def _serve() -> None:
@@ -697,12 +1481,13 @@ def main(argv: list[str] | None = None) -> int:
             port=args.port,
             max_inflight=args.max_inflight,
             out_queue_bound=args.out_queue_bound,
+            shards=args.shards,
         )
         async with server:
             print(
                 f"serving {sorted(server.split.deployment.deployed)} on "
                 f"{server.host}:{server.port} ({server.mode}, "
-                f"scale={args.scale})",
+                f"scale={args.scale}, shards={args.shards})",
                 flush=True,
             )
             await server.serve_forever()

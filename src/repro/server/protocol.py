@@ -4,20 +4,39 @@ Frames are length-prefixed so the stream can be cut at arbitrary byte
 boundaries by TCP and reassembled incrementally:
 
     +----------------+--------+----------------------+
-    | length (u32 BE)| type u8| JSON payload (UTF-8) |
+    | length (u32 BE)| type u8| payload              |
     +----------------+--------+----------------------+
 
 ``length`` counts the type byte plus the payload (so the smallest legal
-frame is ``length == 1``: a type byte with an empty payload, decoded as
-``{}``). Frames larger than :data:`MAX_FRAME` are refused on both encode
-and decode — the decoder rejects an oversized header *before* buffering
-the body, so a hostile length prefix cannot balloon server memory.
+frame is ``length == 1``: a type byte with an empty payload). Frames
+larger than :data:`MAX_FRAME` are refused on both encode and decode —
+the decoder rejects an oversized header *before* buffering the body, so
+a hostile length prefix cannot balloon server memory.
+
+Two payload codecs share that frame envelope:
+
+* :class:`JsonCodec` (``"json"``, the default) — every payload is a
+  UTF-8 JSON object, exactly the PR-6 protocol. Connections start here.
+* :class:`BinaryCodecV2` (``"binary-v2"``) — the hot frame types
+  (INFER / INFER_BATCH / RESULT / RESULT_BATCH) carry struct-packed
+  bodies with IEEE-754 doubles bit-preserved end-to-end; every other
+  frame type keeps its JSON body (they are cold control traffic).
+
+A connection switches codec via the HELLO handshake: the client sends a
+JSON ``HELLO {codec}`` frame, the server replies ``ACK {codec, models}``
+(the model table binary INFER records index into) and both sides switch
+*at that frame boundary* — the ACK itself is still JSON. A repeated
+HELLO refreshes the model table (e.g. after registering a new model).
+Unknown codec names are refused with a JSON ERROR and the connection
+stays on its current codec, which is the fallback rule that keeps every
+JSON-era client working unchanged.
 
 Every malformed input maps to a typed :class:`ProtocolError` subclass
-(oversized, truncated-at-EOF, unknown type, undecodable payload) instead
-of a hang or an unhandled crash in the connection loop; the property
-suite in ``tests/server/test_net_protocol.py`` pins this over arbitrary
-payloads, split points, and garbage bytes.
+(oversized, truncated-at-EOF, unknown type, undecodable payload,
+truncated batch records) instead of a hang or an unhandled crash in the
+connection loop; the property suites in ``tests/server/test_net_protocol
+.py`` pin this over arbitrary payloads, split points, and garbage bytes
+for both codecs.
 """
 
 from __future__ import annotations
@@ -25,7 +44,7 @@ from __future__ import annotations
 import enum
 import json
 import struct
-from typing import Any, Iterator
+from typing import Any, Iterator, Sequence
 
 from repro.errors import ServerError
 
@@ -33,6 +52,10 @@ from repro.errors import ServerError
 MAX_FRAME = 1 << 20
 
 _HEADER = struct.Struct("!I")
+
+#: Codec names for the HELLO handshake.
+CODEC_JSON = "json"
+CODEC_BINARY = "binary-v2"
 
 
 class ProtocolError(ServerError):
@@ -52,8 +75,9 @@ class BadFrame(ProtocolError):
 
 
 class FrameType(enum.IntEnum):
-    """One byte on the wire. Client-originated: REGISTER / INFER / STATS /
-    DRAIN. Server-originated: RESULT / ERROR / STATS (reply) / ACK."""
+    """One byte on the wire. Client-originated: REGISTER / INFER /
+    INFER_BATCH / STATS / DRAIN / HELLO. Server-originated: RESULT /
+    RESULT_BATCH / ERROR / STATS (reply) / ACK."""
 
     REGISTER = 1
     INFER = 2
@@ -62,6 +86,9 @@ class FrameType(enum.IntEnum):
     STATS = 5
     DRAIN = 6
     ACK = 7
+    HELLO = 8
+    INFER_BATCH = 9
+    RESULT_BATCH = 10
 
 
 #: Error codes carried by ERROR frames' ``code`` field. The first block
@@ -85,80 +112,334 @@ OUTCOME_CODES = {
     "timed_out": ERR_TIMED_OUT,
 }
 
+#: Result-record outcome tags (binary codec + batch records in both
+#: codecs): tag 0 is the happy path, the rest map onto the wire error
+#: codes above in declaration order.
+TAG_OUTCOMES = (
+    "served",
+    ERR_REJECTED,
+    ERR_SHED,
+    ERR_FAILED,
+    ERR_TIMED_OUT,
+    ERR_BACKPRESSURE,
+    ERR_UNKNOWN_MODEL,
+    ERR_OUT_OF_ORDER,
+    ERR_BAD_STATE,
+)
+TAG_BY_OUTCOME = {name: tag for tag, name in enumerate(TAG_OUTCOMES)}
 
-def encode_frame(ftype: FrameType, payload: dict[str, Any] | None = None) -> bytes:
-    """Serialise one frame; raises :class:`FrameTooLarge` past the cap."""
-    body = b"" if payload is None else json.dumps(
-        payload, separators=(",", ":")
-    ).encode("utf-8")
+
+def _frame(ftype: int, body: bytes) -> bytes:
+    """Wrap a payload body into one length-prefixed frame."""
     length = 1 + len(body)
     if length > MAX_FRAME:
         raise FrameTooLarge(
             f"frame of {length} bytes exceeds MAX_FRAME={MAX_FRAME}"
         )
-    return _HEADER.pack(length) + bytes([int(ftype)]) + body
+    return _HEADER.pack(length) + bytes([ftype]) + body
+
+
+def _json_body(payload: dict[str, Any] | None) -> bytes:
+    return b"" if payload is None else json.dumps(
+        payload, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def _decode_json_body(body: memoryview) -> dict[str, Any]:
+    if not len(body):
+        return {}
+    try:
+        payload = json.loads(bytes(body).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise BadFrame(f"undecodable frame payload: {exc}") from None
+    if not isinstance(payload, dict):
+        raise BadFrame(
+            f"frame payload must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def encode_frame(ftype: FrameType, payload: dict[str, Any] | None = None) -> bytes:
+    """Serialise one JSON-codec frame; raises :class:`FrameTooLarge` past
+    the cap. (The module-level function predates the codec objects and
+    stays JSON — it is what every control-path call site uses.)"""
+    return _frame(int(ftype), _json_body(payload))
+
+
+class JsonCodec:
+    """The default codec: every frame body is a UTF-8 JSON object."""
+
+    name = CODEC_JSON
+
+    def decode_payload(self, ftype: FrameType, body: memoryview) -> Any:
+        return _decode_json_body(body)
+
+    def encode(self, ftype: FrameType, payload: dict[str, Any] | None) -> bytes:
+        return _frame(int(ftype), _json_body(payload))
+
+
+#: Binary record layouts (network byte order, no padding).
+#: INFER record: correlation id, model-table index, arrival_ms
+#: (NaN = "no arrival stamp": the realtime server stamps it on receipt).
+INFER_RECORD = struct.Struct("!IHd")
+#: RESULT record head: correlation id, outcome tag, model-table index,
+#: arrival_ms, finish_ms, e2e_ms, response_ratio, preemptions, retries,
+#: plan length; followed by plan-length f64 plan entries. Non-served
+#: records carry NaN in the three derived-time fields.
+RESULT_HEAD = struct.Struct("!IBHddddIIB")
+_BATCH_HEAD = struct.Struct("!I")
+
+_NAN = float("nan")
+
+#: One Struct per plan length (plans are short: one per block count).
+_PLAN_STRUCTS: dict[int, struct.Struct] = {}
+
+
+def _plan_struct(n: int) -> struct.Struct:
+    s = _PLAN_STRUCTS.get(n)
+    if s is None:
+        s = _PLAN_STRUCTS[n] = struct.Struct(f"!{n}d")
+    return s
+
+
+#: In-memory result record, identical in both codecs:
+#: ``(cid, tag, model, arrival_ms, finish_ms, e2e_ms, response_ratio,
+#:    preemptions, retries, plan_ms | None)`` — ``model`` is a table
+#: index in binary records and a name string in JSON batch records.
+ResultRecord = tuple
+
+
+class BinaryCodecV2:
+    """Struct-packed hot path negotiated by HELLO (``"binary-v2"``).
+
+    INFER / INFER_BATCH / RESULT / RESULT_BATCH bodies are packed records
+    (doubles travel as raw IEEE-754 bits — the differential suite asserts
+    bit-identity end-to-end); every other frame type keeps its JSON body.
+    Decoded payloads are therefore *tuples/lists* for the hot types and
+    dicts for the rest.
+    """
+
+    name = CODEC_BINARY
+
+    # ------------------------------------------------------------- decode
+    def decode_payload(self, ftype: FrameType, body: memoryview) -> Any:
+        if ftype is FrameType.INFER:
+            if len(body) != INFER_RECORD.size:
+                raise BadFrame(
+                    f"binary INFER body must be {INFER_RECORD.size} bytes, "
+                    f"got {len(body)}"
+                )
+            return INFER_RECORD.unpack_from(body)
+        if ftype is FrameType.INFER_BATCH:
+            return self._decode_infer_batch(body)
+        if ftype is FrameType.RESULT:
+            record, end = self._decode_result_record(body, 0)
+            if end != len(body):
+                raise BadFrame(
+                    f"binary RESULT body has {len(body) - end} trailing bytes"
+                )
+            return record
+        if ftype is FrameType.RESULT_BATCH:
+            return self._decode_result_batch(body)
+        return _decode_json_body(body)
+
+    def _decode_infer_batch(self, body: memoryview) -> list[tuple]:
+        if len(body) < _BATCH_HEAD.size:
+            raise BadFrame("binary INFER_BATCH body missing its count header")
+        (count,) = _BATCH_HEAD.unpack_from(body)
+        expect = _BATCH_HEAD.size + count * INFER_RECORD.size
+        if len(body) != expect:
+            raise BadFrame(
+                f"truncated INFER_BATCH: {count} records need {expect} bytes, "
+                f"got {len(body)}"
+            )
+        return list(INFER_RECORD.iter_unpack(body[_BATCH_HEAD.size:]))
+
+    def _decode_result_record(
+        self, body: memoryview, off: int
+    ) -> tuple[ResultRecord, int]:
+        head_size = RESULT_HEAD.size
+        if len(body) - off < head_size:
+            raise BadFrame("truncated RESULT record head")
+        (
+            cid,
+            tag,
+            midx,
+            arrival,
+            finish,
+            e2e,
+            rr,
+            preemptions,
+            retries,
+            plan_len,
+        ) = RESULT_HEAD.unpack_from(body, off)
+        if tag >= len(TAG_OUTCOMES):
+            raise BadFrame(f"unknown result outcome tag {tag}")
+        off += head_size
+        plan: tuple[float, ...] | None = None
+        if plan_len:
+            ps = _plan_struct(plan_len)
+            if len(body) - off < ps.size:
+                raise BadFrame("truncated RESULT record plan")
+            plan = ps.unpack_from(body, off)
+            off += ps.size
+        return (
+            (cid, tag, midx, arrival, finish, e2e, rr, preemptions, retries, plan),
+            off,
+        )
+
+    def _decode_result_batch(self, body: memoryview) -> list[ResultRecord]:
+        if len(body) < _BATCH_HEAD.size:
+            raise BadFrame("binary RESULT_BATCH body missing its count header")
+        (count,) = _BATCH_HEAD.unpack_from(body)
+        off = _BATCH_HEAD.size
+        records: list[ResultRecord] = []
+        for _ in range(count):
+            record, off = self._decode_result_record(body, off)
+            records.append(record)
+        if off != len(body):
+            raise BadFrame(
+                f"binary RESULT_BATCH has {len(body) - off} trailing bytes"
+            )
+        return records
+
+    # ------------------------------------------------------------- encode
+    def encode(self, ftype: FrameType, payload: dict[str, Any] | None) -> bytes:
+        """JSON-bodied (cold) frame under the binary codec."""
+        if ftype in (
+            FrameType.INFER,
+            FrameType.INFER_BATCH,
+            FrameType.RESULT,
+            FrameType.RESULT_BATCH,
+        ):
+            raise ServerError(
+                f"{ftype.name} frames need the packed encoders under binary-v2"
+            )
+        return _frame(int(ftype), _json_body(payload))
+
+    @staticmethod
+    def encode_infer(cid: int, model_idx: int, arrival_ms: float | None) -> bytes:
+        return _frame(
+            int(FrameType.INFER),
+            INFER_RECORD.pack(
+                cid, model_idx, _NAN if arrival_ms is None else arrival_ms
+            ),
+        )
+
+    @staticmethod
+    def encode_infer_batch(
+        items: Sequence[tuple[int, int, float]],
+    ) -> bytes:
+        """``items`` is ``(cid, model_idx, arrival_ms)`` per request."""
+        pack = INFER_RECORD.pack
+        body = _BATCH_HEAD.pack(len(items)) + b"".join(
+            pack(cid, midx, arrival) for cid, midx, arrival in items
+        )
+        return _frame(int(FrameType.INFER_BATCH), body)
+
+    @staticmethod
+    def _pack_record(record: ResultRecord) -> bytes:
+        cid, tag, midx, arrival, finish, e2e, rr, preempt, retries, plan = record
+        if plan is None:
+            return RESULT_HEAD.pack(
+                cid, tag, midx, arrival, finish, e2e, rr, preempt, retries, 0
+            )
+        n = len(plan)
+        return RESULT_HEAD.pack(
+            cid, tag, midx, arrival, finish, e2e, rr, preempt, retries, n
+        ) + _plan_struct(n).pack(*plan)
+
+    @classmethod
+    def encode_result(cls, record: ResultRecord) -> bytes:
+        return _frame(int(FrameType.RESULT), cls._pack_record(record))
+
+    @classmethod
+    def encode_result_batch(cls, records: Sequence[ResultRecord]) -> bytes:
+        pack = cls._pack_record
+        body = _BATCH_HEAD.pack(len(records)) + b"".join(
+            pack(r) for r in records
+        )
+        return _frame(int(FrameType.RESULT_BATCH), body)
+
+
+JSON_CODEC = JsonCodec()
+BINARY_CODEC = BinaryCodecV2()
+
+#: HELLO-negotiable codecs by wire name.
+CODECS = {CODEC_JSON: JSON_CODEC, CODEC_BINARY: BINARY_CODEC}
 
 
 class FrameDecoder:
     """Incremental frame reassembler for one connection.
 
     Feed arbitrary byte chunks; complete frames come out in order. The
-    decoder is *stateful*: after any :class:`ProtocolError` the stream
-    offset is untrustworthy, so the connection must be dropped (feeding
-    more data keeps raising).
+    decoder parses over a :class:`memoryview` of the fed chunk, so a
+    chunk carrying whole frames is never copied — only a trailing
+    partial frame is buffered between feeds (and the JSON codec pays one
+    payload copy per frame, because ``json.loads`` needs ``bytes``; the
+    binary codec unpacks records straight off the view).
+
+    The decoder is *stateful*: after any :class:`ProtocolError` the
+    stream offset is untrustworthy, so the connection must be dropped
+    (feeding more data keeps raising). :meth:`set_codec` switches the
+    payload codec at a frame boundary (the HELLO handshake's contract).
     """
 
-    def __init__(self) -> None:
-        self._buf = bytearray()
+    def __init__(self, codec: JsonCodec | BinaryCodecV2 = JSON_CODEC) -> None:
+        self._buf = b""
+        self._codec = codec
         self._poisoned: ProtocolError | None = None
 
-    def feed(self, data: bytes) -> list[tuple[FrameType, dict[str, Any]]]:
+    @property
+    def codec(self) -> JsonCodec | BinaryCodecV2:
+        return self._codec
+
+    def set_codec(self, codec: JsonCodec | BinaryCodecV2) -> None:
+        """Switch payload codec for every *subsequent* frame."""
+        self._codec = codec
+
+    def feed(self, data: bytes | bytearray) -> list[tuple[FrameType, Any]]:
         """Buffer ``data`` and return every frame it completed."""
         if self._poisoned is not None:
             raise self._poisoned
-        self._buf.extend(data)
-        out: list[tuple[FrameType, dict[str, Any]]] = []
+        if self._buf:
+            data = self._buf + bytes(data)
+        view = memoryview(data)
+        total = len(view)
+        header_size = _HEADER.size
+        out: list[tuple[FrameType, Any]] = []
+        off = 0
         try:
-            while True:
-                frame = self._next_frame()
-                if frame is None:
-                    return out
-                out.append(frame)
+            while total - off >= header_size:
+                (length,) = _HEADER.unpack_from(view, off)
+                if length > MAX_FRAME:
+                    raise FrameTooLarge(
+                        f"declared frame of {length} bytes exceeds "
+                        f"MAX_FRAME={MAX_FRAME}"
+                    )
+                if length < 1:
+                    raise BadFrame("frame without a type byte (length 0)")
+                end = off + header_size + length
+                if end > total:
+                    break
+                type_byte = view[off + header_size]
+                try:
+                    ftype = FrameType(type_byte)
+                except ValueError:
+                    raise BadFrame(
+                        f"unknown frame type {type_byte}"
+                    ) from None
+                payload = self._codec.decode_payload(
+                    ftype, view[off + header_size + 1 : end]
+                )
+                out.append((ftype, payload))
+                off = end
         except ProtocolError as exc:
             self._poisoned = exc
+            self._buf = b""
             raise
-
-    def _next_frame(self) -> tuple[FrameType, dict[str, Any]] | None:
-        buf = self._buf
-        if len(buf) < _HEADER.size:
-            return None
-        (length,) = _HEADER.unpack_from(buf)
-        if length > MAX_FRAME:
-            raise FrameTooLarge(
-                f"declared frame of {length} bytes exceeds MAX_FRAME={MAX_FRAME}"
-            )
-        if length < 1:
-            raise BadFrame("frame without a type byte (length 0)")
-        if len(buf) < _HEADER.size + length:
-            return None
-        type_byte = buf[_HEADER.size]
-        body = bytes(buf[_HEADER.size + 1 : _HEADER.size + length])
-        del buf[: _HEADER.size + length]
-        try:
-            ftype = FrameType(type_byte)
-        except ValueError:
-            raise BadFrame(f"unknown frame type {type_byte}") from None
-        if not body:
-            return ftype, {}
-        try:
-            payload = json.loads(body.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise BadFrame(f"undecodable frame payload: {exc}") from None
-        if not isinstance(payload, dict):
-            raise BadFrame(
-                f"frame payload must be a JSON object, got {type(payload).__name__}"
-            )
-        return ftype, payload
+        self._buf = bytes(view[off:]) if off < total else b""
+        return out
 
     @property
     def pending_bytes(self) -> int:
@@ -173,8 +454,10 @@ class FrameDecoder:
             )
 
 
-def decode_frames(data: bytes) -> Iterator[tuple[FrameType, dict[str, Any]]]:
+def decode_frames(
+    data: bytes, codec: JsonCodec | BinaryCodecV2 = JSON_CODEC
+) -> Iterator[tuple[FrameType, Any]]:
     """Decode a complete byte string; raises on any trailing partial frame."""
-    decoder = FrameDecoder()
+    decoder = FrameDecoder(codec)
     yield from decoder.feed(data)
     decoder.eof()

@@ -191,6 +191,65 @@ class Responder:
         if handle is not None:
             handle._resolve("served", result)
 
+    def settle_batch(
+        self, requests: list[Request], outcomes: list[str]
+    ) -> list[InferenceResult | None]:
+        """Settle a batch of terminal requests under one lock acquisition.
+
+        The batched variant of the scalar callbacks above, used by the
+        socket front-end's lockstep sink (`docs/serving.md`): ``requests``
+        and ``outcomes`` are aligned, in terminal order. Returns the
+        per-request :class:`InferenceResult` (None for unhappy outcomes)
+        so the caller can build wire replies without recomputing the
+        derived floats.
+
+        Unlike the scalar methods — which count an unhappy outcome only
+        when a handle was registered, because engine-internal requests
+        also pass through them — every request in the batch is a
+        submitted request by contract, so every outcome is counted.
+        Handles, when registered, still resolve exactly once (outside the
+        lock, like the scalar paths).
+        """
+        results: list[InferenceResult | None] = []
+        resolutions: list[tuple[InferenceHandle, str, InferenceResult | None]]
+        resolutions = []
+        with self._lock:
+            for request, outcome in zip(requests, outcomes):
+                request.outcome = outcome
+                handle = self._pending.pop(request.request_id, None)
+                result: InferenceResult | None = None
+                if outcome == "served":
+                    finish = request.finish_ms
+                    assert finish is not None
+                    result = InferenceResult(
+                        request_id=request.request_id,
+                        model=request.task_type,
+                        arrival_ms=request.arrival_ms,
+                        finish_ms=finish,
+                        e2e_ms=finish - request.arrival_ms,
+                        response_ratio=(finish - request.arrival_ms)
+                        / request.ext_ms,
+                        preemptions=request.preemptions,
+                        retries=request.retries,
+                    )
+                    self.completed.append(result)
+                elif outcome == "rejected":
+                    self.rejected += 1
+                elif outcome == "shed":
+                    self.shed += 1
+                elif outcome == "failed":
+                    self.failed += 1
+                elif outcome == "timed_out":
+                    self.timed_out += 1
+                else:
+                    raise ServerError(f"unknown terminal outcome {outcome!r}")
+                results.append(result)
+                if handle is not None:
+                    resolutions.append((handle, outcome, result))
+        for handle, outcome, result in resolutions:
+            handle._resolve(outcome, result)
+        return results
+
     def in_flight(self) -> int:
         with self._lock:
             return len(self._pending)

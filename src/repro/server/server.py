@@ -166,6 +166,41 @@ class SplitServer:
             self.responder.reject(request)
         return handle
 
+    def submit_batch(
+        self, requests: list, now: float | None = None
+    ) -> list[InferenceHandle]:
+        """Submit a batch of wrapped requests sharing one arrival instant.
+
+        The wire front-end's realtime batch path: handles register per
+        request, admission control is evaluated per request against the
+        backlog as seen before the batch (the batch's own members do not
+        count against each other — they arrived together), and admitted
+        requests enqueue through :meth:`TokenScheduler.submit_batch`
+        under a single queue lock. Every handle resolves, as with
+        :meth:`submit_wrapped`.
+        """
+        if now is None:
+            now = self.clock.now_ms()
+        handles = [self.responder.register(request) for request in requests]
+        if self.admission_alpha is not None:
+            backlog = self.tokens.backlog_ms()
+            to_queue = []
+            for request in requests:
+                predicted_rr = (backlog + request.ext_ms) / request.ext_ms
+                if predicted_rr > self.admission_alpha:
+                    self.rejected += 1
+                    self.responder.reject(request)
+                else:
+                    to_queue.append(request)
+        else:
+            to_queue = list(requests)
+        for request, admitted in zip(
+            to_queue, self.tokens.submit_batch(to_queue, now)
+        ):
+            if not admitted:
+                self.responder.reject(request)
+        return handles
+
     def wrap(self, model_name: str, arrival_ms: float):
         """Build a request against the deployed catalogue (no submission)."""
         if self._wrapper is None:

@@ -166,6 +166,26 @@ class TokenScheduler:
                 self._work.notify()
             return admitted
 
+    def submit_batch(
+        self, requests: list[Request], now_ms: float
+    ) -> list[bool]:
+        """Enqueue a batch of simultaneous arrivals under one lock.
+
+        The wire front-end's batch-intake path: N requests that crossed
+        in one INFER_BATCH frame share a single lock acquisition, one
+        shed pass and one assigner wake-up instead of N of each. Returns
+        per-request admission verdicts, aligned with the input.
+        """
+        with self._work:
+            admitted = [
+                self.scheduler.on_arrival(self._queue, request, now_ms)
+                for request in requests
+            ]
+            if any(admitted):
+                self._shed_overload(now_ms)
+                self._work.notify()
+            return admitted
+
     # ---------------------------------------------------------------- grant
     def acquire_token(
         self, now_ms: float, timeout_s: float | None

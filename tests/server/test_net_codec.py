@@ -1,0 +1,359 @@
+"""Property suite for binary codec v2 and the HELLO negotiation.
+
+Extends ``test_net_protocol.py`` (which pins the JSON codec and the
+frame envelope) to the negotiated binary codec: packed records must
+round-trip bit-for-bit through arbitrary TCP re-chunking, every
+malformed batch frame must map to a typed :class:`ProtocolError`, a
+mid-stream codec switch must happen exactly at its frame boundary, and
+two live connections on one server — one per codec — must never
+cross-contaminate. The JSON float-round-trip regression test here is
+what licenses :mod:`repro.runtime.capture` keying summaries on raw
+``arrival_ms`` floats.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.workload import Scenario, WorkloadGenerator
+from repro.server.client import AsyncNetClient
+from repro.server.net import NetServer
+from repro.server.protocol import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    INFER_RECORD,
+    BadFrame,
+    BinaryCodecV2,
+    FrameDecoder,
+    FrameType,
+    ProtocolError,
+    TAG_OUTCOMES,
+    decode_frames,
+    encode_frame,
+    BINARY_CODEC,
+    JSON_CODEC,
+)
+
+pytestmark = pytest.mark.net
+
+# Doubles including the adversarial corners: NaN payloads, infinities,
+# signed zero, denormals — the binary codec must move all of them
+# untouched (JSON cannot carry NaN/inf, which is exactly why the hot
+# path is packed).
+_doubles = st.floats(width=64, allow_nan=True, allow_infinity=True)
+_finite = st.floats(width=64, allow_nan=False, allow_infinity=False)
+_cids = st.integers(min_value=0, max_value=2**32 - 1)
+_midx = st.integers(min_value=0, max_value=2**16 - 1)
+_u32 = st.integers(min_value=0, max_value=2**32 - 1)
+_u8 = st.integers(min_value=0, max_value=255)
+_tags = st.integers(min_value=0, max_value=len(TAG_OUTCOMES) - 1)
+
+_infer_records = st.tuples(_cids, _midx, _doubles)
+_plans = st.one_of(
+    st.none(), st.lists(_doubles, min_size=1, max_size=8).map(tuple)
+)
+_result_records = st.tuples(
+    _cids, _tags, _midx, _doubles, _doubles, _doubles, _doubles, _u32, _u32, _plans
+)
+
+
+def _bits(x: float) -> bytes:
+    return struct.pack("!d", x)
+
+
+def _tuple_bits(values) -> tuple:
+    return tuple(
+        _bits(v) if isinstance(v, float) else _tuple_bits(v)
+        if isinstance(v, tuple)
+        else v
+        for v in values
+    )
+
+
+def _chunks(data: bytes, cut_points: list[int]) -> list[bytes]:
+    cuts = sorted({min(c % (len(data) + 1), len(data)) for c in cut_points})
+    out, prev = [], 0
+    for cut in cuts:
+        out.append(data[prev:cut])
+        prev = cut
+    out.append(data[prev:])
+    return out
+
+
+# ---------------------------------------------------------- record roundtrip
+@settings(max_examples=200)
+@given(record=_infer_records, cut_points=st.lists(st.integers(min_value=0), max_size=6))
+def test_infer_record_roundtrips_bit_exact(record, cut_points):
+    cid, midx, arrival = record
+    wire = BinaryCodecV2.encode_infer(cid, midx, arrival)
+    decoder = FrameDecoder(BINARY_CODEC)
+    decoded = []
+    for chunk in _chunks(wire, cut_points):
+        decoded.extend(decoder.feed(chunk))
+    decoder.eof()
+    ((ftype, payload),) = decoded
+    assert ftype is FrameType.INFER
+    out_cid, out_midx, out_arrival = payload
+    assert (out_cid, out_midx) == (cid, midx)
+    assert _bits(out_arrival) == _bits(arrival)
+
+
+@settings(max_examples=100)
+@given(
+    records=st.lists(_infer_records, min_size=0, max_size=20),
+    cut_points=st.lists(st.integers(min_value=0), max_size=6),
+)
+def test_infer_batch_roundtrips_bit_exact(records, cut_points):
+    wire = BinaryCodecV2.encode_infer_batch(records)
+    decoder = FrameDecoder(BINARY_CODEC)
+    decoded = []
+    for chunk in _chunks(wire, cut_points):
+        decoded.extend(decoder.feed(chunk))
+    decoder.eof()
+    ((ftype, payload),) = decoded
+    assert ftype is FrameType.INFER_BATCH
+    assert [_tuple_bits(r) for r in payload] == [_tuple_bits(r) for r in records]
+
+
+@settings(max_examples=200)
+@given(record=_result_records)
+def test_result_record_roundtrips_bit_exact(record):
+    wire = BinaryCodecV2.encode_result(record)
+    ((ftype, payload),) = decode_frames(wire, BINARY_CODEC)
+    assert ftype is FrameType.RESULT
+    assert _tuple_bits(payload) == _tuple_bits(record)
+
+
+@settings(max_examples=100)
+@given(records=st.lists(_result_records, min_size=0, max_size=10))
+def test_result_batch_roundtrips_bit_exact(records):
+    wire = BinaryCodecV2.encode_result_batch(records)
+    ((ftype, payload),) = decode_frames(wire, BINARY_CODEC)
+    assert ftype is FrameType.RESULT_BATCH
+    assert [_tuple_bits(r) for r in payload] == [_tuple_bits(r) for r in records]
+
+
+# --------------------------------------------------------- malformed frames
+@given(body_len=st.integers(min_value=0, max_value=INFER_RECORD.size * 3))
+def test_wrong_size_infer_body_is_bad(body_len):
+    if body_len == INFER_RECORD.size:
+        return
+    wire = struct.pack("!I", 1 + body_len) + bytes([int(FrameType.INFER)]) + b"\0" * body_len
+    with pytest.raises(BadFrame):
+        FrameDecoder(BINARY_CODEC).feed(wire)
+
+
+@settings(max_examples=100)
+@given(
+    records=st.lists(_infer_records, min_size=0, max_size=5),
+    count_delta=st.integers(min_value=-5, max_value=5),
+)
+def test_hostile_batch_count_is_bad(records, count_delta):
+    """A count header inconsistent with the body length must be refused
+    (no over-read, no silent truncation)."""
+    if count_delta == 0:
+        return
+    hostile_count = len(records) + count_delta
+    if hostile_count < 0:
+        return
+    body = struct.pack("!I", hostile_count) + b"".join(
+        INFER_RECORD.pack(*r) for r in records
+    )
+    wire = struct.pack("!I", 1 + len(body)) + bytes([int(FrameType.INFER_BATCH)]) + body
+    with pytest.raises(BadFrame):
+        FrameDecoder(BINARY_CODEC).feed(wire)
+
+
+@settings(max_examples=100)
+@given(records=st.lists(_result_records, min_size=1, max_size=5), drop=st.integers(min_value=1))
+def test_truncated_result_batch_is_bad(records, drop):
+    """Cutting bytes off the end of a RESULT_BATCH body (count intact)
+    must raise, not return partial records."""
+    frame = BinaryCodecV2.encode_result_batch(records)
+    body = frame[5:]
+    cut = (drop % len(body)) or 1
+    body = body[:-cut]
+    wire = struct.pack("!I", 1 + len(body)) + bytes([int(FrameType.RESULT_BATCH)]) + body
+    with pytest.raises(BadFrame):
+        FrameDecoder(BINARY_CODEC).feed(wire)
+
+
+@given(tag=st.integers(min_value=len(TAG_OUTCOMES), max_value=255))
+def test_unknown_outcome_tag_is_bad(tag):
+    record = (1, 0, 0, 0.0, 0.0, 0.0, 0.0, 0, 0, None)
+    frame = bytearray(BinaryCodecV2.encode_result(record))
+    frame[9] = tag  # the tag byte: 4 length + 1 type + 4 cid
+    with pytest.raises(BadFrame):
+        FrameDecoder(BINARY_CODEC).feed(bytes(frame))
+
+
+@settings(max_examples=200)
+@given(garbage=st.binary(min_size=0, max_size=200))
+def test_binary_garbage_never_crashes_untyped(garbage):
+    decoder = FrameDecoder(BINARY_CODEC)
+    try:
+        decoder.feed(garbage)
+        decoder.eof()
+    except ProtocolError:
+        pass
+
+
+def test_binary_encode_refuses_hot_types_as_json():
+    from repro.errors import ServerError
+
+    for ftype in (
+        FrameType.INFER,
+        FrameType.INFER_BATCH,
+        FrameType.RESULT,
+        FrameType.RESULT_BATCH,
+    ):
+        with pytest.raises(ServerError):
+            BINARY_CODEC.encode(ftype, {"id": 1})
+
+
+def test_binary_cold_types_stay_json():
+    wire = BINARY_CODEC.encode(FrameType.ERROR, {"id": 7, "code": "failed"})
+    ((ftype, payload),) = decode_frames(wire, BINARY_CODEC)
+    assert ftype is FrameType.ERROR
+    assert payload == {"id": 7, "code": "failed"}
+
+
+# ----------------------------------------------------------- codec switching
+def test_set_codec_switches_at_frame_boundary():
+    """JSON frames before the switch, packed frames after — one feed."""
+    decoder = FrameDecoder()
+    json_part = encode_frame(FrameType.HELLO, {"id": 1, "codec": CODEC_BINARY})
+    frames = decoder.feed(json_part)
+    assert frames == [(FrameType.HELLO, {"id": 1, "codec": CODEC_BINARY})]
+    decoder.set_codec(BINARY_CODEC)
+    packed = BinaryCodecV2.encode_infer(9, 1, 2.5)
+    ((ftype, payload),) = decoder.feed(packed)
+    assert ftype is FrameType.INFER
+    assert payload == (9, 1, 2.5)
+    # And back: a repeated negotiation can return to JSON.
+    decoder.set_codec(JSON_CODEC)
+    ((ftype, payload),) = decoder.feed(encode_frame(FrameType.DRAIN, {"id": 2}))
+    assert payload == {"id": 2}
+
+
+# ------------------------------------------------- JSON float round-tripping
+@settings(max_examples=500)
+@given(value=_finite)
+def test_json_roundtrips_finite_doubles_bit_exact(value):
+    """The JSON codec's float-identity license: Python emits shortest
+    round-trip repr and parses it back to the identical double. Capture
+    summaries key on raw floats because of this property — if it ever
+    breaks (a different JSON library, a float_repr change), this is the
+    test that names the culprit."""
+    out = json.loads(json.dumps(value))
+    assert _bits(out) == _bits(value)
+
+
+def test_json_cannot_carry_nan():
+    """Why the binary codec exists: strict JSON has no NaN/inf, so the
+    wire uses NaN-in-packed-records for 'no value' and the JSON path must
+    omit such fields instead."""
+    with pytest.raises(ValueError):
+        json.dumps(float("nan"), allow_nan=False)
+    assert math.isnan(
+        struct.unpack("!d", _bits(float("nan")))[0]
+    )  # packed NaN survives
+
+
+# ------------------------------------------------------- live negotiation
+MODELS = ("yolov2", "vgg19")
+
+
+def test_hello_negotiation_and_model_table():
+    async def run():
+        server = NetServer(models=MODELS, mode="realtime")
+        async with server:
+            async with await AsyncNetClient.connect(
+                "127.0.0.1", server.port
+            ) as client:
+                ack = await client.negotiate(CODEC_BINARY)
+                assert ack["codec"] == CODEC_BINARY
+                assert ack["models"] == sorted(MODELS)
+                assert client.binary
+                assert client.model_names == sorted(MODELS)
+                result = await client.infer("yolov2")
+                assert result.ok and result.model == "yolov2"
+
+    asyncio.run(run())
+
+
+def test_unknown_codec_refused_connection_survives():
+    async def run():
+        server = NetServer(models=MODELS, mode="realtime")
+        async with server:
+            async with await AsyncNetClient.connect(
+                "127.0.0.1", server.port
+            ) as client:
+                with pytest.raises(Exception):
+                    await client.negotiate("gzip-v9")
+                assert not client.binary
+                # The connection stays on JSON and keeps working.
+                result = await client.infer("vgg19")
+                assert result.ok and result.model == "vgg19"
+
+    asyncio.run(run())
+
+
+def test_mixed_codec_connections_do_not_cross_contaminate():
+    """One server, two live connections, one codec each: every result
+    goes back on its own connection in its own codec, bit-for-bit equal
+    across the two replays."""
+    items = WorkloadGenerator(MODELS, seed=9).generate(
+        Scenario("mixed", 30.0, "medium", 60)
+    )
+
+    async def run():
+        server = NetServer(models=MODELS, mode="realtime")
+        async with server:
+            json_client = await AsyncNetClient.connect(
+                "127.0.0.1", server.port
+            )
+            bin_client = await AsyncNetClient.connect(
+                "127.0.0.1", server.port, codec=CODEC_BINARY
+            )
+            try:
+                futs = []
+                for i, item in enumerate(items):
+                    client = bin_client if i % 2 else json_client
+                    futs.append(await client.submit(item.model_name))
+                results = await asyncio.gather(*futs)
+                assert len(json_client.received) == (len(items) + 1) // 2
+                assert len(bin_client.received) == len(items) // 2
+                for r in results:
+                    assert r.outcome in TAG_OUTCOMES
+                    assert r.model in MODELS
+            finally:
+                await json_client.close()
+                await bin_client.close()
+
+    asyncio.run(run())
+
+
+def test_repeat_hello_refreshes_model_table():
+    async def run():
+        server = NetServer(models=("yolov2",), mode="realtime")
+        async with server:
+            async with await AsyncNetClient.connect(
+                "127.0.0.1", server.port, codec=CODEC_BINARY
+            ) as client:
+                assert client.model_names == ["yolov2"]
+                await client.register("vgg19")
+                # The first table predates the deploy; re-HELLO sees it.
+                ack = await client.negotiate(CODEC_BINARY)
+                assert ack["models"] == ["vgg19", "yolov2"]
+                result = await client.infer("vgg19")
+                assert result.ok and result.model == "vgg19"
+
+    asyncio.run(run())

@@ -1,5 +1,5 @@
 """The headline differential: a 200-request trace replayed through the
-live socket server matches the simulator exactly.
+live socket server matches the simulator exactly — under both codecs.
 
 The lockstep serving mode carries logical arrival stamps over the wire
 and feeds them to the same discrete-event kernel the simulator runs, so
@@ -9,14 +9,23 @@ with robustness armed — identical shed/failed/timed-out outcome sets.
 Request ids differ across processes; :mod:`repro.runtime.capture` keys
 everything on the stable ``(task_type, arrival_ms)`` identity.
 
-This is the pin that lets the wire layer (framing, asyncio plumbing,
-queueing, thread hand-offs) evolve freely: any divergence from the
-kernel's scheduling contract fails loudly here.
+The suite is parametrized over the wire codec: the JSON codec replays
+one INFER frame at a time (the PR-6 protocol, byte-compatible), the
+binary codec ships the trace as packed INFER_BATCH frames — and both
+must produce the same summary, with :func:`assert_bits_identical`
+holding the stronger bit-level float property (the binary codec carries
+raw IEEE-754 doubles; JSON relies on Python's shortest-round-trip repr,
+pinned separately in ``test_net_codec.py``).
+
+This is the pin that lets the wire layer (framing, codecs, batching,
+asyncio plumbing, queueing, thread hand-offs) evolve freely: any
+divergence from the kernel's scheduling contract fails loudly here.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
 
 import pytest
 
@@ -25,6 +34,7 @@ from repro.robustness.faults import FaultPlan
 from repro.robustness.retry import RetryPolicy
 from repro.robustness.shedding import LoadShedConfig
 from repro.runtime.capture import (
+    assert_bits_identical,
     summarize_engine_result,
     summarize_observations,
 )
@@ -38,6 +48,19 @@ pytestmark = pytest.mark.net
 MODELS = ("yolov2", "vgg19")
 SCENARIO = Scenario("netdiff", 35.0, "high", 200)
 SEED = 5
+
+#: (codec, batch_size) — JSON singles are the PR-6 wire path; binary
+#: batches are the fast path the benchmarks measure. ``SPLIT_NET_CODEC``
+#: (json|binary) narrows the parametrization to one codec — CI's flake
+#: gate runs the suite three times per codec as separate matrix legs.
+WIRE = {"json": ("json", 1), "binary": ("binary-v2", 16)}
+_CODEC_GATE = os.environ.get("SPLIT_NET_CODEC")
+if _CODEC_GATE:
+    if _CODEC_GATE not in WIRE:
+        raise ValueError(
+            f"SPLIT_NET_CODEC={_CODEC_GATE!r}: expected one of {sorted(WIRE)}"
+        )
+    WIRE = {_CODEC_GATE: WIRE[_CODEC_GATE]}
 
 
 def _robustness() -> RobustnessConfig:
@@ -56,23 +79,34 @@ def _items():
     return WorkloadGenerator(MODELS, seed=SEED).generate(SCENARIO)
 
 
-def _replay(robustness: RobustnessConfig | None):
+def _replay(robustness: RobustnessConfig | None, codec: str, batch_size: int):
     async def run():
         server = NetServer(
             models=MODELS, mode="lockstep", robustness=robustness
         )
         async with server:
             report = await replay_items_async(
-                "127.0.0.1", server.port, _items(), mode="lockstep"
+                "127.0.0.1",
+                server.port,
+                _items(),
+                mode="lockstep",
+                codec=codec,
+                batch_size=batch_size,
             )
         return report
 
     return asyncio.run(run())
 
 
+@pytest.fixture(scope="module", params=sorted(WIRE), ids=sorted(WIRE))
+def wire(request):
+    return WIRE[request.param]
+
+
 @pytest.fixture(scope="module")
-def plain():
-    report = _replay(None)
+def plain(wire):
+    codec, batch_size = wire
+    report = _replay(None, codec, batch_size)
     sim = simulate("split", SCENARIO, models=MODELS, seed=SEED)
     return (
         report,
@@ -82,8 +116,9 @@ def plain():
 
 
 @pytest.fixture(scope="module")
-def robust():
-    report = _replay(_robustness())
+def robust(wire):
+    codec, batch_size = wire
+    report = _replay(_robustness(), codec, batch_size)
     sim = simulate(
         "split", SCENARIO, models=MODELS, seed=SEED, robustness=_robustness()
     )
@@ -126,6 +161,13 @@ def test_full_summary_equality(plain):
     assert wire == ref
 
 
+def test_full_summary_bit_identical(plain):
+    """Every float crossed the wire bit-for-bit (both codecs must hold
+    it: binary ships raw IEEE doubles, JSON round-trips via repr)."""
+    _, wire, ref = plain
+    assert_bits_identical(wire, ref)
+
+
 # ------------------------------------------------------------- robustness
 def test_robust_outcome_sets_identical(robust):
     _, wire, ref = robust
@@ -150,3 +192,8 @@ def test_robust_replay_exercises_unhappy_paths(robust):
 def test_robust_full_summary_equality(robust):
     _, wire, ref = robust
     assert wire == ref
+
+
+def test_robust_full_summary_bit_identical(robust):
+    _, wire, ref = robust
+    assert_bits_identical(wire, ref)
