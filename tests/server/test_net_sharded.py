@@ -172,6 +172,12 @@ def test_lockstep_extra_lane_refused():
             try:
                 fut_a = await a.submit(items[0].model_name, items[0].arrival_ms)
                 fut_b = await b.submit(items[1].model_name, items[1].arrival_ms)
+                # Lane claims happen when the server processes each
+                # connection's first INFER, and frames from different
+                # sockets race across shard loops. A stats round-trip is
+                # answered in per-connection frame order, so it fences
+                # both claims — only then is c deterministically third.
+                await asyncio.gather(a.stats(), b.stats())
                 refused = await c.infer(
                     items[2].model_name, items[2].arrival_ms
                 )
