@@ -35,13 +35,14 @@ bench:
 # 10% of the pre-kernel baseline; see benchmarks/test_bench_regression.py),
 # plus the recorded-trajectory diff: the newest committed BENCH_<rev>.json
 # must not regress requests/sec by more than 10% against the pre-kernel
-# baseline (python -m benchmarks.report --compare), and must carry both
-# headline cells — the 100k streaming engine pass and the live wire
-# replay — so neither can silently drop out of the trajectory.
+# baseline (python -m benchmarks.report --compare), and must carry all
+# three headline cells — the 100k streaming engine pass, the live wire
+# replay, and the million-request fleet replay — so none can silently
+# drop out of the trajectory.
 bench-check:
 	pytest tests/ -q
 	SPLIT_BENCH_PIN=1 pytest benchmarks/ -q --benchmark-disable
-	python -m benchmarks.report --compare BENCH_50545cc.json --require stream_100k,server_replay
+	python -m benchmarks.report --compare BENCH_50545cc.json --require stream_100k,server_replay,fleet_1m
 
 # The 100k streaming cell under cProfile (top-25 by cumulative time) —
 # the loop the fast-lane optimisation work is steered by. Accepts

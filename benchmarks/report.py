@@ -62,6 +62,7 @@ ALIASES = {
     "test_bench_stream_100k_vs_list_baseline": "stream_100k",
     "test_bench_server_replay": "server_replay",
     "test_bench_server_replay_json": "server_replay_json",
+    "test_bench_fleet_1m": "fleet_1m",
 }
 
 

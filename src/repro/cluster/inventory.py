@@ -1,0 +1,75 @@
+"""Fleet inventory: which node classes, how many of each.
+
+An inventory is an ordered list of :class:`NodeClass` entries — a device
+preset name, an instance count, and optional capability / overhead tags.
+The compact string form ``"jetson-nano:60,jetson-xavier:30,desktop-gpu:10"``
+is what the CLI and CI smoke steps speak; programmatic callers can attach
+``supports`` (the models a class can serve) and a class-level preemption
+overhead directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.hardware.presets import PRESETS
+
+#: The 100-node mixed fleet the showcase experiment replays: mostly the
+#: paper's testbed part, a tier of faster edge boxes, a few desktop cards.
+DEFAULT_INVENTORY = "jetson-nano:60,jetson-xavier:30,desktop-gpu:10"
+
+
+@dataclass(frozen=True)
+class NodeClass:
+    """One homogeneous slice of the fleet."""
+
+    device_name: str
+    count: int
+    #: Models this class can serve; None = everything.
+    supports: frozenset[str] | None = None
+    #: Class-level preemption (checkpoint) overhead override, ms.
+    preemption_overhead_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.device_name not in PRESETS:
+            known = ", ".join(sorted(PRESETS))
+            raise SimulationError(
+                f"unknown device {self.device_name!r} (known presets: {known})"
+            )
+        if self.count < 1:
+            raise SimulationError(
+                f"node class {self.device_name!r}: count must be >= 1"
+            )
+
+    def can_serve(self, model: str) -> bool:
+        return self.supports is None or model in self.supports
+
+
+def parse_inventory(spec: str) -> tuple[NodeClass, ...]:
+    """Parse ``"name:count,name:count,..."`` into node classes.
+
+    Order matters: the first class is the fleet's reference hardware
+    (capacity tags are expressed relative to it), and node indices are
+    assigned in inventory order.
+    """
+    classes: list[NodeClass] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, sep, count_s = part.partition(":")
+        if not sep:
+            raise SimulationError(
+                f"bad inventory entry {part!r}: expected 'device:count'"
+            )
+        try:
+            count = int(count_s)
+        except ValueError as exc:
+            raise SimulationError(
+                f"bad inventory count in {part!r}: {count_s!r}"
+            ) from exc
+        classes.append(NodeClass(device_name=name.strip(), count=count))
+    if not classes:
+        raise SimulationError(f"inventory {spec!r} defines no nodes")
+    return tuple(classes)

@@ -15,6 +15,7 @@ from repro.experiments import (  # noqa: F401
     fig5,
     fig6,
     fig7,
+    fleet,
     live_replay,
     qos_targets,
     robustness,
@@ -25,11 +26,12 @@ from repro.experiments import (  # noqa: F401
     table3,
 )
 
-#: Everything ``python -m repro.experiments all`` runs. ``stress`` and
-#: ``live_replay`` are registered with the CLI but deliberately absent
-#: here: the stress ladder tops out at a million requests and the live
-#: replay opens real sockets, so both are meant to be invoked explicitly
-#: (``python -m repro.experiments stress`` / ``... live_replay``).
+#: Everything ``python -m repro.experiments all`` runs. ``stress``,
+#: ``fleet`` and ``live_replay`` are registered with the CLI but
+#: deliberately absent here: the stress and fleet ladders top out at a
+#: million requests and the live replay opens real sockets, so all three
+#: are meant to be invoked explicitly (``python -m repro.experiments
+#: stress`` / ``... fleet`` / ``... live_replay``).
 EXPERIMENT_IDS = (
     "table1",
     "fig1",

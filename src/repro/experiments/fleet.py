@@ -1,0 +1,181 @@
+"""Fleet showcase: a million requests over a 100-node heterogeneous fleet.
+
+The paper serves one shared GPU; this experiment scales the same QoS
+machinery out: :class:`~repro.cluster.FleetOrchestrator` deploys
+per-class split plans (searched once per hardware class, round-tripped
+through the plan store), deals a single seeded trace across the
+inventory by least projected backlog with modeled cross-node transfer
+charges, replays every node as an independent streaming cell, and merges
+the per-node accumulators into one fleet-level QoS report.
+
+The offered load is derived, not hand-tuned: the arrival rate targets a
+fixed fleet utilisation (``rho``) against the calibrated aggregate
+service rate ``sum over nodes of 1 / mean isolated ext``, so swapping
+the inventory re-balances the scenario automatically.
+
+Determinism contract (pinned by ``tests/experiments/test_fleet.py`` and
+the cluster suite): per-node shards are byte-identical for every
+``--jobs`` value (sharding happens in the parent) and the merged fleet
+QoS is float-identical (ordered merge over ordered sweep results).
+
+Not part of ``python -m repro.experiments all`` — like ``stress``, a
+million-request ladder is an explicit run:
+``python -m repro.experiments fleet``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.cluster import DEFAULT_INVENTORY, FleetOrchestrator
+from repro.errors import SimulationError
+from repro.experiments.config import ExperimentContext
+from repro.runtime.workload import Scenario
+from repro.utils.memwatch import PeakRSS
+from repro.utils.tables import format_table
+
+#: The fleet ladder: a shakedown cell, then the headline million.
+DEFAULT_SIZES = (100_000, 1_000_000)
+
+#: Target fleet utilisation: slightly past saturation, so queues build
+#: and the QoS machinery (not just the event loop) is exercised.
+DEFAULT_RHO = 1.1
+
+
+@dataclass(frozen=True)
+class FleetRow:
+    n_requests: int
+    n_nodes: int
+    lambda_ms: float
+    wall_s: float
+    requests_per_s: float
+    peak_rss_delta_mb: float
+    served: int
+    violation_at_8: float
+    transfer_hops: int
+    transfer_mean_ms: float
+    #: Requests on the busiest / idlest node — the balance achieved by
+    #: the least-projected-backlog deal over heterogeneous capacities.
+    max_node_load: int
+    min_node_load: int
+
+
+@dataclass(frozen=True)
+class FleetExperimentResult:
+    policy: str
+    inventory: str
+    rho: float
+    rows: tuple[FleetRow, ...]
+
+    def row(self, n: int) -> FleetRow:
+        for r in self.rows:
+            if r.n_requests == n:
+                return r
+        raise KeyError(n)
+
+
+def derived_lambda_ms(
+    orchestrator: FleetOrchestrator, rho: float = DEFAULT_RHO
+) -> float:
+    """Per-model arrival mean hitting ``rho`` fleet utilisation.
+
+    Aggregate arrival rate is ``m / lambda`` requests/ms (one Poisson
+    stream per model); the fleet serves ``sum 1/mean_ext`` requests/ms.
+    """
+    rate = 0.0
+    for node in orchestrator.nodes:
+        served = [
+            node.specs[m].ext_ms
+            for m in orchestrator.models
+            if node.can_serve(m)
+        ]
+        rate += 1.0 / (sum(served) / len(served))
+    return len(orchestrator.models) / (rho * rate)
+
+
+def run_cell(
+    n_requests: int,
+    ctx: ExperimentContext | None = None,
+    inventory: str = DEFAULT_INVENTORY,
+    policy: str = "split",
+    rho: float = DEFAULT_RHO,
+    hist_bins: int = 4096,
+) -> FleetRow:
+    """One fleet cell: shard + replay n requests, measure wall and RSS."""
+    ctx = ctx or ExperimentContext()
+    orch = FleetOrchestrator(
+        inventory, models=ctx.models, policy=policy, seed=ctx.seed
+    )
+    lambda_ms = derived_lambda_ms(orch, rho)  # also triggers deploy
+    scenario = Scenario(
+        f"fleet-{n_requests}", lambda_ms, "high", n_requests=n_requests
+    )
+
+    with PeakRSS() as watch:
+        t0 = time.perf_counter()
+        result = orch.replay(scenario, jobs=ctx.jobs, hist_bins=hist_bins)
+        wall_s = time.perf_counter() - t0
+
+    totals = result.qos.totals()
+    if totals["submitted"] != n_requests:
+        raise SimulationError(
+            f"fleet conservation broken: {totals['submitted']} terminal "
+            f"records for {n_requests} sharded requests"
+        )
+    loads = result.placements.values()
+    return FleetRow(
+        n_requests=n_requests,
+        n_nodes=result.n_nodes,
+        lambda_ms=lambda_ms,
+        wall_s=wall_s,
+        requests_per_s=n_requests / wall_s if wall_s > 0 else float("inf"),
+        peak_rss_delta_mb=watch.delta_bytes / 1e6,
+        served=totals["served"],
+        violation_at_8=result.qos.violation_rate(8.0),
+        transfer_hops=result.transfer_hops,
+        transfer_mean_ms=(
+            result.transfer_ms / result.transfer_hops
+            if result.transfer_hops
+            else 0.0
+        ),
+        max_node_load=max(loads),
+        min_node_load=min(loads),
+    )
+
+
+def run(
+    ctx: ExperimentContext | None = None,
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    inventory: str = DEFAULT_INVENTORY,
+    policy: str = "split",
+    rho: float = DEFAULT_RHO,
+) -> FleetExperimentResult:
+    ctx = ctx or ExperimentContext()
+    rows = tuple(
+        run_cell(n, ctx=ctx, inventory=inventory, policy=policy, rho=rho)
+        for n in sizes
+    )
+    return FleetExperimentResult(
+        policy=policy, inventory=inventory, rho=rho, rows=rows
+    )
+
+
+def render(result: FleetExperimentResult) -> str:
+    return format_table(
+        ["requests", "nodes", "lambda (ms)", "wall (s)", "req/s",
+         "peak dRSS (MB)", "served", "viol@8", "hops", "hop mean (ms)",
+         "max/node", "min/node"],
+        [
+            [r.n_requests, r.n_nodes, r.lambda_ms, r.wall_s,
+             r.requests_per_s, r.peak_rss_delta_mb, r.served,
+             r.violation_at_8, r.transfer_hops, r.transfer_mean_ms,
+             r.max_node_load, r.min_node_load]
+            for r in result.rows
+        ],
+        floatfmt=".2f",
+        title=(
+            f"Fleet replay ({result.policy}, inventory {result.inventory}, "
+            f"rho={result.rho})"
+        ),
+    )

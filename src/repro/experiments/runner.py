@@ -20,6 +20,7 @@ from repro.experiments import (
     fig5,
     fig6,
     fig7,
+    fleet,
     live_replay,
     qos_targets,
     robustness,
@@ -117,10 +118,11 @@ _RUNNERS = {
     "scaling": lambda ctx: scaling.render(scaling.run(ctx)),
     "bursts": lambda ctx: bursts.render(bursts.run(ctx)),
     "robustness": lambda ctx: robustness.render(robustness.run(ctx)),
-    # Not in EXPERIMENT_IDS (and so not in "all"): the stress ladder
-    # streams a million requests and live_replay opens real sockets —
-    # both are explicit opt-ins.
+    # Not in EXPERIMENT_IDS (and so not in "all"): the stress and fleet
+    # ladders stream a million requests and live_replay opens real
+    # sockets — all three are explicit opt-ins.
     "stress": lambda ctx: stress.render(stress.run(ctx)),
+    "fleet": lambda ctx: fleet.render(fleet.run(ctx)),
     "live_replay": lambda ctx: live_replay.render(live_replay.run(ctx)),
 }
 
@@ -137,7 +139,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=(*EXPERIMENT_IDS, "stress", "live_replay", "all"),
+        choices=(*EXPERIMENT_IDS, "stress", "fleet", "live_replay", "all"),
         help="which table/figure to regenerate",
     )
     parser.add_argument("--seed", type=int, default=0)

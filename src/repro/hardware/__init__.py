@@ -9,15 +9,25 @@ reproduce the paper's isolated latencies.
 
 from repro.hardware.device import DeviceSpec
 from repro.hardware.latency import LatencyModel
+from repro.hardware.node import NodeProfile
 from repro.hardware.transfer import TransferModel
 from repro.hardware.contention import ContentionModel
-from repro.hardware.presets import desktop_gpu, jetson_nano, jetson_xavier
+from repro.hardware.presets import (
+    PRESETS,
+    desktop_gpu,
+    device_by_name,
+    jetson_nano,
+    jetson_xavier,
+)
 
 __all__ = [
     "DeviceSpec",
     "LatencyModel",
+    "NodeProfile",
     "TransferModel",
     "ContentionModel",
+    "PRESETS",
+    "device_by_name",
     "jetson_nano",
     "jetson_xavier",
     "desktop_gpu",

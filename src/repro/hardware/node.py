@@ -1,0 +1,81 @@
+"""Per-node hardware identity for heterogeneous fleets.
+
+The original stack assumed *one* calibrated hardware model everywhere:
+profiles, GA split plans and preemption overheads were computed once and
+implicitly shared by every processor. A :class:`NodeProfile` makes the
+hardware identity of a single node explicit — its calibrated
+:class:`~repro.hardware.device.DeviceSpec`, the matching
+:class:`~repro.hardware.transfer.TransferModel`, a relative capacity tag,
+and the node-local task catalogue (per-node split plans searched against
+*this* node's latency model) — so the kernel, the routers and the cluster
+orchestrator can each evaluate work against the owning node's model
+instead of a global one.
+
+``specs`` maps model name → the node-local
+:class:`~repro.scheduling.request.TaskSpec` (node-local ``ext_ms`` and
+block plan). :meth:`resolve` is how the kernel rebinds an arriving
+request onto the serving node's catalogue; it is idempotent, so a request
+that was already materialised against this node's specs passes through
+unchanged. Note the QoS consequence: a request's response ratio is
+normalised by the *serving* node's isolated execution time — the natural
+reading of Eq. 3 on heterogeneous hardware, where "how much slower than
+alone" is a property of the node that ran you.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.hardware.device import DeviceSpec
+from repro.hardware.transfer import TransferModel
+from repro.scheduling.request import TaskSpec
+
+
+@dataclass
+class NodeProfile:
+    """One node's hardware identity plus its deployed task catalogue.
+
+    ``capacity`` is a relative-throughput tag (1.0 = the fleet's reference
+    class); weighted trace sharding and capacity-aware placement read it.
+    ``supports`` restricts which models this node can serve (``None`` =
+    everything — capability filtering is opt-in). A node-level
+    ``preemption_overhead_ms`` overrides the scheduler's policy constant
+    (checkpoint cost is hardware, not policy).
+    """
+
+    name: str
+    device: DeviceSpec
+    capacity: float = 1.0
+    specs: dict[str, TaskSpec] = field(default_factory=dict)
+    supports: frozenset[str] | None = None
+    preemption_overhead_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise SimulationError(
+                f"node {self.name!r}: capacity must be positive"
+            )
+        if self.preemption_overhead_ms is not None and (
+            self.preemption_overhead_ms < 0
+        ):
+            raise SimulationError(
+                f"node {self.name!r}: preemption overhead must be >= 0"
+            )
+        self.transfer = TransferModel(self.device)
+
+    def can_serve(self, model: str) -> bool:
+        return self.supports is None or model in self.supports
+
+    def resolve(self, task: TaskSpec) -> TaskSpec:
+        """The node-local spec for ``task``'s model (idempotent).
+
+        Models absent from the catalogue serve under the caller's spec —
+        a profile with an empty catalogue only contributes its capacity /
+        capability / overhead facets.
+        """
+        if not self.can_serve(task.name):
+            raise SimulationError(
+                f"node {self.name!r} cannot serve model {task.name!r}"
+            )
+        return self.specs.get(task.name, task)

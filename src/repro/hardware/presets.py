@@ -9,6 +9,9 @@ ResNet50, 18–28% for VGG19) fall out of the model.
 
 from __future__ import annotations
 
+from typing import Callable
+
+from repro.errors import SimulationError
 from repro.hardware.device import DeviceSpec
 from repro.types import OpType
 
@@ -80,3 +83,25 @@ def desktop_gpu() -> DeviceSpec:
         default_compute_efficiency=0.50,
         memory_efficiency=0.85,
     )
+
+
+#: Registry of preset factories keyed by their ``DeviceSpec.name``. Fleet
+#: inventories and CLI flags refer to devices by these names; new presets
+#: only need an entry here to be addressable everywhere.
+PRESETS: dict[str, Callable[[], DeviceSpec]] = {
+    "jetson-nano": jetson_nano,
+    "jetson-xavier": jetson_xavier,
+    "desktop-gpu": desktop_gpu,
+}
+
+
+def device_by_name(name: str) -> DeviceSpec:
+    """Instantiate the preset registered under ``name``."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise SimulationError(
+            f"unknown device {name!r} (known presets: {known})"
+        ) from None
+    return factory()

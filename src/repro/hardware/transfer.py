@@ -29,6 +29,20 @@ class TransferModel:
         staging_ms = 2.0 * float(crossing_bytes) / dev.staging_bandwidth * _MS
         return dev.block_overhead_ms + staging_ms
 
+    def hop_cost_ms(
+        self, dst: "TransferModel", crossing_bytes: int | float
+    ) -> float:
+        """One-way cross-node hand-off cost: egress staging on this node,
+        ingress staging plus the fixed per-block setup on ``dst``.
+
+        Unlike :meth:`cut_cost_ms` (both boundary crossings on one
+        device), a fleet hand-off pays each side's staging path once at
+        that side's bandwidth — the natural asymmetric generalisation
+        when the two ends are different hardware classes."""
+        out_ms = float(crossing_bytes) / self.device.staging_bandwidth * _MS
+        in_ms = float(crossing_bytes) / dst.device.staging_bandwidth * _MS
+        return dst.device.block_overhead_ms + out_ms + in_ms
+
     def cut_cost_profile(self, crossing_bytes: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`cut_cost_ms` over a whole cut-position profile."""
         dev = self.device

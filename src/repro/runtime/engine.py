@@ -33,8 +33,7 @@ this against a frozen pre-kernel copy).
 
 from __future__ import annotations
 
-import warnings
-from typing import Iterable, Iterator
+from typing import Iterable
 
 from repro.robustness.config import RobustnessConfig
 from repro.runtime.kernel import (
@@ -142,56 +141,4 @@ class SequentialEngine:
             kernel.run(arrivals, sink, result)
         else:
             kernel.run(validated_stream(arrivals), sink, result)
-        return result
-
-    # ----------------------------------------------------- deprecated shims
-    def _event_loop(
-        self,
-        schedule: Iterator[tuple[float, Request]],
-        emit: RecordSink,
-        result: EngineResult,
-    ) -> None:
-        """Deprecated: the fault-free loop now lives in the kernel.
-
-        Kept for one release as a forwarding wrapper; use
-        :class:`~repro.runtime.kernel.EventKernel` directly (or the public
-        ``run``/``run_stream``) instead.
-        """
-        warnings.warn(
-            "SequentialEngine._event_loop is deprecated; the event loop "
-            "moved to repro.runtime.kernel.EventKernel — use run()/"
-            "run_stream() or the kernel directly",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        kernel = self._kernel(robustness=None)
-        kernel.procs[0].trace = result.trace
-        kernel.run(schedule, emit, result)
-
-    def _run_robust(
-        self, arrivals: list[tuple[float, Request]], cfg: RobustnessConfig
-    ) -> EngineResult:
-        """Deprecated: the fault-aware loop is a kernel feature now.
-
-        Kept for one release as a forwarding wrapper; configure
-        ``robustness`` on the engine (or the kernel) instead.
-        """
-        warnings.warn(
-            "SequentialEngine._run_robust is deprecated; robustness is a "
-            "kernel feature — pass robustness= to SequentialEngine or "
-            "EventKernel instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        validate_batch_arrivals(arrivals)
-        schedule = sorted(arrivals, key=lambda pair: pair[0])
-        kernel = EventKernel(
-            [self.scheduler],
-            robustness=cfg,
-            keep_trace=self.keep_trace,
-            hooks=self.hooks,
-            queue_cls=self.queue_cls,
-        )
-        result = EngineResult(trace=kernel.procs[0].trace)
-        kernel.run(iter(schedule), batch_sink(result), result)
         return result

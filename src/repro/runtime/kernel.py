@@ -48,7 +48,7 @@ import heapq
 import itertools
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Iterator, Protocol
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Protocol
 
 from repro.errors import SimulationError
 from repro.robustness.config import RobustnessConfig
@@ -58,6 +58,9 @@ from repro.runtime.trace import ExecutionTrace, TraceEntry
 from repro.scheduling.policies.base import Scheduler
 from repro.scheduling.queue import ListBackedRequestQueue, RequestQueue
 from repro.scheduling.request import Request
+
+if TYPE_CHECKING:
+    from repro.hardware.node import NodeProfile
 
 _INF = float("inf")
 
@@ -329,6 +332,11 @@ class ProcState:
     #: Per-processor trace (execution on *one* processor never overlaps;
     #: across processors it legitimately does, so traces are not shared).
     trace: ExecutionTrace | None = None
+    #: The owning node's hardware identity, or None for the homogeneous
+    #: default. When set, arriving requests are rebound onto the node's
+    #: task catalogue (node-local block plans and ext times), and routers
+    #: may read capacity / capability facets.
+    profile: "NodeProfile | None" = None
 
 
 # ------------------------------------------------------------ queue adapters
@@ -387,18 +395,35 @@ class EventKernel:
         hooks: KernelHooks | None = None,
         queue_cls: type = RequestQueue,
         fast_lane: bool | None = None,
+        profiles: "list[NodeProfile | None] | None" = None,
     ):
         if not schedulers:
             raise SimulationError("need at least one processor")
+        if profiles is not None and len(profiles) != len(schedulers):
+            raise SimulationError(
+                f"got {len(profiles)} node profiles for "
+                f"{len(schedulers)} processors"
+            )
         self.procs: list[ProcState] = [
             ProcState(
                 index=i,
                 scheduler=s,
                 queue=queue_cls(),
                 trace=ExecutionTrace() if keep_trace else None,
+                profile=profiles[i] if profiles is not None else None,
             )
             for i, s in enumerate(schedulers)
         ]
+        for proc in self.procs:
+            prof = proc.profile
+            if prof is not None and prof.preemption_overhead_ms is not None:
+                # Checkpoint cost is a property of the node's hardware, so
+                # a profile overrides the policy constant — on this
+                # processor's (engine-owned, never shared) scheduler
+                # instance, which _grant reads each preemption.
+                proc.scheduler.preemption_overhead_ms = (
+                    prof.preemption_overhead_ms
+                )
         self.adapter: QueueAdapter = adapter if adapter is not None else SingleQueue()
         self.robustness = robustness
         self.hooks = hooks
@@ -435,6 +460,12 @@ class EventKernel:
         if hooks is not None and type(hooks) is not Hooks:
             return False
         if len(self.procs) != 1:
+            return False
+        if self.procs[0].profile is not None:
+            # Per-node profiles rebind arriving tasks on the reference
+            # lane; the fast lane's bulk admission has no rebind point.
+            # (Fleet runs pre-bind node-local specs instead, precisely to
+            # keep this lane.)
             return False
         if type(self.adapter) is not SingleQueue:
             return False
@@ -644,6 +675,14 @@ class EventKernel:
                 req = pending[1]  # type: ignore[index]
                 pending = next(stream, None)
                 proc = p0 if single else procs[adapter.route(procs, req)]
+                prof = proc.profile
+                if prof is not None:
+                    # Serve under the owning node's calibrated model: swap
+                    # the request's task for the node-local spec before any
+                    # admission/planning decision reads it. Legal only
+                    # because the request has not begun (begin() freezes
+                    # the plan); retries keep the already-rebound task.
+                    req.task = prof.resolve(req.task)
                 proc.now = max(proc.now, now)
                 proc.dispatched_arrivals += 1
                 admitted = proc.scheduler.on_arrival(proc.queue, req, now)

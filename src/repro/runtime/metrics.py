@@ -475,6 +475,52 @@ class StreamingQoS:
         self._hist[bucket] += 1
         self._hist_by_model[model][bucket] += 1
 
+    # -- aggregation -----------------------------------------------------
+
+    def merge(self, other: "StreamingQoS") -> "StreamingQoS":
+        """Fold another accumulator into this one (fleet aggregation).
+
+        Both accumulators must share the alpha grid and histogram shape.
+        Integer state (violation buckets, histograms, outcome counters)
+        adds exactly; latency moments combine via
+        :meth:`~repro.utils.stats.OnlineStats.merge` (Chan's parallel
+        Welford). Merging ``other`` into a freshly-constructed accumulator
+        copies its state field-for-field, so a 1-node fleet report is
+        float-identical to the node's own accumulator.
+        """
+        if not np.array_equal(self._grid, other._grid):
+            raise SimulationError("cannot merge StreamingQoS: alpha grids differ")
+        if (
+            self._hist_bin_ms != other._hist_bin_ms
+            or self._hist_bins != other._hist_bins
+        ):
+            raise SimulationError(
+                "cannot merge StreamingQoS: histogram shapes differ"
+            )
+        self._exceed += other._exceed
+        for task_alpha, thresholds in other._thresholds.items():
+            self._thresholds.setdefault(task_alpha, thresholds)
+        self._latency.merge(other._latency)
+        self._rr_sum += other._rr_sum
+        self._hist += other._hist
+        for model, stats in other._latency_by_model.items():
+            mine = self._latency_by_model.get(model)
+            if mine is None:
+                mine = self._latency_by_model[model] = OnlineStats()
+                self._rr_sum_by_model[model] = 0.0
+                self._hist_by_model[model] = np.zeros(
+                    self._hist_bins + 1, dtype=np.int64
+                )
+            mine.merge(stats)
+            self._rr_sum_by_model[model] += other._rr_sum_by_model[model]
+            self._hist_by_model[model] += other._hist_by_model[model]
+        for outcome, count in other._outcomes.items():
+            self._outcomes[outcome] += count
+        self._retries += other._retries
+        self._preemptions += other._preemptions
+        self._n += other._n
+        return self
+
     # -- violation metrics ----------------------------------------------
 
     @property

@@ -119,13 +119,9 @@ def _profiles_for(
 
 
 def _device_by_name(name: str) -> DeviceSpec:
-    from repro.hardware import presets
+    from repro.hardware.presets import device_by_name
 
-    for factory in (presets.jetson_nano, presets.jetson_xavier, presets.desktop_gpu):
-        dev = factory()
-        if dev.name == name:
-            return dev
-    raise SimulationError(f"unknown device {name!r}")
+    return device_by_name(name)
 
 
 @lru_cache(maxsize=32)

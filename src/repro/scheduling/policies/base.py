@@ -20,7 +20,11 @@ class Scheduler(abc.ABC):
     #: Human-readable policy name (report labels).
     name: str = "scheduler"
     #: Extra latency charged when the processor switches away from a
-    #: partially-executed request (checkpoint save/restore cost).
+    #: partially-executed request (checkpoint save/restore cost). A class
+    #: constant by default; the kernel overrides it *per instance* when a
+    #: processor's :class:`~repro.hardware.NodeProfile` carries a
+    #: node-level ``preemption_overhead_ms`` (heterogeneous fleets
+    #: checkpoint at different speeds).
     preemption_overhead_ms: float = 0.0
     #: Optional batched admission: ``bulk_admit(queue, requests)`` takes a
     #: time-ordered arrival chunk and must be observably identical —

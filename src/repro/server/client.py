@@ -466,6 +466,18 @@ class AsyncNetClient:
     async def stats(self) -> dict[str, Any]:
         return await (await self._send("meta", FrameType.STATS, {}))
 
+    async def fence(self) -> None:
+        """Wait until the server has processed every frame this connection
+        sent so far.
+
+        The server answers meta frames in per-connection frame order, so a
+        stats round-trip (payload discarded) returning proves all earlier
+        frames — submits included — have been fully processed. Use it to
+        order side effects across connections (e.g. lockstep lane claims)
+        without sleeping.
+        """
+        await (await self._send("meta", FrameType.STATS, {}))
+
     async def drain(self) -> dict[str, Any]:
         """Run the server dry (lockstep: close the arrival stream)."""
         return await (await self._send("meta", FrameType.DRAIN, {}))
@@ -538,6 +550,11 @@ class NetClient:
 
     def stats(self) -> dict[str, Any]:
         return self._call(self._client.stats())
+
+    def fence(self) -> None:
+        """Block until the server has processed this connection's earlier
+        frames (see :meth:`AsyncNetClient.fence`)."""
+        self._call(self._client.fence())
 
     def drain(self) -> dict[str, Any]:
         return self._call(self._client.drain())

@@ -5,6 +5,15 @@ count (Eq. 1 score), run the GA, persist each block as a ``.ronnx`` file —
 and registers the resulting :class:`TaskSpec` for the online path. Long
 models get split; short models deploy whole (§5.4/§5.5: splitting exists
 so short requests can preempt long ones).
+
+A manager deploys against one hardware identity: either a bare
+:class:`DeviceSpec` (the original single-node shape) or a
+:class:`~repro.hardware.NodeProfile`, in which case the searched plans are
+specific to that node's calibrated model and each deployed task is also
+bound into the node's catalogue — the kernel then serves that node's
+requests under these plans. GA results round-trip through the persistent
+content-hash plan store, so deploying the same model onto many nodes of
+one hardware class runs the search once.
 """
 
 from __future__ import annotations
@@ -15,7 +24,9 @@ from pathlib import Path
 from repro.graphs.graph import ModelGraph
 from repro.graphs.serialize import dump_ronnx
 from repro.hardware.device import DeviceSpec
+from repro.hardware.node import NodeProfile
 from repro.profiling.profiler import Profiler
+from repro.profiling.store import default_plan_store
 from repro.scheduling.request import TaskSpec
 from repro.splitting.genetic import GAConfig
 from repro.splitting.selection import choose_block_count
@@ -62,16 +73,24 @@ class DeploymentManager:
 
     def __init__(
         self,
-        device: DeviceSpec,
+        device: DeviceSpec | NodeProfile,
         block_dir: Path | None = None,
         max_blocks: int = 4,
         ga_config: GAConfig | None = None,
+        use_plan_store: bool = True,
     ):
-        self.device = device
-        self.profiler = Profiler(device)
+        #: The owning node, when deploying for one fleet node (deployed
+        #: tasks are also bound into its catalogue); None for the bare
+        #: DeviceSpec shape.
+        self.node: NodeProfile | None = (
+            device if isinstance(device, NodeProfile) else None
+        )
+        self.device = device.device if isinstance(device, NodeProfile) else device
+        self.profiler = Profiler(self.device)
         self.block_dir = Path(block_dir) if block_dir is not None else None
         self.max_blocks = max_blocks
         self.ga_config = ga_config or GAConfig()
+        self.plan_store = default_plan_store() if use_plan_store else None
         self.deployed: dict[str, DeployedModel] = {}
 
     def deploy(self, graph: ModelGraph) -> DeployedModel:
@@ -84,7 +103,10 @@ class DeploymentManager:
         blocks_ms: tuple[float, ...] = (profile.total_ms,)
         if request_class is RequestClass.LONG:
             choice = choose_block_count(
-                profile, max_blocks=self.max_blocks, config=self.ga_config
+                profile,
+                max_blocks=self.max_blocks,
+                config=self.ga_config,
+                store=self.plan_store,
             )
             if choice.result is not None:
                 cuts = choice.result.cuts
@@ -100,6 +122,8 @@ class DeploymentManager:
         paths = self._persist_blocks(graph, cuts)
         record = DeployedModel(task=task, cuts=cuts, block_paths=paths)
         self.deployed[graph.name] = record
+        if self.node is not None:
+            self.node.specs[graph.name] = task
         return record
 
     def _persist_blocks(

@@ -1,0 +1,109 @@
+"""NodeProfile and fleet inventory semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hardware import NodeProfile, PRESETS, device_by_name
+from repro.hardware.presets import jetson_nano
+from repro.hardware.transfer import TransferModel
+from repro.cluster import DEFAULT_INVENTORY, NodeClass, parse_inventory
+from repro.scheduling.request import TaskSpec
+
+
+def spec(name="m", ext=10.0):
+    return TaskSpec(name=name, ext_ms=ext, blocks_ms=(ext,))
+
+
+class TestNodeProfile:
+    def test_resolve_swaps_to_local_catalogue(self):
+        local = spec("m", ext=3.0)
+        prof = NodeProfile(
+            name="n", device=jetson_nano(), specs={"m": local}
+        )
+        assert prof.resolve(spec("m", ext=99.0)) is local
+
+    def test_resolve_identity_for_unknown_model(self):
+        prof = NodeProfile(name="n", device=jetson_nano())
+        task = spec("m")
+        assert prof.resolve(task) is task
+
+    def test_resolve_refuses_unservable_model(self):
+        prof = NodeProfile(
+            name="n",
+            device=jetson_nano(),
+            supports=frozenset({"a"}),
+        )
+        with pytest.raises(SimulationError, match="cannot serve"):
+            prof.resolve(spec("b"))
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            NodeProfile(name="n", device=jetson_nano(), capacity=0.0)
+        with pytest.raises(SimulationError):
+            NodeProfile(
+                name="n", device=jetson_nano(), preemption_overhead_ms=-1.0
+            )
+
+    def test_carries_transfer_model(self):
+        prof = NodeProfile(name="n", device=jetson_nano())
+        assert isinstance(prof.transfer, TransferModel)
+        assert prof.transfer.device is prof.device
+
+
+class TestPresetLookup:
+    def test_device_by_name_round_trips_presets(self):
+        for name in PRESETS:
+            assert device_by_name(name).name == name
+
+    def test_unknown_device_lists_presets(self):
+        with pytest.raises(SimulationError, match="known presets"):
+            device_by_name("tpu-v9")
+
+
+class TestHopCost:
+    def test_hop_charges_both_staging_legs_plus_ingress_overhead(self):
+        src = TransferModel(device_by_name("jetson-nano"))
+        dst = TransferModel(device_by_name("desktop-gpu"))
+        nbytes = 1_000_000
+        expected = (
+            dst.device.block_overhead_ms
+            + nbytes / src.device.staging_bandwidth * 1e3
+            + nbytes / dst.device.staging_bandwidth * 1e3
+        )
+        assert src.hop_cost_ms(dst, nbytes) == pytest.approx(expected)
+
+    def test_hop_is_asymmetric_across_unequal_links(self):
+        a = TransferModel(device_by_name("jetson-nano"))
+        b = TransferModel(device_by_name("desktop-gpu"))
+        # Same wire legs, but the ingress overhead is the destination's.
+        if a.device.block_overhead_ms != b.device.block_overhead_ms:
+            assert a.hop_cost_ms(b, 1 << 20) != b.hop_cost_ms(a, 1 << 20)
+
+
+class TestInventory:
+    def test_default_inventory_is_100_nodes(self):
+        classes = parse_inventory(DEFAULT_INVENTORY)
+        assert sum(c.count for c in classes) == 100
+        assert [c.device_name for c in classes] == [
+            "jetson-nano", "jetson-xavier", "desktop-gpu"
+        ]
+
+    def test_parse_rejects_bad_entries(self):
+        with pytest.raises(SimulationError, match="expected 'device:count'"):
+            parse_inventory("jetson-nano")
+        with pytest.raises(SimulationError, match="count"):
+            parse_inventory("jetson-nano:lots")
+        with pytest.raises(SimulationError, match="unknown device"):
+            parse_inventory("abacus:3")
+        with pytest.raises(SimulationError, match="no nodes"):
+            parse_inventory(" , ")
+
+    def test_count_must_be_positive(self):
+        with pytest.raises(SimulationError, match=">= 1"):
+            NodeClass(device_name="jetson-nano", count=0)
+
+    def test_capability_tag(self):
+        nc = NodeClass(
+            device_name="jetson-nano", count=1, supports=frozenset({"a"})
+        )
+        assert nc.can_serve("a") and not nc.can_serve("b")

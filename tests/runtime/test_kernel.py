@@ -219,23 +219,12 @@ class TestHooks:
         assert seen == {0, 1}
 
 
-class TestDeprecatedShims:
-    def test_event_loop_warns_and_forwards(self):
+class TestNoDeprecationSurface:
+    def test_shims_are_gone(self):
+        # The PR-4 forwarding wrappers served their one-release notice.
         engine = SequentialEngine(FIFOScheduler())
-        schedule = sorted(arrivals(*PREEMPTIVE), key=lambda p: p[0])
-        result = EngineResult()
-        with pytest.warns(DeprecationWarning, match="_event_loop is deprecated"):
-            engine._event_loop(iter(schedule), batch_sink(result), result)
-        assert result.n_completed == 2
-
-    def test_run_robust_warns_and_forwards(self):
-        engine = SequentialEngine(FIFOScheduler())
-        cfg = RobustnessConfig(timeout_ms=1.0)
-        with pytest.warns(DeprecationWarning, match="_run_robust is deprecated"):
-            result = engine._run_robust(
-                arrivals((0.0, "slow", 50.0, None)), cfg
-            )
-        assert len(result.timed_out) == 1
+        assert not hasattr(engine, "_event_loop")
+        assert not hasattr(engine, "_run_robust")
 
     def test_public_paths_do_not_warn(self):
         with warnings.catch_warnings():

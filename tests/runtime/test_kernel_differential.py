@@ -210,9 +210,13 @@ class TestMultiRouters:
         scenario = Scenario("diff-multi", 90.0, "high", n_requests=400)
         old_arr = table2_arrivals(scenario, seed=3)
         new_arr = table2_arrivals(scenario, seed=3)
+        # The legacy engine is frozen pre-heterogeneity; without profiles
+        # least_normalized_backlog adds the same constant to every
+        # processor's quote, so it must reproduce least_backlog exactly.
+        legacy_name = router if router in LEGACY_ROUTERS else "least_backlog"
         old = LegacyMultiProcessorEngine(
             [SplitScheduler(), SplitScheduler(), SplitScheduler()],
-            router=LEGACY_ROUTERS[router],
+            router=LEGACY_ROUTERS[legacy_name],
             keep_trace=True,
         ).run(old_arr)
         new = MultiProcessorEngine(

@@ -1,0 +1,197 @@
+"""Heterogeneous multi-processor serving via per-processor NodeProfiles.
+
+The kernel rebinds each routed request onto the owning node's task
+catalogue, the normalized-backlog router reads node-local execution
+times, the capability filter keeps models off nodes that cannot serve
+them, and a node-level preemption overhead overrides the policy
+constant — all without perturbing the homogeneous (no-profile) path.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hardware import NodeProfile
+from repro.hardware.presets import desktop_gpu, jetson_nano
+from repro.runtime.multi import (
+    MultiProcessorEngine,
+    capability_filter,
+    least_backlog,
+    least_normalized_backlog,
+)
+from repro.scheduling.policies import FIFOScheduler, SplitScheduler
+from repro.scheduling.request import Request, TaskSpec
+
+
+def spec(name="m", ext=10.0, blocks=None, alpha=4.0):
+    return TaskSpec(name=name, ext_ms=ext, blocks_ms=blocks or (ext,), alpha=alpha)
+
+
+def node(name, specs, device=None, **kw):
+    return NodeProfile(
+        name=name,
+        device=device or jetson_nano(),
+        specs={s.name: s for s in specs},
+        **kw,
+    )
+
+
+def arrivals(*items):
+    return [
+        (t, Request(task=spc, arrival_ms=t)) for t, spc in items
+    ]
+
+
+class TestTaskRebinding:
+    def test_request_served_under_node_local_spec(self):
+        """The same logical model runs 4x faster on the fast node: the
+        kernel swaps the routed request's task for the node's own spec."""
+        slow = node("slow", [spec("m", ext=40.0)])
+        fast = node("fast", [spec("m", ext=10.0)], device=desktop_gpu())
+        eng = MultiProcessorEngine(
+            [FIFOScheduler(), FIFOScheduler()],
+            router=lambda ps, r: 1,  # everything on the fast node
+            profiles=[slow, fast],
+        )
+        res = eng.run(arrivals((0.0, spec("m", ext=40.0))))
+        (req,) = res.completed
+        assert req.task.ext_ms == 10.0
+        assert req.finish_ms == pytest.approx(10.0)
+
+    def test_unknown_model_passes_through(self):
+        """A model absent from the node catalogue keeps its own spec
+        (resolve is a lookup with identity fallback, not a gate)."""
+        prof = node("n", [spec("other", ext=5.0)])
+        eng = MultiProcessorEngine(
+            [FIFOScheduler()], profiles=[prof]
+        )
+        res = eng.run(arrivals((0.0, spec("m", ext=17.0))))
+        assert res.completed[0].finish_ms == pytest.approx(17.0)
+
+    def test_none_profiles_identical_to_no_profiles(self):
+        """profiles=[None, None] must be byte-identical to the
+        homogeneous engine — the hetero path is strictly additive."""
+        items = [(float(i) * 7.0, spec(f"m{i % 2}", ext=12.5)) for i in range(40)]
+        plain = MultiProcessorEngine(
+            [SplitScheduler(), SplitScheduler()], router="least_backlog"
+        ).run(arrivals(*items))
+        tagged = MultiProcessorEngine(
+            [SplitScheduler(), SplitScheduler()],
+            router="least_backlog",
+            profiles=[None, None],
+        ).run(arrivals(*items))
+        assert [r.finish_ms for r in plain.completed] == [
+            r.finish_ms for r in tagged.completed
+        ]
+        assert plain.placements == tagged.placements
+
+
+class TestNormalizedBacklogRouter:
+    def test_prefers_node_with_lower_local_ext(self):
+        """At equal backlog the fast node's catalogue wins the tie that
+        plain least_backlog would give to the lower index."""
+        slow = node("slow", [spec("m", ext=80.0)])
+        fast = node("fast", [spec("m", ext=14.0)], device=desktop_gpu())
+        eng = MultiProcessorEngine(
+            [FIFOScheduler(), FIFOScheduler()],
+            router="least_normalized_backlog",
+            profiles=[slow, fast],
+        )
+        res = eng.run(arrivals((0.0, spec("m", ext=80.0))))
+        assert res.placements == {0: 0, 1: 1}
+
+    def test_degenerates_to_least_backlog_without_profiles(self):
+        items = [(float(i) * 6.0, spec(f"m{i % 3}", ext=20.0)) for i in range(60)]
+        lb = MultiProcessorEngine(
+            [SplitScheduler(), SplitScheduler()], router="least_backlog"
+        ).run(arrivals(*items))
+        lnb = MultiProcessorEngine(
+            [SplitScheduler(), SplitScheduler()],
+            router="least_normalized_backlog",
+        ).run(arrivals(*items))
+        assert lb.placements == lnb.placements
+        assert [r.finish_ms for r in lb.completed] == [
+            r.finish_ms for r in lnb.completed
+        ]
+
+    def test_slow_node_still_used_when_fast_is_saturated(self):
+        """Enough simultaneous arrivals overflow the fast node: once its
+        projected completion passes the slow node's quote, work spills."""
+        slow = node("slow", [spec("m", ext=30.0)])
+        fast = node("fast", [spec("m", ext=10.0)], device=desktop_gpu())
+        eng = MultiProcessorEngine(
+            [FIFOScheduler(), FIFOScheduler()],
+            router="least_normalized_backlog",
+            profiles=[slow, fast],
+        )
+        res = eng.run(
+            arrivals(*[(0.0, spec("m", ext=30.0)) for _ in range(8)])
+        )
+        assert res.placements[0] > 0
+        assert res.placements[1] > res.placements[0]
+
+
+class TestCapabilityFilter:
+    def test_restricts_to_capable_nodes(self):
+        cpu_only = node(
+            "tiny", [spec("small", ext=5.0)], supports=frozenset({"small"})
+        )
+        big = node("big", [spec("small", ext=5.0), spec("large", ext=50.0)])
+        eng = MultiProcessorEngine(
+            [FIFOScheduler(), FIFOScheduler()],
+            router=capability_filter(least_backlog),
+            profiles=[cpu_only, big],
+        )
+        res = eng.run(
+            arrivals((0.0, spec("large", ext=50.0)), (1.0, spec("large", ext=50.0)))
+        )
+        assert res.placements == {0: 0, 1: 2}
+
+    def test_no_capable_node_raises(self):
+        mk = lambda i: node(
+            f"a{i}", [spec("a", ext=5.0)], supports=frozenset({"a"})
+        )
+        eng = MultiProcessorEngine(
+            [FIFOScheduler(), FIFOScheduler()],
+            router=capability_filter(least_backlog),
+            profiles=[mk(0), mk(1)],
+        )
+        with pytest.raises(SimulationError, match="no processor can serve"):
+            eng.run(arrivals((0.0, spec("b", ext=5.0))))
+
+    def test_all_eligible_passes_full_list_through(self):
+        """With universal nodes the filter is the identity wrapper: the
+        base router sees the real indices and counters stay global."""
+        calls = []
+
+        def probe(ps, r):
+            calls.append(len(ps))
+            return least_normalized_backlog(ps, r)
+
+        eng = MultiProcessorEngine(
+            [FIFOScheduler(), FIFOScheduler()],
+            router=capability_filter(probe),
+        )
+        eng.run(arrivals((0.0, spec("m")), (1.0, spec("m"))))
+        assert calls == [2, 2]
+
+
+class TestPerNodeOverheads:
+    def test_profile_overrides_preemption_overhead(self):
+        """A node-level checkpoint cost replaces the policy constant on
+        that processor only."""
+        cheap = node("cheap", [], preemption_overhead_ms=0.0)
+        costly = node("costly", [], preemption_overhead_ms=9.0)
+        eng = MultiProcessorEngine(
+            [SplitScheduler(), SplitScheduler()],
+            profiles=[cheap, costly],
+        )
+        kernel = eng._kernel()
+        assert kernel.procs[0].scheduler.preemption_overhead_ms == 0.0
+        assert kernel.procs[1].scheduler.preemption_overhead_ms == 9.0
+
+    def test_profiles_length_validated(self):
+        with pytest.raises(SimulationError, match="node profiles"):
+            MultiProcessorEngine(
+                [FIFOScheduler(), FIFOScheduler()],
+                profiles=[node("only", [])],
+            )

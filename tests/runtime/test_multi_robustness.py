@@ -1,0 +1,123 @@
+"""Multi-processor engines under robustness: placement never migrates.
+
+A retried request stays on the processor that first accepted it (its
+blocks are local — re-routing would silently ship activations), shed
+victims are evicted from the queue that admitted them, and per-processor
+accounting (placements vs first admissions vs terminals) reconciles for
+every router.
+"""
+
+import pytest
+
+from repro.robustness import FaultPlan, RetryPolicy, RobustnessConfig
+from repro.robustness.shedding import LoadShedConfig
+from repro.runtime.kernel import KernelHooks
+from repro.runtime.multi import ROUTERS, MultiProcessorEngine
+from repro.scheduling.policies import SplitScheduler
+from repro.scheduling.request import Request, TaskSpec
+from repro.utils.rng import rng_from
+
+CHAOS = RobustnessConfig(
+    faults=FaultPlan(seed=23, fail_rate=0.12, stall_rate=0.05),
+    retry=RetryPolicy(max_retries=2, backoff_base_ms=2.0),
+    timeout_rr=60.0,
+    load_shed=LoadShedConfig(max_queue_depth=6),
+)
+
+
+def poisson_arrivals(n=240, lam=9.0, seed=1):
+    rng = rng_from(seed, "multi-robust")
+    out = []
+    t = 0.0
+    exts = (10.0, 30.0, 65.0)
+    blocks = ((10.0,), (15.0, 15.0), (21.0, 22.0, 22.0))
+    for i in range(n):
+        t += float(rng.exponential(lam))
+        spec = TaskSpec(
+            name=f"m{i % 3}", ext_ms=exts[i % 3], blocks_ms=blocks[i % 3]
+        )
+        out.append((t, Request(task=spec, arrival_ms=t)))
+    return out
+
+
+class PlacementTracker(KernelHooks):
+    """Records which processor first admitted, retried and re-admitted
+    each request."""
+
+    def __init__(self):
+        self.first_proc: dict[int, int] = {}
+        self.admit_procs: dict[int, list[int]] = {}
+        self.retry_procs: dict[int, list[int]] = {}
+        self.terminals: dict[int, str] = {}
+
+    def on_admit(self, request, now_ms, admitted, proc_index):
+        key = id(request)
+        self.first_proc.setdefault(key, proc_index)
+        self.admit_procs.setdefault(key, []).append(proc_index)
+
+    def on_retry(self, request, ready_ms, proc_index):
+        self.retry_procs.setdefault(id(request), []).append(proc_index)
+
+    def on_terminal(self, request, outcome, now_ms):
+        key = id(request)
+        assert key not in self.terminals, "request settled twice"
+        self.terminals[key] = outcome
+
+
+@pytest.mark.parametrize("router", sorted(ROUTERS))
+class TestRoutersUnderRobustness:
+    def _run(self, router):
+        tracker = PlacementTracker()
+        eng = MultiProcessorEngine(
+            [SplitScheduler(), SplitScheduler(), SplitScheduler()],
+            router=router,
+            robustness=CHAOS,
+            hooks=tracker,
+        )
+        arr = poisson_arrivals()
+        res = eng.run(list(arr))
+        return arr, res, tracker
+
+    def test_per_proc_conservation(self, router):
+        """Every submitted request is admitted once, settles exactly once,
+        and the router's placement counts add up per processor."""
+        arr, res, tracker = self._run(router)
+        assert len(tracker.terminals) == len(arr)
+        totals = res.engine_result
+        assert (
+            len(totals.completed)
+            + len(totals.dropped)
+            + len(totals.shed)
+            + len(totals.failed)
+            + len(totals.timed_out)
+        ) == len(arr)
+        # placements counts *arrival* dispatches only (retry re-admissions
+        # never re-route), so it must equal first-admissions per proc.
+        first_by_proc: dict[int, int] = {}
+        for proc in tracker.first_proc.values():
+            first_by_proc[proc] = first_by_proc.get(proc, 0) + 1
+        assert sum(res.placements.values()) == len(arr)
+        for idx, count in res.placements.items():
+            assert first_by_proc.get(idx, 0) == count
+
+    def test_retries_stay_on_first_processor(self, router):
+        """Fault-retried requests are parked and re-admitted on the
+        processor that first accepted them — never re-routed."""
+        arr, res, tracker = self._run(router)
+        retried = [k for k in tracker.retry_procs if tracker.retry_procs[k]]
+        assert retried, "chaos plan produced no retries — test is vacuous"
+        for key in retried:
+            home = tracker.first_proc[key]
+            assert all(p == home for p in tracker.retry_procs[key])
+            assert all(p == home for p in tracker.admit_procs[key])
+
+    def test_shed_victims_accounted_on_admitting_processor(self, router):
+        """Shed requests were admitted exactly once (on one proc) and
+        left through the shed bucket, not served elsewhere."""
+        arr, res, tracker = self._run(router)
+        shed = res.engine_result.shed
+        assert shed, "chaos plan shed nothing — tighten max_queue_depth"
+        for req in shed:
+            key = id(req)
+            assert tracker.terminals[key] == "shed"
+            assert len(set(tracker.admit_procs[key])) == 1

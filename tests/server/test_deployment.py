@@ -59,3 +59,32 @@ def test_task_specs_accumulate(manager):
     manager.deploy(get_model("vgg19"))
     specs = manager.task_specs()
     assert set(specs) == {"yolov2", "vgg19"}
+
+
+def test_deploy_into_node_profile():
+    """Constructed with a NodeProfile, deploy fills the node's catalogue
+    (the per-node deploy the fleet orchestrator builds on)."""
+    from repro.hardware import NodeProfile
+
+    node = NodeProfile(name="edge/0", device=jetson_nano())
+    manager = DeploymentManager(node, ga_config=GAConfig(seed=0))
+    assert manager.device is node.device
+    rec = manager.deploy(get_model("vgg19"))
+    assert node.specs["vgg19"] is rec.task
+    assert node.resolve(rec.task) is rec.task
+
+
+def test_plan_store_reused_across_managers(tmp_path, monkeypatch):
+    """Two managers for the same device share GA results through the
+    content-hash plan store (warm deploys skip the search)."""
+    monkeypatch.setenv("SPLIT_CACHE_DIR", str(tmp_path))
+    a = DeploymentManager(jetson_nano(), ga_config=GAConfig(seed=0))
+    b = DeploymentManager(jetson_nano(), ga_config=GAConfig(seed=0))
+    assert a.plan_store is not None
+    rec_a = a.deploy(get_model("resnet50"))
+    rec_b = b.deploy(get_model("resnet50"))
+    assert rec_a.task.blocks_ms == rec_b.task.blocks_ms
+    off = DeploymentManager(
+        jetson_nano(), ga_config=GAConfig(seed=0), use_plan_store=False
+    )
+    assert off.plan_store is None

@@ -110,8 +110,14 @@ def test_sharded_lockstep_two_lanes_match_simulate():
                 "127.0.0.1", server.port, codec=CODEC_BINARY
             )
             try:
-                futs = []
-                for item in lane_a:
+                futs = [
+                    await a.submit(lane_a[0].model_name, lane_a[0].arrival_ms)
+                ]
+                # Pin which connection owns which intake lane before the
+                # second connection's frames can race across shard loops
+                # (fence() = processed-everything-so-far barrier).
+                await a.fence()
+                for item in lane_a[1:]:
                     futs.append(
                         await a.submit(item.model_name, item.arrival_ms)
                     )
@@ -174,10 +180,9 @@ def test_lockstep_extra_lane_refused():
                 fut_b = await b.submit(items[1].model_name, items[1].arrival_ms)
                 # Lane claims happen when the server processes each
                 # connection's first INFER, and frames from different
-                # sockets race across shard loops. A stats round-trip is
-                # answered in per-connection frame order, so it fences
-                # both claims — only then is c deterministically third.
-                await asyncio.gather(a.stats(), b.stats())
+                # sockets race across shard loops; fence() orders the
+                # claims, so c is deterministically third.
+                await asyncio.gather(a.fence(), b.fence())
                 refused = await c.infer(
                     items[2].model_name, items[2].arrival_ms
                 )
