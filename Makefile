@@ -1,6 +1,6 @@
 # Development conveniences for the SPLIT reproduction.
 
-.PHONY: install test coverage typecheck bench bench-check profile profile-serve experiments results examples serve net-test clean
+.PHONY: install test coverage typecheck bench bench-check profile profile-serve experiments results examples serve net-test chaos-test clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -36,13 +36,13 @@ bench:
 # plus the recorded-trajectory diff: the newest committed BENCH_<rev>.json
 # must not regress requests/sec by more than 10% against the pre-kernel
 # baseline (python -m benchmarks.report --compare), and must carry all
-# three headline cells — the 100k streaming engine pass, the live wire
-# replay, and the million-request fleet replay — so none can silently
-# drop out of the trajectory.
+# four headline cells — the 100k streaming engine pass, the live wire
+# replay, the million-request fleet replay, and the kill-and-recover
+# chaos replay — so none can silently drop out of the trajectory.
 bench-check:
 	pytest tests/ -q
 	SPLIT_BENCH_PIN=1 pytest benchmarks/ -q --benchmark-disable
-	python -m benchmarks.report --compare BENCH_50545cc.json --require stream_100k,server_replay,fleet_1m
+	python -m benchmarks.report --compare BENCH_50545cc.json --require stream_100k,server_replay,fleet_1m,fleet_chaos
 
 # The 100k streaming cell under cProfile (top-25 by cumulative time) —
 # the loop the fast-lane optimisation work is steered by. Accepts
@@ -66,6 +66,15 @@ profile-serve:
 # as a flake gate; see docs/serving.md.
 net-test:
 	pytest tests/server -m net -q
+
+# The fault-injection / failover suites across the same 3-seed matrix
+# CI runs (SPLIT_CHAOS_SEED re-parametrizes the fault plans); see
+# docs/robustness.md.
+chaos-test:
+	for seed in 5 11 23; do \
+		echo "=== chaos suite seed=$$seed ==="; \
+		SPLIT_CHAOS_SEED=$$seed pytest tests/ -m chaos -q -p no:cacheprovider || exit 1; \
+	done
 
 # Serve the framed TCP protocol locally (Ctrl-C to stop); see
 # docs/serving.md for the client side. HOST/PORT/SCALE/MODELS overrides:

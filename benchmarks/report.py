@@ -63,6 +63,7 @@ ALIASES = {
     "test_bench_server_replay": "server_replay",
     "test_bench_server_replay_json": "server_replay_json",
     "test_bench_fleet_1m": "fleet_1m",
+    "test_bench_fleet_chaos": "fleet_chaos",
 }
 
 

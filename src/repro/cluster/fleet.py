@@ -44,14 +44,16 @@ from __future__ import annotations
 
 import hashlib
 import heapq
+import math
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.cluster.inventory import NodeClass, parse_inventory
 from repro.errors import SimulationError
+from repro.robustness.node_faults import NodeFaultPlan, NodeTimeline
 from repro.hardware.device import DeviceSpec
 from repro.hardware.latency import LatencyModel
 from repro.hardware.node import NodeProfile
@@ -136,6 +138,23 @@ class FleetResult:
     transfer_ms: float
     #: Per-node outcome totals (same layout as StreamingQoS.totals()).
     node_totals: tuple[dict[str, int], ...]
+    #: Requests deterministically re-dealt off a down node at shard time
+    #: (failover), and the extra modeled hand-off transfer they paid.
+    re_routed: int = 0
+    failover_ms: float = 0.0
+    #: node name -> availability windows ``(up_from_ms, up_to_ms)``; every
+    #: node reads ``((0, inf),)`` when no fault plan is active.
+    availability: dict[str, tuple[tuple[float, float], ...]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def node_outcomes(self) -> tuple[dict[str, int], ...]:
+        """Per-node outcome accounting (alias of :attr:`node_totals`):
+        one ``StreamingQoS.totals()`` dict per node, in node-index order.
+        Fleet conservation is their sum:
+        ``sent == served + rejected + shed + failed + timed_out``."""
+        return self.node_totals
 
 
 def _cross_calibrated_profiles(
@@ -261,6 +280,29 @@ class _ShardSource:
             yield from zip(chunk[0], chunk[1])
 
 
+def _degraded_specs(
+    specs: list[TaskSpec], multiplier: float
+) -> list[TaskSpec]:
+    """The node catalogue under a degraded window.
+
+    Block service times stretch by ``multiplier`` while ``ext_ms`` (the
+    response-ratio denominator) and ``alpha`` stay at their healthy
+    values — the absolute latency target is a property of the *request*,
+    not of the ailing node, so degradation honestly raises the violation
+    curve instead of quietly re-normalising it away.
+    """
+    return [
+        TaskSpec(
+            name=s.name,
+            ext_ms=s.ext_ms,
+            blocks_ms=tuple(b * multiplier for b in s.blocks_ms),
+            request_class=s.request_class,
+            alpha=s.alpha,
+        )
+        for s in specs
+    ]
+
+
 def _serve_node(
     policy: str,
     spec_table: dict[str, TaskSpec],
@@ -271,21 +313,77 @@ def _serve_node(
     alphas: tuple[float, ...] | None,
     hist_bin_ms: float,
     hist_bins: int,
+    timeline: NodeTimeline | None = None,
 ) -> StreamingQoS:
-    """Replay one node's shard (sweep cell; must stay module-level)."""
+    """Replay one node's shard (sweep cell; must stay module-level).
+
+    Without a timeline (or with a healthy one) this is exactly the
+    fault-free path — one engine over the whole shard, terminals folded
+    straight into the accumulator (the empty-plan differential pins the
+    bytes). With faults, every up-segment is an *independent* engine run
+    (a node reboot clears its queue): requests enqueued in the segment
+    replay under the segment's (possibly degraded) catalogue, and served
+    requests whose finish time overruns a finite segment end were in
+    flight when the node died — they become ``failed`` outcomes, which is
+    how dead-node losses reach ``StreamingQoS.merge``. Requests enqueued
+    while the node is down (possible only when a timeline is replayed
+    directly, bypassing the orchestrator's failover re-deal) fail on
+    arrival, keeping conservation exact.
+    """
     qos = StreamingQoS(
         alphas=alphas, hist_bin_ms=hist_bin_ms, hist_bins=hist_bins
     )
     if enqueue_ms.size == 0:
         return qos
-    source = _ShardSource(
-        enqueue_ms,
-        arrival_ms,
-        model_idx,
-        [spec_table[name] for name in model_names],
-    )
-    engine = SequentialEngine(make_scheduler(policy))
-    engine.run_stream(source, qos.observe)
+    specs = [spec_table[name] for name in model_names]
+    if timeline is None or timeline.healthy:
+        source = _ShardSource(enqueue_ms, arrival_ms, model_idx, specs)
+        engine = SequentialEngine(make_scheduler(policy))
+        engine.run_stream(source, qos.observe)
+        return qos
+
+    covered = np.zeros(enqueue_ms.size, dtype=bool)
+    for start, end, mult in timeline.segments:
+        lo = int(np.searchsorted(enqueue_ms, start, side="left"))
+        hi = (
+            int(enqueue_ms.size)
+            if math.isinf(end)
+            else int(np.searchsorted(enqueue_ms, end, side="left"))
+        )
+        if lo >= hi:
+            continue
+        covered[lo:hi] = True
+        seg_specs = specs if mult == 1.0 else _degraded_specs(specs, mult)
+        source = _ShardSource(
+            enqueue_ms[lo:hi], arrival_ms[lo:hi], model_idx[lo:hi], seg_specs
+        )
+        engine = SequentialEngine(make_scheduler(policy))
+        if math.isinf(end):
+            engine.run_stream(source, qos.observe)
+        else:
+            observe = qos.observe
+
+            def seg_sink(
+                request: Request,
+                outcome: str,
+                _end: float = end,
+            ) -> None:
+                if (
+                    outcome == "served"
+                    and request.finish_ms is not None
+                    and request.finish_ms > _end
+                ):
+                    outcome = "failed"
+                observe(request, outcome)
+
+            engine.run_stream(source, seg_sink)
+    if not bool(covered.all()):
+        for gi in np.nonzero(~covered)[0].tolist():
+            orphan = Request(
+                task=specs[int(model_idx[gi])],
+                arrival_ms=float(arrival_ms[gi]),
+            )
+            qos.observe(orphan, "failed")
     return qos
 
 
@@ -299,6 +397,7 @@ class FleetOrchestrator:
         policy: str = "split",
         seed: int = 0,
         alphas: dict[str, float] | None = None,
+        node_faults: NodeFaultPlan | None = None,
     ):
         if isinstance(inventory, str):
             inventory = parse_inventory(inventory)
@@ -314,6 +413,9 @@ class FleetOrchestrator:
         self.policy = policy
         self.seed = seed
         self.alphas = alphas
+        #: None (or a never-enabled plan) keeps every code path — shard
+        #: bytes included — identical to the fault-free orchestrator.
+        self.node_faults = node_faults
         for model in models:
             if not any(nc.can_serve(model) for nc in self.inventory):
                 raise SimulationError(
@@ -323,6 +425,8 @@ class FleetOrchestrator:
         #: Per-node class index, aligned with :attr:`nodes`.
         self._node_class: list[int] = []
         self._class_specs: list[dict[str, TaskSpec]] = []
+        self._last_timelines: list[NodeTimeline] | None = None
+        self._last_failover: tuple[int, float] = (0, 0.0)
 
     # ------------------------------------------------------------ deploy
     @property
@@ -385,6 +489,33 @@ class FleetOrchestrator:
         self._node_class = node_class
         self._class_specs = class_specs
 
+    # ------------------------------------------------------------- faults
+    def fault_horizon_ms(self, scenario: Scenario) -> float:
+        """The stochastic fault horizon: the scenario's expected span.
+
+        One Poisson stream of mean ``lambda_ms`` per model means the
+        aggregate trace covers about ``n / m x lambda`` ms; stochastic
+        node faults are placed inside that window. Deterministic in the
+        scenario alone (never in the realised trace), so timelines can be
+        compiled before the deal starts.
+        """
+        return scenario.n_requests * scenario.lambda_ms / len(self.models)
+
+    def _fault_timelines(
+        self, scenario: Scenario
+    ) -> list[NodeTimeline] | None:
+        """Per-node timelines under the plan, or None when all-healthy."""
+        plan = self.node_faults
+        if plan is None or not plan.enabled:
+            return None
+        horizon = self.fault_horizon_ms(scenario)
+        timelines = [
+            plan.timeline_for(i, horizon) for i in range(len(self.nodes))
+        ]
+        if all(tl.healthy for tl in timelines):
+            return None
+        return timelines
+
     # ------------------------------------------------------------- shard
     def shard(self, scenario: Scenario) -> list[NodeShard]:
         """Deal the scenario's trace across the fleet (deterministic).
@@ -407,6 +538,7 @@ class FleetOrchestrator:
         local_ext: list[list[float]] = []  # model -> per-class ext
         home_node: list[int] = []
         hop_by_class: list[list[float]] = []  # model -> per-class hop cost
+        crossing_bytes: list[float] = []  # model -> input-tensor bytes
         for m_idx, model in enumerate(self.models):
             elig_c = [
                 ci
@@ -431,6 +563,7 @@ class FleetOrchestrator:
             crossing = float(
                 sum(t.nbytes for t in get_model(model, cached=True).inputs)
             )
+            crossing_bytes.append(crossing)
             src = nodes[home].transfer
             hop_by_class.append(
                 [
@@ -485,6 +618,89 @@ class FleetOrchestrator:
                     heaps[best_ci], (load + local_ext[m][best_ci], idx)
                 )
 
+        # ---- failover: re-deal requests headed for down nodes ----------
+        # Runs after the fault-free deal so an empty/healthy plan leaves
+        # every shard byte-identical to the plan-less orchestrator; still
+        # parent-side and single-threaded, so the failed-over shards stay
+        # byte-identical across --jobs too.
+        timelines = self._fault_timelines(scenario)
+        re_routed = 0
+        failover_ms = 0.0
+        if timelines is not None:
+            load_by_node = [0.0] * n_nodes
+            for h in heaps:
+                for load, idx in h:
+                    load_by_node[idx] = load
+            class_nodes: list[list[int]] = [[] for _ in range(n_classes)]
+            for i in range(n_nodes):
+                class_nodes[node_class[i]].append(i)
+            fo_hop: dict[tuple[int, int, int], float] = {}
+            for i in range(n_nodes):
+                tl = timelines[i]
+                if tl.healthy:
+                    continue
+                keep_e: list[float] = []
+                keep_a: list[float] = []
+                keep_m: list[int] = []
+                orphans: list[tuple[float, float, int]] = []
+                for e, a, m in zip(
+                    per_node_enqueue[i], per_node_arrival[i], per_node_model[i]
+                ):
+                    if tl.is_up(e):
+                        keep_e.append(e)
+                        keep_a.append(a)
+                        keep_m.append(m)
+                    else:
+                        orphans.append((e, a, m))
+                if not orphans:
+                    continue
+                per_node_enqueue[i] = keep_e
+                per_node_arrival[i] = keep_a
+                per_node_model[i] = keep_m
+                src_ci = node_class[i]
+                for e, a, m in orphans:
+                    # Same selection rule as the deal — least projected
+                    # completion, ties to the lower node index — over the
+                    # nodes still up when the re-shipped request lands.
+                    best_proj = float("inf")
+                    best_idx = -1
+                    best_ci = -1
+                    best_enqueue = 0.0
+                    for ci in eligible_classes[m]:
+                        hop = fo_hop.get((src_ci, ci, m))
+                        if hop is None:
+                            hop = class_transfer[src_ci].hop_cost_ms(
+                                class_transfer[ci], crossing_bytes[m]
+                            )
+                            fo_hop[(src_ci, ci, m)] = hop
+                        cand_enqueue = e + hop
+                        for j in class_nodes[ci]:
+                            if j == i or not timelines[j].is_up(cand_enqueue):
+                                continue
+                            proj = load_by_node[j] + local_ext[m][ci]
+                            if proj < best_proj or (
+                                proj == best_proj and j < best_idx
+                            ):
+                                best_proj = proj
+                                best_idx = j
+                                best_ci = ci
+                                best_enqueue = cand_enqueue
+                    if best_idx < 0:
+                        raise SimulationError(
+                            f"failover: no surviving node can serve model "
+                            f"{self.models[m]!r} at t={e:.3f} ms "
+                            f"(node {nodes[i].name} is down and every "
+                            f"eligible class has no live node)"
+                        )
+                    per_node_enqueue[best_idx].append(best_enqueue)
+                    per_node_arrival[best_idx].append(a)
+                    per_node_model[best_idx].append(m)
+                    load_by_node[best_idx] += local_ext[m][best_ci]
+                    re_routed += 1
+                    failover_ms += best_enqueue - e
+        self._last_timelines = timelines
+        self._last_failover = (re_routed, failover_ms)
+
         shards: list[NodeShard] = []
         for i in range(n_nodes):
             enqueue = np.asarray(per_node_enqueue[i], dtype=np.float64)
@@ -523,9 +739,11 @@ class FleetOrchestrator:
         nodes = self.nodes
         shards = self.shard(scenario)
         transfer_hops, transfer_ms = self._last_transfer
+        timelines = self._last_timelines
+        re_routed, failover_ms = self._last_failover
         grid = tuple(alphas_grid) if alphas_grid is not None else None
         payloads = []
-        for shard, ci in zip(shards, self._node_class):
+        for i, (shard, ci) in enumerate(zip(shards, self._node_class)):
             payloads.append(
                 (
                     self.policy,
@@ -537,6 +755,7 @@ class FleetOrchestrator:
                     grid,
                     hist_bin_ms,
                     hist_bins,
+                    timelines[i] if timelines is not None else None,
                 )
             )
         node_qos = sweep_map(_serve_node, payloads, jobs=jobs)
@@ -547,6 +766,14 @@ class FleetOrchestrator:
         for qos in node_qos:
             fleet_qos.merge(qos)
             node_totals.append(qos.totals())
+        availability = {
+            nodes[i].name: (
+                timelines[i].up_windows()
+                if timelines is not None
+                else ((0.0, math.inf),)
+            )
+            for i in range(len(nodes))
+        }
         return FleetResult(
             qos=fleet_qos,
             scenario=scenario,
@@ -557,4 +784,7 @@ class FleetOrchestrator:
             transfer_hops=transfer_hops,
             transfer_ms=transfer_ms,
             node_totals=tuple(node_totals),
+            re_routed=re_routed,
+            failover_ms=failover_ms,
+            availability=availability,
         )

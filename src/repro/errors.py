@@ -62,5 +62,11 @@ class RequestTimeout(ServerError, TimeoutError):
     :class:`TimeoutError` so generic timeout handling catches it."""
 
 
+class ConnectionLost(ServerError, ConnectionError):
+    """Raised into every pending client future when the wire connection
+    drops (and reconnect, if configured, is exhausted); also a
+    :class:`ConnectionError` so transport-level handling catches it."""
+
+
 class CalibrationError(ReproError):
     """Raised when a hardware model cannot be calibrated to a target latency."""

@@ -16,6 +16,7 @@ from repro.experiments import (  # noqa: F401
     fig6,
     fig7,
     fleet,
+    fleet_chaos,
     live_replay,
     qos_targets,
     robustness,
@@ -27,11 +28,12 @@ from repro.experiments import (  # noqa: F401
 )
 
 #: Everything ``python -m repro.experiments all`` runs. ``stress``,
-#: ``fleet`` and ``live_replay`` are registered with the CLI but
-#: deliberately absent here: the stress and fleet ladders top out at a
-#: million requests and the live replay opens real sockets, so all three
-#: are meant to be invoked explicitly (``python -m repro.experiments
-#: stress`` / ``... fleet`` / ``... live_replay``).
+#: ``fleet``, ``fleet_chaos`` and ``live_replay`` are registered with
+#: the CLI but deliberately absent here: the stress and fleet ladders
+#: top out at a million requests (chaos replays its ladder twice) and
+#: the live replay opens real sockets, so all four are meant to be
+#: invoked explicitly (``python -m repro.experiments stress`` /
+#: ``... fleet`` / ``... fleet_chaos`` / ``... live_replay``).
 EXPERIMENT_IDS = (
     "table1",
     "fig1",

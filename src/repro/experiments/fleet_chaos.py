@@ -1,0 +1,269 @@
+"""Fleet chaos: scripted node churn against the 100-node fleet ladder.
+
+The :mod:`~repro.experiments.fleet` showcase replays a fault-free fleet;
+this experiment replays the *same* seeded trace twice — once clean, once
+under a scripted kill-and-recover schedule (:class:`NodeFaultPlan`) that
+takes out roughly a tenth of the inventory mid-trace — and reports the
+violation-curve delta the churn costs. Half the victims fail-stop (dead
+for the rest of the run), half fail-recover (dead for the middle third),
+so both failover regimes are exercised: permanent capacity loss and a
+transient hole the deterministic re-deal routes around.
+
+Every cell asserts exact conservation (``submitted == served + rejected
++ shed + failed + timed_out`` over the per-node outcome accounting) and
+that the clean run saw no failovers — the chaos machinery must be
+provably inert when the plan is empty.
+
+Not part of ``python -m repro.experiments all`` — like ``fleet``, an
+explicit run: ``python -m repro.experiments fleet_chaos``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.cluster import DEFAULT_INVENTORY, FleetOrchestrator
+from repro.errors import SimulationError
+from repro.experiments.config import ExperimentContext
+from repro.experiments.fleet import DEFAULT_RHO, derived_lambda_ms
+from repro.robustness.node_faults import (
+    NodeFaultEvent,
+    NodeFaultKind,
+    NodeFaultPlan,
+)
+from repro.runtime.workload import Scenario
+from repro.utils.tables import format_table
+
+#: The chaos ladder: the fleet shakedown size (the million-request cell
+#: lives in ``fleet``; chaos doubles every run, so stay at 100k).
+DEFAULT_SIZES = (100_000,)
+
+#: Fraction of the fleet the scripted schedule takes out.
+DEFAULT_KILL_FRACTION = 0.1
+
+
+def scripted_kill_schedule(
+    n_nodes: int,
+    horizon_ms: float,
+    kill_fraction: float = DEFAULT_KILL_FRACTION,
+) -> NodeFaultPlan:
+    """The kill-and-recover schedule: evenly spread victims, half
+    fail-stop at 35% of the horizon, half fail-recover over the middle
+    third (35% to 65%). Pure in its arguments — reruns and ``--jobs``
+    sweeps see the identical plan."""
+    n_kill = max(1, round(n_nodes * kill_fraction))
+    stride = max(1, n_nodes // n_kill)
+    victims = [(i * stride) % n_nodes for i in range(n_kill)]
+    kill_at = 0.35 * horizon_ms
+    recover_at = 0.65 * horizon_ms
+    events = []
+    for k, node in enumerate(victims):
+        if k % 2 == 0:
+            events.append(
+                NodeFaultEvent(
+                    NodeFaultKind.FAIL_STOP, node, at_ms=kill_at
+                )
+            )
+        else:
+            events.append(
+                NodeFaultEvent(
+                    NodeFaultKind.FAIL_RECOVER,
+                    node,
+                    at_ms=kill_at,
+                    recover_at_ms=recover_at,
+                )
+            )
+    return NodeFaultPlan(scripted=tuple(events))
+
+
+@dataclass(frozen=True)
+class ChaosRow:
+    n_requests: int
+    n_nodes: int
+    nodes_killed: int
+    wall_s: float
+    served_clean: int
+    served_chaos: int
+    failed_chaos: int
+    re_routed: int
+    failover_mean_ms: float
+    #: Violation rate at alpha=8, clean vs under churn, and the delta.
+    violation_at_8_clean: float
+    violation_at_8_chaos: float
+    violation_delta_at_8: float
+
+
+@dataclass(frozen=True)
+class ChaosExperimentResult:
+    policy: str
+    inventory: str
+    rho: float
+    kill_fraction: float
+    rows: tuple[ChaosRow, ...]
+    #: ``(alpha, clean_rate, chaos_rate)`` triples for the largest cell.
+    curve_delta: tuple[tuple[float, float, float], ...]
+
+
+def _check_conservation(result, n_requests: int, label: str) -> None:
+    totals = result.qos.totals()
+    accounted = (
+        totals["served"]
+        + totals["rejected"]
+        + totals["shed"]
+        + totals["failed"]
+        + totals["timed_out"]
+    )
+    if totals["submitted"] != n_requests or accounted != n_requests:
+        raise SimulationError(
+            f"fleet_chaos conservation broken ({label}): {n_requests} "
+            f"sharded requests, {totals['submitted']} terminal records, "
+            f"{accounted} accounted outcomes"
+        )
+    # The same identity must hold node by node.
+    per_node = sum(
+        t["served"] + t["rejected"] + t["shed"] + t["failed"] + t["timed_out"]
+        for t in result.node_outcomes
+    )
+    if per_node != n_requests:
+        raise SimulationError(
+            f"fleet_chaos per-node outcome accounting broken ({label}): "
+            f"{per_node} outcomes across nodes for {n_requests} requests"
+        )
+
+
+def run_cell(
+    n_requests: int,
+    ctx: ExperimentContext | None = None,
+    inventory: str = DEFAULT_INVENTORY,
+    policy: str = "split",
+    rho: float = DEFAULT_RHO,
+    kill_fraction: float = DEFAULT_KILL_FRACTION,
+    alphas_grid: tuple[float, ...] | None = None,
+) -> tuple[ChaosRow, tuple[tuple[float, float, float], ...]]:
+    """One chaos cell: clean replay, chaos replay, violation delta."""
+    ctx = ctx or ExperimentContext()
+    clean = FleetOrchestrator(
+        inventory, models=ctx.models, policy=policy, seed=ctx.seed
+    )
+    lambda_ms = derived_lambda_ms(clean, rho)  # also triggers deploy
+    scenario = Scenario(
+        f"fleet-chaos-{n_requests}", lambda_ms, "high", n_requests=n_requests
+    )
+    plan = scripted_kill_schedule(
+        len(clean.nodes), clean.fault_horizon_ms(scenario), kill_fraction
+    )
+    chaos = FleetOrchestrator(
+        inventory,
+        models=ctx.models,
+        policy=policy,
+        seed=ctx.seed,
+        node_faults=plan,
+    )
+
+    t0 = time.perf_counter()
+    clean_result = clean.replay(scenario, jobs=ctx.jobs, alphas_grid=alphas_grid)
+    chaos_result = chaos.replay(scenario, jobs=ctx.jobs, alphas_grid=alphas_grid)
+    wall_s = time.perf_counter() - t0
+
+    _check_conservation(clean_result, n_requests, "clean")
+    _check_conservation(chaos_result, n_requests, "chaos")
+    if clean_result.re_routed != 0 or clean_result.qos.totals()["failed"] != 0:
+        raise SimulationError(
+            "fleet_chaos clean run saw failovers — the empty plan leaked"
+        )
+
+    alphas = clean_result.qos.alphas
+    clean_curve = clean_result.qos.violation_curve()
+    chaos_curve = chaos_result.qos.violation_curve()
+    curve = tuple(
+        (float(a), float(c0), float(c1))
+        for a, c0, c1 in zip(alphas, clean_curve, chaos_curve)
+    )
+    killed = sum(
+        1 for w in chaos_result.availability.values() if len(w) > 1 or
+        w[-1][1] != float("inf")
+    )
+    row = ChaosRow(
+        n_requests=n_requests,
+        n_nodes=chaos_result.n_nodes,
+        nodes_killed=killed,
+        wall_s=wall_s,
+        served_clean=clean_result.qos.totals()["served"],
+        served_chaos=chaos_result.qos.totals()["served"],
+        failed_chaos=chaos_result.qos.totals()["failed"],
+        re_routed=chaos_result.re_routed,
+        failover_mean_ms=(
+            chaos_result.failover_ms / chaos_result.re_routed
+            if chaos_result.re_routed
+            else 0.0
+        ),
+        violation_at_8_clean=clean_result.qos.violation_rate(8.0),
+        violation_at_8_chaos=chaos_result.qos.violation_rate(8.0),
+        violation_delta_at_8=(
+            chaos_result.qos.violation_rate(8.0)
+            - clean_result.qos.violation_rate(8.0)
+        ),
+    )
+    return row, curve
+
+
+def run(
+    ctx: ExperimentContext | None = None,
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    inventory: str = DEFAULT_INVENTORY,
+    policy: str = "split",
+    rho: float = DEFAULT_RHO,
+    kill_fraction: float = DEFAULT_KILL_FRACTION,
+) -> ChaosExperimentResult:
+    ctx = ctx or ExperimentContext()
+    rows = []
+    curve: tuple[tuple[float, float, float], ...] = ()
+    for n in sizes:
+        row, curve = run_cell(
+            n,
+            ctx=ctx,
+            inventory=inventory,
+            policy=policy,
+            rho=rho,
+            kill_fraction=kill_fraction,
+        )
+        rows.append(row)
+    return ChaosExperimentResult(
+        policy=policy,
+        inventory=inventory,
+        rho=rho,
+        kill_fraction=kill_fraction,
+        rows=tuple(rows),
+        curve_delta=curve,
+    )
+
+
+def render(result: ChaosExperimentResult) -> str:
+    ladder = format_table(
+        ["requests", "nodes", "killed", "wall (s)", "served clean",
+         "served chaos", "failed", "re-routed", "failover mean (ms)",
+         "viol@8 clean", "viol@8 chaos", "delta"],
+        [
+            [r.n_requests, r.n_nodes, r.nodes_killed, r.wall_s,
+             r.served_clean, r.served_chaos, r.failed_chaos, r.re_routed,
+             r.failover_mean_ms, r.violation_at_8_clean,
+             r.violation_at_8_chaos, r.violation_delta_at_8]
+            for r in result.rows
+        ],
+        floatfmt=".3f",
+        title=(
+            f"Fleet chaos ({result.policy}, inventory {result.inventory}, "
+            f"rho={result.rho}, kill {result.kill_fraction:.0%})"
+        ),
+    )
+    curve = format_table(
+        ["alpha", "clean", "chaos", "delta"],
+        [
+            [a, c0, c1, c1 - c0]
+            for a, c0, c1 in result.curve_delta
+        ],
+        floatfmt=".4f",
+        title="Violation curve under churn (largest cell)",
+    )
+    return ladder + "\n\n" + curve

@@ -21,6 +21,7 @@ from repro.experiments import (
     fig6,
     fig7,
     fleet,
+    fleet_chaos,
     live_replay,
     qos_targets,
     robustness,
@@ -119,10 +120,12 @@ _RUNNERS = {
     "bursts": lambda ctx: bursts.render(bursts.run(ctx)),
     "robustness": lambda ctx: robustness.render(robustness.run(ctx)),
     # Not in EXPERIMENT_IDS (and so not in "all"): the stress and fleet
-    # ladders stream a million requests and live_replay opens real
-    # sockets — all three are explicit opt-ins.
+    # ladders stream a million requests (fleet_chaos replays its ladder
+    # twice) and live_replay opens real sockets — all are explicit
+    # opt-ins.
     "stress": lambda ctx: stress.render(stress.run(ctx)),
     "fleet": lambda ctx: fleet.render(fleet.run(ctx)),
+    "fleet_chaos": lambda ctx: fleet_chaos.render(fleet_chaos.run(ctx)),
     "live_replay": lambda ctx: live_replay.render(live_replay.run(ctx)),
 }
 
@@ -139,7 +142,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=(*EXPERIMENT_IDS, "stress", "fleet", "live_replay", "all"),
+        choices=(
+            *EXPERIMENT_IDS,
+            "stress",
+            "fleet",
+            "fleet_chaos",
+            "live_replay",
+            "all",
+        ),
         help="which table/figure to regenerate",
     )
     parser.add_argument("--seed", type=int, default=0)

@@ -8,8 +8,13 @@ unhappy paths as composable, deterministic policies:
   :class:`FaultInjector` that evaluates it per block execution (fail,
   stall, drop), honoured identically by the discrete-event engines and
   the threaded :class:`~repro.server.server.SplitServer`;
+* :mod:`repro.robustness.node_faults` — :class:`NodeFaultPlan` /
+  :class:`NodeTimeline`, seeded *node-level* churn (fail-stop,
+  fail-recover, degraded service) consumed by the fleet orchestrator's
+  deterministic failover (``docs/cluster.md``);
 * :mod:`repro.robustness.retry` — :class:`RetryPolicy`, bounded retries
-  with exponential backoff after a block failure;
+  with exponential backoff after a block failure (also reused by the
+  socket client's reconnect-with-backoff);
 * :mod:`repro.robustness.shedding` — :class:`LoadShedConfig` /
   :class:`LoadShedder`, overload eviction ordered by response-ratio
   headroom (most-doomed requests shed first);
@@ -28,6 +33,13 @@ from repro.robustness.faults import (
     FaultPlan,
     ScriptedFault,
 )
+from repro.robustness.node_faults import (
+    HEALTHY_TIMELINE,
+    NodeFaultEvent,
+    NodeFaultKind,
+    NodeFaultPlan,
+    NodeTimeline,
+)
 from repro.robustness.retry import RetryPolicy
 from repro.robustness.shedding import LoadShedConfig, LoadShedder
 
@@ -37,6 +49,11 @@ __all__ = [
     "FaultKind",
     "FaultPlan",
     "ScriptedFault",
+    "HEALTHY_TIMELINE",
+    "NodeFaultEvent",
+    "NodeFaultKind",
+    "NodeFaultPlan",
+    "NodeTimeline",
     "RetryPolicy",
     "LoadShedConfig",
     "LoadShedder",

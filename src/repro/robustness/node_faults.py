@@ -1,0 +1,283 @@
+"""Deterministic, seedable *node-level* fault injection for fleet replays.
+
+:mod:`repro.robustness.faults` perturbs individual block executions; this
+module perturbs whole nodes. A :class:`NodeFaultPlan` describes which
+nodes fail and when — fail-stop (the node dies and stays dead),
+fail-recover (dies at ``at_ms``, rejoins at ``recover_at_ms``), and
+degraded service (every block on the node runs ``service_multiplier``
+times slower for a window) — as scripted events for exact-control tests
+plus stochastic per-node draws keyed exactly like :class:`FaultPlan`:
+pure functions of ``(seed, node_index)`` hashed through
+:func:`repro.utils.rng.derive_seed`, so two runs with the same plan and
+the same fleet produce identical fault schedules regardless of call
+order, thread count or ``--jobs``.
+
+The plan compiles, per node, into a :class:`NodeTimeline`: an ordered
+tuple of up-segments ``(start_ms, end_ms, service_multiplier)`` whose
+gaps are downtime. The fleet orchestrator consumes timelines twice —
+at shard time (requests that would reach a down node are deterministically
+re-dealt onto survivors) and at replay time (each up-segment is an
+independent engine run; served requests whose finish time overruns the
+segment were in flight when the node died and become ``failed``
+outcomes). See ``docs/robustness.md`` and ``docs/cluster.md``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.utils.rng import derive_seed
+
+_MAX64 = float(1 << 64)
+
+_INF = math.inf
+
+
+class NodeFaultKind(enum.Enum):
+    """What happens to one node."""
+
+    #: The node dies at ``at_ms`` and never returns.
+    FAIL_STOP = "fail_stop"
+    #: The node dies at ``at_ms`` and rejoins, with an empty queue, at
+    #: ``recover_at_ms``.
+    FAIL_RECOVER = "fail_recover"
+    #: Every block on the node runs ``service_multiplier`` times slower
+    #: from ``at_ms`` until ``recover_at_ms`` (or forever when None).
+    DEGRADE = "degrade"
+
+
+@dataclass(frozen=True)
+class NodeFaultEvent:
+    """One scheduled node fault. ``node_index=None`` matches every node
+    (the scripted-rule wildcard, mirroring :class:`ScriptedFault`)."""
+
+    kind: NodeFaultKind
+    node_index: int | None = None
+    at_ms: float = 0.0
+    recover_at_ms: float | None = None
+    service_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0.0:
+            raise SimulationError("node fault at_ms must be >= 0")
+        if self.kind is NodeFaultKind.FAIL_RECOVER and self.recover_at_ms is None:
+            raise SimulationError("fail_recover events need recover_at_ms")
+        if self.kind is NodeFaultKind.FAIL_STOP and self.recover_at_ms is not None:
+            raise SimulationError("fail_stop events must not set recover_at_ms")
+        if self.recover_at_ms is not None and self.recover_at_ms <= self.at_ms:
+            raise SimulationError("recover_at_ms must be after at_ms")
+        if self.kind is NodeFaultKind.DEGRADE and self.service_multiplier < 1.0:
+            raise SimulationError("service_multiplier must be >= 1")
+
+    def matches(self, node_index: int) -> bool:
+        return self.node_index is None or self.node_index == node_index
+
+
+@dataclass(frozen=True)
+class NodeTimeline:
+    """One node's availability as ordered up-segments.
+
+    ``segments`` is a tuple of ``(start_ms, end_ms, service_multiplier)``
+    covering the intervals the node is *up* (``end_ms`` may be ``inf``);
+    every gap between segments — and everything past a fail-stop — is
+    downtime. A multiplier above 1 marks a degraded window where block
+    service times stretch by that factor. Frozen and tuple-backed, so
+    timelines pickle cleanly into :func:`~repro.runtime.sweeps.sweep_map`
+    worker payloads.
+    """
+
+    segments: tuple[tuple[float, float, float], ...]
+
+    @property
+    def healthy(self) -> bool:
+        """True when the node is up, at full speed, forever."""
+        return self.segments == ((0.0, _INF, 1.0),)
+
+    def is_up(self, t_ms: float) -> bool:
+        """Whether the node is serving at ``t_ms`` (segments half-open:
+        a node failing at ``t`` is already down *at* ``t``)."""
+        for start, end, _mult in self.segments:
+            if start <= t_ms < end:
+                return True
+        return False
+
+    def multiplier_at(self, t_ms: float) -> float:
+        """Service-time multiplier at ``t_ms``; ``inf`` while down (a
+        down node is a node whose service times diverged)."""
+        for start, end, mult in self.segments:
+            if start <= t_ms < end:
+                return mult
+        return _INF
+
+    def up_windows(self) -> tuple[tuple[float, float], ...]:
+        """Availability windows, coalesced across degrade boundaries —
+        the per-node availability timeline fleet reports carry."""
+        windows: list[tuple[float, float]] = []
+        for start, end, _mult in self.segments:
+            if windows and windows[-1][1] == start:
+                windows[-1] = (windows[-1][0], end)
+            else:
+                windows.append((start, end))
+        return tuple(windows)
+
+    @classmethod
+    def from_events(
+        cls, events: tuple[NodeFaultEvent, ...] | list[NodeFaultEvent]
+    ) -> "NodeTimeline":
+        """Compile fault events into up-segments.
+
+        Fail-stop truncates the timeline at the earliest such event;
+        fail-recover punches a down window; overlapping degrade windows
+        multiply. Deterministic in the event set (events are applied on
+        sorted boundaries, not in arrival order).
+        """
+        stop_ms = _INF
+        down: list[tuple[float, float]] = []
+        degrade: list[tuple[float, float, float]] = []
+        for ev in events:
+            if ev.kind is NodeFaultKind.FAIL_STOP:
+                stop_ms = min(stop_ms, ev.at_ms)
+            elif ev.kind is NodeFaultKind.FAIL_RECOVER:
+                assert ev.recover_at_ms is not None
+                down.append((ev.at_ms, ev.recover_at_ms))
+            else:
+                end = _INF if ev.recover_at_ms is None else ev.recover_at_ms
+                degrade.append((ev.at_ms, end, ev.service_multiplier))
+
+        bounds = {0.0, stop_ms}
+        for s, e in down:
+            bounds.add(s)
+            bounds.add(e)
+        for s, e, _m in degrade:
+            bounds.add(s)
+            bounds.add(e)
+        cuts = sorted(b for b in bounds if 0.0 <= b <= stop_ms)
+        if not cuts or cuts[-1] < stop_ms:
+            cuts.append(stop_ms)
+        if stop_ms == _INF and cuts[-1] != _INF:
+            cuts.append(_INF)
+
+        segments: list[tuple[float, float, float]] = []
+        for a, b in zip(cuts, cuts[1:]):
+            if a >= b:
+                continue
+            if any(s <= a < e for s, e in down):
+                continue  # a down gap
+            mult = 1.0
+            for s, e, m in degrade:
+                if s <= a < e:
+                    mult *= m
+            if segments and segments[-1][1] == a and segments[-1][2] == mult:
+                segments[-1] = (segments[-1][0], b, mult)
+            else:
+                segments.append((a, b, mult))
+        return cls(segments=tuple(segments))
+
+
+#: The always-healthy timeline (shared: timelines are immutable).
+HEALTHY_TIMELINE = NodeTimeline(segments=((0.0, _INF, 1.0),))
+
+
+@dataclass(frozen=True)
+class NodeFaultPlan:
+    """Seeded description of the node-fault environment.
+
+    Rates are per *node* over the replay horizon and must sum to at most
+    1; one uniform draw per node index — ``derive_seed(seed,
+    "node-fault", node_index)`` — decides its fate through the disjoint
+    ranges ``[0, fail_stop) [fail_stop, +fail_recover) [..., +degrade)``,
+    so raising one rate never reshuffles the faults another rate already
+    produced (the same contract as :class:`FaultPlan`). Event timestamps
+    come from further independent derivations of the same key, scaled
+    into the horizon. Scripted events are exact-control rules for tests
+    and the chaos experiment; they apply in addition to any stochastic
+    draw.
+    """
+
+    seed: int = 0
+    fail_stop_rate: float = 0.0
+    fail_recover_rate: float = 0.0
+    degrade_rate: float = 0.0
+    degrade_multiplier: float = 2.0
+    scripted: tuple[NodeFaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("fail_stop_rate", "fail_recover_rate", "degrade_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise SimulationError(f"{name} must be in [0, 1], got {rate}")
+        total = self.fail_stop_rate + self.fail_recover_rate + self.degrade_rate
+        if total > 1.0 + 1e-12:
+            raise SimulationError("node fault rates must sum to at most 1")
+        if self.degrade_multiplier < 1.0:
+            raise SimulationError("degrade_multiplier must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        return bool(
+            self.scripted
+            or self.fail_stop_rate > 0.0
+            or self.fail_recover_rate > 0.0
+            or self.degrade_rate > 0.0
+        )
+
+    def _uniform(self, label: str, node_index: int) -> float:
+        return derive_seed(self.seed, label, node_index) / _MAX64
+
+    def events_for(
+        self, node_index: int, horizon_ms: float
+    ) -> tuple[NodeFaultEvent, ...]:
+        """Every fault event hitting ``node_index`` over ``horizon_ms``.
+
+        Pure in ``(plan, node_index, horizon_ms)``. Stochastic event
+        times land strictly inside ``(0, horizon_ms)`` — a fault at 0
+        would be a deployment problem, not churn — and a stochastic
+        recovery lands strictly after its failure.
+        """
+        events = [ev for ev in self.scripted if ev.matches(node_index)]
+        rates = (self.fail_stop_rate, self.fail_recover_rate, self.degrade_rate)
+        if horizon_ms > 0.0 and any(r > 0.0 for r in rates):
+            u = self._uniform("node-fault", node_index)
+            # Strictly interior timestamps: at in (5%, 95%) of the
+            # horizon, recovery in the remaining tail.
+            at = horizon_ms * (0.05 + 0.9 * self._uniform("node-fault-at", node_index))
+            rec = at + (horizon_ms - at) * (
+                0.25 + 0.5 * self._uniform("node-fault-recover", node_index)
+            )
+            p_stop, p_recover, p_degrade = rates
+            if u < p_stop:
+                events.append(
+                    NodeFaultEvent(NodeFaultKind.FAIL_STOP, node_index, at_ms=at)
+                )
+            elif u < p_stop + p_recover:
+                events.append(
+                    NodeFaultEvent(
+                        NodeFaultKind.FAIL_RECOVER,
+                        node_index,
+                        at_ms=at,
+                        recover_at_ms=rec,
+                    )
+                )
+            elif u < p_stop + p_recover + p_degrade:
+                events.append(
+                    NodeFaultEvent(
+                        NodeFaultKind.DEGRADE,
+                        node_index,
+                        at_ms=at,
+                        recover_at_ms=rec,
+                        service_multiplier=self.degrade_multiplier,
+                    )
+                )
+        events.sort(key=lambda ev: (ev.at_ms, ev.kind.value))
+        return tuple(events)
+
+    def timeline_for(self, node_index: int, horizon_ms: float) -> NodeTimeline:
+        """The node's compiled availability timeline (pure; see
+        :meth:`events_for`)."""
+        events = self.events_for(node_index, horizon_ms)
+        if not events:
+            return HEALTHY_TIMELINE
+        return NodeTimeline.from_events(events)

@@ -81,12 +81,34 @@ class LoadShedder:
 
         ``exclude`` protects the currently-running request — a request
         mid-block cannot be revoked, only not rescheduled.
+
+        Headrooms are computed from one pass over the queue: the running
+        prefix of ``ext_left_ms`` *is* ``waiting_ahead_ms(position)`` for
+        each position in turn (same left-to-right float accumulation, so
+        the values — and therefore the victim order — are bit-identical
+        to probing :meth:`headroom` per candidate, which costs a linear
+        position scan each and made a shed event O(n^2)).
         """
         cfg = self.config
-        candidates = sorted(
-            (r for r in queue if r is not exclude),
-            key=lambda r: self.headroom(r, queue, now_ms),
-        )
+        target_alpha = cfg.target_alpha
+        ahead_ms = 0.0
+        scored: list[tuple[float, Request]] = []
+        for req in queue:
+            if req is not exclude:
+                predicted_ms = (
+                    req.waited_ms(now_ms) + ahead_ms + req.ext_left_ms
+                )
+                task_target_ms = req.task.target_ms
+                scored.append(
+                    (
+                        (target_alpha * task_target_ms - predicted_ms)
+                        / task_target_ms,
+                        req,
+                    )
+                )
+            ahead_ms += req.ext_left_ms
+        scored.sort(key=lambda pair: pair[0])
+        candidates = [req for _headroom, req in scored]
         victims: list[Request] = []
         depth = len(queue)
         backlog = queue.total_backlog_ms() if cfg.max_backlog_ms is not None else 0.0

@@ -27,7 +27,25 @@ Every infer resolves to a :class:`WireResult` — unhappy outcomes are
 data (``ok=False`` with the wire error code), not exceptions, because
 replay traffic treats shed/failed/timed-out as normal vocabulary.
 Exceptions are reserved for broken conversations: :class:`ProtocolError`
-on a poisoned stream, ``ConnectionError`` when the server goes away.
+on a poisoned stream, :class:`~repro.errors.ConnectionLost` when the
+server goes away (every pending future is rejected with it — nothing
+is left hanging), :class:`~repro.errors.RequestTimeout` when an
+opt-in ``request_timeout_s`` deadline expires first.
+
+Resilience knobs (all opt-in, all off by default):
+
+* ``request_timeout_s`` — a client-side per-request deadline; a future
+  that outlives it fails with :class:`RequestTimeout` and a late reply
+  is silently discarded.
+* ``reconnect`` — a :class:`~repro.robustness.retry.RetryPolicy`
+  driving bounded reconnect-with-backoff after the transport drops:
+  the client redials, re-runs the HELLO handshake on the previously
+  negotiated codec, and replays still-unacknowledged tracked infer
+  submissions under their *original* ids (the demux is id-keyed, so
+  replay is idempotent: each future settles exactly once). Waiters
+  that cannot be replayed idempotently (hello/meta) and untracked
+  bulk submissions are failed with :class:`ConnectionLost` at the
+  drop instead.
 """
 
 from __future__ import annotations
@@ -38,7 +56,8 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
-from repro.errors import ServerError
+from repro.errors import ConnectionLost, ReproError, RequestTimeout, ServerError
+from repro.robustness.retry import RetryPolicy
 from repro.runtime.workload import WorkloadItem
 from repro.server.protocol import (
     CODEC_JSON,
@@ -102,15 +121,37 @@ class AsyncNetClient:
     """One framed connection with future-per-request demultiplexing."""
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        host: str | None = None,
+        port: int | None = None,
+        request_timeout_s: float | None = None,
+        reconnect: RetryPolicy | None = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
+        self._host = host
+        self._port = port
+        self._request_timeout_s = request_timeout_s
+        self._reconnect = reconnect if host is not None else None
         self._ids = itertools.count(1)
         # id -> (kind, future); kind "infer" futures get WireResults and
         # are recorded in `received`, "hello" futures switch the codec at
         # their ACK boundary, "meta" futures get raw payloads.
         self._waiters: dict[int, tuple[str, asyncio.Future]] = {}
+        # id -> armed deadline timer; cancelled when the reply lands.
+        self._timeouts: dict[int, asyncio.TimerHandle] = {}
+        # Deadline-expired ids whose late replies must be discarded.
+        self._expired: set[int] = set()
+        # id -> (model, arrival_ms, echo) for tracked infers still
+        # unacknowledged — the reconnect replay set.
+        self._pending: dict[int, tuple[str, float | None, Any]] = {}
+        #: Codec name to re-negotiate after a reconnect (set by
+        #: :meth:`negotiate` on success).
+        self._codec_name: str | None = None
+        self._resume_task: asyncio.Task | None = None
         self._conn_error: BaseException | None = None
         self._decoder = FrameDecoder()
         self.binary = False
@@ -138,9 +179,14 @@ class AsyncNetClient:
         *,
         codec: str | None = None,
         rcvbuf: int | None = None,
+        request_timeout_s: float | None = None,
+        reconnect: RetryPolicy | None = None,
     ) -> "AsyncNetClient":
         """Open a connection; ``codec`` (e.g. ``"binary-v2"``) runs the
-        HELLO handshake before returning."""
+        HELLO handshake before returning. ``request_timeout_s`` arms a
+        per-request client-side deadline (:class:`RequestTimeout`);
+        ``reconnect`` enables bounded reconnect-with-backoff (see the
+        module docstring)."""
         reader, writer = await asyncio.open_connection(host, port)
         if rcvbuf is not None:
             import socket as _socket
@@ -150,7 +196,14 @@ class AsyncNetClient:
                 sock.setsockopt(
                     _socket.SOL_SOCKET, _socket.SO_RCVBUF, rcvbuf
                 )
-        client = cls(reader, writer)
+        client = cls(
+            reader,
+            writer,
+            host=host,
+            port=port,
+            request_timeout_s=request_timeout_s,
+            reconnect=reconnect,
+        )
         if codec is not None:
             try:
                 await client.negotiate(codec)
@@ -161,29 +214,171 @@ class AsyncNetClient:
 
     # --------------------------------------------------------------- intake
     async def _read_loop(self) -> None:
-        decoder = self._decoder
         try:
             while True:
-                data = await self._reader.read(65536)
-                if not data:
-                    self._fail_all(ConnectionError("server closed connection"))
+                exc = await self._pump()
+                if not await self._reopen(exc):
+                    self._fail_all(exc)
                     return
-                for ftype, payload in decoder.feed(data):
-                    self._on_frame(ftype, payload)
-        except (ConnectionError, OSError, ProtocolError) as exc:
-            self._fail_all(exc)
+                # Re-handshake and replay run as a task so this loop is
+                # back on the new reader to pump their replies.
+                self._resume_task = asyncio.get_running_loop().create_task(
+                    self._resume()
+                )
         except asyncio.CancelledError:
             self._fail_all(ConnectionError("client closed"))
             raise
 
+    async def _pump(self) -> BaseException:
+        """Read frames until the transport breaks; return what broke it."""
+        try:
+            while True:
+                data = await self._reader.read(65536)
+                if not data:
+                    return ConnectionLost("server closed connection")
+                for ftype, payload in self._decoder.feed(data):
+                    self._on_frame(ftype, payload)
+        except (ConnectionError, OSError, ProtocolError) as exc:
+            return exc
+
+    async def _reopen(self, exc: BaseException) -> bool:
+        """Bounded reconnect-with-backoff; True once a new transport is up.
+
+        A poisoned stream (:class:`ProtocolError`) is never redialled —
+        the conversation, not the transport, is broken. Waiters that
+        cannot be replayed idempotently are failed with ``exc`` up
+        front; tracked infer waiters stay registered for the replay.
+        """
+        policy = self._reconnect
+        if (
+            policy is None
+            or isinstance(exc, ProtocolError)
+            or self._conn_error is not None
+        ):
+            return False
+        self._fail_unreplayable(exc)
+        failures = 0
+        while not policy.exhausted(failures):
+            await asyncio.sleep(policy.backoff_ms(failures) / 1000.0)
+            try:
+                assert self._host is not None and self._port is not None
+                reader, writer = await asyncio.open_connection(
+                    self._host, self._port
+                )
+            except OSError:
+                failures += 1
+                continue
+            old_writer = self._writer
+            self._reader, self._writer = reader, writer
+            # Fresh transport starts the wire over: JSON until the
+            # resume task re-negotiates the stored codec.
+            self._decoder = FrameDecoder()
+            self.binary = False
+            try:
+                old_writer.close()
+            except (ConnectionError, OSError):
+                pass
+            return True
+        return False
+
+    async def _resume(self) -> None:
+        """Post-reconnect: re-negotiate, then replay unacknowledged
+        tracked infers under their original ids (idempotent — each
+        future is still registered and settles exactly once)."""
+        try:
+            if self._codec_name is not None:
+                await self.negotiate(self._codec_name)
+            for cid in sorted(self._pending):
+                model, arrival_ms, echo = self._pending[cid]
+                if self.binary:
+                    self._writer.write(
+                        BinaryCodecV2.encode_infer(
+                            cid, self._model_index(model), arrival_ms
+                        )
+                    )
+                else:
+                    payload: dict[str, Any] = {"id": cid, "model": model}
+                    if arrival_ms is not None:
+                        payload["arrival_ms"] = arrival_ms
+                    if echo is not None:
+                        payload["echo"] = echo
+                    self._writer.write(
+                        self._decoder.codec.encode(FrameType.INFER, payload)
+                    )
+            await self._writer.drain()
+        except (ConnectionError, OSError, ReproError) as exc:
+            # The pump sees the transport drop and retries the redial;
+            # a re-handshake refusal poisons the client for good.
+            if isinstance(exc, ServerError) and not isinstance(
+                exc, (ConnectionLost, ProtocolError)
+            ):
+                self._fail_all(exc)
+
+    def _fail_unreplayable(self, exc: BaseException) -> None:
+        """Fail every waiter the reconnect replay cannot restore."""
+        if not isinstance(exc, ReproError):
+            exc = ConnectionLost(str(exc) or type(exc).__name__)
+        keep: dict[int, tuple[str, asyncio.Future]] = {}
+        for cid, entry in self._waiters.items():
+            if entry[0] == "infer" and cid in self._pending:
+                keep[cid] = entry
+                continue
+            handle = self._timeouts.pop(cid, None)
+            if handle is not None:
+                handle.cancel()
+            if not entry[1].done():
+                entry[1].set_exception(exc)
+        self._waiters = keep
+        if self._untracked:
+            # In-flight untracked submissions died with the connection;
+            # wake wait_received() so it surfaces the loss.
+            self._conn_error = exc
+            self._received_event.set()
+
     def _fail_all(self, exc: BaseException) -> None:
+        if not isinstance(exc, ReproError):
+            exc = ConnectionLost(str(exc) or type(exc).__name__)
         self._conn_error = exc
+        for handle in self._timeouts.values():
+            handle.cancel()
+        self._timeouts.clear()
+        self._pending.clear()
         waiters, self._waiters = self._waiters, {}
         for _kind, fut in waiters.values():
             if not fut.done():
                 fut.set_exception(exc)
         # Wake any wait_received() caller; it re-checks the error.
         self._received_event.set()
+
+    # ------------------------------------------------------------ deadlines
+    def _arm_deadline(self, cid: int) -> None:
+        if self._request_timeout_s is None:
+            return
+        self._timeouts[cid] = asyncio.get_running_loop().call_later(
+            self._request_timeout_s, self._expire, cid
+        )
+
+    def _expire(self, cid: int) -> None:
+        self._timeouts.pop(cid, None)
+        entry = self._waiters.pop(cid, None)
+        if entry is None:
+            return
+        self._pending.pop(cid, None)
+        self._expired.add(cid)
+        if not entry[1].done():
+            entry[1].set_exception(
+                RequestTimeout(
+                    f"request {cid} missed its client-side "
+                    f"{self._request_timeout_s}s deadline"
+                )
+            )
+
+    def _pop_waiter(self, cid: int) -> tuple[str, asyncio.Future] | None:
+        handle = self._timeouts.pop(cid, None)
+        if handle is not None:
+            handle.cancel()
+        self._pending.pop(cid, None)
+        return self._waiters.pop(cid, None)
 
     def _result_from_record(self, record: tuple) -> WireResult:
         cid, tag, midx, arrival, finish, e2e, rr, preempt, retries, plan = record
@@ -225,8 +420,12 @@ class AsyncNetClient:
 
     def _settle_record(self, record: tuple) -> None:
         result = self._result_from_record(record)
+        if result.id in self._expired:
+            # Late reply to a deadline-expired request: drop it.
+            self._expired.discard(result.id)
+            return
         self._record(result)
-        entry = self._waiters.pop(result.id, None)
+        entry = self._pop_waiter(result.id)
         if entry is not None:
             if not entry[1].done():
                 entry[1].set_result(result)
@@ -242,7 +441,11 @@ class AsyncNetClient:
                 self._settle_record(record)
             return
         cid = payload.get("id")
-        entry = self._waiters.pop(cid, None) if cid is not None else None
+        if cid is not None and cid in self._expired:
+            # Late reply to a deadline-expired request: drop it.
+            self._expired.discard(cid)
+            return
+        entry = self._pop_waiter(cid) if cid is not None else None
         if entry is None:
             if (
                 cid is not None
@@ -305,6 +508,7 @@ class AsyncNetClient:
         cid = next(self._ids)
         fut: asyncio.Future = asyncio.get_running_loop().create_future()
         self._waiters[cid] = (kind, fut)
+        self._arm_deadline(cid)
         return cid, fut
 
     async def _send(
@@ -329,9 +533,18 @@ class AsyncNetClient:
         """HELLO handshake: switch this connection to ``codec`` and
         refresh the model table. Returns the ACK payload. Must not race
         in-flight sends — negotiate before pipelining traffic."""
-        return await (
+        ack = await (
             await self._send("hello", FrameType.HELLO, {"codec": codec})
         )
+        self._codec_name = codec  # what a reconnect re-negotiates
+        return ack
+
+    async def heartbeat(self) -> dict[str, Any]:
+        """Round-trip one HEARTBEAT frame (liveness probe, either codec).
+
+        Combined with ``request_timeout_s`` this turns a silent dead
+        peer into a :class:`RequestTimeout` instead of a hang."""
+        return await (await self._send("meta", FrameType.HEARTBEAT, {}))
 
     async def submit(
         self,
@@ -345,6 +558,7 @@ class AsyncNetClient:
             if echo is not None:
                 raise ServerError("echo travels on the JSON codec only")
             cid, fut = self._register_waiter("infer")
+            self._pending[cid] = (model, arrival_ms, None)
             self._writer.write(
                 BinaryCodecV2.encode_infer(
                     cid, self._model_index(model), arrival_ms
@@ -352,12 +566,18 @@ class AsyncNetClient:
             )
             await self._writer.drain()
             return fut
-        payload: dict[str, Any] = {"model": model}
+        cid, fut = self._register_waiter("infer")
+        self._pending[cid] = (model, arrival_ms, echo)
+        payload = {"id": cid, "model": model}
         if arrival_ms is not None:
             payload["arrival_ms"] = arrival_ms
         if echo is not None:
             payload["echo"] = echo
-        return await self._send("infer", FrameType.INFER, payload)
+        self._writer.write(
+            self._decoder.codec.encode(FrameType.INFER, payload)
+        )
+        await self._writer.drain()
+        return fut
 
     async def submit_batch(
         self,
@@ -385,6 +605,7 @@ class AsyncNetClient:
             for model, arrival_ms in items:
                 if track:
                     cid, fut = self._register_waiter("infer")
+                    self._pending[cid] = (model, arrival_ms, None)
                     futures.append(fut)
                 else:
                     cid = next(ids)
@@ -401,6 +622,7 @@ class AsyncNetClient:
             for model, arrival_ms in items:
                 if track:
                     cid, fut = self._register_waiter("infer")
+                    self._pending[cid] = (model, arrival_ms, None)
                     futures.append(fut)
                 else:
                     cid = next(ids)
@@ -483,6 +705,12 @@ class AsyncNetClient:
         return await (await self._send("meta", FrameType.DRAIN, {}))
 
     async def close(self) -> None:
+        if self._resume_task is not None:
+            self._resume_task.cancel()
+            try:
+                await self._resume_task
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass
         self._reader_task.cancel()
         try:
             await self._reader_task
@@ -517,6 +745,8 @@ class NetClient:
         *,
         codec: str | None = None,
         timeout_s: float = 30.0,
+        request_timeout_s: float | None = None,
+        reconnect: RetryPolicy | None = None,
     ) -> None:
         self._timeout_s = timeout_s
         self._loop = asyncio.new_event_loop()
@@ -525,7 +755,13 @@ class NetClient:
         )
         self._thread.start()
         self._client: AsyncNetClient = self._call(
-            AsyncNetClient.connect(host, port, codec=codec)
+            AsyncNetClient.connect(
+                host,
+                port,
+                codec=codec,
+                request_timeout_s=request_timeout_s,
+                reconnect=reconnect,
+            )
         )
 
     def _call(self, coro):
@@ -550,6 +786,10 @@ class NetClient:
 
     def stats(self) -> dict[str, Any]:
         return self._call(self._client.stats())
+
+    def heartbeat(self) -> dict[str, Any]:
+        """Round-trip one HEARTBEAT frame (liveness probe)."""
+        return self._call(self._client.heartbeat())
 
     def fence(self) -> None:
         """Block until the server has processed this connection's earlier
@@ -611,6 +851,8 @@ async def replay_items_async(
     codec: str = CODEC_JSON,
     batch_size: int = 1,
     window: int = 64,
+    request_timeout_s: float | None = None,
+    reconnect: RetryPolicy | None = None,
 ) -> ReplayReport:
     """Replay a workload trace against a running :class:`NetServer`.
 
@@ -626,6 +868,11 @@ async def replay_items_async(
     the pipelined fast path the benchmarks measure. Note that a lockstep
     server buffers terminal results, so the whole trace must fit inside
     the server's ``max_inflight`` for an un-drained pipelined replay.
+
+    ``request_timeout_s`` / ``reconnect`` forward to
+    :meth:`AsyncNetClient.connect` — with them a mid-replay server crash
+    rejects every outstanding future (``RequestTimeout`` /
+    ``ConnectionLost``) instead of hanging the replay.
     """
     items = list(items)
     if mode == "lockstep" and connections != 1:
@@ -635,7 +882,13 @@ async def replay_items_async(
     loop = asyncio.get_running_loop()
     wire_codec = None if codec == CODEC_JSON else codec
     clients = [
-        await AsyncNetClient.connect(host, port, codec=wire_codec)
+        await AsyncNetClient.connect(
+            host,
+            port,
+            codec=wire_codec,
+            request_timeout_s=request_timeout_s,
+            reconnect=reconnect,
+        )
         for _ in range(connections)
     ]
     t_start = loop.time()

@@ -912,6 +912,10 @@ class NetServer:
         if ftype is FrameType.REGISTER:
             await self._handle_register(conn, payload)
             return True
+        if ftype is FrameType.HEARTBEAT:
+            # Liveness echo: same frame type back, same id, no state read.
+            conn.send(FrameType.HEARTBEAT, {"id": payload.get("id")})
+            return True
         conn.shard.protocol_errors += 1
         cid = payload.get("id") if isinstance(payload, dict) else None
         conn.send(

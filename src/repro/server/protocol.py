@@ -76,8 +76,9 @@ class BadFrame(ProtocolError):
 
 class FrameType(enum.IntEnum):
     """One byte on the wire. Client-originated: REGISTER / INFER /
-    INFER_BATCH / STATS / DRAIN / HELLO. Server-originated: RESULT /
-    RESULT_BATCH / ERROR / STATS (reply) / ACK."""
+    INFER_BATCH / STATS / DRAIN / HELLO / HEARTBEAT. Server-originated:
+    RESULT / RESULT_BATCH / ERROR / STATS (reply) / ACK / HEARTBEAT
+    (echo)."""
 
     REGISTER = 1
     INFER = 2
@@ -89,6 +90,9 @@ class FrameType(enum.IntEnum):
     HELLO = 8
     INFER_BATCH = 9
     RESULT_BATCH = 10
+    #: Liveness probe; the server echoes it verbatim. JSON-bodied under
+    #: every codec (cold control traffic), so it needs no codec support.
+    HEARTBEAT = 11
 
 
 #: Error codes carried by ERROR frames' ``code`` field. The first block

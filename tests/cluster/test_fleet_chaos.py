@@ -1,0 +1,306 @@
+"""Fleet fault tolerance: failover determinism, conservation, inertness.
+
+Three contracts pin the chaos machinery:
+
+* **Inertness** — with ``node_faults=None``, an empty plan, or a plan
+  that compiles to all-healthy timelines, the fleet result is identical
+  to HEAD's fault-free orchestrator: same shard bytes, same QoS floats
+  (the differential below compares against a plan-less run).
+* **Determinism** — a scripted kill schedule produces bit-identical
+  shard digests and float-identical fleet QoS across ``--jobs`` values
+  and across repeated runs (failover re-deals in the parent, replay
+  merges in node order).
+* **Conservation** — every sharded request reaches exactly one terminal
+  outcome even with a tenth of the fleet dying mid-trace:
+  ``submitted == served + rejected + shed + failed + timed_out``, both
+  fleet-wide and summed over the per-node ``node_outcomes``.
+
+The tier-1 cells run small; ``SPLIT_LARGE_N=1`` unlocks the 100k
+acceptance replay. All chaos-marked tests also run in the CI chaos
+matrix across three seeds (``SPLIT_CHAOS_SEED``).
+"""
+
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.cluster import FleetOrchestrator, NodeClass
+from repro.errors import SimulationError
+from repro.robustness import NodeFaultEvent, NodeFaultKind, NodeFaultPlan
+from repro.runtime.capture import float_bits
+from repro.runtime.workload import Scenario
+
+MODELS = ("yolov2", "vgg19")
+SEED = int(os.environ.get("SPLIT_CHAOS_SEED", "5"))
+#: Past fleet saturation (the aggregate service rate of this inventory
+#: is below 2 requests / 8 ms), so queues are deep when nodes die —
+#: exercising the queued-at-death and in-flight failure paths, not just
+#: the re-deal. Trace span is about 1500/2 x 8 = 6000 ms.
+SCENARIO = Scenario("fleet-chaos-test", 8.0, "high", 1500)
+INVENTORY = "jetson-nano:2,desktop-gpu:2"
+
+
+def conserved(totals, n):
+    return (
+        totals["submitted"] == n
+        and totals["served"]
+        + totals["rejected"]
+        + totals["shed"]
+        + totals["failed"]
+        + totals["timed_out"]
+        == n
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    orch = FleetOrchestrator(INVENTORY, models=MODELS, seed=SEED)
+    return orch.replay(SCENARIO, jobs=1)
+
+
+@pytest.mark.chaos
+class TestInertness:
+    """No faults -> byte- and float-identical to the plan-less fleet."""
+
+    @pytest.mark.parametrize(
+        "plan",
+        [
+            None,
+            NodeFaultPlan(),
+            NodeFaultPlan(seed=SEED),  # enabled=False: rates all zero
+        ],
+        ids=["none", "empty", "seed-only"],
+    )
+    def test_identical_to_faultless(self, baseline, plan):
+        orch = FleetOrchestrator(
+            INVENTORY, models=MODELS, seed=SEED, node_faults=plan
+        )
+        res = orch.replay(SCENARIO, jobs=1)
+        assert res.digests == baseline.digests
+        assert res.qos.totals() == baseline.qos.totals()
+        assert float_bits(res.qos.mean_latency_ms()) == float_bits(
+            baseline.qos.mean_latency_ms()
+        )
+        assert np.array_equal(
+            res.qos.violation_curve(), baseline.qos.violation_curve()
+        )
+        assert res.re_routed == 0 and res.failover_ms == 0.0
+        assert all(
+            w == ((0.0, math.inf),) for w in res.availability.values()
+        )
+
+
+def scripted_plan():
+    return NodeFaultPlan(
+        scripted=(
+            NodeFaultEvent(
+                NodeFaultKind.FAIL_RECOVER, 0, at_ms=1_000.0,
+                recover_at_ms=4_000.0,
+            ),
+            NodeFaultEvent(NodeFaultKind.FAIL_STOP, 2, at_ms=2_500.0),
+            NodeFaultEvent(
+                NodeFaultKind.DEGRADE, 3, at_ms=500.0,
+                recover_at_ms=5_000.0, service_multiplier=2.0,
+            ),
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def chaos_run():
+    orch = FleetOrchestrator(
+        INVENTORY, models=MODELS, seed=SEED, node_faults=scripted_plan()
+    )
+    return orch, orch.replay(SCENARIO, jobs=1)
+
+
+@pytest.mark.chaos
+class TestScriptedFailover:
+    def test_conservation_exact(self, chaos_run):
+        _orch, res = chaos_run
+        assert conserved(res.qos.totals(), SCENARIO.n_requests)
+        per_node = sum(
+            t["served"] + t["rejected"] + t["shed"] + t["failed"]
+            + t["timed_out"]
+            for t in res.node_outcomes
+        )
+        assert per_node == SCENARIO.n_requests
+
+    def test_faults_actually_bit(self, chaos_run):
+        _orch, res = chaos_run
+        assert res.re_routed > 0
+        assert res.failover_ms > 0.0
+        assert res.qos.totals()["failed"] > 0
+
+    def test_availability_timeline_reported(self, chaos_run):
+        _orch, res = chaos_run
+        avail = res.availability
+        names = sorted(avail)
+        down_then_up = [
+            w for w in avail.values() if len(w) == 2
+        ]
+        dead = [
+            w for w in avail.values()
+            if len(w) == 1 and not math.isinf(w[0][1])
+        ]
+        assert len(down_then_up) == 1  # the fail-recover node
+        assert len(dead) == 1  # the fail-stop node
+        assert len(names) == res.n_nodes
+
+    def test_dead_node_shard_ends_at_death(self, chaos_run):
+        orch, _res = chaos_run
+        shards = orch.shard(SCENARIO)
+        # Node index 2 fail-stops at 2500 ms: nothing may be enqueued on
+        # it at or after that instant.
+        dead = shards[2]
+        assert dead.enqueue_ms.size == 0 or float(dead.enqueue_ms.max()) < 2_500.0
+        # The fail-recover node (index 0) has no enqueues inside its
+        # outage window.
+        gap = shards[0].enqueue_ms
+        assert not np.any((gap >= 1_000.0) & (gap < 4_000.0))
+
+    def test_jobs_and_rerun_identical(self, chaos_run):
+        _orch, res = chaos_run
+        again = FleetOrchestrator(
+            INVENTORY, models=MODELS, seed=SEED, node_faults=scripted_plan()
+        ).replay(SCENARIO, jobs=2)
+        assert again.digests == res.digests
+        assert again.qos.totals() == res.qos.totals()
+        assert again.re_routed == res.re_routed
+        assert float_bits(again.failover_ms) == float_bits(res.failover_ms)
+        assert float_bits(again.qos.mean_latency_ms()) == float_bits(
+            res.qos.mean_latency_ms()
+        )
+        assert np.array_equal(
+            res.qos.violation_curve(), again.qos.violation_curve()
+        )
+
+    def test_failover_charges_hops(self, chaos_run):
+        """Re-routed requests land later than their original enqueue:
+        the hand-off hop is charged on top."""
+        _orch, res = chaos_run
+        assert res.failover_ms / res.re_routed > 0.0
+
+
+@pytest.mark.chaos
+class TestStochasticPlans:
+    def test_stochastic_conservation(self):
+        plan = NodeFaultPlan(
+            seed=SEED, fail_stop_rate=0.25, fail_recover_rate=0.25,
+            degrade_rate=0.25, degrade_multiplier=3.0,
+        )
+        orch = FleetOrchestrator(
+            "jetson-nano:4,desktop-gpu:2", models=MODELS, seed=SEED,
+            node_faults=plan,
+        )
+        res = orch.replay(SCENARIO, jobs=1)
+        assert conserved(res.qos.totals(), SCENARIO.n_requests)
+
+    def test_degrade_only_plan_serves_everything_later(self):
+        """Pure degradation loses nothing — it only slows service, so
+        conservation holds with zero failed and a worse violation curve."""
+        plan = NodeFaultPlan(
+            scripted=(
+                NodeFaultEvent(
+                    NodeFaultKind.DEGRADE, None, at_ms=0.0,
+                    service_multiplier=3.0,
+                ),
+            )
+        )
+        clean = FleetOrchestrator(INVENTORY, models=MODELS, seed=SEED)
+        slow = FleetOrchestrator(
+            INVENTORY, models=MODELS, seed=SEED, node_faults=plan
+        )
+        r_clean = clean.replay(SCENARIO, jobs=1)
+        r_slow = slow.replay(SCENARIO, jobs=1)
+        assert r_slow.digests == r_clean.digests  # nothing re-routed
+        assert r_slow.qos.totals()["failed"] == 0
+        assert conserved(r_slow.qos.totals(), SCENARIO.n_requests)
+        assert (
+            r_slow.qos.violation_rate(8.0) >= r_clean.qos.violation_rate(8.0)
+        )
+        assert r_slow.qos.mean_latency_ms() > r_clean.qos.mean_latency_ms()
+
+
+@pytest.mark.chaos
+class TestCapabilityHoles:
+    def test_killing_last_capable_node_names_the_model(self):
+        """gpt2 is restricted to the desktop-gpu class here; fail-stopping
+        the only desktop node mid-trace must raise a SimulationError that
+        names the stranded model (satellite: capability_filter x failover)."""
+        inventory = (
+            NodeClass("jetson-nano", 2, supports=frozenset({"yolov2"})),
+            NodeClass("desktop-gpu", 1),
+        )
+        models = ("yolov2", "gpt2")
+        plan = NodeFaultPlan(
+            scripted=(
+                NodeFaultEvent(NodeFaultKind.FAIL_STOP, 2, at_ms=3_000.0),
+            )
+        )
+        orch = FleetOrchestrator(
+            inventory, models=models, seed=SEED, node_faults=plan
+        )
+        with pytest.raises(SimulationError, match="gpt2"):
+            orch.shard(Scenario("hole", 40.0, "high", 800))
+
+    def test_survivor_in_class_absorbs(self):
+        """With a second node of the restricted class alive, the same kill
+        re-routes instead of raising."""
+        inventory = (
+            NodeClass("jetson-nano", 2, supports=frozenset({"yolov2"})),
+            NodeClass("desktop-gpu", 2),
+        )
+        models = ("yolov2", "gpt2")
+        plan = NodeFaultPlan(
+            scripted=(
+                NodeFaultEvent(NodeFaultKind.FAIL_STOP, 2, at_ms=3_000.0),
+            )
+        )
+        orch = FleetOrchestrator(
+            inventory, models=models, seed=SEED, node_faults=plan
+        )
+        res = orch.replay(Scenario("hole-ok", 40.0, "high", 800), jobs=1)
+        assert conserved(res.qos.totals(), 800)
+        assert res.re_routed > 0
+
+
+@pytest.mark.chaos
+@pytest.mark.skipif(
+    not os.environ.get("SPLIT_LARGE_N"),
+    reason="set SPLIT_LARGE_N=1 for the 100k fleet chaos acceptance run",
+)
+class TestLargeAcceptance:
+    def test_100k_ten_of_hundred_nodes(self):
+        """The ISSUE acceptance cell: scripted fail-stop of 10/100 nodes
+        mid-trace, 100k requests, exact conservation, identical digests
+        and QoS across --jobs."""
+        from repro.cluster import DEFAULT_INVENTORY
+        from repro.experiments.fleet import derived_lambda_ms
+        from repro.experiments.fleet_chaos import scripted_kill_schedule
+
+        orch0 = FleetOrchestrator(DEFAULT_INVENTORY, seed=SEED)
+        lambda_ms = derived_lambda_ms(orch0)
+        scenario = Scenario("chaos-100k", lambda_ms, "high", 100_000)
+        plan = scripted_kill_schedule(
+            len(orch0.nodes), orch0.fault_horizon_ms(scenario)
+        )
+        assert (
+            sum(1 for ev in plan.scripted
+                if ev.kind is NodeFaultKind.FAIL_STOP) >= 5
+        )
+        orch = FleetOrchestrator(
+            DEFAULT_INVENTORY, seed=SEED, node_faults=plan
+        )
+        r1 = orch.replay(scenario, jobs=1)
+        r2 = orch.replay(scenario, jobs=2)
+        assert conserved(r1.qos.totals(), 100_000)
+        assert r1.digests == r2.digests
+        assert r1.qos.totals() == r2.qos.totals()
+        assert float_bits(r1.qos.mean_latency_ms()) == float_bits(
+            r2.qos.mean_latency_ms()
+        )
+        assert r1.qos.totals()["failed"] > 0
+        assert r1.re_routed > 0

@@ -1,0 +1,200 @@
+"""Unit tests for node-level fault plans (repro.robustness.node_faults)."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.robustness import (
+    HEALTHY_TIMELINE,
+    NodeFaultEvent,
+    NodeFaultKind,
+    NodeFaultPlan,
+    NodeTimeline,
+)
+
+INF = math.inf
+
+
+class TestEventValidation:
+    def test_negative_at_rejected(self):
+        with pytest.raises(SimulationError, match="at_ms"):
+            NodeFaultEvent(NodeFaultKind.FAIL_STOP, 0, at_ms=-1.0)
+
+    def test_fail_recover_needs_recover_at(self):
+        with pytest.raises(SimulationError, match="recover_at_ms"):
+            NodeFaultEvent(NodeFaultKind.FAIL_RECOVER, 0, at_ms=5.0)
+
+    def test_fail_stop_must_not_recover(self):
+        with pytest.raises(SimulationError, match="must not set"):
+            NodeFaultEvent(
+                NodeFaultKind.FAIL_STOP, 0, at_ms=5.0, recover_at_ms=9.0
+            )
+
+    def test_recover_must_follow_failure(self):
+        with pytest.raises(SimulationError, match="after at_ms"):
+            NodeFaultEvent(
+                NodeFaultKind.FAIL_RECOVER, 0, at_ms=5.0, recover_at_ms=5.0
+            )
+
+    def test_degrade_multiplier_floor(self):
+        with pytest.raises(SimulationError, match="service_multiplier"):
+            NodeFaultEvent(
+                NodeFaultKind.DEGRADE, 0, at_ms=1.0, service_multiplier=0.5
+            )
+
+    def test_wildcard_matches_every_node(self):
+        ev = NodeFaultEvent(NodeFaultKind.FAIL_STOP, None, at_ms=1.0)
+        assert ev.matches(0) and ev.matches(17)
+        pinned = NodeFaultEvent(NodeFaultKind.FAIL_STOP, 3, at_ms=1.0)
+        assert pinned.matches(3) and not pinned.matches(4)
+
+
+class TestTimelineCompilation:
+    def test_no_events_is_healthy(self):
+        assert NodeTimeline.from_events([]).segments == ((0.0, INF, 1.0),)
+        assert HEALTHY_TIMELINE.healthy
+
+    def test_fail_stop_truncates(self):
+        tl = NodeTimeline.from_events(
+            [NodeFaultEvent(NodeFaultKind.FAIL_STOP, 0, at_ms=100.0)]
+        )
+        assert tl.segments == ((0.0, 100.0, 1.0),)
+        assert tl.is_up(99.9) and not tl.is_up(100.0)
+        assert tl.multiplier_at(250.0) == INF
+
+    def test_fail_recover_punches_window(self):
+        tl = NodeTimeline.from_events(
+            [
+                NodeFaultEvent(
+                    NodeFaultKind.FAIL_RECOVER, 0, at_ms=100.0,
+                    recover_at_ms=200.0,
+                )
+            ]
+        )
+        assert tl.segments == ((0.0, 100.0, 1.0), (200.0, INF, 1.0))
+        assert not tl.is_up(150.0)
+        assert tl.is_up(200.0)  # half-open: up again at recovery instant
+        assert tl.up_windows() == ((0.0, 100.0), (200.0, INF))
+
+    def test_degrade_window_multiplies(self):
+        tl = NodeTimeline.from_events(
+            [
+                NodeFaultEvent(
+                    NodeFaultKind.DEGRADE, 0, at_ms=50.0,
+                    recover_at_ms=150.0, service_multiplier=2.0,
+                ),
+                NodeFaultEvent(
+                    NodeFaultKind.DEGRADE, 0, at_ms=100.0,
+                    recover_at_ms=200.0, service_multiplier=3.0,
+                ),
+            ]
+        )
+        assert tl.multiplier_at(75.0) == 2.0
+        assert tl.multiplier_at(125.0) == 6.0  # overlap multiplies
+        assert tl.multiplier_at(175.0) == 3.0
+        assert tl.multiplier_at(250.0) == 1.0
+        # Degrade boundaries do not fragment availability.
+        assert tl.up_windows() == ((0.0, INF),)
+
+    def test_earliest_fail_stop_wins(self):
+        tl = NodeTimeline.from_events(
+            [
+                NodeFaultEvent(NodeFaultKind.FAIL_STOP, 0, at_ms=300.0),
+                NodeFaultEvent(NodeFaultKind.FAIL_STOP, 0, at_ms=100.0),
+            ]
+        )
+        assert tl.segments == ((0.0, 100.0, 1.0),)
+
+    def test_down_window_swallows_degrade(self):
+        tl = NodeTimeline.from_events(
+            [
+                NodeFaultEvent(
+                    NodeFaultKind.FAIL_RECOVER, 0, at_ms=100.0,
+                    recover_at_ms=300.0,
+                ),
+                NodeFaultEvent(
+                    NodeFaultKind.DEGRADE, 0, at_ms=150.0,
+                    recover_at_ms=250.0, service_multiplier=4.0,
+                ),
+            ]
+        )
+        # The degrade window lies entirely inside the outage.
+        assert tl.segments == ((0.0, 100.0, 1.0), (300.0, INF, 1.0))
+
+    def test_timeline_pickles(self):
+        tl = NodeTimeline.from_events(
+            [NodeFaultEvent(NodeFaultKind.FAIL_STOP, 0, at_ms=5.0)]
+        )
+        assert pickle.loads(pickle.dumps(tl)) == tl
+
+
+class TestPlanValidation:
+    def test_rates_bounded(self):
+        with pytest.raises(SimulationError, match="fail_stop_rate"):
+            NodeFaultPlan(fail_stop_rate=1.5)
+        with pytest.raises(SimulationError, match="sum to at most 1"):
+            NodeFaultPlan(fail_stop_rate=0.6, fail_recover_rate=0.6)
+        with pytest.raises(SimulationError, match="degrade_multiplier"):
+            NodeFaultPlan(degrade_multiplier=0.9)
+
+    def test_enabled(self):
+        assert not NodeFaultPlan().enabled
+        assert NodeFaultPlan(fail_stop_rate=0.1).enabled
+        assert NodeFaultPlan(
+            scripted=(NodeFaultEvent(NodeFaultKind.FAIL_STOP, 0, at_ms=1.0),)
+        ).enabled
+
+
+class TestPlanDeterminism:
+    def test_events_pure_in_key(self):
+        plan = NodeFaultPlan(
+            seed=7, fail_stop_rate=0.2, fail_recover_rate=0.2,
+            degrade_rate=0.2,
+        )
+        first = [plan.events_for(i, 50_000.0) for i in range(64)]
+        second = [plan.events_for(i, 50_000.0) for i in reversed(range(64))]
+        assert first == list(reversed(second))
+
+    def test_stochastic_times_interior(self):
+        plan = NodeFaultPlan(seed=3, fail_recover_rate=1.0)
+        for i in range(32):
+            (ev,) = plan.events_for(i, 10_000.0)
+            assert 0.0 < ev.at_ms < 10_000.0
+            assert ev.recover_at_ms is not None
+            assert ev.at_ms < ev.recover_at_ms < 10_000.0
+
+    def test_raising_one_rate_keeps_existing_faults(self):
+        """FaultPlan's disjoint-range contract: adding degrade probability
+        never reshuffles which nodes already fail-stop."""
+        lean = NodeFaultPlan(seed=9, fail_stop_rate=0.15)
+        rich = NodeFaultPlan(seed=9, fail_stop_rate=0.15, degrade_rate=0.3)
+        for i in range(128):
+            lean_stops = [
+                ev for ev in lean.events_for(i, 20_000.0)
+                if ev.kind is NodeFaultKind.FAIL_STOP
+            ]
+            rich_stops = [
+                ev for ev in rich.events_for(i, 20_000.0)
+                if ev.kind is NodeFaultKind.FAIL_STOP
+            ]
+            assert lean_stops == rich_stops
+
+    def test_scripted_and_stochastic_compose(self):
+        plan = NodeFaultPlan(
+            seed=1,
+            fail_stop_rate=1.0,
+            scripted=(
+                NodeFaultEvent(NodeFaultKind.DEGRADE, None, at_ms=10.0,
+                               recover_at_ms=20.0),
+            ),
+        )
+        events = plan.events_for(0, 1_000.0)
+        kinds = {ev.kind for ev in events}
+        assert kinds == {NodeFaultKind.DEGRADE, NodeFaultKind.FAIL_STOP}
+
+    def test_zero_horizon_means_scripted_only(self):
+        plan = NodeFaultPlan(seed=1, fail_stop_rate=1.0)
+        assert plan.events_for(0, 0.0) == ()
+        assert plan.timeline_for(0, 0.0) is HEALTHY_TIMELINE
